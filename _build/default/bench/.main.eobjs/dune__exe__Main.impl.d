@@ -1,0 +1,1 @@
+bench/main.ml: Array Des Format List Micro Scenarios String Sys Unix

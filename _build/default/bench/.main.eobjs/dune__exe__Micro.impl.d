@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Des Dynatune Format Hashtbl Instance Kvsm List Measure Netsim Raft Staged Stats Test Time Toolkit

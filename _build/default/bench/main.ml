@@ -1,0 +1,114 @@
+(* Benchmark harness: regenerates every figure of the paper's evaluation.
+
+   Usage:
+     dune exec bench/main.exe                 # all figures, quick scale
+     dune exec bench/main.exe -- fig4 fig6a   # selected figures
+     dune exec bench/main.exe -- --full       # paper-scale parameters
+
+   Quick scale shrinks campaign sizes and hold durations (the *shape* of
+   every result is preserved; only statistical resolution drops); --full
+   runs the paper's exact parameters. *)
+
+module Fig4 = Scenarios.Fig4
+module Fig5 = Scenarios.Fig5
+module Fig6 = Scenarios.Fig6
+module Fig7 = Scenarios.Fig7
+module Fig8 = Scenarios.Fig8
+module Ablation = Scenarios.Ablation
+module Report = Scenarios.Report
+
+type scale = { full : bool }
+
+let ppf = Format.std_formatter
+
+let timed name f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Format.fprintf ppf "@.[%s done in %.1fs wall]@." name
+    (Unix.gettimeofday () -. t0)
+
+let run_fig4 { full } =
+  timed "fig4" (fun () ->
+      let failures = if full then 1000 else 200 in
+      Fig4.print ppf (Fig4.compare_modes ~failures ()))
+
+let run_fig5 { full } =
+  timed "fig5" (fun () ->
+      let hold = Des.Time.sec (if full then 10 else 3) in
+      Fig5.print ppf (Fig5.compare_modes ~hold ()))
+
+let run_fig6 pattern { full } =
+  let name = match pattern with Fig6.Gradual -> "fig6a" | Fig6.Radical -> "fig6b" in
+  timed name (fun () ->
+      let hold = Des.Time.sec (if full then 60 else 20) in
+      Fig6.print ppf pattern (Fig6.compare_modes ~hold ~pattern ()))
+
+let run_fig7 { full } =
+  timed "fig7" (fun () ->
+      let hold = Des.Time.sec (if full then 180 else 20) in
+      let ns = [ 5; 17; 65 ] in
+      Fig7.print ppf (Fig7.compare_modes ~hold ~ns ()))
+
+let run_fig8 { full } =
+  timed "fig8" (fun () ->
+      let failures = if full then 1000 else 150 in
+      Fig8.print ppf (Fig8.compare_modes ~failures ()))
+
+let run_ablation { full } =
+  timed "ablation" (fun () ->
+      let failures = if full then 200 else 60 in
+      let quiet = Des.Time.sec (if full then 300 else 60) in
+      let safety = Ablation.safety_factor_sweep ~failures ~quiet () in
+      let arrival = Ablation.arrival_probability_sweep ~quiet () in
+      let sizes = Ablation.list_size_sweep () in
+      let estimators = Ablation.estimator_sweep () in
+      Ablation.print ppf (safety, arrival, sizes, estimators))
+
+let run_extensions { full } =
+  timed "extensions" (fun () ->
+      let hold = Des.Time.sec (if full then 10 else 3) in
+      Scenarios.Extensions.print ppf (Scenarios.Extensions.run ~hold ()))
+
+let run_micro _ =
+  timed "micro" (fun () ->
+      Report.banner ppf "Microbenchmarks (bechamel)";
+      Micro.run ppf)
+
+let figures =
+  [
+    ("fig4", run_fig4);
+    ("fig5", run_fig5);
+    ("fig6a", run_fig6 Fig6.Gradual);
+    ("fig6b", run_fig6 Fig6.Radical);
+    ("fig7", run_fig7);
+    ("fig8", run_fig8);
+    ("ablation", run_ablation);
+    ("extensions", run_extensions);
+    ("micro", run_micro);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let full = List.mem "--full" args in
+  let wanted =
+    match List.filter (fun a -> a <> "--full") args with
+    | [] -> List.map fst figures
+    | names ->
+        List.iter
+          (fun n ->
+            if not (List.mem_assoc n figures) then begin
+              Format.eprintf
+                "unknown figure %S; available: %s, plus --full@." n
+                (String.concat ", " (List.map fst figures));
+              exit 2
+            end)
+          names;
+        names
+  in
+  Format.fprintf ppf
+    "Dynatune reproduction benchmarks (%s scale)@.figures: %s@."
+    (if full then "paper (--full)" else "quick")
+    (String.concat ", " wanted);
+  let scale = { full } in
+  List.iter (fun name -> (List.assoc name figures) scale) wanted;
+  Format.pp_print_flush ppf ()

@@ -1,0 +1,150 @@
+(* Bechamel microbenchmarks of the hot paths: one Test.make per core
+   operation.  These are the per-event costs that bound how large a
+   simulated campaign the figure harness can run. *)
+
+open Bechamel
+open Toolkit
+
+let test_tuner_observe =
+  Test.make ~name:"tuner.observe_heartbeat"
+    (Staged.stage
+       (let tuner = Dynatune.Tuner.create Dynatune.Config.default in
+        let i = ref 0 in
+        fun () ->
+          incr i;
+          Dynatune.Tuner.observe_heartbeat tuner ~hb_id:!i
+            ~rtt:(Some (Des.Time.ms 100))))
+
+let test_tuner_retune =
+  Test.make ~name:"tuner.election_timeout+interval"
+    (Staged.stage
+       (let tuner = Dynatune.Tuner.create Dynatune.Config.default in
+        for i = 0 to 99 do
+          Dynatune.Tuner.observe_heartbeat tuner ~hb_id:i
+            ~rtt:(Some (Des.Time.ms 100))
+        done;
+        fun () ->
+          ignore (Dynatune.Tuner.election_timeout tuner : int);
+          ignore (Dynatune.Tuner.heartbeat_interval tuner : int)))
+
+let test_loss_observe =
+  Test.make ~name:"loss_estimator.observe"
+    (Staged.stage
+       (let l = Dynatune.Loss_estimator.create ~min_size:20 ~max_size:100 in
+        let i = ref 0 in
+        fun () ->
+          incr i;
+          ignore (Dynatune.Loss_estimator.observe l !i)))
+
+let test_window_push =
+  Test.make ~name:"window.push+std"
+    (Staged.stage
+       (let w = Stats.Window.create ~capacity:100 in
+        let x = ref 0. in
+        fun () ->
+          x := !x +. 1.;
+          Stats.Window.push w !x;
+          ignore (Stats.Window.std w : float)))
+
+let test_engine_schedule =
+  Test.make ~name:"engine.schedule+run"
+    (Staged.stage
+       (let e = Des.Engine.create () in
+        fun () ->
+          ignore
+            (Des.Engine.schedule_after e (Des.Time.us 1) (fun () -> ())
+              : Des.Engine.handle);
+          ignore (Des.Engine.step e : bool)))
+
+let test_heap_push_pop =
+  Test.make ~name:"heap.push+pop"
+    (Staged.stage
+       (let h = Des.Heap.create ~cmp:compare in
+        List.iter (Des.Heap.push h) [ 5; 3; 9; 1; 7 ];
+        let i = ref 0 in
+        fun () ->
+          incr i;
+          Des.Heap.push h (!i mod 1000);
+          ignore (Des.Heap.pop h : int option)))
+
+let make_heartbeat_loop () =
+  let config = Raft.Config.dynatune () in
+  let rng = Stats.Rng.create ~seed:1L () in
+  let follower =
+    Raft.Server.create ~id:(Netsim.Node_id.of_int 0)
+      ~peers:(List.tl (Netsim.Node_id.range 5))
+      ~config ~rng ()
+  in
+  ignore (Raft.Server.start follower);
+  let i = ref 0 in
+  fun () ->
+    incr i;
+    let meta =
+      {
+        Dynatune.Leader_path.hb_id = !i;
+        sent_at = Des.Time.ms !i;
+        measured_rtt = Some (Des.Time.ms 100);
+      }
+    in
+    ignore
+      (Raft.Server.handle follower ~now:(Des.Time.ms (!i + 50))
+         (Raft.Server.Message
+            {
+              from = Netsim.Node_id.of_int 1;
+              msg = Raft.Rpc.Heartbeat { term = 1; commit = 0; meta };
+            })
+        : Raft.Server.action list)
+
+let test_server_heartbeat =
+  Test.make ~name:"server.handle heartbeat (dynatune)"
+    (Staged.stage (make_heartbeat_loop ()))
+
+let test_codec =
+  Test.make ~name:"kv command codec roundtrip"
+    (Staged.stage (fun () ->
+         let payload =
+           Kvsm.Command.to_payload
+             (Kvsm.Command.Put { key = "benchmark-key"; value = "value-42" })
+         in
+         ignore (Kvsm.Command.of_payload payload)))
+
+let tests =
+  [
+    test_tuner_observe;
+    test_tuner_retune;
+    test_loss_observe;
+    test_window_push;
+    test_engine_schedule;
+    test_heap_push_pop;
+    test_server_heartbeat;
+    test_codec;
+  ]
+
+let run ppf =
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None ()
+  in
+  Format.fprintf ppf "  %-40s %14s %8s@." "operation" "time/run" "r^2";
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let analyzed = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          let time_ns =
+            match Analyze.OLS.estimates ols_result with
+            | Some (t :: _) -> t
+            | Some [] | None -> nan
+          in
+          let r2 =
+            match Analyze.OLS.r_square ols_result with
+            | Some r -> r
+            | None -> nan
+          in
+          Format.fprintf ppf "  %-40s %11.1f ns %8.4f@." name time_ns r2)
+        analyzed)
+    tests

@@ -1,0 +1,291 @@
+(* dynatune_sim: command-line driver for the Dynatune simulation.
+
+   Subcommands:
+     failover    repeated leader-kill campaign, detection/OTS statistics
+     watch       live election-parameter adaptation under RTT/loss schedules
+     throughput  open-loop RPS ramp with the CPU cost model
+     calc        the tuning formulas as a calculator (K, h, Et)
+     figure      regenerate one of the paper's figures *)
+
+open Cmdliner
+
+let ppf = Format.std_formatter
+
+(* {2 Shared options} *)
+
+let mode_conv =
+  let parse = function
+    | "raft" -> Ok (Raft.Config.static ())
+    | "raft-low" -> Ok (Raft.Config.raft_low ())
+    | "dynatune" -> Ok (Raft.Config.dynatune ())
+    | "fix-k" -> Ok (Raft.Config.fix_k ~k:10 ())
+    | s -> Error (`Msg (Printf.sprintf "unknown mode %S" s))
+  in
+  let print fmt c = Format.fprintf fmt "%s" (Raft.Config.mode_name c) in
+  Arg.conv (parse, print)
+
+let mode =
+  Arg.(
+    value
+    & opt mode_conv (Raft.Config.dynatune ())
+    & info [ "m"; "mode" ] ~docv:"MODE"
+        ~doc:"Raft variant: raft, raft-low, dynatune or fix-k.")
+
+let seed =
+  Arg.(
+    value & opt int64 42L
+    & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed (runs are deterministic).")
+
+let servers =
+  Arg.(
+    value & opt int 5
+    & info [ "n"; "servers" ] ~docv:"N" ~doc:"Cluster size (odd).")
+
+let rtt =
+  Arg.(
+    value & opt float 100.
+    & info [ "rtt" ] ~docv:"MS" ~doc:"Link round-trip time in milliseconds.")
+
+let jitter =
+  Arg.(
+    value & opt float 0.02
+    & info [ "jitter" ] ~docv:"SIGMA"
+        ~doc:"Relative delay jitter (lognormal sigma).")
+
+let loss =
+  Arg.(
+    value & opt float 0.
+    & info [ "loss" ] ~docv:"P" ~doc:"Packet loss probability in [0,1).")
+
+(* {2 failover} *)
+
+let failover_cmd =
+  let failures =
+    Arg.(
+      value & opt int 100
+      & info [ "failures" ] ~docv:"K" ~doc:"Number of leader kills.")
+  in
+  let run config n failures rtt_ms jitter seed =
+    let result =
+      Scenarios.Fig4.run ~seed ~n ~failures ~rtt_ms ~jitter ~config ()
+    in
+    Scenarios.Fig4.print ppf [ result ]
+  in
+  Cmd.v
+    (Cmd.info "failover" ~doc:"Leader-failure campaign (Fig 4 style)")
+    Term.(const run $ mode $ servers $ failures $ rtt $ jitter $ seed)
+
+(* {2 watch} *)
+
+let watch_cmd =
+  let rtts =
+    Arg.(
+      value
+      & opt (list float) [ 50.; 100.; 200.; 100.; 50. ]
+      & info [ "rtts" ] ~docv:"MS,MS,..." ~doc:"RTT schedule, one step each.")
+  in
+  let losses =
+    Arg.(
+      value
+      & opt (list float) []
+      & info [ "losses" ] ~docv:"P,P,..."
+          ~doc:"Loss schedule (overrides a constant --loss).")
+  in
+  let hold =
+    Arg.(
+      value & opt int 15
+      & info [ "hold" ] ~docv:"SEC" ~doc:"Seconds per schedule step.")
+  in
+  let run config n rtts losses hold jitter seed =
+    let hold = Des.Time.sec hold in
+    let profiles =
+      match losses with
+      | [] -> List.map (fun rtt_ms -> Netsim.Conditions.profile ~rtt_ms ~jitter ()) rtts
+      | losses ->
+          List.concat_map
+            (fun rtt_ms ->
+              List.map
+                (fun loss ->
+                  Netsim.Conditions.profile ~rtt_ms ~jitter ~loss ())
+                losses)
+            rtts
+    in
+    let conditions = Netsim.Conditions.staircase ~hold profiles in
+    let cluster =
+      Harness.Cluster.create ~seed ~n ~config ~conditions ()
+    in
+    Harness.Cluster.start cluster;
+    (match Harness.Cluster.await_leader cluster ~timeout:(Des.Time.sec 60) with
+    | Some _ -> ()
+    | None -> failwith "no leader elected");
+    Format.fprintf ppf "  %6s %10s %8s %16s %8s@." "t(s)" "rtt(ms)" "loss"
+      "majority-rTO(ms)" "leader";
+    let duration = List.length profiles * hold in
+    let series =
+      Harness.Monitor.watch cluster ~every:(Des.Time.sec 2) ~duration
+        ~probes:
+          [
+            {
+              Harness.Monitor.name = "rto";
+              read = Harness.Monitor.majority_randomized_ms;
+            };
+            {
+              Harness.Monitor.name = "led";
+              read = (fun c -> if Harness.Monitor.has_leader c then 1. else 0.);
+            };
+          ]
+    in
+    let rto = List.assoc "rto" series and led = List.assoc "led" series in
+    List.iter2
+      (fun (t, v) (_, l) ->
+        let p = Netsim.Conditions.at conditions (Des.Time.of_sec_f t) in
+        Format.fprintf ppf "  %6.0f %10.0f %7.1f%% %16.0f %8s@." t
+          p.Netsim.Conditions.rtt_ms
+          (100. *. p.Netsim.Conditions.loss)
+          v
+          (if l > 0. then "yes" else "NO"))
+      (Stats.Timeseries.points rto) (Stats.Timeseries.points led)
+  in
+  Cmd.v
+    (Cmd.info "watch"
+       ~doc:"Watch election parameters adapt to an RTT/loss schedule")
+    Term.(const run $ mode $ servers $ rtts $ losses $ hold $ jitter $ seed)
+
+(* {2 throughput} *)
+
+let throughput_cmd =
+  let max_rps =
+    Arg.(
+      value & opt int 17000
+      & info [ "max-rps" ] ~docv:"RPS" ~doc:"Top of the offered-load ramp.")
+  in
+  let step =
+    Arg.(
+      value & opt int 1000
+      & info [ "step" ] ~docv:"RPS" ~doc:"Ramp increment per level.")
+  in
+  let hold =
+    Arg.(
+      value & opt int 5
+      & info [ "hold" ] ~docv:"SEC" ~doc:"Seconds per load level.")
+  in
+  let run config max_rps step hold rtt_ms seed =
+    let rates =
+      List.init (max_rps / step) (fun i -> float_of_int ((i + 1) * step))
+    in
+    let result =
+      Scenarios.Fig5.run ~seed ~rates ~hold:(Des.Time.sec hold) ~rtt_ms
+        ~config ()
+    in
+    Scenarios.Fig5.print ppf [ result ]
+  in
+  Cmd.v
+    (Cmd.info "throughput" ~doc:"Open-loop RPS ramp (Fig 5 style)")
+    Term.(const run $ mode $ max_rps $ step $ hold $ rtt $ seed)
+
+(* {2 calc} *)
+
+let calc_cmd =
+  let x =
+    Arg.(
+      value & opt float 0.999
+      & info [ "x" ] ~docv:"X" ~doc:"Target heartbeat arrival probability.")
+  in
+  let s =
+    Arg.(
+      value & opt float 2.
+      & info [ "s" ] ~docv:"S" ~doc:"Safety factor in Et = mu + s*sigma.")
+  in
+  let sigma =
+    Arg.(
+      value & opt float 5.
+      & info [ "sigma" ] ~docv:"MS" ~doc:"RTT standard deviation (ms).")
+  in
+  let run rtt_ms sigma s x loss =
+    let et = rtt_ms +. (s *. sigma) in
+    let k = Dynatune.Tuner.required_heartbeats_for ~p:loss ~x in
+    Format.fprintf ppf "inputs: mu_RTT=%.1fms sigma=%.1fms s=%.1f p=%.3f x=%.4f@."
+      rtt_ms sigma s loss x;
+    Format.fprintf ppf "Et = mu + s*sigma           = %.1f ms@." et;
+    Format.fprintf ppf "K  = ceil(log_p(1-x))       = %d heartbeats@." k;
+    Format.fprintf ppf "h  = Et / K                 = %.1f ms (%.1f heartbeats/s per follower)@."
+      (et /. float_of_int k)
+      (1000. /. (et /. float_of_int k));
+    Format.fprintf ppf
+      "guarantee: P(at least one heartbeat within Et) = %.6f >= %.4f@."
+      (1. -. (loss ** float_of_int k))
+      x
+  in
+  Cmd.v
+    (Cmd.info "calc" ~doc:"Evaluate the tuning formulas (Section III-D)")
+    Term.(const run $ rtt $ sigma $ s $ x $ loss)
+
+(* {2 figure} *)
+
+let figure_cmd =
+  let figure_name =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FIGURE"
+          ~doc:"One of: fig4, fig5, fig6a, fig6b, fig7, fig8, ablation.")
+  in
+  let full =
+    Arg.(
+      value & flag
+      & info [ "full" ] ~doc:"Paper-scale parameters (slower).")
+  in
+  let run figure_name full =
+    let hold quick f = Des.Time.sec (if full then f else quick) in
+    match figure_name with
+    | "fig4" ->
+        Scenarios.Fig4.print ppf
+          (Scenarios.Fig4.compare_modes
+             ~failures:(if full then 1000 else 200)
+             ())
+    | "fig5" ->
+        Scenarios.Fig5.print ppf
+          (Scenarios.Fig5.compare_modes ~hold:(hold 3 10) ())
+    | "fig6a" ->
+        Scenarios.Fig6.print ppf Scenarios.Fig6.Gradual
+          (Scenarios.Fig6.compare_modes ~hold:(hold 20 60)
+             ~pattern:Scenarios.Fig6.Gradual ())
+    | "fig6b" ->
+        Scenarios.Fig6.print ppf Scenarios.Fig6.Radical
+          (Scenarios.Fig6.compare_modes ~hold:(hold 20 60)
+             ~pattern:Scenarios.Fig6.Radical ())
+    | "fig7" ->
+        Scenarios.Fig7.print ppf
+          (Scenarios.Fig7.compare_modes ~hold:(hold 20 180) ~ns:[ 5; 17; 65 ]
+             ())
+    | "fig8" ->
+        Scenarios.Fig8.print ppf
+          (Scenarios.Fig8.compare_modes
+             ~failures:(if full then 1000 else 150)
+             ())
+    | "ablation" ->
+        Scenarios.Ablation.print ppf
+          ( Scenarios.Ablation.safety_factor_sweep (),
+            Scenarios.Ablation.arrival_probability_sweep (),
+            Scenarios.Ablation.list_size_sweep (),
+            Scenarios.Ablation.estimator_sweep () )
+    | other -> Format.fprintf ppf "unknown figure %S@." other
+  in
+  Cmd.v
+    (Cmd.info "figure" ~doc:"Regenerate one of the paper's figures")
+    Term.(const run $ figure_name $ full)
+
+let () =
+  let default =
+    Term.(ret (const (`Help (`Pager, None))))
+  in
+  let info =
+    Cmd.info "dynatune_sim" ~version:"1.0.0"
+      ~doc:
+        "Simulated evaluation of Dynatune: dynamic tuning of Raft election \
+         parameters using network measurement"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [ failover_cmd; watch_cmd; throughput_cmd; calc_cmd; figure_cmd ]))

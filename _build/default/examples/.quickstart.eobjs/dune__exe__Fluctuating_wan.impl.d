@@ -1,0 +1,1 @@
+examples/fluctuating_wan.ml: Des Format Harness List Netsim Printf Raft Stats Stdlib String

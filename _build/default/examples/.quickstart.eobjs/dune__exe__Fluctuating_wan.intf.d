@@ -1,0 +1,1 @@
+examples/fluctuating_wan.mli:

@@ -1,0 +1,1 @@
+examples/geo_replication.ml: Des Dynatune Format Harness List Netsim Raft Scenarios

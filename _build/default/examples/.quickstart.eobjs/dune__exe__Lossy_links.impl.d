@@ -1,0 +1,1 @@
+examples/lossy_links.ml: Des Dynatune Format Harness List Netsim Printf Raft Stats String

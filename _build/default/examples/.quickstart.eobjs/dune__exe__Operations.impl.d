@@ -1,0 +1,1 @@
+examples/operations.ml: Des Format Harness Kvsm List Netsim Option Printf Raft String

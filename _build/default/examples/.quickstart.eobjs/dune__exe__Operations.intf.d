@@ -1,0 +1,1 @@
+examples/operations.mli:

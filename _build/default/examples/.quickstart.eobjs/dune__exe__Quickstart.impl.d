@@ -1,0 +1,1 @@
+examples/quickstart.ml: Des Dynatune Format Harness Kvsm List Netsim Printf Raft String

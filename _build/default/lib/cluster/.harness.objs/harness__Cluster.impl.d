@@ -1,0 +1,1 @@
+lib/cluster/cluster.ml: Des Kvsm Lazy List Netsim Raft Stdlib

@@ -1,0 +1,1 @@
+lib/cluster/cluster.mli: Des Kvsm Netsim Raft

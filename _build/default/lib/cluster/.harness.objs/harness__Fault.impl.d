@@ -1,0 +1,1 @@
+lib/cluster/fault.ml: Cluster Des Dynatune List Netsim Raft Stats Stdlib

@@ -1,0 +1,1 @@
+lib/cluster/monitor.ml: Cluster Des List Netsim Raft Stats Stdlib

@@ -1,0 +1,1 @@
+lib/cluster/monitor.mli: Cluster Des Netsim Stats

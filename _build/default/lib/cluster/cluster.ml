@@ -1,0 +1,152 @@
+module Node_id = Netsim.Node_id
+
+type member = { node : Raft.Node.t; mutable store : Kvsm.Store.t }
+
+type t = {
+  engine : Des.Engine.t;
+  fabric : Raft.Rpc.message Netsim.Fabric.t;
+  trace : Raft.Probe.t Des.Mtrace.t;
+  members : member Node_id.Table.t;
+  ids : Node_id.t list;
+  mutable read_seq : int;  (* sequence numbers for internal read clients *)
+}
+
+let create ?seed ?costs ?(cores = 4.) ?conditions ?flush_delay ~n ~config () =
+  if n <= 0 then invalid_arg "Cluster.create: n must be positive";
+  let engine = Des.Engine.create ?seed () in
+  let fabric = Netsim.Fabric.create engine in
+  let trace = Des.Mtrace.create engine in
+  let ids = Node_id.range n in
+  List.iter (Netsim.Fabric.add_node fabric) ids;
+  (match conditions with
+  | Some c -> Netsim.Fabric.set_uniform_conditions fabric c
+  | None -> ());
+  let members = Node_id.Table.create n in
+  List.iter
+    (fun id ->
+      let peers = List.filter (fun p -> not (Node_id.equal p id)) ids in
+      let cpu =
+        match costs with
+        | Some _ -> Some (Netsim.Cpu.create engine ~cores)
+        | None -> None
+      in
+      (* The member record is created first so the apply closure reads the
+         store through it: a crash-restart swaps in a fresh replica and
+         the replayed log rebuilds it. *)
+      let rec member =
+        lazy
+          {
+            node =
+              Raft.Node.create ~fabric ~trace ?cpu ?costs
+                ~apply:(fun entry ->
+                  ignore
+                    (Kvsm.Store.apply_entry (Lazy.force member).store entry
+                      : Kvsm.Store.result option))
+                ~snapshot_of:(fun () ->
+                  Kvsm.Store.serialize (Lazy.force member).store)
+                ~install_sm:(fun data ->
+                  let m = Lazy.force member in
+                  match Kvsm.Store.of_serialized data with
+                  | Ok store -> m.store <- store
+                  | Error _ -> m.store <- Kvsm.Store.create ())
+                ?flush_delay ~id ~peers ~config ();
+            store = Kvsm.Store.create ();
+          }
+      in
+      Node_id.Table.add members id (Lazy.force member))
+    ids;
+  { engine; fabric; trace; members; ids; read_seq = 0 }
+
+let engine t = t.engine
+let fabric t = t.fabric
+let trace t = t.trace
+let size t = List.length t.ids
+let quorum t = (size t / 2) + 1
+let node_ids t = t.ids
+
+let member t id =
+  match Node_id.Table.find_opt t.members id with
+  | Some m -> m
+  | None -> invalid_arg "Cluster: unknown node id"
+
+let node t id = (member t id).node
+let store t id = (member t id).store
+
+let reset_store t id =
+  let m = member t id in
+  m.store <- Kvsm.Store.create ()
+let nodes t = List.map (fun id -> node t id) t.ids
+
+let start t = List.iter Raft.Node.start (nodes t)
+
+let leader t =
+  let candidates =
+    List.filter
+      (fun n ->
+        (not (Raft.Node.is_paused n))
+        && Raft.Types.is_leader (Raft.Server.role (Raft.Node.server n)))
+      (nodes t)
+  in
+  let compare_terms a b =
+    compare
+      (Raft.Server.term (Raft.Node.server b))
+      (Raft.Server.term (Raft.Node.server a))
+  in
+  match List.sort compare_terms candidates with [] -> None | l :: _ -> Some l
+
+let run_for t span = Des.Engine.run_for t.engine span
+let now t = Des.Engine.now t.engine
+
+let await_leader t ~timeout =
+  let deadline = Des.Time.add (now t) timeout in
+  let rec poll () =
+    match leader t with
+    | Some l -> Some l
+    | None ->
+        if now t >= deadline then None
+        else begin
+          Des.Engine.run_until t.engine
+            (Stdlib.min deadline (Des.Time.add (now t) (Des.Time.ms 1)));
+          poll ()
+        end
+  in
+  poll ()
+
+let set_uniform_conditions t c = Netsim.Fabric.set_uniform_conditions t.fabric c
+
+let set_pair_conditions t a b c =
+  Netsim.Fabric.set_pair_conditions t.fabric a b c
+
+let partition t groups = Netsim.Fabric.partition t.fabric groups
+let heal_partition t = Netsim.Fabric.heal_partition t.fabric
+
+let submit_target t ~payload ~client_id ~seq ~on_result =
+  match leader t with
+  | None -> `Not_leader None
+  | Some l -> Raft.Node.submit l ~payload ~client_id ~seq ~on_result ()
+
+(* Reads use a reserved client id far outside the test/benchmark range. *)
+let read_client_id = -1
+
+let linearizable_read t ~key ~on_result =
+  match leader t with
+  | None -> on_result None
+  | Some l -> (
+      t.read_seq <- t.read_seq + 1;
+      let leader_id = Raft.Node.id l in
+      match
+        Raft.Node.read l ~client_id:read_client_id ~seq:t.read_seq
+          ~on_result:(fun ~committed ->
+            if committed then
+              (* The leader's replica is linearizable at this instant. *)
+              on_result (Some (Kvsm.Store.find (store t leader_id) key))
+            else on_result None)
+          ()
+      with
+      | `Accepted -> ()
+      | `Not_leader _ -> on_result None)
+
+let transfer_leadership t target =
+  match leader t with
+  | None -> `Not_leader
+  | Some l -> Raft.Node.transfer_leadership l target

@@ -1,0 +1,76 @@
+(** A complete simulated key-value service cluster.
+
+    Bundles the engine, fabric, trace, n Raft nodes (each applying to its
+    own KV store replica) and optional CPU modelling — the unit every
+    experiment manipulates. *)
+
+type t
+
+val create :
+  ?seed:int64 ->
+  ?costs:Raft.Cost_model.t ->
+  ?cores:float ->
+  ?conditions:Netsim.Conditions.t ->
+  ?flush_delay:Des.Time.span ->
+  n:int ->
+  config:Raft.Config.t ->
+  unit ->
+  t
+(** An [n]-server cluster where every server runs [config].  [conditions]
+    (default: ideal links) applies to every directed link; per-pair
+    overrides can be set afterwards.  When [costs] is given, each node
+    gets a CPU with [cores] (default 4., matching the paper's container
+    allocation). *)
+
+val engine : t -> Des.Engine.t
+val fabric : t -> Raft.Rpc.message Netsim.Fabric.t
+val trace : t -> Raft.Probe.t Des.Mtrace.t
+val size : t -> int
+val quorum : t -> int
+
+val nodes : t -> Raft.Node.t list
+val node : t -> Netsim.Node_id.t -> Raft.Node.t
+val node_ids : t -> Netsim.Node_id.t list
+val store : t -> Netsim.Node_id.t -> Kvsm.Store.t
+
+val reset_store : t -> Netsim.Node_id.t -> unit
+(** Replace a node's KV replica with an empty one (used by the
+    crash-restart fault: the state machine is rebuilt by log replay). *)
+
+val start : t -> unit
+(** Start every node (arms their election timers). *)
+
+val leader : t -> Raft.Node.t option
+(** The live leader: an unpaused node in the [Leader] role; when several
+    claim leadership (stale terms), the one with the highest term. *)
+
+val await_leader : t -> timeout:Des.Time.span -> Raft.Node.t option
+(** Run the engine until a leader exists (checking at millisecond
+    granularity) or the timeout elapses. *)
+
+val set_uniform_conditions : t -> Netsim.Conditions.t -> unit
+
+val set_pair_conditions :
+  t -> Netsim.Node_id.t -> Netsim.Node_id.t -> Netsim.Conditions.t -> unit
+
+val partition : t -> Netsim.Node_id.t list list -> unit
+(** Network-partition the cluster into groups (see
+    {!Netsim.Fabric.partition}). *)
+
+val heal_partition : t -> unit
+
+val submit_target : t -> Kvsm.Client.target
+(** A client target that finds the current leader and submits to it. *)
+
+val linearizable_read :
+  t -> key:string -> on_result:(string option option -> unit) -> unit
+(** Read [key] with linearizable semantics via the ReadIndex protocol:
+    [on_result] receives [Some value_opt] once the leader confirms its
+    authority (value as of at least the read's registration point), or
+    [None] if no leader was available / leadership was lost mid-read. *)
+
+val transfer_leadership : t -> Netsim.Node_id.t -> [ `Ok | `Not_leader ]
+(** Ask the current leader to hand off to [target]. *)
+
+val run_for : t -> Des.Time.span -> unit
+val now : t -> Des.Time.t

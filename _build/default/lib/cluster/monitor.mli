@@ -1,0 +1,45 @@
+(** Live measurement utilities over a running cluster.
+
+    These implement the paper's observation methodology: per-second
+    sampling of the (f+1)-th smallest randomizedTimeout (Fig 6), of the
+    applied heartbeat interval (Fig 7a), and reconstruction of
+    out-of-service intervals from the role-change trace (the background
+    shading of Fig 6). *)
+
+val randomized_timeouts_ms : Cluster.t -> float list
+(** Current randomizedTimeout of every non-leader node, ms, unsorted. *)
+
+val majority_randomized_ms : Cluster.t -> float
+(** The (f+1)-th smallest of the above — the value at which a pre-vote
+    quorum becomes possible.  [nan] when not enough followers. *)
+
+val election_timeout_ms : Cluster.t -> Netsim.Node_id.t -> float
+(** Node's current base [Et] (tuned or default). *)
+
+val leader_h_ms : Cluster.t -> follower:Netsim.Node_id.t -> float
+(** The heartbeat interval the current leader applies toward [follower];
+    [nan] when there is no leader (or the follower {e is} the leader). *)
+
+val has_leader : Cluster.t -> bool
+
+type probe = { name : string; read : Cluster.t -> float }
+
+val watch :
+  Cluster.t ->
+  every:Des.Time.span ->
+  duration:Des.Time.span ->
+  probes:probe list ->
+  (string * Stats.Timeseries.t) list
+(** Advance the simulation by [duration], sampling every probe at the
+    given period; returns one time series (times in seconds) per probe.
+    NaN samples are recorded as-is (plotted series show gaps). *)
+
+val leaderless_intervals :
+  Cluster.t -> from:Des.Time.t -> until:Des.Time.t ->
+  (Des.Time.t * Des.Time.t) list
+(** Out-of-service intervals within the window, reconstructed from the
+    role-change trace (requires the trace not to have been cleared since
+    before [from]). *)
+
+val total_ots_ms : Cluster.t -> from:Des.Time.t -> until:Des.Time.t -> float
+(** Sum of the leaderless interval lengths in the window. *)

@@ -1,0 +1,1 @@
+lib/core/ewma_estimator.mli: Des

@@ -1,0 +1,1 @@
+lib/core/leader_path.ml: Config Des

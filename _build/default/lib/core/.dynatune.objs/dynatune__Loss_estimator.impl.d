@@ -1,0 +1,1 @@
+lib/core/loss_estimator.ml: Array Stdlib

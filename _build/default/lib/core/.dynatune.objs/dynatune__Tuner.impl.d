@@ -1,0 +1,1 @@
+lib/core/tuner.ml: Config Des Ewma_estimator Format Loss_estimator Rtt_estimator Stdlib

@@ -1,0 +1,1 @@
+lib/core/tuner.mli: Config Des Format

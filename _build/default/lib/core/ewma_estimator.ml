@@ -1,0 +1,52 @@
+type t = {
+  alpha : float;
+  beta : float;
+  min_samples : int;
+  mutable srtt : float;  (* ms *)
+  mutable rttvar : float;  (* ms *)
+  mutable count : int;
+}
+
+let create ?(alpha = 0.125) ~min_samples () =
+  if not (alpha > 0. && alpha <= 1.) then
+    invalid_arg "Ewma_estimator.create: alpha must be in (0, 1]";
+  if min_samples <= 0 then
+    invalid_arg "Ewma_estimator.create: min_samples must be positive";
+  {
+    alpha;
+    beta = Float.min 1. (2. *. alpha);
+    min_samples;
+    srtt = 0.;
+    rttvar = 0.;
+    count = 0;
+  }
+
+let alpha t = t.alpha
+
+let observe t rtt =
+  let r = Des.Time.to_ms_f rtt in
+  if t.count = 0 then begin
+    (* TCP's initialization: first sample seeds both estimators. *)
+    t.srtt <- r;
+    t.rttvar <- r /. 2.
+  end
+  else begin
+    t.rttvar <-
+      ((1. -. t.beta) *. t.rttvar) +. (t.beta *. abs_float (r -. t.srtt));
+    t.srtt <- ((1. -. t.alpha) *. t.srtt) +. (t.alpha *. r)
+  end;
+  if t.count < max_int then t.count <- t.count + 1
+
+let length t = t.count
+let warmed_up t = t.count >= t.min_samples
+let mean t = Des.Time.of_ms_f t.srtt
+let deviation t = Des.Time.of_ms_f t.rttvar
+
+let election_timeout t ~s =
+  if not (warmed_up t) then None
+  else Some (Des.Time.of_ms_f (t.srtt +. (s *. t.rttvar)))
+
+let clear t =
+  t.srtt <- 0.;
+  t.rttvar <- 0.;
+  t.count <- 0

@@ -1,0 +1,52 @@
+type meta = {
+  hb_id : int;
+  sent_at : Des.Time.t;
+  measured_rtt : Des.Time.span option;
+}
+
+type t = {
+  config : Config.t;
+  mutable next_id : int;
+  mutable pending_rtt : Des.Time.span option;
+  mutable last_rtt : Des.Time.span option;
+  mutable interval : Des.Time.span;
+}
+
+let create (config : Config.t) =
+  {
+    config;
+    next_id = 0;
+    pending_rtt = None;
+    last_rtt = None;
+    interval = config.default_heartbeat_interval;
+  }
+
+let next_meta t ~now =
+  let meta =
+    { hb_id = t.next_id; sent_at = now; measured_rtt = t.pending_rtt }
+  in
+  t.next_id <- t.next_id + 1;
+  t.pending_rtt <- None;
+  meta
+
+let on_response t ~now ~echo_sent_at ~tuned_h =
+  if echo_sent_at <= now then begin
+    let rtt = Des.Time.diff now echo_sent_at in
+    t.pending_rtt <- Some rtt;
+    t.last_rtt <- Some rtt
+  end;
+  match tuned_h with
+  | Some h ->
+      t.interval <-
+        Des.Time.max_span t.config.min_heartbeat_interval h
+  | None -> ()
+
+let interval t = t.interval
+let last_rtt t = t.last_rtt
+let sent_count t = t.next_id
+
+let reset t =
+  t.next_id <- 0;
+  t.pending_rtt <- None;
+  t.last_rtt <- None;
+  t.interval <- t.config.default_heartbeat_interval

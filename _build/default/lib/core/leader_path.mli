@@ -1,0 +1,49 @@
+(** Leader-side per-follower state (the tuning half that runs on the
+    leader).
+
+    For each follower the leader (a) allocates sequential heartbeat ids,
+    (b) stamps heartbeats with its local send time, (c) computes the RTT
+    when the echo comes back and forwards that measurement to the follower
+    in the next heartbeat, and (d) applies the [h] the follower piggybacks
+    in its response as the sending interval toward that follower
+    (Steps 0 and 3 of Section III-B).
+
+    RTT computation uses only the leader's clock via the echoed timestamp,
+    so it is robust to reordering, loss and clock skew (Section
+    III-C1). *)
+
+type meta = {
+  hb_id : int;  (** sequential heartbeat id for loss measurement *)
+  sent_at : Des.Time.t;  (** leader local send time, echoed by follower *)
+  measured_rtt : Des.Time.span option;
+      (** most recent RTT measured on this path, not yet delivered *)
+}
+
+type t
+
+val create : Config.t -> t
+
+val next_meta : t -> now:Des.Time.t -> meta
+(** Metadata for the next heartbeat: allocates the id and consumes the
+    pending RTT measurement (each measurement is shipped once). *)
+
+val on_response :
+  t -> now:Des.Time.t -> echo_sent_at:Des.Time.t -> tuned_h:Des.Time.span option -> unit
+(** Process a heartbeat response: compute the RTT from the echoed send
+    time and stash it for the next heartbeat; apply the follower's tuned
+    [h] (clamped below by [min_heartbeat_interval]) as the new sending
+    interval.  Replies whose echoed timestamp is in the future (clock
+    anomaly) are ignored. *)
+
+val interval : t -> Des.Time.span
+(** Current heartbeat sending interval toward this follower. *)
+
+val last_rtt : t -> Des.Time.span option
+(** Most recently measured RTT (shipped or not). *)
+
+val sent_count : t -> int
+(** Heartbeats stamped so far (= the id of the next heartbeat). *)
+
+val reset : t -> unit
+(** Forget measurements and return the interval to the default (used on
+    leadership change). *)

@@ -1,0 +1,36 @@
+(** Packet-loss estimation over the follower's [ids] list (Section
+    III-C2).
+
+    The leader stamps heartbeats with a sequential id; the follower keeps
+    the ids it received in ascending order, ignoring duplicates, and
+    estimates the loss rate as
+    [p = 1 − received / expected] with [expected = ids[-1] − ids[0] + 1].
+    The list is bounded: beyond [max_size] the oldest (smallest) id is
+    evicted, so the estimate tracks recent conditions. *)
+
+type t
+
+val create : min_size:int -> max_size:int -> t
+(** Requires [0 < min_size <= max_size]. *)
+
+val observe : t -> int -> [ `Recorded | `Duplicate ]
+(** Record a received heartbeat id.  Out-of-order arrivals are inserted
+    in position; an id already present is ignored and reported as
+    [`Duplicate]. *)
+
+val length : t -> int
+(** Number of distinct ids currently stored. *)
+
+val warmed_up : t -> bool
+
+val span : t -> (int * int) option
+(** Smallest and largest stored id. *)
+
+val expected : t -> int
+(** [ids[-1] − ids[0] + 1]; [0] when empty. *)
+
+val loss_rate : t -> float
+(** Estimated loss probability in [\[0, 1)]; [0.] with fewer than two
+    ids. *)
+
+val clear : t -> unit

@@ -1,0 +1,129 @@
+type phase = Warming | Tuned
+
+type rtt_backend =
+  | Window of Rtt_estimator.t
+  | Smoothed of Ewma_estimator.t
+
+type t = {
+  config : Config.t;
+  rtt : rtt_backend;
+  loss : Loss_estimator.t;
+}
+
+let create config =
+  match Config.validate config with
+  | Error msg -> invalid_arg ("Tuner.create: " ^ msg)
+  | Ok config ->
+      {
+        config;
+        rtt =
+          (match config.rtt_estimator with
+          | Config.Sliding_window ->
+              Window
+                (Rtt_estimator.create ~min_size:config.min_list_size
+                   ~max_size:config.max_list_size)
+          | Config.Ewma alpha ->
+              Smoothed
+                (Ewma_estimator.create ~alpha
+                   ~min_samples:config.min_list_size ()));
+        loss =
+          Loss_estimator.create ~min_size:config.min_list_size
+            ~max_size:config.max_list_size;
+      }
+
+let config t = t.config
+
+let rtt_warmed t =
+  match t.rtt with
+  | Window w -> Rtt_estimator.warmed_up w
+  | Smoothed e -> Ewma_estimator.warmed_up e
+
+let rtt_observe t sample =
+  match t.rtt with
+  | Window w -> Rtt_estimator.observe w sample
+  | Smoothed e -> Ewma_estimator.observe e sample
+
+let rtt_et t ~s =
+  match t.rtt with
+  | Window w -> Rtt_estimator.election_timeout w ~s
+  | Smoothed e -> Ewma_estimator.election_timeout e ~s
+
+let phase t =
+  if rtt_warmed t && Loss_estimator.warmed_up t.loss then Tuned else Warming
+
+let observe_heartbeat t ~hb_id ~rtt =
+  (match Loss_estimator.observe t.loss hb_id with
+  | `Duplicate -> ()
+  | `Recorded -> (
+      match rtt with
+      | Some sample -> rtt_observe t sample
+      | None -> ()))
+
+let required_heartbeats_for ~p ~x =
+  if p <= 0. then 1
+  else if p >= 1. then max_int
+  else
+    (* 1 - p^K >= x  ⟺  K >= log_p(1 - x); both logs are negative. *)
+    let k = log (1. -. x) /. log p in
+    Stdlib.max 1 (int_of_float (ceil k))
+
+let election_timeout t =
+  match (phase t, rtt_et t ~s:t.config.safety_factor) with
+  | Tuned, Some et ->
+      Des.Time.clamp et ~lo:t.config.min_election_timeout
+        ~hi:t.config.max_election_timeout
+  | (Warming | Tuned), _ -> t.config.default_election_timeout
+
+let loss_rate t = Loss_estimator.loss_rate t.loss
+
+let required_heartbeats t =
+  match phase t with
+  | Warming -> 1
+  | Tuned ->
+      let p = loss_rate t in
+      let k = required_heartbeats_for ~p ~x:t.config.arrival_probability in
+      (* K beyond Et / min_h cannot be honoured; clamp so h stays above
+         its floor. *)
+      let cap =
+        Stdlib.max 1 (election_timeout t / t.config.min_heartbeat_interval)
+      in
+      Stdlib.min k cap
+
+let heartbeat_interval t =
+  match phase t with
+  | Warming -> t.config.default_heartbeat_interval
+  | Tuned ->
+      let et = election_timeout t in
+      let k = required_heartbeats t in
+      Des.Time.max_span t.config.min_heartbeat_interval (et / k)
+
+let rtt_mean t =
+  match t.rtt with
+  | Window w -> Rtt_estimator.mean w
+  | Smoothed e -> Ewma_estimator.mean e
+
+let rtt_std t =
+  match t.rtt with
+  | Window w -> Rtt_estimator.std w
+  | Smoothed e -> Ewma_estimator.deviation e
+
+let samples t =
+  match t.rtt with
+  | Window w -> Rtt_estimator.length w
+  | Smoothed e -> Ewma_estimator.length e
+
+let reset t =
+  (match t.rtt with
+  | Window w -> Rtt_estimator.clear w
+  | Smoothed e -> Ewma_estimator.clear e);
+  Loss_estimator.clear t.loss
+
+let pp ppf t =
+  let phase_str = match phase t with Warming -> "warming" | Tuned -> "tuned" in
+  Format.fprintf ppf
+    "phase=%s n=%d rtt=%.1f±%.1fms p=%.3f K=%d Et=%a h=%a" phase_str
+    (samples t)
+    (Des.Time.to_ms_f (rtt_mean t))
+    (Des.Time.to_ms_f (rtt_std t))
+    (loss_rate t) (required_heartbeats t) Des.Time.pp_ms (election_timeout t)
+    Des.Time.pp_ms (heartbeat_interval t)

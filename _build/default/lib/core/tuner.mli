@@ -1,0 +1,61 @@
+(** The Dynatune tuning policy for one leader→follower path (Sections
+    III-B through III-D).
+
+    This is the follower-side state machine:
+
+    - {b Step 0} ([`Warming]): record heartbeat metadata until both sample
+      lists reach [min_list_size]; the default election parameters are in
+      force.
+    - {b Steps 1–3} ([`Tuned]): on every heartbeat, re-estimate RTT
+      statistics and loss rate, derive [Et = μ + s·σ] and
+      [h = Et / K] with [K = ⌈log_p(1−x)⌉], and piggyback [h] to the
+      leader in the heartbeat response.
+
+    [reset] implements the fallback rule: when the election timer expires
+    (leader failure or RTT spike), all measurements are discarded and the
+    conservative defaults are restored. *)
+
+type t
+
+val create : Config.t -> t
+(** Raises [Invalid_argument] if the configuration fails
+    {!Config.validate}. *)
+
+val config : t -> Config.t
+
+type phase = Warming | Tuned
+
+val phase : t -> phase
+
+val observe_heartbeat : t -> hb_id:int -> rtt:Des.Time.span option -> unit
+(** Record one received heartbeat: its sequence id, and the previous
+    heartbeat's RTT measurement if the leader included one.  Duplicate ids
+    are ignored. *)
+
+val election_timeout : t -> Des.Time.span
+(** Current [Et]: the tuned value clamped to the configured range when
+    [Tuned], the default otherwise. *)
+
+val heartbeat_interval : t -> Des.Time.span
+(** Current [h = Et / K], clamped below by [min_heartbeat_interval];
+    the default interval while [Warming]. *)
+
+val required_heartbeats : t -> int
+(** Current [K = ⌈log_p(1−x)⌉] (1 when the measured loss rate is 0). *)
+
+val loss_rate : t -> float
+val rtt_mean : t -> Des.Time.span
+val rtt_std : t -> Des.Time.span
+val samples : t -> int
+(** RTT samples currently held. *)
+
+val reset : t -> unit
+(** Discard all measurements and fall back to the defaults (back to
+    Step 0). *)
+
+val required_heartbeats_for : p:float -> x:float -> int
+(** The pure formula [K = ⌈log_p(1−x)⌉], exposed for analysis and
+    property tests: [p <= 0] yields 1; [p >= 1] yields [max_int] (no
+    finite K can satisfy the target). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/des/mtrace.ml: Engine List Time

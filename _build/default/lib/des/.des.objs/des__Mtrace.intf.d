@@ -1,0 +1,1 @@
+lib/des/mtrace.mli: Engine Time

@@ -1,0 +1,1 @@
+lib/des/time.ml: Float Format Stdlib

@@ -1,0 +1,88 @@
+type event = {
+  at : Time.t;
+  seq : int;
+  action : unit -> unit;
+  mutable cancelled : bool;
+}
+
+type handle = event
+
+type t = {
+  mutable clock : Time.t;
+  mutable seq : int;
+  mutable processed : int;
+  mutable live : int;
+  queue : event Heap.t;
+  rng : Stats.Rng.t;
+}
+
+let compare_events a b =
+  match compare a.at b.at with 0 -> compare a.seq b.seq | c -> c
+
+let create ?seed () =
+  {
+    clock = Time.zero;
+    seq = 0;
+    processed = 0;
+    live = 0;
+    queue = Heap.create ~cmp:compare_events;
+    rng = Stats.Rng.create ?seed ();
+  }
+
+let now t = t.clock
+let rng t = t.rng
+
+let schedule_at t at action =
+  if at < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_at: %d is in the past (now %d)" at
+         t.clock);
+  let ev = { at; seq = t.seq; action; cancelled = false } in
+  t.seq <- t.seq + 1;
+  t.live <- t.live + 1;
+  Heap.push t.queue ev;
+  ev
+
+let schedule_after t span action =
+  schedule_at t (Time.add t.clock (Time.max_span 0 span)) action
+
+let cancel ev =
+  ev.cancelled <- true
+
+let is_pending ev = not ev.cancelled
+
+let step t =
+  let rec next () =
+    match Heap.pop t.queue with
+    | None -> false
+    | Some ev when ev.cancelled ->
+        t.live <- t.live - 1;
+        next ()
+    | Some ev ->
+        t.live <- t.live - 1;
+        t.clock <- ev.at;
+        t.processed <- t.processed + 1;
+        ev.action ();
+        true
+  in
+  next ()
+
+let run t = while step t do () done
+
+let run_until t limit =
+  let continue = ref true in
+  while !continue do
+    match Heap.peek t.queue with
+    | Some ev when ev.cancelled ->
+        (* Discard lazily so a cancelled head cannot make [step] run an
+           event beyond [limit]. *)
+        ignore (Heap.pop t.queue : event option);
+        t.live <- t.live - 1
+    | Some ev when ev.at <= limit -> ignore (step t : bool)
+    | Some _ | None -> continue := false
+  done;
+  if limit > t.clock then t.clock <- limit
+
+let run_for t span = run_until t (Time.add t.clock span)
+let pending_events t = t.live
+let processed_events t = t.processed

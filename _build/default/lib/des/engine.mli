@@ -1,0 +1,52 @@
+(** Discrete-event simulation engine.
+
+    A virtual clock plus a priority queue of scheduled callbacks.  Events
+    scheduled at the same instant fire in scheduling order (a strictly
+    increasing sequence number breaks ties), so runs are deterministic.
+    The engine owns the root PRNG stream from which all components derive
+    named substreams. *)
+
+type t
+
+type handle
+(** A cancellation handle for a scheduled event. *)
+
+val create : ?seed:int64 -> unit -> t
+(** Fresh engine at time zero.  [seed] initializes the root PRNG. *)
+
+val now : t -> Time.t
+val rng : t -> Stats.Rng.t
+(** Root PRNG stream; split it rather than drawing from it directly. *)
+
+val schedule_at : t -> Time.t -> (unit -> unit) -> handle
+(** Schedule a callback at an absolute instant.  Scheduling in the past
+    raises [Invalid_argument]. *)
+
+val schedule_after : t -> Time.span -> (unit -> unit) -> handle
+(** Schedule after a relative delay (clamped to be non-negative). *)
+
+val cancel : handle -> unit
+(** Cancel a scheduled event; cancelling a fired or already-cancelled
+    event is a no-op. *)
+
+val is_pending : handle -> bool
+
+val run : t -> unit
+(** Run until the event queue is empty. *)
+
+val run_until : t -> Time.t -> unit
+(** Process all events with timestamp [<= limit], then set the clock to
+    [limit].  Events scheduled beyond [limit] remain queued. *)
+
+val run_for : t -> Time.span -> unit
+(** [run_until] the current time plus a span. *)
+
+val step : t -> bool
+(** Process the single next event; [false] if the queue was empty. *)
+
+val pending_events : t -> int
+(** Number of queued (non-cancelled) events — an upper bound, since
+    cancelled events are discarded lazily. *)
+
+val processed_events : t -> int
+(** Total events executed since creation. *)

@@ -1,0 +1,25 @@
+(** Generic binary min-heap.
+
+    Backs the event queue; also reusable by any component needing a
+    priority queue (e.g. retransmission scheduling experiments).  Not
+    thread-safe: the simulator is single-domain by design. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** Empty heap ordered by [cmp] (smallest element at the top). *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+(** Smallest element without removing it. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the smallest element. *)
+
+val clear : 'a t -> unit
+
+val to_list : 'a t -> 'a list
+(** Snapshot of the contents in no particular order. *)

@@ -1,0 +1,33 @@
+type 'a t = {
+  engine : Engine.t;
+  mutable events : (Time.t * 'a) list; (* newest first *)
+  mutable len : int;
+  mutable observers : (Time.t -> 'a -> unit) list;
+}
+
+let create engine = { engine; events = []; len = 0; observers = [] }
+let engine t = t.engine
+
+let emit t ev =
+  let now = Engine.now t.engine in
+  t.events <- (now, ev) :: t.events;
+  t.len <- t.len + 1;
+  List.iter (fun f -> f now ev) t.observers
+
+let length t = t.len
+let events t = List.rev t.events
+let iter t ~f = List.iter (fun (time, ev) -> f time ev) (events t)
+
+let find_first t ~after ~f =
+  let rec scan = function
+    | [] -> None
+    | (time, ev) :: rest ->
+        if time > after && f ~a:ev then Some (time, ev) else scan rest
+  in
+  scan (events t)
+
+let clear t =
+  t.events <- [];
+  t.len <- 0
+
+let subscribe t f = t.observers <- t.observers @ [ f ]

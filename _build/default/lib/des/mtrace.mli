@@ -1,0 +1,31 @@
+(** In-simulation trace recorder.
+
+    Components emit typed events against the virtual clock; monitors
+    consume the trace afterwards to measure detection time, out-of-service
+    intervals, election rounds, etc.  This replaces the paper's practice of
+    parsing etcd log files: the shared virtual clock makes the timestamps
+    exact. *)
+
+type 'a t
+
+val create : Engine.t -> 'a t
+val engine : 'a t -> Engine.t
+
+val emit : 'a t -> 'a -> unit
+(** Record an event at the current simulation time. *)
+
+val length : 'a t -> int
+
+val events : 'a t -> (Time.t * 'a) list
+(** All events, oldest first. *)
+
+val iter : 'a t -> f:(Time.t -> 'a -> unit) -> unit
+
+val find_first : 'a t -> after:Time.t -> f:(a:'a -> bool) -> (Time.t * 'a) option
+(** First event strictly after [after] satisfying the predicate. *)
+
+val clear : 'a t -> unit
+
+val subscribe : 'a t -> (Time.t -> 'a -> unit) -> unit
+(** Register a live observer called on every subsequent [emit] (after the
+    event is recorded).  Monitors use this to react during the run. *)

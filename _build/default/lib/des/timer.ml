@@ -1,0 +1,48 @@
+type t = {
+  engine : Engine.t;
+  callback : unit -> unit;
+  mutable generation : int;
+  mutable pending : Engine.handle option;
+  mutable deadline : Time.t option;
+  mutable last_span : Time.span option;
+}
+
+let create engine callback =
+  {
+    engine;
+    callback;
+    generation = 0;
+    pending = None;
+    deadline = None;
+    last_span = None;
+  }
+
+let disarm t =
+  (match t.pending with Some h -> Engine.cancel h | None -> ());
+  t.generation <- t.generation + 1;
+  t.pending <- None;
+  t.deadline <- None
+
+let arm t span =
+  disarm t;
+  let generation = t.generation in
+  let fire () =
+    if generation = t.generation then begin
+      t.pending <- None;
+      t.deadline <- None;
+      t.callback ()
+    end
+  in
+  t.last_span <- Some span;
+  t.deadline <- Some (Time.add (Engine.now t.engine) span);
+  t.pending <- Some (Engine.schedule_after t.engine span fire)
+
+let is_armed t = t.pending <> None
+let deadline t = t.deadline
+
+let remaining t =
+  match t.deadline with
+  | None -> None
+  | Some d -> Some (Time.diff d (Engine.now t.engine))
+
+let armed_span t = t.last_span

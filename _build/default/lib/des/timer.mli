@@ -1,0 +1,29 @@
+(** Restartable one-shot timers.
+
+    The idiom Raft needs everywhere: a timer that is re-armed on every
+    heartbeat, fires at most once per arming, and can be disarmed.
+    Re-arming cancels the previous deadline atomically (generation
+    counters guard against a stale engine event firing the callback). *)
+
+type t
+
+val create : Engine.t -> (unit -> unit) -> t
+(** A disarmed timer whose expiry runs the callback. *)
+
+val arm : t -> Time.span -> unit
+(** (Re)arm to fire after [span].  Any previous arming is cancelled. *)
+
+val disarm : t -> unit
+(** Cancel without firing; no-op when disarmed. *)
+
+val is_armed : t -> bool
+
+val deadline : t -> Time.t option
+(** Absolute expiry instant, when armed. *)
+
+val remaining : t -> Time.span option
+(** Time left until expiry, when armed. *)
+
+val armed_span : t -> Time.span option
+(** The span the timer was last armed with (even after firing) — this is
+    the [randomizedTimeout] value the paper samples. *)

@@ -1,0 +1,1 @@
+lib/kvsm/client.ml: Command Des List Netsim Printf Stats String

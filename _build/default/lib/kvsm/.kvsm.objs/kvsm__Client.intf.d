@@ -1,0 +1,1 @@
+lib/kvsm/client.mli: Des Netsim

@@ -1,0 +1,1 @@
+lib/kvsm/command.ml: Buffer Format Option Printf Result String

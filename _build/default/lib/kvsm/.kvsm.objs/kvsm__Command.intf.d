@@ -1,0 +1,1 @@
+lib/kvsm/command.mli: Format

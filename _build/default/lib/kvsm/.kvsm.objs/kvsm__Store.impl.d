@@ -1,0 +1,1 @@
+lib/kvsm/store.ml: Buffer Command Digest Hashtbl List Raft String

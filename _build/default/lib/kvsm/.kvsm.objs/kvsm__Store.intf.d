@@ -1,0 +1,1 @@
+lib/kvsm/store.mli: Command Raft Stdlib

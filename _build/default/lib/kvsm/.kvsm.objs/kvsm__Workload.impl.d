@@ -1,0 +1,1 @@
+lib/kvsm/workload.ml: Client Des Format List Stats Stdlib

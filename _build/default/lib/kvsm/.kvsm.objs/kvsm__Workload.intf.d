@@ -1,0 +1,1 @@
+lib/kvsm/workload.mli: Client Des Format

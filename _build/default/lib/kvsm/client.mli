@@ -1,0 +1,54 @@
+(** An open-loop client: requests arrive at a configured rate regardless
+    of completions (the load model of the paper's peak-throughput
+    experiment, Section IV-B2).
+
+    The client is decoupled from the cluster by a [target] function —
+    usually a wrapper that finds the current leader and calls
+    {!Raft.Node.submit}. *)
+
+type submit_result = [ `Accepted | `Not_leader of Netsim.Node_id.t option ]
+
+type target =
+  payload:string ->
+  client_id:int ->
+  seq:int ->
+  on_result:(committed:bool -> unit) ->
+  submit_result
+(** How the client injects a request into the service. *)
+
+type t
+
+val create :
+  engine:Des.Engine.t ->
+  target:target ->
+  client_id:int ->
+  rate:float ->
+  ?value_size:int ->
+  ?client_rtt:Des.Time.span ->
+  unit ->
+  t
+(** A stopped client issuing [Put] requests at [rate] per second with
+    exponential inter-arrival gaps.  [client_rtt] is added to every
+    recorded latency (the client→leader network round trip, which the
+    simulation fabric does not carry).  Requires [rate > 0.]. *)
+
+val start : t -> unit
+val stop : t -> unit
+(** Stop generating arrivals; outstanding requests may still complete. *)
+
+(** {2 Counters} *)
+
+val offered : t -> int
+(** Requests submitted (arrival events). *)
+
+val completed : t -> int
+(** Requests committed. *)
+
+val rejected : t -> int
+(** Proposals that lost leadership mid-flight. *)
+
+val redirected : t -> int
+(** Arrivals that found no leader. *)
+
+val latencies_ms : t -> float list
+(** Commit latencies (ms) of completed requests, in completion order. *)

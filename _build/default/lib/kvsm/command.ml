@@ -1,0 +1,95 @@
+type t =
+  | Put of { key : string; value : string }
+  | Get of string
+  | Delete of string
+  | Cas of { key : string; expect : string option; value : string }
+
+let equal a b =
+  match (a, b) with
+  | Put a, Put b -> a.key = b.key && a.value = b.value
+  | Get a, Get b -> a = b
+  | Delete a, Delete b -> a = b
+  | Cas a, Cas b -> a.key = b.key && a.expect = b.expect && a.value = b.value
+  | (Put _ | Get _ | Delete _ | Cas _), _ -> false
+
+let pp ppf = function
+  | Put { key; value } -> Format.fprintf ppf "PUT %s=%s" key value
+  | Get key -> Format.fprintf ppf "GET %s" key
+  | Delete key -> Format.fprintf ppf "DEL %s" key
+  | Cas { key; expect; value } ->
+      Format.fprintf ppf "CAS %s:%s->%s" key
+        (Option.value ~default:"<absent>" expect)
+        value
+
+(* Encoding: TAG fields..., each field as <len>:<bytes>. *)
+
+let field buf s =
+  Buffer.add_string buf (string_of_int (String.length s));
+  Buffer.add_char buf ':';
+  Buffer.add_string buf s
+
+let to_payload t =
+  let buf = Buffer.create 32 in
+  (match t with
+  | Put { key; value } ->
+      Buffer.add_char buf 'P';
+      field buf key;
+      field buf value
+  | Get key ->
+      Buffer.add_char buf 'G';
+      field buf key
+  | Delete key ->
+      Buffer.add_char buf 'D';
+      field buf key
+  | Cas { key; expect; value } -> (
+      match expect with
+      | Some e ->
+          Buffer.add_char buf 'C';
+          field buf key;
+          field buf e;
+          field buf value
+      | None ->
+          Buffer.add_char buf 'N';
+          field buf key;
+          field buf value));
+  Buffer.contents buf
+
+let parse_field s pos =
+  match String.index_from_opt s pos ':' with
+  | None -> Error "missing length delimiter"
+  | Some colon -> (
+      match int_of_string_opt (String.sub s pos (colon - pos)) with
+      | None -> Error "malformed length"
+      | Some len when len < 0 || colon + 1 + len > String.length s ->
+          Error "length out of range"
+      | Some len -> Ok (String.sub s (colon + 1) len, colon + 1 + len))
+
+let ( let* ) = Result.bind
+
+let of_payload s =
+  if s = "" then Error "empty payload"
+  else
+    let finish v pos =
+      if pos = String.length s then Ok v else Error "trailing bytes"
+    in
+    match s.[0] with
+    | 'P' ->
+        let* key, pos = parse_field s 1 in
+        let* value, pos = parse_field s pos in
+        finish (Put { key; value }) pos
+    | 'G' ->
+        let* key, pos = parse_field s 1 in
+        finish (Get key) pos
+    | 'D' ->
+        let* key, pos = parse_field s 1 in
+        finish (Delete key) pos
+    | 'C' ->
+        let* key, pos = parse_field s 1 in
+        let* expect, pos = parse_field s pos in
+        let* value, pos = parse_field s pos in
+        finish (Cas { key; expect = Some expect; value }) pos
+    | 'N' ->
+        let* key, pos = parse_field s 1 in
+        let* value, pos = parse_field s pos in
+        finish (Cas { key; expect = None; value }) pos
+    | c -> Error (Printf.sprintf "unknown tag %C" c)

@@ -1,0 +1,22 @@
+(** Commands of the replicated key-value service (the etcd role in the
+    paper's evaluation).
+
+    Commands are serialized into the opaque payload carried by Raft log
+    entries; the encoding is a simple length-prefixed text format so logs
+    stay printable and decoding failures are detectable. *)
+
+type t =
+  | Put of { key : string; value : string }
+  | Get of string
+      (** reads are replicated too (linearizable reads via the log) *)
+  | Delete of string
+  | Cas of { key : string; expect : string option; value : string }
+      (** compare-and-swap: succeeds iff the current value equals
+          [expect] ([None] = key absent) *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val to_payload : t -> string
+val of_payload : string -> (t, string) result
+(** Inverse of [to_payload]; [Error] describes the malformation. *)

@@ -1,0 +1,107 @@
+type t = { table : (string, string) Hashtbl.t; mutable applied : int }
+
+type result =
+  | Value of string option
+  | Written
+  | Deleted of bool
+  | Swapped of bool
+  | Invalid of string
+
+let create () = { table = Hashtbl.create 256; applied = 0 }
+let size t = Hashtbl.length t.table
+let find t key = Hashtbl.find_opt t.table key
+
+let apply_command t command =
+  t.applied <- t.applied + 1;
+  match command with
+  | Command.Put { key; value } ->
+      Hashtbl.replace t.table key value;
+      Written
+  | Command.Get key -> Value (Hashtbl.find_opt t.table key)
+  | Command.Delete key ->
+      let existed = Hashtbl.mem t.table key in
+      if existed then Hashtbl.remove t.table key;
+      Deleted existed
+  | Command.Cas { key; expect; value } ->
+      let current = Hashtbl.find_opt t.table key in
+      if current = expect then begin
+        Hashtbl.replace t.table key value;
+        Swapped true
+      end
+      else Swapped false
+
+let apply_entry t (entry : Raft.Log.entry) =
+  match entry.command with
+  | Raft.Log.Noop -> None
+  | Raft.Log.Data { payload; _ } -> (
+      match Command.of_payload payload with
+      | Ok command -> Some (apply_command t command)
+      | Error msg ->
+          t.applied <- t.applied + 1;
+          Some (Invalid msg))
+
+let applied_count t = t.applied
+
+(* Snapshot format: "<applied>\n" then each binding as two
+   length-prefixed fields "<len>:<bytes>". *)
+let serialize t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (string_of_int t.applied);
+  Buffer.add_char buf '\n';
+  let bindings = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.table [] in
+  List.iter
+    (fun (k, v) ->
+      let field s =
+        Buffer.add_string buf (string_of_int (String.length s));
+        Buffer.add_char buf ':';
+        Buffer.add_string buf s
+      in
+      field k;
+      field v)
+    (List.sort compare bindings);
+  Buffer.contents buf
+
+let of_serialized s =
+  match String.index_opt s '\n' with
+  | None -> Error "missing applied-count header"
+  | Some nl -> (
+      match int_of_string_opt (String.sub s 0 nl) with
+      | None -> Error "malformed applied count"
+      | Some applied ->
+          let t = { table = Hashtbl.create 256; applied } in
+          let parse_field pos =
+            match String.index_from_opt s pos ':' with
+            | None -> Error "missing length delimiter"
+            | Some colon -> (
+                match int_of_string_opt (String.sub s pos (colon - pos)) with
+                | Some len when len >= 0 && colon + 1 + len <= String.length s
+                  ->
+                    Ok (String.sub s (colon + 1) len, colon + 1 + len)
+                | Some _ | None -> Error "malformed field length")
+          in
+          let rec load pos =
+            if pos = String.length s then Ok t
+            else
+              match parse_field pos with
+              | Error e -> Error e
+              | Ok (key, pos) -> (
+                  match parse_field pos with
+                  | Error e -> Error e
+                  | Ok (value, pos) ->
+                      Hashtbl.replace t.table key value;
+                      load pos)
+          in
+          load (nl + 1))
+
+let state_digest t =
+  let bindings = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.table [] in
+  let sorted = List.sort compare bindings in
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string buf k;
+      Buffer.add_char buf '\x00';
+      Buffer.add_string buf v;
+      Buffer.add_char buf '\x01')
+    sorted;
+  Digest.to_hex (Digest.string (Buffer.contents buf))

@@ -1,0 +1,38 @@
+(** The key-value state machine replicated by Raft.
+
+    Deterministic: the same sequence of commands yields the same state and
+    results on every replica — the SMR contract.  [apply_entry] is the
+    function plugged into {!Raft.Node.create}'s [apply]. *)
+
+type t
+
+type result =
+  | Value of string option  (** result of a Get *)
+  | Written
+  | Deleted of bool  (** whether the key existed *)
+  | Swapped of bool  (** whether the CAS succeeded *)
+  | Invalid of string  (** undecodable payload *)
+
+val create : unit -> t
+val size : t -> int
+val find : t -> string -> string option
+
+val apply_command : t -> Command.t -> result
+
+val apply_entry : t -> Raft.Log.entry -> result option
+(** Decode and apply a log entry's command; [None] for no-op entries. *)
+
+val applied_count : t -> int
+(** Number of entries applied so far (monotone; useful for checking
+    replica convergence in tests). *)
+
+val state_digest : t -> string
+(** Order-independent digest of the current contents; equal digests on
+    two replicas mean equal state. *)
+
+val serialize : t -> string
+(** Snapshot the full contents (and applied count) into an opaque string
+    — the payload of Raft's InstallSnapshot. *)
+
+val of_serialized : string -> (t, string) Stdlib.result
+(** Rebuild a store from {!serialize} output. *)

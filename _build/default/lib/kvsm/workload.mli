@@ -1,0 +1,35 @@
+(** The RPS-ramp workload of the peak-throughput experiment (Fig 5).
+
+    Offered load is increased level by level (the paper uses +1000 req/s
+    steps held for 10 s each); each level runs a fresh open-loop client
+    and reports achieved throughput and latency.  Peak throughput is the
+    highest achieved rate before the service saturates. *)
+
+type level_report = {
+  offered_rps : float;  (** configured arrival rate *)
+  offered : int;  (** arrivals during the window *)
+  completed : int;  (** commits during the window *)
+  throughput_rps : float;  (** completed / window *)
+  mean_latency_ms : float;  (** nan when nothing completed *)
+  p99_latency_ms : float;
+}
+
+val run_ramp :
+  engine:Des.Engine.t ->
+  target:Client.target ->
+  rates:float list ->
+  hold:Des.Time.span ->
+  ?client_rtt:Des.Time.span ->
+  unit ->
+  level_report list
+(** Run the levels back to back on the engine (which is advanced by
+    [hold] per level) and report one row per level. *)
+
+val peak_throughput : level_report list -> float
+(** Highest achieved throughput across levels; [0.] on empty input. *)
+
+val saturation_rate : level_report list -> float option
+(** The first offered rate whose achieved throughput falls short of the
+    offer by more than 5% — the knee of the curve. *)
+
+val pp_report : Format.formatter -> level_report -> unit

@@ -1,0 +1,1 @@
+lib/netsim/conditions.ml: Array Des Format List

@@ -1,0 +1,1 @@
+lib/netsim/conditions.mli: Des Format

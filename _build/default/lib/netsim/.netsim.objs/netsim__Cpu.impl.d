@@ -1,0 +1,1 @@
+lib/netsim/cpu.ml: Des Hashtbl List Stdlib

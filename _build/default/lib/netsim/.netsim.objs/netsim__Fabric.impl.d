@@ -1,0 +1,1 @@
+lib/netsim/fabric.ml: Conditions Congestion Des Hashtbl Link List Node_id Printf Stats Transport

@@ -1,0 +1,1 @@
+lib/netsim/fabric.mli: Conditions Congestion Des Link Node_id Transport

@@ -1,0 +1,1 @@
+lib/netsim/node_id.ml: Format Hashtbl Int List Map Set

@@ -1,0 +1,1 @@
+lib/netsim/transport.ml: Des Format Stdlib

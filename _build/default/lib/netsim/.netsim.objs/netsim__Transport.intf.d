@@ -1,0 +1,1 @@
+lib/netsim/transport.mli: Des Format

@@ -1,0 +1,49 @@
+type spec = {
+  mean_gap : Des.Time.span;
+  extra_lo : Des.Time.span;
+  extra_hi : Des.Time.span;
+  duration : Des.Time.span;
+}
+
+let spec ?(extra_lo = Des.Time.ms 100) ?(extra_hi = Des.Time.ms 250)
+    ?(duration = Des.Time.ms 500) ~mean_gap () =
+  if mean_gap <= 0 then invalid_arg "Congestion.spec: mean_gap must be positive";
+  if extra_lo < 0 || extra_hi < extra_lo then
+    invalid_arg "Congestion.spec: requires 0 <= extra_lo <= extra_hi";
+  if duration <= 0 then invalid_arg "Congestion.spec: duration must be positive";
+  { mean_gap; extra_lo; extra_hi; duration }
+
+type t = {
+  spec : spec;
+  rng : Stats.Rng.t;
+  mutable next_at : Des.Time.t;
+  mutable until : Des.Time.t;
+  mutable extra : Des.Time.span;
+}
+
+let exp_gap t =
+  let mean = Des.Time.to_sec_f t.spec.mean_gap in
+  Des.Time.of_sec_f (Stats.Dist.exponential t.rng ~rate:(1. /. mean))
+
+let create ~rng spec =
+  let t = { spec; rng; next_at = 0; until = 0; extra = 0 } in
+  t.next_at <- exp_gap t;
+  t
+
+let rec advance t ~now =
+  if now >= t.next_at then begin
+    t.until <- Des.Time.add t.next_at t.spec.duration;
+    t.extra <-
+      (if t.spec.extra_hi = t.spec.extra_lo then t.spec.extra_lo
+       else
+         t.spec.extra_lo
+         + Stats.Rng.int t.rng (t.spec.extra_hi - t.spec.extra_lo + 1));
+    (* Next episode starts after this one ends, plus an exponential gap:
+       episodes never overlap. *)
+    t.next_at <- Des.Time.add t.until (exp_gap t);
+    advance t ~now
+  end
+
+let extra_delay t ~now =
+  advance t ~now;
+  if now < t.until then t.extra else 0

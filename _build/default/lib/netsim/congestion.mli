@@ -1,0 +1,37 @@
+(** Sender-side congestion episodes.
+
+    WAN paths exhibit transient queueing-delay spikes of hundreds of
+    milliseconds (Høiland-Jørgensen et al., cited by the paper's Section
+    II-C1).  The bottleneck is typically the sender's egress queue, so an
+    episode delays {e all} traffic a node sends, across every link, for
+    its duration — which is what lets a delay spike starve a whole
+    cluster's heartbeat fan-out at once.
+
+    Episodes arrive as a Poisson process; each adds a uniformly sampled
+    extra one-way delay for a fixed duration.  Between episodes the
+    process contributes nothing. *)
+
+type spec = {
+  mean_gap : Des.Time.span;  (** mean time between episode starts *)
+  extra_lo : Des.Time.span;  (** episode extra delay, lower bound *)
+  extra_hi : Des.Time.span;  (** episode extra delay, upper bound *)
+  duration : Des.Time.span;  (** how long one episode lasts *)
+}
+
+val spec :
+  ?extra_lo:Des.Time.span ->
+  ?extra_hi:Des.Time.span ->
+  ?duration:Des.Time.span ->
+  mean_gap:Des.Time.span ->
+  unit ->
+  spec
+(** Defaults: extra 100–250 ms, duration 500 ms — the magnitude of the
+    congestion events the paper's motivation cites. *)
+
+type t
+
+val create : rng:Stats.Rng.t -> spec -> t
+
+val extra_delay : t -> now:Des.Time.t -> Des.Time.span
+(** The extra one-way delay in force at [now] ([0] outside episodes).
+    Must be called with non-decreasing [now] values (simulation time). *)

@@ -1,0 +1,212 @@
+type counters = {
+  sent : int;
+  delivered : int;
+  lost : int;
+  dropped_paused : int;
+  duplicated : int;
+}
+
+type 'msg node_state = {
+  mutable handler : (src:Node_id.t -> 'msg -> unit) option;
+  mutable paused : bool;
+  mutable congestion : Congestion.t option;
+}
+
+type 'msg t = {
+  engine : Des.Engine.t;
+  rng : Stats.Rng.t;
+  nodes : 'msg node_state Node_id.Table.t;
+  mutable node_order : Node_id.t list; (* registration order *)
+  links : (int * int, Link.t) Hashtbl.t;
+  channels : (int * int, Transport.Channel.t) Hashtbl.t;
+  mutable default_conditions : Conditions.t;
+  mutable groups : int Node_id.Table.t option;  (* node -> partition group *)
+  mutable sent : int;
+  mutable delivered : int;
+  mutable lost : int;
+  mutable dropped_paused : int;
+  mutable duplicated : int;
+}
+
+let create engine =
+  {
+    engine;
+    rng = Stats.Rng.split (Des.Engine.rng engine) "fabric";
+    nodes = Node_id.Table.create 16;
+    node_order = [];
+    links = Hashtbl.create 64;
+    channels = Hashtbl.create 64;
+    default_conditions = Conditions.(constant (profile ~rtt_ms:0. ()));
+    groups = None;
+    sent = 0;
+    delivered = 0;
+    lost = 0;
+    dropped_paused = 0;
+    duplicated = 0;
+  }
+
+let engine t = t.engine
+
+let add_node t id =
+  if Node_id.Table.mem t.nodes id then
+    invalid_arg "Fabric.add_node: duplicate node id";
+  Node_id.Table.add t.nodes id
+    { handler = None; paused = false; congestion = None };
+  t.node_order <- t.node_order @ [ id ]
+
+let nodes t = t.node_order
+
+let state t id =
+  match Node_id.Table.find_opt t.nodes id with
+  | Some s -> s
+  | None -> invalid_arg "Fabric: unknown node id"
+
+let set_handler t id handler = (state t id).handler <- Some handler
+
+let key src dst = (Node_id.to_int src, Node_id.to_int dst)
+
+let link t ~src ~dst =
+  let k = key src dst in
+  match Hashtbl.find_opt t.links k with
+  | Some l -> l
+  | None ->
+      let name = Printf.sprintf "link-%d-%d" (fst k) (snd k) in
+      let l =
+        Link.create t.engine
+          ~rng:(Stats.Rng.split t.rng name)
+          t.default_conditions
+      in
+      Hashtbl.add t.links k l;
+      l
+
+let set_conditions t ~src ~dst conditions =
+  Link.set_conditions (link t ~src ~dst) conditions
+
+let set_pair_conditions t a b conditions =
+  set_conditions t ~src:a ~dst:b conditions;
+  set_conditions t ~src:b ~dst:a conditions
+
+let set_uniform_conditions t conditions =
+  t.default_conditions <- conditions;
+  List.iter
+    (fun src ->
+      List.iter
+        (fun dst ->
+          if not (Node_id.equal src dst) then
+            set_conditions t ~src ~dst conditions)
+        t.node_order)
+    t.node_order
+
+let channel t src dst =
+  let k = key src dst in
+  match Hashtbl.find_opt t.channels k with
+  | Some c -> c
+  | None ->
+      let c = Transport.Channel.create () in
+      Hashtbl.add t.channels k c;
+      c
+
+let deliver t ~src ~dst msg =
+  let st = state t dst in
+  if st.paused then t.dropped_paused <- t.dropped_paused + 1
+  else
+    match st.handler with
+    | None -> t.dropped_paused <- t.dropped_paused + 1
+    | Some handler ->
+        t.delivered <- t.delivered + 1;
+        handler ~src msg
+
+let schedule_delivery t ~src ~dst ~latency msg =
+  ignore
+    (Des.Engine.schedule_after t.engine latency (fun () ->
+         deliver t ~src ~dst msg)
+      : Des.Engine.handle)
+
+let set_egress_congestion t id spec =
+  let rng =
+    Stats.Rng.split_int
+      (Stats.Rng.split t.rng "congestion")
+      (Node_id.to_int id)
+  in
+  (state t id).congestion <- Some (Congestion.create ~rng spec)
+
+let set_all_egress_congestion t spec =
+  List.iter (fun id -> set_egress_congestion t id spec) t.node_order
+
+let egress_extra t src =
+  match (state t src).congestion with
+  | None -> 0
+  | Some c -> Congestion.extra_delay c ~now:(Des.Engine.now t.engine)
+
+let partition t groups =
+  let table = Node_id.Table.create 16 in
+  List.iteri
+    (fun group ids ->
+      List.iter
+        (fun id ->
+          ignore (state t id : _ node_state);
+          if Node_id.Table.mem table id then
+            invalid_arg "Fabric.partition: node appears in two groups";
+          Node_id.Table.add table id group)
+        ids)
+    groups;
+  (* Unmentioned nodes share an implicit extra group. *)
+  let extra = List.length groups in
+  List.iter
+    (fun id ->
+      if not (Node_id.Table.mem table id) then
+        Node_id.Table.add table id extra)
+    t.node_order;
+  t.groups <- Some table
+
+let heal_partition t = t.groups <- None
+
+let reachable t src dst =
+  ignore (state t src : _ node_state);
+  ignore (state t dst : _ node_state);
+  match t.groups with
+  | None -> true
+  | Some table ->
+      Node_id.equal src dst
+      || Node_id.Table.find_opt table src = Node_id.Table.find_opt table dst
+
+let send t kind ~src ~dst msg =
+  t.sent <- t.sent + 1;
+  if Node_id.equal src dst then deliver t ~src ~dst msg
+  else if not (reachable t src dst) then t.lost <- t.lost + 1
+  else
+    let l = link t ~src ~dst in
+    let extra = egress_extra t src in
+    match kind with
+    | Transport.Datagram -> (
+        match Link.sample_datagram l with
+        | Link.Lost -> t.lost <- t.lost + 1
+        | Link.Delivered latency ->
+            schedule_delivery t ~src ~dst ~latency:(latency + extra) msg
+        | Link.Duplicated (l1, l2) ->
+            t.duplicated <- t.duplicated + 1;
+            schedule_delivery t ~src ~dst ~latency:(l1 + extra) msg;
+            schedule_delivery t ~src ~dst ~latency:(l2 + extra) msg)
+    | Transport.Reliable ->
+        let latency = Link.sample_reliable l + extra in
+        let now = Des.Engine.now t.engine in
+        let at =
+          Transport.Channel.delivery_time (channel t src dst) ~now ~latency
+        in
+        ignore
+          (Des.Engine.schedule_at t.engine at (fun () ->
+               deliver t ~src ~dst msg)
+            : Des.Engine.handle)
+
+let pause t id = (state t id).paused <- true
+let resume t id = (state t id).paused <- false
+let is_paused t id = (state t id).paused
+
+let counters t =
+  {
+    sent = t.sent;
+    delivered = t.delivered;
+    lost = t.lost;
+    dropped_paused = t.dropped_paused;
+    duplicated = t.duplicated;
+  }

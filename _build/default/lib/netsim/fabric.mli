@@ -1,0 +1,73 @@
+(** The cluster's message fabric: a full mesh of directed links.
+
+    Generic in the message type so the Raft layer supplies its own RPC
+    variant.  The fabric owns per-pair {!Link}s (lazily created, each with
+    its own PRNG substream), applies transport semantics, and implements
+    the fault model of the paper's experiments: pausing a node (the
+    container-sleep fault) silently discards everything addressed to it. *)
+
+type 'msg t
+
+val create : Des.Engine.t -> 'msg t
+val engine : _ t -> Des.Engine.t
+
+val add_node : 'msg t -> Node_id.t -> unit
+(** Register a node.  Adding the same id twice is an error. *)
+
+val nodes : _ t -> Node_id.t list
+
+val set_handler : 'msg t -> Node_id.t -> (src:Node_id.t -> 'msg -> unit) -> unit
+(** Install the delivery callback for a node. *)
+
+val set_conditions :
+  'msg t -> src:Node_id.t -> dst:Node_id.t -> Conditions.t -> unit
+(** Conditions for the directed link [src → dst]. *)
+
+val set_pair_conditions :
+  'msg t -> Node_id.t -> Node_id.t -> Conditions.t -> unit
+(** Same conditions in both directions. *)
+
+val set_uniform_conditions : 'msg t -> Conditions.t -> unit
+(** Same conditions on every directed link between registered nodes. *)
+
+val link : 'msg t -> src:Node_id.t -> dst:Node_id.t -> Link.t
+(** The directed link (created on demand). *)
+
+val send :
+  'msg t -> Transport.kind -> src:Node_id.t -> dst:Node_id.t -> 'msg -> unit
+(** Transmit a message.  Self-sends are delivered immediately. *)
+
+val set_egress_congestion : 'msg t -> Node_id.t -> Congestion.spec -> unit
+(** Attach a sender-side congestion process to a node: during an episode,
+    everything the node sends (all links, both transports) incurs the
+    episode's extra one-way delay. *)
+
+val set_all_egress_congestion : 'msg t -> Congestion.spec -> unit
+(** Independent congestion processes on every registered node. *)
+
+val partition : 'msg t -> Node_id.t list list -> unit
+(** Split the cluster into groups: messages are delivered only between
+    nodes of the same group.  Nodes not mentioned form an implicit final
+    group.  Replaces any previous partition. *)
+
+val heal_partition : 'msg t -> unit
+(** Remove the partition; full connectivity is restored. *)
+
+val reachable : 'msg t -> Node_id.t -> Node_id.t -> bool
+(** Whether messages currently flow from one node to the other. *)
+
+val pause : 'msg t -> Node_id.t -> unit
+(** Start dropping every message delivered to the node. *)
+
+val resume : 'msg t -> Node_id.t -> unit
+val is_paused : 'msg t -> Node_id.t -> bool
+
+type counters = {
+  sent : int;
+  delivered : int;
+  lost : int;  (** dropped by link loss (datagram only) *)
+  dropped_paused : int;  (** addressed to a paused node *)
+  duplicated : int;
+}
+
+val counters : _ t -> counters

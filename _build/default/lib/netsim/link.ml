@@ -1,0 +1,43 @@
+type t = {
+  engine : Des.Engine.t;
+  rng : Stats.Rng.t;
+  mutable conditions : Conditions.t;
+}
+
+let create engine ~rng conditions = { engine; rng; conditions }
+let set_conditions t c = t.conditions <- c
+let conditions t = t.conditions
+let profile_now t = Conditions.at t.conditions (Des.Engine.now t.engine)
+
+type outcome =
+  | Lost
+  | Delivered of Des.Time.span
+  | Duplicated of Des.Time.span * Des.Time.span
+
+let one_way t (p : Conditions.profile) =
+  let base = p.rtt_ms /. 2. in
+  let mult = Stats.Dist.lognormal_mean_preserving t.rng ~sigma:p.jitter in
+  Des.Time.of_ms_f (base *. mult)
+
+let sample_datagram t =
+  let p = profile_now t in
+  if Stats.Rng.bernoulli t.rng p.loss then Lost
+  else
+    let d1 = one_way t p in
+    if p.duplicate > 0. && Stats.Rng.bernoulli t.rng p.duplicate then
+      Duplicated (d1, one_way t p)
+    else Delivered d1
+
+let min_rto = Des.Time.ms 200
+let max_retransmissions = 8
+
+let sample_reliable t =
+  let p = profile_now t in
+  let rto = Des.Time.max_span min_rto (Des.Time.of_ms_f (2. *. p.rtt_ms)) in
+  let rec attempt n penalty =
+    if n >= max_retransmissions then penalty
+    else if Stats.Rng.bernoulli t.rng p.loss then
+      attempt (n + 1) (penalty + (rto * (1 lsl n)))
+    else penalty
+  in
+  attempt 0 0 + one_way t p

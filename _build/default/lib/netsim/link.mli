@@ -1,0 +1,30 @@
+(** A directed network link.
+
+    Samples per-message outcomes (delay, loss, duplication) from the link's
+    current {!Conditions.profile}.  One-way delay is [RTT/2] scaled by a
+    mean-preserving lognormal jitter multiplier, so the configured RTT is
+    the long-run mean RTT observed by request/response exchanges. *)
+
+type t
+
+val create : Des.Engine.t -> rng:Stats.Rng.t -> Conditions.t -> t
+val set_conditions : t -> Conditions.t -> unit
+val conditions : t -> Conditions.t
+
+val profile_now : t -> Conditions.profile
+(** The profile in force at the current simulation time. *)
+
+type outcome =
+  | Lost
+  | Delivered of Des.Time.span  (** one-way latency *)
+  | Duplicated of Des.Time.span * Des.Time.span
+      (** two copies with independent latencies *)
+
+val sample_datagram : t -> outcome
+(** Unreliable (UDP-like) transmission: loss and duplication apply. *)
+
+val sample_reliable : t -> Des.Time.span
+(** Reliable (TCP-like) transmission latency: message loss is converted to
+    retransmission delay with exponential RTO backoff (minimum RTO 200 ms,
+    initial RTO [max(200ms, 2·RTT)]), so the message always arrives but
+    late under loss. *)

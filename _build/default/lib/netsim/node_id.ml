@@ -1,0 +1,22 @@
+type t = int
+
+let of_int i =
+  if i < 0 then invalid_arg "Node_id.of_int: negative id";
+  i
+
+let to_int i = i
+let equal = Int.equal
+let compare = Int.compare
+let hash i = i
+let pp ppf i = Format.fprintf ppf "n%d" i
+let range n = List.init n (fun i -> i)
+
+module Map = Map.Make (Int)
+module Set = Set.Make (Int)
+
+module Table = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

@@ -1,0 +1,23 @@
+(** Server identity within a cluster.
+
+    A small integer wrapped in a private type so node ids, indices and
+    counters cannot be confused. *)
+
+type t = private int
+
+val of_int : int -> t
+(** Requires a non-negative argument. *)
+
+val to_int : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+val range : int -> t list
+(** [range n] is the ids [0 .. n-1] — a convenience for building
+    clusters. *)
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t
+module Table : Hashtbl.S with type key = t

@@ -1,0 +1,17 @@
+type kind = Datagram | Reliable
+
+let pp_kind ppf = function
+  | Datagram -> Format.pp_print_string ppf "udp"
+  | Reliable -> Format.pp_print_string ppf "tcp"
+
+module Channel = struct
+  type t = { mutable last_delivery : Des.Time.t }
+
+  let create () = { last_delivery = Des.Time.zero }
+
+  let delivery_time t ~now ~latency =
+    let arrival = Des.Time.add now latency in
+    let ordered = Stdlib.max arrival (t.last_delivery + 1) in
+    t.last_delivery <- ordered;
+    ordered
+end

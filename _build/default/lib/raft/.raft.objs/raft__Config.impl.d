@@ -1,0 +1,1 @@
+lib/raft/config.pp.ml: Des Dynatune Format Netsim

@@ -1,0 +1,1 @@
+lib/raft/config.pp.mli: Des Dynatune Netsim

@@ -1,0 +1,1 @@
+lib/raft/cost_model.pp.ml: Des List Rpc String

@@ -1,0 +1,1 @@
+lib/raft/log.pp.ml: Array List Ppx_deriving_runtime Stdlib Types

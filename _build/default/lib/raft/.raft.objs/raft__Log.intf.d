@@ -1,0 +1,1 @@
+lib/raft/log.pp.mli: Ppx_deriving_runtime Types

@@ -1,0 +1,1 @@
+lib/raft/node.pp.ml: Config Cost_model Des Hashtbl Lazy List Log Netsim Probe Rpc Server Stats Types

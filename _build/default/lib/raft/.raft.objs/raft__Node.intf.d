@@ -1,0 +1,1 @@
+lib/raft/node.pp.mli: Config Cost_model Des Log Netsim Probe Rpc Server

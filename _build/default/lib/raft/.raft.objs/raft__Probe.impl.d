@@ -1,0 +1,1 @@
+lib/raft/probe.pp.ml: Des Format Netsim Types

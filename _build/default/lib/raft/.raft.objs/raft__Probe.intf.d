@@ -1,0 +1,1 @@
+lib/raft/probe.pp.mli: Des Format Netsim Types

@@ -1,0 +1,1 @@
+lib/raft/progress.pp.ml: Des Stdlib Types

@@ -1,0 +1,1 @@
+lib/raft/progress.pp.mli: Des Types

@@ -1,0 +1,1 @@
+lib/raft/rpc.pp.ml: Des Dynatune Format List Log String Types

@@ -1,0 +1,1 @@
+lib/raft/rpc.pp.mli: Des Dynatune Format Log Types

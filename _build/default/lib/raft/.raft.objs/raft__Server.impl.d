@@ -1,0 +1,1 @@
+lib/raft/server.pp.ml: Config Des Dynatune List Log Netsim Option Probe Progress Rpc Stats Stdlib Types

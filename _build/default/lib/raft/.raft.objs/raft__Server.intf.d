@@ -1,0 +1,1 @@
+lib/raft/server.pp.mli: Config Des Dynatune Log Netsim Probe Rpc Stats Types

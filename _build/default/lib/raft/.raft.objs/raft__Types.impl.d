@@ -1,0 +1,1 @@
+lib/raft/types.pp.ml: Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/raft/types.pp.mli: Ppx_deriving_runtime

@@ -1,0 +1,72 @@
+type t = {
+  heartbeat_send : Des.Time.span;
+  heartbeat_recv : Des.Time.span;
+  heartbeat_resp_recv : Des.Time.span;
+  tuning_overhead : Des.Time.span;
+  timer_fire : Des.Time.span;
+  append_send : Des.Time.span;
+  append_entry : Des.Time.span;
+  append_recv : Des.Time.span;
+  append_resp_recv : Des.Time.span;
+  vote_msg : Des.Time.span;
+  propose : Des.Time.span;
+  apply : Des.Time.span;
+}
+
+let zero =
+  {
+    heartbeat_send = 0;
+    heartbeat_recv = 0;
+    heartbeat_resp_recv = 0;
+    tuning_overhead = 0;
+    timer_fire = 0;
+    append_send = 0;
+    append_entry = 0;
+    append_recv = 0;
+    append_resp_recv = 0;
+    vote_msg = 0;
+    propose = 0;
+    apply = 0;
+  }
+
+let etcd_like =
+  {
+    heartbeat_send = Des.Time.us 140;
+    heartbeat_recv = Des.Time.us 140;
+    heartbeat_resp_recv = Des.Time.us 110;
+    tuning_overhead = Des.Time.us 40;
+    timer_fire = Des.Time.us 15;
+    append_send = Des.Time.us 30;
+    append_entry = Des.Time.us 25;
+    append_recv = Des.Time.us 25;
+    append_resp_recv = Des.Time.us 15;
+    vote_msg = Des.Time.us 50;
+    propose = Des.Time.us 160;
+    apply = Des.Time.us 40;
+  }
+
+let tuning_extra t ~tuning_active = if tuning_active then t.tuning_overhead else 0
+
+let message_recv_cost t ~tuning_active = function
+  | Rpc.Heartbeat _ -> t.heartbeat_recv + tuning_extra t ~tuning_active
+  | Rpc.Heartbeat_response _ ->
+      t.heartbeat_resp_recv + tuning_extra t ~tuning_active
+  | Rpc.Append_request { entries; _ } ->
+      t.append_recv + (t.append_entry * List.length entries)
+  | Rpc.Append_response _ -> t.append_resp_recv
+  | Rpc.Install_snapshot { data; _ } ->
+      (* Snapshot transfer cost scales with the payload. *)
+      t.append_recv + (t.append_entry * (1 + (String.length data / 256)))
+  | Rpc.Install_snapshot_response _ -> t.append_resp_recv
+  | Rpc.Vote_request _ | Rpc.Vote_response _ | Rpc.Timeout_now _ -> t.vote_msg
+
+let message_send_cost t ~tuning_active = function
+  | Rpc.Heartbeat _ -> t.heartbeat_send + tuning_extra t ~tuning_active
+  | Rpc.Heartbeat_response _ -> 0
+  | Rpc.Append_request { entries; _ } ->
+      t.append_send + (t.append_entry * List.length entries)
+  | Rpc.Append_response _ -> 0
+  | Rpc.Install_snapshot { data; _ } ->
+      t.append_send + (t.append_entry * (1 + (String.length data / 256)))
+  | Rpc.Install_snapshot_response _ -> 0
+  | Rpc.Vote_request _ | Rpc.Vote_response _ | Rpc.Timeout_now _ -> 0

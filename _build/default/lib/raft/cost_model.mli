@@ -1,0 +1,40 @@
+(** CPU service-time model for protocol processing.
+
+    Used with {!Netsim.Cpu} to reproduce the resource-consumption
+    experiments: Fig 5 (peak throughput, where Dynatune pays per-heartbeat
+    tuning overhead and per-follower timers) and Fig 7b (leader CPU as a
+    function of heartbeat rate).  All costs are service times charged to
+    the node's CPU; [zero] disables resource modelling entirely. *)
+
+type t = {
+  heartbeat_send : Des.Time.span;  (** leader: stamp + transmit one heartbeat *)
+  heartbeat_recv : Des.Time.span;  (** follower: receive + reply *)
+  heartbeat_resp_recv : Des.Time.span;  (** leader: process one echo *)
+  tuning_overhead : Des.Time.span;
+      (** extra cost per heartbeat event when measurement/tuning is
+          active (list maintenance, statistics, parameter recomputation) *)
+  timer_fire : Des.Time.span;
+      (** cost of one heartbeat-timer expiry (Dynatune keeps n−1 timers,
+          static Raft one) *)
+  append_send : Des.Time.span;  (** per AppendEntries message *)
+  append_entry : Des.Time.span;  (** additional cost per entry carried *)
+  append_recv : Des.Time.span;
+  append_resp_recv : Des.Time.span;
+  vote_msg : Des.Time.span;  (** any (pre-)vote request/response event *)
+  propose : Des.Time.span;  (** leader: admit one client request *)
+  apply : Des.Time.span;  (** apply one committed entry to the SM *)
+}
+
+val zero : t
+(** All costs zero — resource modelling off. *)
+
+val etcd_like : t
+(** Calibrated to reproduce the paper's saturation points: a leader
+    saturates near 13–14k req/s on four cores and heartbeat exchanges at
+    Fix-K rates overload a two-core leader at N = 65. *)
+
+val message_recv_cost : t -> tuning_active:bool -> Rpc.message -> Des.Time.span
+(** Service time to process one received message. *)
+
+val message_send_cost : t -> tuning_active:bool -> Rpc.message -> Des.Time.span
+(** Service time to emit one message. *)

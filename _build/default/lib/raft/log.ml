@@ -1,0 +1,134 @@
+type command =
+  | Noop
+  | Data of { payload : string; client_id : int; seq : int }
+[@@deriving show, eq]
+
+type entry = { term : Types.term; index : Types.index; command : command }
+[@@deriving show, eq]
+
+type t = {
+  mutable entries : entry array;
+  mutable len : int;
+  mutable snapshot_index : Types.index;
+  mutable snapshot_term : Types.term;
+}
+
+let create () =
+  { entries = [||]; len = 0; snapshot_index = 0; snapshot_term = 0 }
+
+let length t = t.len
+let last_index t = t.snapshot_index + t.len
+let snapshot_index t = t.snapshot_index
+let snapshot_term t = t.snapshot_term
+let first_available t = t.snapshot_index + 1
+
+(* Entry with log index [index]; caller guarantees it is stored. *)
+let nth t index = t.entries.(index - t.snapshot_index - 1)
+
+let last_term t =
+  if t.len = 0 then t.snapshot_term else (nth t (last_index t)).term
+
+let term_at t index =
+  if index = t.snapshot_index then Some t.snapshot_term
+  else if index < t.snapshot_index || index > last_index t then None
+  else Some (nth t index).term
+
+let entry_at t index =
+  if index <= t.snapshot_index || index > last_index t then None
+  else Some (nth t index)
+
+let grow t entry =
+  let cap = Array.length t.entries in
+  if t.len = cap then begin
+    let entries = Array.make (Stdlib.max 16 (2 * cap)) entry in
+    Array.blit t.entries 0 entries 0 t.len;
+    t.entries <- entries
+  end
+
+let push t entry =
+  grow t entry;
+  t.entries.(t.len) <- entry;
+  t.len <- t.len + 1
+
+let append_new t ~term command =
+  let entry = { term; index = last_index t + 1; command } in
+  push t entry;
+  entry
+
+let truncate_from t index =
+  (* Drop entries at [index] and beyond. *)
+  t.len <- Stdlib.max 0 (Stdlib.min t.len (index - t.snapshot_index - 1))
+
+let try_append t ~prev_index ~prev_term ~entries =
+  let check =
+    if prev_index < t.snapshot_index then
+      (* The predecessor was compacted: it is committed, hence it
+         matches by construction. *)
+      `Prefix_ok
+    else
+      match term_at t prev_index with
+      | None -> `Missing
+      | Some term when term <> prev_term -> `Mismatch
+      | Some _ -> `Prefix_ok
+  in
+  match check with
+  | `Missing ->
+      (* We are missing the predecessor entirely; ask the leader to back
+         off to just past our log end. *)
+      `Conflict (last_index t + 1)
+  | `Mismatch ->
+      (* Predecessor conflicts; everything from it onward is suspect. *)
+      `Conflict prev_index
+  | `Prefix_ok ->
+      let apply entry =
+        assert (entry.index >= 1);
+        if entry.index > t.snapshot_index then
+          match term_at t entry.index with
+          | Some existing when existing = entry.term -> ()
+          | Some _ ->
+              truncate_from t entry.index;
+              push t entry
+          | None ->
+              assert (entry.index = last_index t + 1);
+              push t entry
+      in
+      List.iter apply entries;
+      let covered =
+        List.fold_left
+          (fun acc (e : entry) -> Stdlib.max acc e.index)
+          prev_index entries
+      in
+      `Ok (Stdlib.max covered t.snapshot_index)
+
+let compact t ~upto =
+  if upto > last_index t then
+    invalid_arg "Log.compact: cannot compact beyond the last entry";
+  if upto > t.snapshot_index then begin
+    let term =
+      match term_at t upto with Some term -> term | None -> assert false
+    in
+    let keep = last_index t - upto in
+    let from = upto - t.snapshot_index in
+    (* Shift the surviving suffix to the front. *)
+    for i = 0 to keep - 1 do
+      t.entries.(i) <- t.entries.(from + i)
+    done;
+    t.len <- keep;
+    t.snapshot_index <- upto;
+    t.snapshot_term <- term
+  end
+
+let install_snapshot t ~index ~term =
+  t.len <- 0;
+  t.snapshot_index <- index;
+  t.snapshot_term <- term
+
+let slice t ~from ~max =
+  let from = Stdlib.max (first_available t) from in
+  let stop = Stdlib.min (last_index t) (from + max - 1) in
+  if from > stop then []
+  else List.init (stop - from + 1) (fun i -> nth t (from + i))
+
+let up_to_date t ~last_index:cand_index ~last_term:cand_term =
+  let mine = last_term t in
+  cand_term > mine || (cand_term = mine && cand_index >= last_index t)

@@ -1,0 +1,264 @@
+module Node_id = Netsim.Node_id
+
+type t = {
+  engine : Des.Engine.t;
+  fabric : Rpc.message Netsim.Fabric.t;
+  mutable server : Server.t;
+  peers : Node_id.t list;
+  config : Config.t;
+  rng : Stats.Rng.t;
+  trace : Probe.t Des.Mtrace.t;
+  cpu : Netsim.Cpu.t;
+  costs : Cost_model.t;
+  election_timer : Des.Timer.t;
+  broadcast_timer : Des.Timer.t;
+  quorum_timer : Des.Timer.t;
+  flush_timer : Des.Timer.t;
+  hb_timers : Des.Timer.t Node_id.Table.t;
+  waiters : (int * int, committed:bool -> unit) Hashtbl.t;
+  apply : Log.entry -> unit;
+  snapshot_of : unit -> string;
+  install_sm : string -> unit;
+  flush_delay : Des.Time.span;
+  mutable paused : bool;
+}
+
+let id t = Server.id t.server
+let server t = t.server
+let cpu t = t.cpu
+let is_paused t = t.paused
+
+let rec dispatch t event =
+  let actions = Server.handle t.server ~now:(Des.Engine.now t.engine) event in
+  List.iter (interpret t) actions
+
+and interpret t = function
+  | Server.Send { dst; kind; msg } ->
+      Netsim.Cpu.charge t.cpu
+        ~cost:
+          (Cost_model.message_send_cost t.costs
+             ~tuning_active:(Server.tuning_active t.server)
+             msg);
+      Netsim.Fabric.send t.fabric kind ~src:(id t) ~dst msg
+  | Server.Arm_election span -> Des.Timer.arm t.election_timer span
+  | Server.Disarm_election -> Des.Timer.disarm t.election_timer
+  | Server.Arm_heartbeat { peer; after } ->
+      Des.Timer.arm (hb_timer t peer) after
+  | Server.Arm_broadcast after -> Des.Timer.arm t.broadcast_timer after
+  | Server.Arm_quorum_check after -> Des.Timer.arm t.quorum_timer after
+  | Server.Disarm_heartbeats ->
+      Des.Timer.disarm t.broadcast_timer;
+      Node_id.Table.iter (fun _ timer -> Des.Timer.disarm timer) t.hb_timers
+  | Server.Request_flush ->
+      if not (Des.Timer.is_armed t.flush_timer) then
+        Des.Timer.arm t.flush_timer t.flush_delay
+  | Server.Commit entries ->
+      List.iter
+        (fun (entry : Log.entry) ->
+          Netsim.Cpu.charge t.cpu ~cost:t.costs.Cost_model.apply;
+          t.apply entry;
+          match entry.command with
+          | Log.Noop -> ()
+          | Log.Data { client_id; seq; _ } -> (
+              match Hashtbl.find_opt t.waiters (client_id, seq) with
+              | Some k ->
+                  Hashtbl.remove t.waiters (client_id, seq);
+                  k ~committed:true
+              | None -> ()))
+        entries
+  | Server.Take_snapshot { upto } ->
+      let data = t.snapshot_of () in
+      dispatch t (Server.Snapshot_ready { upto; data })
+  | Server.Install_sm { data; last_index = _ } -> t.install_sm data
+  | Server.Serve_read { client_id; seq; read_index = _ } -> (
+      match Hashtbl.find_opt t.waiters (client_id, seq) with
+      | Some k ->
+          Hashtbl.remove t.waiters (client_id, seq);
+          k ~committed:true
+      | None -> ())
+  | Server.Reject_proposal { client_id; seq } -> (
+      match Hashtbl.find_opt t.waiters (client_id, seq) with
+      | Some k ->
+          Hashtbl.remove t.waiters (client_id, seq);
+          k ~committed:false
+      | None -> ())
+  | Server.Probe p -> Des.Mtrace.emit t.trace p
+
+and hb_timer t peer =
+  match Node_id.Table.find_opt t.hb_timers peer with
+  | Some timer -> timer
+  | None ->
+      let timer =
+        Des.Timer.create t.engine (fun () ->
+            if not t.paused then begin
+              Netsim.Cpu.charge t.cpu ~cost:t.costs.Cost_model.timer_fire;
+              dispatch t (Server.Heartbeat_due peer)
+            end)
+      in
+      Node_id.Table.add t.hb_timers peer timer;
+      timer
+
+(* Datagram heartbeats arrive on a bounded socket buffer: when the node's
+   CPU cannot keep up, the buffer overflows and the datagram is silently
+   lost (the cost Dynatune pays for taking heartbeats off the reliable
+   stream).  A few milliseconds of backlog stands in for a ~200 KB UDP
+   receive buffer. *)
+let udp_drop_backlog = Des.Time.ms 4
+
+let datagram_overflow t msg =
+  (match (Server.config t.server).Config.heartbeat_transport with
+  | Netsim.Transport.Datagram -> (
+      match msg with
+      | Rpc.Heartbeat _ | Rpc.Heartbeat_response _ ->
+          Netsim.Cpu.backlog t.cpu > udp_drop_backlog
+      | Rpc.Vote_request _ | Rpc.Vote_response _ | Rpc.Append_request _
+      | Rpc.Append_response _ | Rpc.Install_snapshot _
+      | Rpc.Install_snapshot_response _ | Rpc.Timeout_now _ ->
+          false)
+  | Netsim.Transport.Reliable -> false)
+
+let create ~fabric ~trace ?cpu ?(costs = Cost_model.zero) ?apply ?snapshot_of
+    ?install_sm ?(flush_delay = Des.Time.ms 1) ~id:node_id ~peers ~config () =
+  let engine = Netsim.Fabric.engine fabric in
+  let cpu =
+    match cpu with Some c -> c | None -> Netsim.Cpu.passthrough engine
+  in
+  let rng =
+    Stats.Rng.split_int
+      (Stats.Rng.split (Des.Engine.rng engine) "raft-node")
+      (Node_id.to_int node_id)
+  in
+  let server = Server.create ~id:node_id ~peers ~config ~rng:(Stats.Rng.copy rng) () in
+  let apply = match apply with Some f -> f | None -> fun _ -> () in
+  let snapshot_of = match snapshot_of with Some f -> f | None -> fun () -> "" in
+  let install_sm = match install_sm with Some f -> f | None -> fun _ -> () in
+  let rec t =
+    lazy
+      {
+        engine;
+        fabric;
+        server;
+        peers;
+        config;
+        rng;
+        trace;
+        cpu;
+        costs;
+        election_timer =
+          Des.Timer.create engine (fun () ->
+              if not (Lazy.force t).paused then begin
+                Netsim.Cpu.charge cpu ~cost:costs.Cost_model.timer_fire;
+                dispatch (Lazy.force t) Server.Election_timeout_fired
+              end);
+        broadcast_timer =
+          Des.Timer.create engine (fun () ->
+              if not (Lazy.force t).paused then begin
+                Netsim.Cpu.charge cpu ~cost:costs.Cost_model.timer_fire;
+                dispatch (Lazy.force t) Server.Broadcast_due
+              end);
+        quorum_timer =
+          Des.Timer.create engine (fun () ->
+              if not (Lazy.force t).paused then
+                dispatch (Lazy.force t) Server.Quorum_check_due);
+        flush_timer =
+          Des.Timer.create engine (fun () ->
+              if not (Lazy.force t).paused then
+                dispatch (Lazy.force t) Server.Flush_due);
+        hb_timers = Node_id.Table.create 8;
+        waiters = Hashtbl.create 64;
+        apply;
+        snapshot_of;
+        install_sm;
+        flush_delay;
+        paused = false;
+      }
+  in
+  let t = Lazy.force t in
+  Netsim.Fabric.set_handler fabric node_id (fun ~src msg ->
+      if not t.paused then
+        if datagram_overflow t msg then ()
+        else
+          Netsim.Cpu.execute t.cpu
+            ~cost:
+              (Cost_model.message_recv_cost t.costs
+                 ~tuning_active:(Server.tuning_active t.server)
+                 msg)
+            (fun () ->
+              if not t.paused then
+                dispatch t (Server.Message { from = src; msg })));
+  t
+
+let start t = List.iter (interpret t) (Server.start t.server)
+
+let submit t ~payload ~client_id ~seq ~on_result () =
+  if t.paused || not (Types.is_leader (Server.role t.server)) then
+    `Not_leader (Server.leader t.server)
+  else begin
+    Hashtbl.replace t.waiters (client_id, seq) on_result;
+    Netsim.Cpu.execute t.cpu ~cost:t.costs.Cost_model.propose (fun () ->
+        dispatch t (Server.Propose { payload; client_id; seq }));
+    `Accepted
+  end
+
+let read t ~client_id ~seq ~on_result () =
+  if t.paused || not (Types.is_leader (Server.role t.server)) then
+    `Not_leader (Server.leader t.server)
+  else begin
+    Hashtbl.replace t.waiters (client_id, seq) on_result;
+    Netsim.Cpu.execute t.cpu ~cost:t.costs.Cost_model.apply (fun () ->
+        dispatch t (Server.Read { client_id; seq }));
+    `Accepted
+  end
+
+let transfer_leadership t target =
+  if t.paused || not (Types.is_leader (Server.role t.server)) then `Not_leader
+  else begin
+    dispatch t (Server.Transfer_leadership target);
+    `Ok
+  end
+
+let pause t =
+  t.paused <- true;
+  Netsim.Fabric.pause t.fabric (id t);
+  Des.Mtrace.emit t.trace (Probe.Node_paused { id = id t })
+
+let resume t =
+  t.paused <- false;
+  Netsim.Fabric.resume t.fabric (id t);
+  Des.Mtrace.emit t.trace (Probe.Node_resumed { id = id t });
+  dispatch t Server.Restarted
+
+let disarm_all t =
+  Des.Timer.disarm t.election_timer;
+  Des.Timer.disarm t.broadcast_timer;
+  Des.Timer.disarm t.quorum_timer;
+  Des.Timer.disarm t.flush_timer;
+  Node_id.Table.iter (fun _ timer -> Des.Timer.disarm timer) t.hb_timers
+
+let crash t =
+  t.paused <- true;
+  Netsim.Fabric.pause t.fabric (id t);
+  disarm_all t;
+  (* Outstanding client requests die with the process. *)
+  let pending = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.waiters [] in
+  Hashtbl.reset t.waiters;
+  List.iter (fun (_, k) -> k ~committed:false) pending;
+  Des.Mtrace.emit t.trace (Probe.Node_paused { id = id t })
+
+let restart t =
+  let restore = Server.persisted t.server in
+  (* A fresh PRNG substream keyed by the restart instant: deterministic,
+     but not a replay of the pre-crash randomized-timeout draws. *)
+  let rng = Stats.Rng.split_int t.rng (Des.Engine.now t.engine) in
+  t.server <-
+    Server.create ~restore ~id:(id t) ~peers:t.peers ~config:t.config ~rng ();
+  (* Seed the state machine from the persisted snapshot; entries above
+     the boundary are replayed as the leader re-teaches the commit
+     point. *)
+  (match restore.Server.snapshot with
+  | Some (_, _, data) -> t.install_sm data
+  | None -> ());
+  t.paused <- false;
+  Netsim.Fabric.resume t.fabric (id t);
+  Des.Mtrace.emit t.trace (Probe.Node_resumed { id = id t });
+  List.iter (interpret t) (Server.start t.server)

@@ -1,0 +1,42 @@
+type t =
+  | Role_change of { id : Netsim.Node_id.t; role : Types.role; term : Types.term }
+  | Timeout_expired of {
+      id : Netsim.Node_id.t;
+      term : Types.term;
+      randomized : Des.Time.span;
+    }
+  | Pre_vote_aborted of { id : Netsim.Node_id.t; term : Types.term }
+  | Tuner_reset of { id : Netsim.Node_id.t }
+  | Election_started of { id : Netsim.Node_id.t; term : Types.term }
+  | Node_paused of { id : Netsim.Node_id.t }
+  | Node_resumed of { id : Netsim.Node_id.t }
+
+let pp ppf = function
+  | Role_change { id; role; term } ->
+      Format.fprintf ppf "%a -> %s (term %d)" Netsim.Node_id.pp id
+        (Types.role_name role) term
+  | Timeout_expired { id; term; randomized } ->
+      Format.fprintf ppf "%a timeout (%a) in term %d" Netsim.Node_id.pp id
+        Des.Time.pp_ms randomized term
+  | Pre_vote_aborted { id; term } ->
+      Format.fprintf ppf "%a pre-vote aborted (term %d)" Netsim.Node_id.pp id
+        term
+  | Tuner_reset { id } ->
+      Format.fprintf ppf "%a tuner reset" Netsim.Node_id.pp id
+  | Election_started { id; term } ->
+      Format.fprintf ppf "%a election started (term %d)" Netsim.Node_id.pp id
+        term
+  | Node_paused { id } ->
+      Format.fprintf ppf "%a paused" Netsim.Node_id.pp id
+  | Node_resumed { id } ->
+      Format.fprintf ppf "%a resumed" Netsim.Node_id.pp id
+
+let node = function
+  | Role_change { id; _ }
+  | Timeout_expired { id; _ }
+  | Pre_vote_aborted { id; _ }
+  | Tuner_reset { id }
+  | Election_started { id; _ }
+  | Node_paused { id }
+  | Node_resumed { id } ->
+      id

@@ -1,0 +1,25 @@
+(** Observable protocol events emitted into the shared trace.
+
+    The cluster monitor reconstructs the paper's measurements from these:
+    detection time (timer expiries after a failure), OTS time (leadership
+    establishment), split votes (repeated campaigns per term), and
+    Dynatune's fallback behaviour (tuner resets, pre-vote aborts). *)
+
+type t =
+  | Role_change of { id : Netsim.Node_id.t; role : Types.role; term : Types.term }
+  | Timeout_expired of {
+      id : Netsim.Node_id.t;
+      term : Types.term;
+      randomized : Des.Time.span;  (** the randomizedTimeout that expired *)
+    }
+  | Pre_vote_aborted of { id : Netsim.Node_id.t; term : Types.term }
+      (** leader contact arrived during a pre-campaign *)
+  | Tuner_reset of { id : Netsim.Node_id.t }
+  | Election_started of { id : Netsim.Node_id.t; term : Types.term }
+      (** a real (post-pre-vote) campaign began *)
+  | Node_paused of { id : Netsim.Node_id.t }
+      (** fault injection froze the node (container sleep) *)
+  | Node_resumed of { id : Netsim.Node_id.t }
+
+val pp : Format.formatter -> t -> unit
+val node : t -> Netsim.Node_id.t

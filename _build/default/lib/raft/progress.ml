@@ -1,0 +1,33 @@
+type t = {
+  mutable next : Types.index;
+  mutable matched : Types.index;
+  mutable last_response_at : Des.Time.t;
+  mutable last_append_sent_at : Des.Time.t;
+}
+
+let create ~last_index =
+  {
+    next = last_index + 1;
+    matched = 0;
+    last_response_at = Des.Time.zero;
+    last_append_sent_at = Des.Time.zero;
+  }
+
+let note_append_sent t ~at = t.last_append_sent_at <- at
+let last_append_sent_at t = t.last_append_sent_at
+
+let note_response t ~at = t.last_response_at <- at
+let last_response_at t = t.last_response_at
+let next_index t = t.next
+let match_index t = t.matched
+
+let record_sent t ~upto = if upto + 1 > t.next then t.next <- upto + 1
+
+let record_success t ~upto =
+  if upto > t.matched then t.matched <- upto;
+  if upto + 1 > t.next then t.next <- upto + 1
+
+let record_conflict t ~hint =
+  t.next <- Stdlib.max 1 (Stdlib.min hint t.next)
+
+let needs_entries t ~last_index = t.next <= last_index

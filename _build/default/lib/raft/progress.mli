@@ -1,0 +1,41 @@
+(** Leader-side replication state for one follower. *)
+
+type t
+
+val create : last_index:Types.index -> t
+(** Fresh state when a leader takes office: [next = last_index + 1],
+    [match = 0]. *)
+
+val next_index : t -> Types.index
+(** First entry index to send next. *)
+
+val match_index : t -> Types.index
+(** Highest entry known replicated on the follower. *)
+
+val record_sent : t -> upto:Types.index -> unit
+(** Entries up to [upto] were handed to the (reliable) transport; advance
+    [next] optimistically so the replication pipeline never re-sends
+    in-flight entries (etcd's StateReplicate behaviour).  A conflict
+    response rewinds via {!record_conflict}. *)
+
+val record_success : t -> upto:Types.index -> unit
+(** An AppendEntries covering entries up to [upto] succeeded. *)
+
+val record_conflict : t -> hint:Types.index -> unit
+(** A consistency check failed; back [next] off to [hint] (never below
+    1, never above the current [next] − 0). *)
+
+val needs_entries : t -> last_index:Types.index -> bool
+(** Are there entries this follower has not been sent yet? *)
+
+val note_response : t -> at:Des.Time.t -> unit
+(** Record that an AppendEntries response (success or conflict) arrived. *)
+
+val last_response_at : t -> Des.Time.t
+(** Instant of the last AppendEntries response ([Time.zero] if none). *)
+
+val note_append_sent : t -> at:Des.Time.t -> unit
+(** Record that an AppendEntries carrying entries was sent (used by the
+    heartbeat-suppression extension). *)
+
+val last_append_sent_at : t -> Des.Time.t

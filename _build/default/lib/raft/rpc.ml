@@ -1,0 +1,101 @@
+type vote_request = {
+  term : Types.term;
+  last_log_index : Types.index;
+  last_log_term : Types.term;
+  pre_vote : bool;
+  force : bool;
+}
+
+type vote_response = { term : Types.term; granted : bool; pre_vote : bool }
+
+type append_request = {
+  term : Types.term;
+  prev_index : Types.index;
+  prev_term : Types.term;
+  entries : Log.entry list;
+  commit : Types.index;
+}
+
+type append_response = {
+  term : Types.term;
+  success : bool;
+  match_index : Types.index;
+  conflict_hint : Types.index;
+}
+
+type heartbeat = {
+  term : Types.term;
+  commit : Types.index;
+  meta : Dynatune.Leader_path.meta;
+}
+
+type heartbeat_echo = {
+  hb_id : int;
+  echo_sent_at : Des.Time.t;
+  tuned_h : Des.Time.span option;
+}
+
+type heartbeat_response = { term : Types.term; echo : heartbeat_echo }
+
+type install_snapshot = {
+  term : Types.term;
+  last_index : Types.index;
+  last_term : Types.term;
+  data : string;
+}
+
+type install_snapshot_response = {
+  term : Types.term;
+  match_index : Types.index;
+}
+
+type message =
+  | Vote_request of vote_request
+  | Vote_response of vote_response
+  | Append_request of append_request
+  | Append_response of append_response
+  | Heartbeat of heartbeat
+  | Heartbeat_response of heartbeat_response
+  | Install_snapshot of install_snapshot
+  | Install_snapshot_response of install_snapshot_response
+  | Timeout_now of { term : Types.term }
+
+let kind_name = function
+  | Vote_request { pre_vote = true; _ } -> "prevote_req"
+  | Vote_request _ -> "vote_req"
+  | Vote_response { pre_vote = true; _ } -> "prevote_resp"
+  | Vote_response _ -> "vote_resp"
+  | Append_request _ -> "append_req"
+  | Append_response _ -> "append_resp"
+  | Heartbeat _ -> "hb"
+  | Heartbeat_response _ -> "hb_resp"
+  | Install_snapshot _ -> "snap"
+  | Install_snapshot_response _ -> "snap_resp"
+  | Timeout_now _ -> "timeout_now"
+
+let pp ppf = function
+  | Vote_request r ->
+      Format.fprintf ppf "%s(term=%d last=%d/%d)"
+        (if r.pre_vote then "PreVote" else "Vote")
+        r.term r.last_log_index r.last_log_term
+  | Vote_response r ->
+      Format.fprintf ppf "%sResp(term=%d granted=%b)"
+        (if r.pre_vote then "PreVote" else "Vote")
+        r.term r.granted
+  | Append_request r ->
+      Format.fprintf ppf "Append(term=%d prev=%d/%d n=%d commit=%d)" r.term
+        r.prev_index r.prev_term (List.length r.entries) r.commit
+  | Append_response r ->
+      Format.fprintf ppf "AppendResp(term=%d ok=%b match=%d hint=%d)" r.term
+        r.success r.match_index r.conflict_hint
+  | Heartbeat r ->
+      Format.fprintf ppf "Heartbeat(term=%d commit=%d id=%d)" r.term r.commit
+        r.meta.Dynatune.Leader_path.hb_id
+  | Heartbeat_response r ->
+      Format.fprintf ppf "HeartbeatResp(term=%d id=%d)" r.term r.echo.hb_id
+  | Install_snapshot r ->
+      Format.fprintf ppf "Snapshot(term=%d upto=%d/%d bytes=%d)" r.term
+        r.last_index r.last_term (String.length r.data)
+  | Install_snapshot_response r ->
+      Format.fprintf ppf "SnapshotResp(term=%d match=%d)" r.term r.match_index
+  | Timeout_now { term } -> Format.fprintf ppf "TimeoutNow(term=%d)" term

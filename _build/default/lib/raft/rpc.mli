@@ -1,0 +1,85 @@
+(** Raft wire messages, including the Dynatune heartbeat metadata.
+
+    Heartbeats are a distinct lightweight message (as in etcd's
+    [MsgHeartbeat]) rather than empty AppendEntries: they carry the leader
+    commit index plus the Dynatune measurement metadata, and under
+    Dynatune they travel over the datagram transport while everything
+    else uses the reliable one. *)
+
+type vote_request = {
+  term : Types.term;
+      (** For a pre-vote this is the term the candidate {e would} start
+          (current + 1); the candidate's own term is not bumped. *)
+  last_log_index : Types.index;
+  last_log_term : Types.term;
+  pre_vote : bool;
+  force : bool;
+      (** Leadership-transfer campaign: voters skip the stickiness lease
+          (etcd's campaignTransfer). *)
+}
+
+type vote_response = {
+  term : Types.term;  (** echo of the request term on grants *)
+  granted : bool;
+  pre_vote : bool;
+}
+
+type append_request = {
+  term : Types.term;
+  prev_index : Types.index;
+  prev_term : Types.term;
+  entries : Log.entry list;
+  commit : Types.index;
+}
+
+type append_response = {
+  term : Types.term;
+  success : bool;
+  match_index : Types.index;  (** meaningful when [success] *)
+  conflict_hint : Types.index;  (** meaningful when not [success] *)
+}
+
+type heartbeat = {
+  term : Types.term;
+  commit : Types.index;
+  meta : Dynatune.Leader_path.meta;
+}
+
+type heartbeat_echo = {
+  hb_id : int;
+  echo_sent_at : Des.Time.t;  (** the leader timestamp, echoed verbatim *)
+  tuned_h : Des.Time.span option;
+      (** the follower's piggybacked heartbeat interval (Step 3) *)
+}
+
+type heartbeat_response = { term : Types.term; echo : heartbeat_echo }
+
+type install_snapshot = {
+  term : Types.term;
+  last_index : Types.index;  (** the snapshot covers entries up to here *)
+  last_term : Types.term;
+  data : string;  (** opaque serialized state-machine contents *)
+}
+
+type install_snapshot_response = {
+  term : Types.term;
+  match_index : Types.index;  (** the follower now holds state up to here *)
+}
+
+type message =
+  | Vote_request of vote_request
+  | Vote_response of vote_response
+  | Append_request of append_request
+  | Append_response of append_response
+  | Heartbeat of heartbeat
+  | Heartbeat_response of heartbeat_response
+  | Install_snapshot of install_snapshot
+  | Install_snapshot_response of install_snapshot_response
+  | Timeout_now of { term : Types.term }
+      (** leadership transfer: the leader orders the target to campaign
+          immediately (skipping pre-vote and leases) *)
+
+val pp : Format.formatter -> message -> unit
+
+val kind_name : message -> string
+(** Short tag for counters/cost accounting: ["vote_req"], ["hb"], ... *)

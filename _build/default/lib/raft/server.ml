@@ -1,0 +1,959 @@
+module Node_id = Netsim.Node_id
+
+type event =
+  | Message of { from : Node_id.t; msg : Rpc.message }
+  | Election_timeout_fired
+  | Heartbeat_due of Node_id.t
+  | Broadcast_due
+  | Quorum_check_due
+  | Flush_due
+  | Propose of { payload : string; client_id : int; seq : int }
+  | Read of { client_id : int; seq : int }
+  | Transfer_leadership of Node_id.t
+  | Snapshot_ready of { upto : Types.index; data : string }
+  | Restarted
+
+type action =
+  | Send of { dst : Node_id.t; kind : Netsim.Transport.kind; msg : Rpc.message }
+  | Arm_election of Des.Time.span
+  | Disarm_election
+  | Arm_heartbeat of { peer : Node_id.t; after : Des.Time.span }
+  | Arm_broadcast of Des.Time.span
+  | Arm_quorum_check of Des.Time.span
+  | Disarm_heartbeats
+  | Request_flush
+  | Commit of Log.entry list
+  | Take_snapshot of { upto : Types.index }
+  | Install_sm of { data : string; last_index : Types.index }
+  | Serve_read of { client_id : int; seq : int; read_index : Types.index }
+  | Reject_proposal of { client_id : int; seq : int }
+  | Probe of Probe.t
+
+type persistent = {
+  term : Types.term;
+  voted_for : Node_id.t option;
+  entries : Log.entry list;
+  snapshot : (Types.index * Types.term * string) option;
+}
+
+type t = {
+  id : Node_id.t;
+  peers : Node_id.t list;
+  config : Config.t;
+  rng : Stats.Rng.t;
+  quorum : int;
+  log : Log.t;
+  mutable term : Types.term;
+  mutable voted_for : Node_id.t option;
+  mutable role : Types.role;
+  mutable leader : Node_id.t option;
+  mutable commit_index : Types.index;
+  mutable votes : Node_id.Set.t;
+  mutable quorum_acks : Node_id.Set.t;
+  progress : Progress.t Node_id.Table.t;
+  paths : Dynatune.Leader_path.t Node_id.Table.t;
+  tuner : Dynatune.Tuner.t option;
+  mutable randomized : Des.Time.span;
+  mutable last_leader_contact : Des.Time.t;
+  mutable flush_requested : bool;
+  mutable snapshot_data : string option;
+  mutable force_campaign : bool;
+  mutable pending_reads : pending_read list;
+}
+and pending_read = {
+  r_client : int;
+  r_seq : int;
+  read_index : Types.index;
+  registered_at : Des.Time.t;
+  mutable confirmations : Node_id.Set.t;
+}
+
+let create ?restore ~id ~peers ~config ~rng () =
+  (match Config.validate config with
+  | Ok _ -> ()
+  | Error msg -> invalid_arg ("Server.create: " ^ msg));
+  if List.exists (Node_id.equal id) peers then
+    invalid_arg "Server.create: peers must not contain the server itself";
+  let n = 1 + List.length peers in
+  let tuner =
+    match config.Config.tuning with
+    | Config.Static -> None
+    | Config.Dynatune cfg | Config.Fix_k { cfg; _ } ->
+        Some (Dynatune.Tuner.create cfg)
+  in
+  let log = Log.create () in
+  let term, voted_for, snapshot_data =
+    match restore with
+    | None -> (0, None, None)
+    | Some p ->
+        let snapshot_data =
+          match p.snapshot with
+          | Some (index, term, data) ->
+              Log.install_snapshot log ~index ~term;
+              Some data
+          | None -> None
+        in
+        List.iter
+          (fun (e : Log.entry) ->
+            let e' = Log.append_new log ~term:e.Log.term e.Log.command in
+            assert (e'.Log.index = e.Log.index))
+          p.entries;
+        (p.term, p.voted_for, snapshot_data)
+  in
+  {
+    id;
+    peers;
+    config;
+    rng;
+    quorum = (n / 2) + 1;
+    log;
+    term;
+    voted_for;
+    role = Types.Follower;
+    leader = None;
+    commit_index = Log.snapshot_index log;
+    votes = Node_id.Set.empty;
+    quorum_acks = Node_id.Set.empty;
+    progress = Node_id.Table.create 8;
+    paths = Node_id.Table.create 8;
+    tuner;
+    randomized = 0;
+    last_leader_contact = Des.Time.zero;
+    flush_requested = false;
+    snapshot_data;
+    force_campaign = false;
+    pending_reads = [];
+  }
+
+(* {2 Introspection} *)
+
+let persisted (srv : t) =
+  {
+    term = srv.term;
+    voted_for = srv.voted_for;
+    entries =
+      Log.slice srv.log ~from:(Log.first_available srv.log)
+        ~max:(Log.length srv.log);
+    snapshot =
+      (if Log.snapshot_index srv.log > 0 then
+         Some
+           ( Log.snapshot_index srv.log,
+             Log.snapshot_term srv.log,
+             Option.value ~default:"" srv.snapshot_data )
+       else None);
+  }
+
+let id t = t.id
+let role t = t.role
+let term t = t.term
+let leader t = t.leader
+let commit_index t = t.commit_index
+let log t = t.log
+let config t = t.config
+let randomized_timeout t = t.randomized
+let tuner t = t.tuner
+
+let election_timeout_now t =
+  match t.tuner with
+  | Some tuner -> Dynatune.Tuner.election_timeout tuner
+  | None -> t.config.Config.election_timeout
+
+let tuning_active t = t.tuner <> None
+
+let path t peer =
+  match Node_id.Table.find_opt t.paths peer with
+  | Some p -> p
+  | None ->
+      let cfg =
+        match t.config.Config.tuning with
+        | Config.Dynatune cfg | Config.Fix_k { cfg; _ } -> cfg
+        | Config.Static ->
+            (* Static mode still stamps measurement metadata (followers
+               simply ignore it), so a path record exists per peer. *)
+            {
+              Dynatune.Config.default with
+              default_heartbeat_interval = t.config.Config.heartbeat_interval;
+              default_election_timeout = t.config.Config.election_timeout;
+            }
+      in
+      let p = Dynatune.Leader_path.create cfg in
+      Node_id.Table.add t.paths peer p;
+      p
+
+let heartbeat_interval_to t peer =
+  if Types.is_leader t.role then
+    Some (Dynatune.Leader_path.interval (path t peer))
+  else None
+
+(* The h a follower piggybacks to the leader (Step 3).  [None] while
+   warming: the leader then keeps its current (default) interval. *)
+let piggyback_h t =
+  match (t.config.Config.tuning, t.tuner) with
+  | Config.Static, _ | _, None -> None
+  | Config.Dynatune _, Some tuner -> (
+      match Dynatune.Tuner.phase tuner with
+      | Dynatune.Tuner.Warming -> None
+      | Dynatune.Tuner.Tuned ->
+          Some (Dynatune.Tuner.heartbeat_interval tuner))
+  | Config.Fix_k { cfg; k }, Some tuner -> (
+      match Dynatune.Tuner.phase tuner with
+      | Dynatune.Tuner.Warming -> None
+      | Dynatune.Tuner.Tuned ->
+          let et = Dynatune.Tuner.election_timeout tuner in
+          Some
+            (Des.Time.max_span cfg.Dynatune.Config.min_heartbeat_interval
+               (et / k)))
+
+(* {2 Action accumulation} *)
+
+type ctx = { mutable acts : action list; now : Des.Time.t }
+
+let emit ctx a = ctx.acts <- a :: ctx.acts
+let finish ctx = List.rev ctx.acts
+
+(* randomizedTimeout = Et + uniform[0, Et), as etcd draws it. *)
+let draw_timeout t =
+  let et = Stdlib.max 1 (election_timeout_now t) in
+  et + Stats.Rng.int t.rng et
+
+let arm_election t ctx =
+  t.randomized <- draw_timeout t;
+  emit ctx (Arm_election t.randomized)
+
+let set_role t ctx role =
+  if not (Types.equal_role t.role role) then begin
+    t.role <- role;
+    emit ctx (Probe (Probe.Role_change { id = t.id; role; term = t.term }))
+  end
+
+let reset_tuner t ctx =
+  match t.tuner with
+  | Some tuner ->
+      Dynatune.Tuner.reset tuner;
+      emit ctx (Probe (Probe.Tuner_reset { id = t.id }))
+  | None -> ()
+
+let become_follower t ctx ~term ~leader =
+  if term > t.term then begin
+    t.term <- term;
+    t.voted_for <- None
+  end;
+  if Types.is_leader t.role then begin
+    emit ctx Disarm_heartbeats;
+    (* Linearizable reads awaiting confirmation cannot be served by a
+       deposed leader. *)
+    List.iter
+      (fun r ->
+        emit ctx (Reject_proposal { client_id = r.r_client; seq = r.r_seq }))
+      t.pending_reads;
+    t.pending_reads <- []
+  end;
+  t.votes <- Node_id.Set.empty;
+  t.leader <- leader;
+  set_role t ctx Types.Follower;
+  arm_election t ctx
+
+(* {2 Leader-side replication} *)
+
+let progress_of t peer =
+  match Node_id.Table.find_opt t.progress peer with
+  | Some p -> p
+  | None ->
+      let p = Progress.create ~last_index:(Log.last_index t.log) in
+      Node_id.Table.add t.progress peer p;
+      p
+
+let append_request_for t peer =
+  let pr = progress_of t peer in
+  let next = Progress.next_index pr in
+  let prev_index = next - 1 in
+  let prev_term = Option.value ~default:0 (Log.term_at t.log prev_index) in
+  let entries =
+    Log.slice t.log ~from:next ~max:t.config.Config.max_entries_per_append
+  in
+  Rpc.Append_request
+    { term = t.term; prev_index; prev_term; entries; commit = t.commit_index }
+
+let send_install_snapshot t ctx peer ~data =
+  let pr = progress_of t peer in
+  let last_index = Log.snapshot_index t.log in
+  Progress.record_sent pr ~upto:last_index;
+  Progress.note_append_sent pr ~at:ctx.now;
+  emit ctx
+    (Send
+       {
+         dst = peer;
+         kind = Netsim.Transport.Reliable;
+         msg =
+           Rpc.Install_snapshot
+             {
+               term = t.term;
+               last_index;
+               last_term = Log.snapshot_term t.log;
+               data;
+             };
+       })
+
+let rec send_append t ctx peer =
+  if Progress.next_index (progress_of t peer) <= Log.snapshot_index t.log
+  then
+    (* The entries this follower needs were compacted away: ship the
+       state-machine snapshot instead, then continue with the log. *)
+    match t.snapshot_data with
+    | Some data -> send_install_snapshot t ctx peer ~data
+    | None ->
+        (* No snapshot retained (threshold disabled but log compacted —
+           cannot happen in practice); fall through with what we have. *)
+        Progress.record_conflict (progress_of t peer)
+          ~hint:(Log.first_available t.log);
+        send_append_entries t ctx peer
+  else send_append_entries t ctx peer
+
+and send_append_entries t ctx peer =
+  let msg = append_request_for t peer in
+  (match msg with
+  | Rpc.Append_request { entries = _ :: _ as entries; _ } ->
+      let upto =
+        List.fold_left
+          (fun acc (e : Log.entry) -> Stdlib.max acc e.index)
+          0 entries
+      in
+      let pr = progress_of t peer in
+      Progress.record_sent pr ~upto;
+      Progress.note_append_sent pr ~at:ctx.now
+  | Rpc.Append_request _ | Rpc.Vote_request _ | Rpc.Vote_response _
+  | Rpc.Append_response _ | Rpc.Heartbeat _ | Rpc.Heartbeat_response _
+  | Rpc.Install_snapshot _ | Rpc.Install_snapshot_response _
+  | Rpc.Timeout_now _ ->
+      ());
+  emit ctx (Send { dst = peer; kind = Netsim.Transport.Reliable; msg })
+
+let send_heartbeat t ctx ~now peer =
+  let meta = Dynatune.Leader_path.next_meta (path t peer) ~now in
+  let commit =
+    Stdlib.min t.commit_index (Progress.match_index (progress_of t peer))
+  in
+  emit ctx
+    (Send
+       {
+         dst = peer;
+         kind = t.config.Config.heartbeat_transport;
+         msg = Rpc.Heartbeat { term = t.term; commit; meta };
+       })
+
+(* Section IV-E extension 1: a follower that just received entries has
+   already reset its election timer; its heartbeat can be skipped. *)
+let heartbeat_suppressed t ctx peer ~interval =
+  t.config.Config.suppress_heartbeats_under_load
+  && Des.Time.diff ctx.now
+       (Progress.last_append_sent_at (progress_of t peer))
+     < interval
+
+(* Section IV-E extension 2: the single-timer interval is the minimum h
+   across all follower paths. *)
+let consolidated_interval t =
+  List.fold_left
+    (fun acc peer ->
+      Des.Time.min_span acc (Dynatune.Leader_path.interval (path t peer)))
+    (Config.heartbeat_interval_base t.config)
+    t.peers
+
+let broadcast_interval t =
+  match t.config.Config.tuning with
+  | Config.Static -> t.config.Config.heartbeat_interval
+  | Config.Dynatune _ | Config.Fix_k _ -> consolidated_interval t
+
+(* ReadIndex (linearizable reads): a read registered at commit index C is
+   servable once (a) a quorum has echoed a heartbeat *sent at or after
+   registration* — proving the node was still leader when the read
+   arrived — and (b) the state machine has applied at least C.  Only
+   heartbeat responses qualify: their echoed timestamp dates the
+   evidence (etcd's ReadIndex heartbeat round). *)
+let note_read_confirmation t ctx ~from ~sent_at =
+  if t.pending_reads <> [] then begin
+    List.iter
+      (fun r ->
+        if sent_at >= r.registered_at then
+          r.confirmations <- Node_id.Set.add from r.confirmations)
+      t.pending_reads;
+    let ready, waiting =
+      List.partition
+        (fun r ->
+          1 + Node_id.Set.cardinal r.confirmations >= t.quorum
+          && t.commit_index >= r.read_index)
+        t.pending_reads
+    in
+    t.pending_reads <- waiting;
+    List.iter
+      (fun r ->
+        emit ctx
+          (Serve_read
+             { client_id = r.r_client; seq = r.r_seq; read_index = r.read_index }))
+      ready
+  end
+
+let maybe_take_snapshot t ctx =
+  let threshold = t.config.Config.snapshot_threshold in
+  if
+    threshold > 0
+    && t.commit_index - Log.snapshot_index t.log >= threshold
+  then emit ctx (Take_snapshot { upto = t.commit_index })
+
+(* Advance the leader commit index to the highest N with a quorum of
+   match indices >= N and log term N = current term. *)
+let maybe_advance_commit t ctx =
+  let matches =
+    Log.last_index t.log
+    :: List.map (fun p -> Progress.match_index (progress_of t p)) t.peers
+  in
+  let sorted = List.sort (fun a b -> compare b a) matches in
+  (* The quorum-th largest match index is replicated on a majority. *)
+  let candidate = List.nth sorted (t.quorum - 1) in
+  if
+    candidate > t.commit_index
+    && Log.term_at t.log candidate = Some t.term
+  then begin
+    let newly =
+      Log.slice t.log ~from:(t.commit_index + 1)
+        ~max:(candidate - t.commit_index)
+    in
+    t.commit_index <- candidate;
+    emit ctx (Commit newly);
+    maybe_take_snapshot t ctx
+  end
+
+let follower_advance_commit t ctx ~leader_commit =
+  let target = Stdlib.min leader_commit (Log.last_index t.log) in
+  if target > t.commit_index then begin
+    let newly =
+      Log.slice t.log ~from:(t.commit_index + 1) ~max:(target - t.commit_index)
+    in
+    t.commit_index <- target;
+    emit ctx (Commit newly);
+    maybe_take_snapshot t ctx
+  end
+
+(* {2 Leadership} *)
+
+let arm_leader_heartbeats t ctx ~immediately =
+  match t.config.Config.tuning with
+  | Config.Static ->
+      let after = if immediately then 0 else t.config.Config.heartbeat_interval in
+      emit ctx (Arm_broadcast after)
+  | Config.Dynatune _ | Config.Fix_k _ ->
+      if t.config.Config.consolidated_timer then
+        let after = if immediately then 0 else broadcast_interval t in
+        emit ctx (Arm_broadcast after)
+      else
+        List.iter
+          (fun peer ->
+            (* Stagger the initial phase of each per-peer timer uniformly
+               over one interval: real schedulers drift the n−1 timers
+               apart, and the resulting independent heartbeat phases
+               spread follower expiries after a leader failure (fewer
+               simultaneous candidacies, hence fewer split votes). *)
+            let after =
+              if immediately then 0
+              else
+                let interval = Dynatune.Leader_path.interval (path t peer) in
+                1 + Stats.Rng.int t.rng (Stdlib.max 1 interval)
+            in
+            emit ctx (Arm_heartbeat { peer; after }))
+          t.peers
+
+let become_leader t ctx =
+  t.leader <- Some t.id;
+  t.quorum_acks <- Node_id.Set.empty;
+  emit ctx Disarm_election;
+  if t.config.Config.check_quorum then
+    emit ctx (Arm_quorum_check (Config.election_timeout_base t.config));
+  Node_id.Table.reset t.progress;
+  Node_id.Table.iter (fun _ p -> Dynatune.Leader_path.reset p) t.paths;
+  List.iter (fun peer -> ignore (progress_of t peer : Progress.t)) t.peers;
+  ignore (Log.append_new t.log ~term:t.term Log.Noop : Log.entry);
+  set_role t ctx Types.Leader;
+  List.iter (fun peer -> send_append t ctx peer) t.peers;
+  arm_leader_heartbeats t ctx ~immediately:false;
+  (* A single-server cluster commits by itself. *)
+  maybe_advance_commit t ctx
+
+(* {2 Elections} *)
+
+let broadcast_vote_request t ctx ~pre ~force =
+  let req =
+    Rpc.Vote_request
+      {
+        term = (if pre then t.term + 1 else t.term);
+        last_log_index = Log.last_index t.log;
+        last_log_term = Log.last_term t.log;
+        pre_vote = pre;
+        force;
+      }
+  in
+  List.iter
+    (fun peer ->
+      emit ctx (Send { dst = peer; kind = Netsim.Transport.Reliable; msg = req }))
+    t.peers
+
+let rec campaign t ctx ~pre ~force =
+  t.votes <- Node_id.Set.singleton t.id;
+  if pre then begin
+    set_role t ctx Types.Pre_candidate;
+    if Node_id.Set.cardinal t.votes >= t.quorum then
+      campaign t ctx ~pre:false ~force
+    else begin
+      broadcast_vote_request t ctx ~pre:true ~force;
+      arm_election t ctx
+    end
+  end
+  else begin
+    t.term <- t.term + 1;
+    t.voted_for <- Some t.id;
+    t.force_campaign <- force;
+    set_role t ctx Types.Candidate;
+    emit ctx (Probe (Probe.Election_started { id = t.id; term = t.term }));
+    if Node_id.Set.cardinal t.votes >= t.quorum then become_leader t ctx
+    else begin
+      broadcast_vote_request t ctx ~pre:false ~force;
+      arm_election t ctx
+    end
+  end
+
+let on_election_timeout t ctx =
+  match t.role with
+  | Types.Leader -> ()
+  | Types.Follower | Types.Pre_candidate | Types.Candidate ->
+      emit ctx
+        (Probe
+           (Probe.Timeout_expired
+              { id = t.id; term = t.term; randomized = t.randomized }));
+      (* Fall back to the default parameters: discard measurements
+         (Section III-B).  The lease is gone: we no longer trust the
+         leader. *)
+      t.leader <- None;
+      reset_tuner t ctx;
+      campaign t ctx ~pre:t.config.Config.pre_vote ~force:false
+
+(* {2 Leader contact (heartbeats / appends)} *)
+
+let note_leader_contact t ctx ~now ~from ~term =
+  t.last_leader_contact <- now;
+  let new_leader = t.leader <> Some from in
+  (match t.role with
+  | Types.Pre_candidate ->
+      emit ctx (Probe (Probe.Pre_vote_aborted { id = t.id; term = t.term }))
+  | Types.Follower | Types.Candidate | Types.Leader -> ());
+  if term > t.term || not (Types.equal_role t.role Types.Follower) then
+    become_follower t ctx ~term ~leader:(Some from)
+  else begin
+    t.leader <- Some from;
+    arm_election t ctx
+  end;
+  (* A change of leader starts measurement from scratch (Step 0 with the
+     new leader). *)
+  if new_leader then reset_tuner t ctx
+
+(* {2 Message handlers} *)
+
+let on_vote_request t ctx ~now ~from (req : Rpc.vote_request) =
+  let log_ok =
+    Log.up_to_date t.log ~last_index:req.last_log_index
+      ~last_term:req.last_log_term
+  in
+  (* etcd's CheckQuorum lease: campaigns are ignored while we have heard
+     from a leader within the (base, un-randomized) election timeout. *)
+  let lease_active =
+    (not req.force)
+    && t.config.Config.leader_stickiness
+    && t.leader <> None
+    && Des.Time.diff now t.last_leader_contact < election_timeout_now t
+  in
+  if req.pre_vote then begin
+    let granted = req.term > t.term && log_ok && not lease_active in
+    let term = if granted then req.term else t.term in
+    emit ctx
+      (Send
+         {
+           dst = from;
+           kind = Netsim.Transport.Reliable;
+           msg = Rpc.Vote_response { term; granted; pre_vote = true };
+         })
+  end
+  else if req.term < t.term then
+    emit ctx
+      (Send
+         {
+           dst = from;
+           kind = Netsim.Transport.Reliable;
+           msg = Rpc.Vote_response { term = t.term; granted = false; pre_vote = false };
+         })
+  else if lease_active && req.term > t.term then
+    (* Within the lease we ignore higher-term campaigns entirely (etcd's
+       CheckQuorum behaviour): do not adopt the term, reject. *)
+    emit ctx
+      (Send
+         {
+           dst = from;
+           kind = Netsim.Transport.Reliable;
+           msg = Rpc.Vote_response { term = t.term; granted = false; pre_vote = false };
+         })
+  else begin
+    if req.term > t.term then become_follower t ctx ~term:req.term ~leader:None;
+    let can_vote =
+      match t.voted_for with
+      | None -> true
+      | Some v -> Node_id.equal v from
+    in
+    let granted = can_vote && log_ok in
+    if granted then begin
+      t.voted_for <- Some from;
+      arm_election t ctx
+    end;
+    emit ctx
+      (Send
+         {
+           dst = from;
+           kind = Netsim.Transport.Reliable;
+           msg =
+             Rpc.Vote_response { term = t.term; granted; pre_vote = false };
+         })
+  end
+
+let on_vote_response t ctx ~from (resp : Rpc.vote_response) =
+  if resp.term > t.term && not resp.granted then
+    become_follower t ctx ~term:resp.term ~leader:None
+  else
+    match (t.role, resp.pre_vote) with
+    | Types.Pre_candidate, true
+      when resp.granted && resp.term = t.term + 1 ->
+        t.votes <- Node_id.Set.add from t.votes;
+        if Node_id.Set.cardinal t.votes >= t.quorum then
+          campaign t ctx ~pre:false ~force:t.force_campaign
+    | Types.Candidate, false when resp.granted && resp.term = t.term ->
+        t.votes <- Node_id.Set.add from t.votes;
+        if Node_id.Set.cardinal t.votes >= t.quorum then become_leader t ctx
+    | _ -> ()
+
+let on_append_request t ctx ~now ~from (req : Rpc.append_request) =
+  if req.term < t.term then
+    emit ctx
+      (Send
+         {
+           dst = from;
+           kind = Netsim.Transport.Reliable;
+           msg =
+             Rpc.Append_response
+               {
+                 term = t.term;
+                 success = false;
+                 match_index = 0;
+                 conflict_hint = 0;
+               };
+         })
+  else begin
+    note_leader_contact t ctx ~now ~from ~term:req.term;
+    let response =
+      match
+        Log.try_append t.log ~prev_index:req.prev_index
+          ~prev_term:req.prev_term ~entries:req.entries
+      with
+      | `Ok covered ->
+          follower_advance_commit t ctx ~leader_commit:req.commit;
+          Rpc.Append_response
+            {
+              term = t.term;
+              success = true;
+              match_index = covered;
+              conflict_hint = 0;
+            }
+      | `Conflict hint ->
+          Rpc.Append_response
+            {
+              term = t.term;
+              success = false;
+              match_index = 0;
+              conflict_hint = hint;
+            }
+    in
+    emit ctx
+      (Send { dst = from; kind = Netsim.Transport.Reliable; msg = response })
+  end
+
+let on_append_response t ctx ~now ~from (resp : Rpc.append_response) =
+  if resp.term > t.term then become_follower t ctx ~term:resp.term ~leader:None
+  else if Types.is_leader t.role && resp.term = t.term then begin
+    t.quorum_acks <- Node_id.Set.add from t.quorum_acks;
+    let pr = progress_of t from in
+    Progress.note_response pr ~at:now;
+    if resp.success then begin
+      Progress.record_success pr ~upto:resp.match_index;
+      maybe_advance_commit t ctx;
+      if Progress.needs_entries pr ~last_index:(Log.last_index t.log) then
+        send_append t ctx from
+    end
+    else begin
+      Progress.record_conflict pr ~hint:resp.conflict_hint;
+      send_append t ctx from
+    end
+  end
+
+let on_heartbeat t ctx ~now ~from (hb : Rpc.heartbeat) =
+  if hb.term < t.term then
+    emit ctx
+      (Send
+         {
+           dst = from;
+           kind = t.config.Config.heartbeat_transport;
+           msg =
+             Rpc.Heartbeat_response
+               {
+                 term = t.term;
+                 echo =
+                   {
+                     hb_id = hb.meta.Dynatune.Leader_path.hb_id;
+                     echo_sent_at = hb.meta.Dynatune.Leader_path.sent_at;
+                     tuned_h = None;
+                   };
+               };
+         })
+  else begin
+    (* Leader contact: abort any pre-campaign, adopt the term/leader,
+       and — if the leader changed — restart measurement (Step 0). *)
+    (match t.role with
+    | Types.Pre_candidate ->
+        emit ctx (Probe (Probe.Pre_vote_aborted { id = t.id; term = t.term }))
+    | Types.Follower | Types.Candidate | Types.Leader -> ());
+    let new_leader = t.leader <> Some from in
+    t.last_leader_contact <- now;
+    if hb.term > t.term || not (Types.equal_role t.role Types.Follower) then
+      become_follower t ctx ~term:hb.term ~leader:(Some from)
+    else t.leader <- Some from;
+    if new_leader then reset_tuner t ctx;
+    (* Record the measurement sample before re-arming so the timer uses
+       the freshest tuned Et. *)
+    (match t.tuner with
+    | Some tuner ->
+        Dynatune.Tuner.observe_heartbeat tuner
+          ~hb_id:hb.meta.Dynatune.Leader_path.hb_id
+          ~rtt:hb.meta.Dynatune.Leader_path.measured_rtt
+    | None -> ());
+    follower_advance_commit t ctx ~leader_commit:hb.commit;
+    emit ctx
+      (Send
+         {
+           dst = from;
+           kind = t.config.Config.heartbeat_transport;
+           msg =
+             Rpc.Heartbeat_response
+               {
+                 term = t.term;
+                 echo =
+                   {
+                     hb_id = hb.meta.Dynatune.Leader_path.hb_id;
+                     echo_sent_at = hb.meta.Dynatune.Leader_path.sent_at;
+                     tuned_h = piggyback_h t;
+                   };
+               };
+         });
+    arm_election t ctx
+  end
+
+let on_heartbeat_response t ctx ~now ~from (resp : Rpc.heartbeat_response) =
+  if resp.term > t.term then become_follower t ctx ~term:resp.term ~leader:None
+  else if Types.is_leader t.role && resp.term = t.term then begin
+    t.quorum_acks <- Node_id.Set.add from t.quorum_acks;
+    note_read_confirmation t ctx ~from ~sent_at:resp.echo.echo_sent_at;
+    Dynatune.Leader_path.on_response (path t from) ~now
+      ~echo_sent_at:resp.echo.echo_sent_at ~tuned_h:resp.echo.tuned_h;
+    (* Heartbeat responses double as replication nudges.  A follower can
+       be behind in two ways: entries never handed to the transport
+       ([needs_entries]), or entries sent optimistically while it was
+       unreachable and silently dropped — detected as a stale response
+       clock, in which case [next] is rewound to just past its match. *)
+    let pr = progress_of t from in
+    let last_index = Log.last_index t.log in
+    if Progress.needs_entries pr ~last_index then send_append t ctx from
+    else if
+      Progress.match_index pr < last_index
+      && Des.Time.diff now (Progress.last_response_at pr)
+         > Config.election_timeout_base t.config
+    then begin
+      Progress.record_conflict pr ~hint:(Progress.match_index pr + 1);
+      Progress.note_response pr ~at:now;
+      send_append t ctx from
+    end
+  end
+
+let on_install_snapshot t ctx ~now ~from (snap : Rpc.install_snapshot) =
+  if snap.term < t.term then
+    emit ctx
+      (Send
+         {
+           dst = from;
+           kind = Netsim.Transport.Reliable;
+           msg =
+             Rpc.Install_snapshot_response
+               { term = t.term; match_index = 0 };
+         })
+  else begin
+    note_leader_contact t ctx ~now ~from ~term:snap.term;
+    if snap.last_index > t.commit_index then begin
+      Log.install_snapshot t.log ~index:snap.last_index ~term:snap.last_term;
+      t.commit_index <- snap.last_index;
+      t.snapshot_data <- Some snap.data;
+      emit ctx (Install_sm { data = snap.data; last_index = snap.last_index })
+    end;
+    emit ctx
+      (Send
+         {
+           dst = from;
+           kind = Netsim.Transport.Reliable;
+           msg =
+             Rpc.Install_snapshot_response
+               { term = t.term; match_index = t.commit_index };
+         })
+  end
+
+let on_install_snapshot_response t ctx ~now ~from
+    (resp : Rpc.install_snapshot_response) =
+  if resp.term > t.term then become_follower t ctx ~term:resp.term ~leader:None
+  else if Types.is_leader t.role && resp.term = t.term then begin
+    t.quorum_acks <- Node_id.Set.add from t.quorum_acks;
+    let pr = progress_of t from in
+    Progress.note_response pr ~at:now;
+    Progress.record_success pr ~upto:resp.match_index;
+    maybe_advance_commit t ctx;
+    if Progress.needs_entries pr ~last_index:(Log.last_index t.log) then
+      send_append t ctx from
+  end
+
+let on_timeout_now t ctx ~term =
+  (* Leadership transfer: campaign immediately, bypassing the pre-vote
+     and the voters' leases (etcd's campaignTransfer). *)
+  if term >= t.term && not (Types.is_leader t.role) then
+    campaign t ctx ~pre:false ~force:true
+
+(* {2 Host-facing API} *)
+
+let start t =
+  let ctx = { acts = []; now = Des.Time.zero } in
+  arm_election t ctx;
+  finish ctx
+
+let handle t ~now event =
+  let ctx = { acts = []; now } in
+  (match event with
+  | Message { from; msg } -> (
+      match msg with
+      | Rpc.Vote_request req -> on_vote_request t ctx ~now ~from req
+      | Rpc.Vote_response resp -> on_vote_response t ctx ~from resp
+      | Rpc.Append_request req -> on_append_request t ctx ~now ~from req
+      | Rpc.Append_response resp -> on_append_response t ctx ~now ~from resp
+      | Rpc.Heartbeat hb -> on_heartbeat t ctx ~now ~from hb
+      | Rpc.Heartbeat_response resp -> on_heartbeat_response t ctx ~now ~from resp
+      | Rpc.Install_snapshot snap -> on_install_snapshot t ctx ~now ~from snap
+      | Rpc.Install_snapshot_response resp ->
+          on_install_snapshot_response t ctx ~now ~from resp
+      | Rpc.Timeout_now { term } -> on_timeout_now t ctx ~term)
+  | Election_timeout_fired -> on_election_timeout t ctx
+  | Heartbeat_due peer ->
+      if Types.is_leader t.role then begin
+        let interval = Dynatune.Leader_path.interval (path t peer) in
+        if not (heartbeat_suppressed t ctx peer ~interval) then
+          send_heartbeat t ctx ~now peer;
+        emit ctx (Arm_heartbeat { peer; after = interval })
+      end
+  | Broadcast_due ->
+      if Types.is_leader t.role then begin
+        let interval = broadcast_interval t in
+        List.iter
+          (fun peer ->
+            if not (heartbeat_suppressed t ctx peer ~interval) then
+              send_heartbeat t ctx ~now peer)
+          t.peers;
+        emit ctx (Arm_broadcast interval)
+      end
+  | Quorum_check_due ->
+      if Types.is_leader t.role && t.config.Config.check_quorum then begin
+        if 1 + Node_id.Set.cardinal t.quorum_acks >= t.quorum then begin
+          t.quorum_acks <- Node_id.Set.empty;
+          emit ctx (Arm_quorum_check (Config.election_timeout_base t.config))
+        end
+        else
+          (* No quorum heard from within an election timeout: the leader
+             abdicates (etcd CheckQuorum). *)
+          become_follower t ctx ~term:t.term ~leader:None
+      end
+  | Flush_due ->
+      t.flush_requested <- false;
+      if Types.is_leader t.role then
+        List.iter
+          (fun peer ->
+            let pr = progress_of t peer in
+            if Progress.needs_entries pr ~last_index:(Log.last_index t.log)
+            then send_append t ctx peer)
+          t.peers
+  | Propose { payload; client_id; seq } ->
+      if Types.is_leader t.role then begin
+        ignore
+          (Log.append_new t.log ~term:t.term
+             (Log.Data { payload; client_id; seq })
+            : Log.entry);
+        if not t.flush_requested then begin
+          t.flush_requested <- true;
+          emit ctx Request_flush
+        end;
+        (* A single-server cluster commits immediately. *)
+        if t.peers = [] then maybe_advance_commit t ctx
+      end
+      else emit ctx (Reject_proposal { client_id; seq })
+  | Read { client_id; seq } ->
+      if Types.is_leader t.role then
+        if t.peers = [] then
+          (* Single-server cluster: trivially confirmed. *)
+          emit ctx
+            (Serve_read { client_id; seq; read_index = t.commit_index })
+        else begin
+          t.pending_reads <-
+            {
+              r_client = client_id;
+              r_seq = seq;
+              read_index = t.commit_index;
+              registered_at = now;
+              confirmations = Node_id.Set.empty;
+            }
+            :: t.pending_reads;
+          (* Kick off the confirmation round immediately rather than
+             waiting for the next scheduled heartbeat (as etcd does). *)
+          List.iter (fun peer -> send_heartbeat t ctx ~now peer) t.peers
+        end
+      else emit ctx (Reject_proposal { client_id; seq })
+  | Transfer_leadership target ->
+      if
+        Types.is_leader t.role
+        && List.exists (Node_id.equal target) t.peers
+      then
+        emit ctx
+          (Send
+             {
+               dst = target;
+               kind = Netsim.Transport.Reliable;
+               msg = Rpc.Timeout_now { term = t.term };
+             })
+  | Snapshot_ready { upto; data } ->
+      if upto <= t.commit_index && upto > Log.snapshot_index t.log then begin
+        Log.compact t.log ~upto;
+        t.snapshot_data <- Some data
+      end
+  | Restarted ->
+      if Types.is_leader t.role then begin
+        arm_leader_heartbeats t ctx ~immediately:true;
+        t.quorum_acks <- Node_id.Set.empty;
+        if t.config.Config.check_quorum then
+          emit ctx (Arm_quorum_check (Config.election_timeout_base t.config))
+      end
+      else begin
+        t.leader <- None;
+        arm_election t ctx
+      end);
+  finish ctx

@@ -1,0 +1,128 @@
+(** The Raft protocol state machine for one server.
+
+    Written transition-style: {!handle} consumes one event and returns the
+    list of {!action}s the host must carry out (messages to send, timers to
+    arm, entries to apply).  The server never touches the network or the
+    clock directly — the DES binding ({!Node}) and the unit tests are both
+    hosts.  The only ambient effect is the server's private PRNG stream,
+    used to randomize election timeouts.
+
+    Protocol surface implemented: leader election with randomized
+    timeouts ([randomizedTimeout ∈ \[Et, 2·Et)], as etcd draws them),
+    etcd-style pre-vote with leader-stickiness lease, log replication with
+    conflict back-off, commit/apply tracking, and the Dynatune tuning
+    loop of Section III (measurement metadata on heartbeats, follower-side
+    [Et]/[h] derivation, piggybacked [h], reset-to-defaults fallback). *)
+
+type event =
+  | Message of { from : Netsim.Node_id.t; msg : Rpc.message }
+  | Election_timeout_fired
+  | Heartbeat_due of Netsim.Node_id.t
+      (** per-follower heartbeat timer (tuned modes) *)
+  | Broadcast_due  (** the single heartbeat timer of static mode *)
+  | Quorum_check_due
+      (** periodic CheckQuorum evaluation on the leader *)
+  | Flush_due  (** replication batch flush *)
+  | Propose of { payload : string; client_id : int; seq : int }
+  | Read of { client_id : int; seq : int }
+      (** linearizable read request (ReadIndex protocol) *)
+  | Transfer_leadership of Netsim.Node_id.t
+      (** hand leadership to a peer (etcd's MoveLeader) *)
+  | Snapshot_ready of { upto : Types.index; data : string }
+      (** the host captured the state machine in response to
+          [Take_snapshot]; the log can now be compacted *)
+  | Restarted  (** the host came back from a pause *)
+
+type action =
+  | Send of {
+      dst : Netsim.Node_id.t;
+      kind : Netsim.Transport.kind;
+      msg : Rpc.message;
+    }
+  | Arm_election of Des.Time.span
+      (** (re)arm the election timer with this randomized span *)
+  | Disarm_election
+  | Arm_heartbeat of { peer : Netsim.Node_id.t; after : Des.Time.span }
+  | Arm_broadcast of Des.Time.span
+  | Arm_quorum_check of Des.Time.span
+  | Disarm_heartbeats
+  | Request_flush
+      (** ask the host to deliver [Flush_due] shortly (batching) *)
+  | Commit of Log.entry list
+      (** newly committed entries, in order, to apply to the SM *)
+  | Take_snapshot of { upto : Types.index }
+      (** capture the state machine (which reflects exactly the entries
+          up to [upto]) and reply with [Snapshot_ready] *)
+  | Install_sm of { data : string; last_index : Types.index }
+      (** replace the state machine with a received snapshot *)
+  | Serve_read of { client_id : int; seq : int; read_index : Types.index }
+      (** the registered read is linearizable now: leadership was
+          confirmed by a quorum and the state machine covers
+          [read_index] *)
+  | Reject_proposal of { client_id : int; seq : int }
+  | Probe of Probe.t
+
+type t
+
+type persistent = {
+  term : Types.term;
+  voted_for : Netsim.Node_id.t option;
+  entries : Log.entry list;
+  snapshot : (Types.index * Types.term * string) option;
+      (** compaction boundary and the state-machine snapshot at it *)
+}
+(** What Raft requires on stable storage: current term, vote, the log
+    and the latest snapshot.  Everything else (role, commit index,
+    measurement windows) is volatile and rebuilt after a crash. *)
+
+val create :
+  ?restore:persistent ->
+  id:Netsim.Node_id.t ->
+  peers:Netsim.Node_id.t list ->
+  config:Config.t ->
+  rng:Stats.Rng.t ->
+  unit ->
+  t
+(** A fresh follower at term 0, or — with [restore] — a follower
+    recovering from a crash with its persisted state reloaded.  [peers]
+    excludes [id].  Raises [Invalid_argument] on an invalid
+    configuration. *)
+
+val persisted : t -> persistent
+(** Snapshot of the server's durable state (what a WAL would hold). *)
+
+val start : t -> action list
+(** Initial actions (arms the election timer). *)
+
+val handle : t -> now:Des.Time.t -> event -> action list
+
+(** {2 Introspection} *)
+
+val id : t -> Netsim.Node_id.t
+val role : t -> Types.role
+val term : t -> Types.term
+val leader : t -> Netsim.Node_id.t option
+(** The leader this server currently believes in ([None] after its own
+    timeout — this is also the stickiness lease). *)
+
+val commit_index : t -> Types.index
+val log : t -> Log.t
+val config : t -> Config.t
+
+val randomized_timeout : t -> Des.Time.span
+(** The most recently drawn randomizedTimeout (the quantity Fig 6
+    samples). *)
+
+val election_timeout_now : t -> Des.Time.span
+(** The current base [Et] (tuned when warmed up, default otherwise). *)
+
+val tuner : t -> Dynatune.Tuner.t option
+(** The follower-side tuner, when a tuned mode is configured. *)
+
+val heartbeat_interval_to : t -> Netsim.Node_id.t -> Des.Time.span option
+(** Leader only: the interval currently applied toward a follower (the
+    quantity Fig 7a plots). *)
+
+val tuning_active : t -> bool
+(** Whether measurement/tuning work is being performed (for cost
+    accounting). *)

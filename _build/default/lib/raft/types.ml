@@ -1,0 +1,13 @@
+type term = int [@@deriving show, eq]
+type index = int [@@deriving show, eq]
+
+type role = Follower | Pre_candidate | Candidate | Leader
+[@@deriving show, eq]
+
+let is_leader = function Leader -> true | Follower | Pre_candidate | Candidate -> false
+
+let role_name = function
+  | Follower -> "follower"
+  | Pre_candidate -> "pre-candidate"
+  | Candidate -> "candidate"
+  | Leader -> "leader"

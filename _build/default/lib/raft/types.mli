@@ -1,0 +1,19 @@
+(** Core Raft vocabulary: terms, log indices, roles. *)
+
+type term = int [@@deriving show, eq]
+(** Monotonically increasing election epoch; 0 before any election. *)
+
+type index = int [@@deriving show, eq]
+(** Log position, 1-based; 0 denotes the empty log sentinel. *)
+
+type role =
+  | Follower
+  | Pre_candidate
+      (** Running a pre-vote (etcd-style): soliciting promises without
+          disturbing the current term. *)
+  | Candidate
+  | Leader
+[@@deriving show, eq]
+
+val is_leader : role -> bool
+val role_name : role -> string

@@ -1,0 +1,1 @@
+lib/scenarios/ablation.ml: Des Dynatune Float Format Harness List Netsim Option Raft Report Stats Stdlib

@@ -1,0 +1,1 @@
+lib/scenarios/ablation.mli: Des Format

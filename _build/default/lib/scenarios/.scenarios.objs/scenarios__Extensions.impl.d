@@ -1,0 +1,1 @@
+lib/scenarios/extensions.ml: Des Fig4 Fig5 Format Harness List Netsim Raft Report Stats

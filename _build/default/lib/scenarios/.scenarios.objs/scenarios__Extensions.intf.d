@@ -1,0 +1,1 @@
+lib/scenarios/extensions.mli: Des Format Raft

@@ -1,0 +1,1 @@
+lib/scenarios/fig4.ml: Des Harness List Netsim Printf Raft Report Stats

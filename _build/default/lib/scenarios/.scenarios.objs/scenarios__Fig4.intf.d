@@ -1,0 +1,1 @@
+lib/scenarios/fig4.mli: Des Format Raft Stats

@@ -1,0 +1,1 @@
+lib/scenarios/fig5.ml: Des Format Harness Kvsm List Netsim Printf Raft Report

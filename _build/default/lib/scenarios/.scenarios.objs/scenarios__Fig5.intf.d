@@ -1,0 +1,1 @@
+lib/scenarios/fig5.mli: Des Format Kvsm Raft

@@ -1,0 +1,1 @@
+lib/scenarios/fig6.ml: Des Harness List Netsim Printf Raft Report Stats

@@ -1,0 +1,1 @@
+lib/scenarios/fig6.mli: Des Format Raft

@@ -1,0 +1,1 @@
+lib/scenarios/fig7.ml: Des Harness List Netsim Printf Raft Report Stats Stdlib

@@ -1,0 +1,1 @@
+lib/scenarios/fig7.mli: Des Format Raft

@@ -1,0 +1,1 @@
+lib/scenarios/fig8.ml: Des Fig4 Geo Harness List Printf Raft Report Stats

@@ -1,0 +1,1 @@
+lib/scenarios/fig8.mli: Fig4 Format Raft

@@ -1,0 +1,1 @@
+lib/scenarios/geo.ml: Harness List Netsim

@@ -1,0 +1,1 @@
+lib/scenarios/geo.mli: Harness Netsim

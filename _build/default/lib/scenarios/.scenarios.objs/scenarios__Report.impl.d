@@ -1,0 +1,1 @@
+lib/scenarios/report.ml: Des Float Format List Printf Stats String

@@ -1,0 +1,1 @@
+lib/scenarios/report.mli: Des Format Stats

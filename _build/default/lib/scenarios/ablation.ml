@@ -1,0 +1,402 @@
+module Cluster = Harness.Cluster
+module Fault = Harness.Fault
+module Monitor = Harness.Monitor
+
+type safety_row = {
+  s : float;
+  detection_mean_ms : float;
+  ots_mean_ms : float;
+  et_mean_ms : float;
+  false_timeouts : int;
+}
+
+let dynatune_with f = Raft.Config.dynatune ~cfg:(f Dynatune.Config.default) ()
+
+let count_expiries cluster ~from ~until =
+  let n = ref 0 in
+  Des.Mtrace.iter (Cluster.trace cluster) ~f:(fun time probe ->
+      if time > from && time <= until then
+        match probe with
+        | Raft.Probe.Timeout_expired _ -> incr n
+        | Raft.Probe.Role_change _ | Raft.Probe.Pre_vote_aborted _
+        | Raft.Probe.Tuner_reset _ | Raft.Probe.Election_started _
+        | Raft.Probe.Node_paused _ | Raft.Probe.Node_resumed _ ->
+            ());
+  !n
+
+(* Mean of a per-second-sampled quantity over a window, ignoring NaNs
+   (samples taken while warming / leaderless are excluded). *)
+let sampled_mean cluster ~duration ~read =
+  let w = Stats.Welford.create () in
+  let engine = Cluster.engine cluster in
+  let stop_at = Des.Time.add (Des.Engine.now engine) duration in
+  let rec arm () =
+    ignore
+      (Des.Engine.schedule_after engine (Des.Time.sec 1) (fun () ->
+           let v = read cluster in
+           if not (Float.is_nan v) then Stats.Welford.add w v;
+           if Des.Engine.now engine < stop_at then arm ())
+        : Des.Engine.handle)
+  in
+  arm ();
+  Des.Engine.run_until engine stop_at;
+  if Stats.Welford.count w = 0 then nan else Stats.Welford.mean w
+
+(* Mean tuned Et across followers whose tuner has left Step 0; NaN when
+   none is tuned right now. *)
+let tuned_follower_et cluster =
+  let leader = Option.map Raft.Node.id (Cluster.leader cluster) in
+  let ets =
+    List.filter_map
+      (fun id ->
+        let skip =
+          match leader with
+          | Some l -> Netsim.Node_id.equal l id
+          | None -> false
+        in
+        if skip then None
+        else
+          match
+            Raft.Server.tuner (Raft.Node.server (Cluster.node cluster id))
+          with
+          | Some tuner when Dynatune.Tuner.phase tuner = Dynatune.Tuner.Tuned
+            ->
+              Some (Des.Time.to_ms_f (Dynatune.Tuner.election_timeout tuner))
+          | Some _ | None -> None)
+      (Cluster.node_ids cluster)
+  in
+  match ets with
+  | [] -> nan
+  | _ -> List.fold_left ( +. ) 0. ets /. float_of_int (List.length ets)
+
+let safety_factor_sweep ?(seed = 31L) ?(values = [ 0.; 1.; 2.; 3.; 4. ])
+    ?(failures = 100) ?(quiet = Des.Time.sec 120) ?(jitter = 0.15) () =
+  List.map
+    (fun s ->
+      let config =
+        dynatune_with (fun cfg -> { cfg with Dynatune.Config.safety_factor = s })
+      in
+      let conditions =
+        Netsim.Conditions.(constant (profile ~rtt_ms:100. ~jitter ()))
+      in
+      let cluster = Cluster.create ~seed ~n:5 ~config ~conditions () in
+      Cluster.start cluster;
+      (match Cluster.await_leader cluster ~timeout:(Des.Time.sec 30) with
+      | Some _ -> ()
+      | None -> failwith "ablation: initial election failed");
+      Cluster.run_for cluster (Des.Time.sec 30);
+      (* Quiet period: sample the tuned Et and count false detections
+         under jitter. *)
+      Des.Mtrace.clear (Cluster.trace cluster);
+      let from = Cluster.now cluster in
+      let et_mean_ms =
+        sampled_mean cluster ~duration:quiet ~read:tuned_follower_et
+      in
+      let false_timeouts =
+        count_expiries cluster ~from ~until:(Cluster.now cluster)
+      in
+      (* Failure campaign. *)
+      let det = ref [] and ots = ref [] in
+      let measured = ref 0 and attempts = ref 0 in
+      while !measured < failures && !attempts < 2 * failures do
+        incr attempts;
+        match Fault.fail_and_measure cluster () with
+        | Error _ -> Cluster.run_for cluster (Des.Time.sec 5)
+        | Ok o ->
+            incr measured;
+            det := o.Fault.detection_ms :: !det;
+            ots := o.Fault.ots_ms :: !ots
+      done;
+      {
+        s;
+        detection_mean_ms = Stats.Summary.(mean (of_list !det));
+        ots_mean_ms = Stats.Summary.(mean (of_list !ots));
+        et_mean_ms;
+        false_timeouts;
+      })
+    values
+
+type arrival_row = {
+  x : float;
+  k : int;
+  h_ms : float;
+  heartbeat_rate_hz : float;
+  false_timeouts : int;
+}
+
+let arrival_probability_sweep ?(seed = 37L)
+    ?(values = [ 0.9; 0.99; 0.999; 0.9999 ]) ?(loss = 0.10)
+    ?(quiet = Des.Time.sec 120) () =
+  List.map
+    (fun x ->
+      let config =
+        dynatune_with (fun cfg ->
+            { cfg with Dynatune.Config.arrival_probability = x })
+      in
+      let conditions =
+        Netsim.Conditions.(
+          constant (profile ~rtt_ms:200. ~jitter:0.02 ~loss ()))
+      in
+      let cluster = Cluster.create ~seed ~n:5 ~config ~conditions () in
+      Cluster.start cluster;
+      (match Cluster.await_leader cluster ~timeout:(Des.Time.sec 30) with
+      | Some _ -> ()
+      | None -> failwith "ablation: initial election failed");
+      Cluster.run_for cluster (Des.Time.sec 60);
+      Des.Mtrace.clear (Cluster.trace cluster);
+      let from = Cluster.now cluster in
+      (* Sample the h the leader actually applies toward one follower
+         over the quiet period (warming dips excluded as NaN). *)
+      let follower =
+        List.find
+          (fun id ->
+            match Cluster.leader cluster with
+            | Some l -> not (Netsim.Node_id.equal (Raft.Node.id l) id)
+            | None -> true)
+          (Cluster.node_ids cluster)
+      in
+      let h_ms =
+        sampled_mean cluster ~duration:quiet ~read:(fun c ->
+            Monitor.leader_h_ms c ~follower)
+      in
+      let false_timeouts =
+        count_expiries cluster ~from ~until:(Cluster.now cluster)
+      in
+      let k = Dynatune.Tuner.required_heartbeats_for ~p:loss ~x in
+      {
+        x;
+        k;
+        h_ms;
+        heartbeat_rate_hz = (if h_ms > 0. then 1000. /. h_ms else nan);
+        false_timeouts;
+      })
+    values
+
+type list_size_row = {
+  min_list_size : int;
+  warmup_ms : float;
+  adaptation_ms : float;
+}
+
+let list_size_sweep ?(seed = 41L) ?(values = [ 5; 20; 50; 100 ]) () =
+  List.map
+    (fun min_list_size ->
+      let config =
+        dynatune_with (fun cfg ->
+            {
+              cfg with
+              Dynatune.Config.min_list_size;
+              max_list_size = Stdlib.max min_list_size cfg.Dynatune.Config.max_list_size;
+            })
+      in
+      let step_at = Des.Time.sec 120 in
+      let conditions =
+        Netsim.Conditions.piecewise
+          [
+            (Des.Time.zero, Netsim.Conditions.profile ~rtt_ms:50. ~jitter:0.02 ());
+            (step_at, Netsim.Conditions.profile ~rtt_ms:150. ~jitter:0.02 ());
+          ]
+      in
+      let cluster = Cluster.create ~seed ~n:5 ~config ~conditions () in
+      Cluster.start cluster;
+      let elected =
+        match Cluster.await_leader cluster ~timeout:(Des.Time.sec 30) with
+        | Some _ -> Cluster.now cluster
+        | None -> failwith "ablation: initial election failed"
+      in
+      (* Warm-up duration: run until every follower's tuner is Tuned. *)
+      let followers () =
+        List.filter
+          (fun id ->
+            match Cluster.leader cluster with
+            | Some l -> not (Netsim.Node_id.equal (Raft.Node.id l) id)
+            | None -> true)
+          (Cluster.node_ids cluster)
+      in
+      let all_tuned () =
+        List.for_all
+          (fun id ->
+            match Raft.Server.tuner (Raft.Node.server (Cluster.node cluster id)) with
+            | Some t -> Dynatune.Tuner.phase t = Dynatune.Tuner.Tuned
+            | None -> false)
+          (followers ())
+      in
+      let rec wait_tuned limit =
+        if all_tuned () then Cluster.now cluster
+        else if Cluster.now cluster >= limit then Cluster.now cluster
+        else begin
+          Cluster.run_for cluster (Des.Time.ms 100);
+          wait_tuned limit
+        end
+      in
+      let tuned_at = wait_tuned (Des.Time.sec 110) in
+      let warmup_ms = Des.Time.to_ms_f (Des.Time.diff tuned_at elected) in
+      (* Adaptation: run to the RTT step, then wait until every follower
+         has re-tuned (left Step 0 again — the step typically trips timers
+         and falls back to defaults) and the majority randomized timeout
+         accommodates the new RTT. *)
+      Des.Engine.run_until (Cluster.engine cluster) step_at;
+      let rec wait_adapted limit =
+        if all_tuned () && Monitor.majority_randomized_ms cluster >= 150.
+        then Cluster.now cluster
+        else if Cluster.now cluster >= limit then Cluster.now cluster
+        else begin
+          Cluster.run_for cluster (Des.Time.ms 100);
+          wait_adapted limit
+        end
+      in
+      let adapted_at = wait_adapted (Des.Time.add step_at (Des.Time.sec 120)) in
+      {
+        min_list_size;
+        warmup_ms;
+        adaptation_ms = Des.Time.to_ms_f (Des.Time.diff adapted_at step_at);
+      })
+    values
+
+type estimator_row = {
+  estimator : string;
+  et_steady_ms : float;
+  et_jitter_ms : float;
+  adaptation_up_ms : float;
+  false_timeouts : int;
+  detection_mean_ms : float;
+}
+
+let estimator_sweep ?(seed = 47L) ?(failures = 40) () =
+  let backends =
+    [
+      ("window", Dynatune.Config.Sliding_window);
+      ("ewma-1/8", Dynatune.Config.Ewma 0.125);
+      ("ewma-1/4", Dynatune.Config.Ewma 0.25);
+      ("ewma-1/2", Dynatune.Config.Ewma 0.5);
+    ]
+  in
+  List.map
+    (fun (name, rtt_estimator) ->
+      let config =
+        dynatune_with (fun cfg -> { cfg with Dynatune.Config.rtt_estimator })
+      in
+      let step_at = Des.Time.sec 150 in
+      let conditions =
+        Netsim.Conditions.piecewise
+          [
+            ( Des.Time.zero,
+              Netsim.Conditions.profile ~rtt_ms:50. ~jitter:0.1 () );
+            (step_at, Netsim.Conditions.profile ~rtt_ms:150. ~jitter:0.1 ());
+          ]
+      in
+      let cluster = Cluster.create ~seed ~n:5 ~config ~conditions () in
+      Cluster.start cluster;
+      (match Cluster.await_leader cluster ~timeout:(Des.Time.sec 30) with
+      | Some _ -> ()
+      | None -> failwith "ablation: initial election failed");
+      Cluster.run_for cluster (Des.Time.sec 30);
+      (* Steady jittery period: Et level, Et stability, false trips. *)
+      Des.Mtrace.clear (Cluster.trace cluster);
+      let from = Cluster.now cluster in
+      let et = Stats.Welford.create () in
+      let engine = Cluster.engine cluster in
+      let stop_at = Des.Time.add from (Des.Time.sec 100) in
+      let rec arm () =
+        ignore
+          (Des.Engine.schedule_after engine (Des.Time.sec 1) (fun () ->
+               let v = tuned_follower_et cluster in
+               if not (Float.is_nan v) then Stats.Welford.add et v;
+               if Des.Engine.now engine < stop_at then arm ())
+            : Des.Engine.handle)
+      in
+      arm ();
+      Des.Engine.run_until engine stop_at;
+      let false_timeouts =
+        count_expiries cluster ~from ~until:(Cluster.now cluster)
+      in
+      (* Adaptation to the RTT step. *)
+      Des.Engine.run_until engine step_at;
+      let all_tuned_and_adapted () =
+        Monitor.majority_randomized_ms cluster >= 150.
+        && List.for_all
+             (fun id ->
+               match
+                 Raft.Server.tuner
+                   (Raft.Node.server (Cluster.node cluster id))
+               with
+               | Some t -> Dynatune.Tuner.phase t = Dynatune.Tuner.Tuned
+               | None -> false)
+             (List.filter
+                (fun id ->
+                  match Cluster.leader cluster with
+                  | Some l -> not (Netsim.Node_id.equal (Raft.Node.id l) id)
+                  | None -> true)
+                (Cluster.node_ids cluster))
+      in
+      let rec wait_adapted limit =
+        if all_tuned_and_adapted () then Cluster.now cluster
+        else if Cluster.now cluster >= limit then Cluster.now cluster
+        else begin
+          Cluster.run_for cluster (Des.Time.ms 100);
+          wait_adapted limit
+        end
+      in
+      let adapted_at =
+        wait_adapted (Des.Time.add step_at (Des.Time.sec 120))
+      in
+      (* Small failover campaign at the new level. *)
+      Cluster.run_for cluster (Des.Time.sec 10);
+      let det = ref [] in
+      let measured = ref 0 and attempts = ref 0 in
+      while !measured < failures && !attempts < 2 * failures do
+        incr attempts;
+        match Fault.fail_and_measure cluster () with
+        | Error _ -> Cluster.run_for cluster (Des.Time.sec 5)
+        | Ok o ->
+            incr measured;
+            det := o.Fault.detection_ms :: !det
+      done;
+      {
+        estimator = name;
+        et_steady_ms = Stats.Welford.mean et;
+        et_jitter_ms = Stats.Welford.std et;
+        adaptation_up_ms =
+          Des.Time.to_ms_f (Des.Time.diff adapted_at step_at);
+        false_timeouts;
+        detection_mean_ms = Stats.Summary.(mean (of_list !det));
+      })
+    backends
+
+let print ppf (safety, arrival, sizes, estimators) =
+  Report.banner ppf "Ablations: Dynatune runtime parameters";
+  Report.subhead ppf
+    "safety factor s (RTT 100ms, jitter 15%; detection vs false triggers)";
+  Format.fprintf ppf "  %6s %12s %12s %12s %16s@." "s" "Et(ms)" "detect(ms)"
+    "ots(ms)" "false timeouts";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "  %6.1f %12.1f %12.1f %12.1f %16d@." r.s
+        r.et_mean_ms r.detection_mean_ms r.ots_mean_ms r.false_timeouts)
+    safety;
+  Report.subhead ppf
+    "arrival probability x (RTT 200ms, loss 10%; heartbeat cost vs safety)";
+  Format.fprintf ppf "  %8s %4s %10s %12s %16s@." "x" "K" "h(ms)" "hb rate/s"
+    "false timeouts";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "  %8.4f %4d %10.1f %12.1f %16d@." r.x r.k r.h_ms
+        r.heartbeat_rate_hz r.false_timeouts)
+    arrival;
+  Report.subhead ppf "minListSize (warm-up and adaptation lag)";
+  Format.fprintf ppf "  %8s %14s %16s@." "size" "warmup(ms)" "adaptation(ms)";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "  %8d %14.0f %16.0f@." r.min_list_size r.warmup_ms
+        r.adaptation_ms)
+    sizes;
+  Report.subhead ppf
+    "RTT estimator backend (window vs EWMA; RTT 50ms jitter 10%, step to 150ms)";
+  Format.fprintf ppf "  %10s %12s %12s %14s %8s %12s@." "backend" "Et(ms)"
+    "Et std(ms)" "adapt(ms)" "false" "detect(ms)";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "  %10s %12.1f %12.1f %14.0f %8d %12.1f@."
+        r.estimator r.et_steady_ms r.et_jitter_ms r.adaptation_up_ms
+        r.false_timeouts r.detection_mean_ms)
+    estimators

@@ -1,0 +1,106 @@
+module Cluster = Harness.Cluster
+module Fault = Harness.Fault
+
+type result = {
+  mode : string;
+  failures : int;
+  detection : Stats.Summary.t;
+  majority_detection : Stats.Summary.t;
+  ots : Stats.Summary.t;
+  election : Stats.Summary.t;
+  randomized : Stats.Summary.t;
+  rounds : Stats.Summary.t;
+  split_vote_rate : float;
+}
+
+let run ?(seed = 42L) ?(n = 5) ?(failures = 1000) ?(rtt_ms = 100.)
+    ?(jitter = 0.02) ?(warmup = Des.Time.sec 30) ~config () =
+  let conditions =
+    Netsim.Conditions.(constant (profile ~rtt_ms ~jitter ()))
+  in
+  let cluster = Cluster.create ~seed ~n ~config ~conditions () in
+  Cluster.start cluster;
+  (match Cluster.await_leader cluster ~timeout:(Des.Time.sec 30) with
+  | Some _ -> ()
+  | None -> failwith "fig4: initial election failed");
+  Cluster.run_for cluster warmup;
+  let detection = ref [] in
+  let majority = ref [] in
+  let ots = ref [] in
+  let election = ref [] in
+  let randomized = ref [] in
+  let rounds = ref [] in
+  let splits = ref 0 in
+  let measured = ref 0 in
+  let attempts = ref 0 in
+  while !measured < failures && !attempts < 2 * failures do
+    incr attempts;
+    match Fault.fail_and_measure cluster () with
+    | Error _ ->
+        (* Give the cluster a chance to re-stabilise before retrying. *)
+        Cluster.run_for cluster (Des.Time.sec 5)
+    | Ok o ->
+        incr measured;
+        detection := o.Fault.detection_ms :: !detection;
+        majority := o.Fault.majority_detection_ms :: !majority;
+        ots := o.Fault.ots_ms :: !ots;
+        election := (o.Fault.ots_ms -. o.Fault.detection_ms) :: !election;
+        randomized := o.Fault.randomized_at_detection_ms :: !randomized;
+        rounds := float_of_int o.Fault.election_rounds :: !rounds;
+        if o.Fault.election_rounds > 1 then incr splits
+  done;
+  {
+    mode = Raft.Config.mode_name config;
+    failures = !measured;
+    detection = Stats.Summary.of_list !detection;
+    majority_detection = Stats.Summary.of_list !majority;
+    ots = Stats.Summary.of_list !ots;
+    election = Stats.Summary.of_list !election;
+    randomized = Stats.Summary.of_list !randomized;
+    rounds = Stats.Summary.of_list !rounds;
+    split_vote_rate =
+      (if !measured = 0 then 0. else float_of_int !splits /. float_of_int !measured);
+  }
+
+let compare_modes ?(failures = 1000) ?(seed = 42L) () =
+  [
+    run ~seed ~failures ~config:(Raft.Config.static ()) ();
+    run ~seed ~failures ~config:(Raft.Config.dynatune ()) ();
+  ]
+
+let print ppf results =
+  Report.banner ppf
+    "Fig 4: detection & OTS time CDFs (5 servers, RTT 100ms, p=0)";
+  List.iter
+    (fun r ->
+      Report.subhead ppf (r.mode ^ " (" ^ string_of_int r.failures ^ " leader failures)");
+      Report.summary_row ppf ~label:"detect" r.detection;
+      Report.summary_row ppf ~label:"majority" r.majority_detection;
+      Report.summary_row ppf ~label:"ots" r.ots;
+      Report.summary_row ppf ~label:"election" r.election;
+      Report.summary_row ppf ~label:"randTO" r.randomized;
+      Report.kv ppf "split-vote rate"
+        (Printf.sprintf "%.1f%% (mean %.2f rounds)" (100. *. r.split_vote_rate)
+           (Stats.Summary.mean r.rounds)))
+    results;
+  (match results with
+  | [ raft; dynatune ] when raft.mode <> dynatune.mode ->
+      Report.subhead ppf "paper comparison (means)";
+      let reduction field =
+        let a = Stats.Summary.mean (field raft)
+        and b = Stats.Summary.mean (field dynatune) in
+        Printf.sprintf "%.0fms -> %.0fms (%.0f%% reduction; paper: 1205 -> 237 = 80%% / 1449 -> 797 = 45%%)"
+          a b
+          (100. *. (1. -. (b /. a)))
+      in
+      Report.kv ppf "detection" (reduction (fun r -> r.detection));
+      Report.kv ppf "ots" (reduction (fun r -> r.ots))
+  | _ -> ());
+  Report.subhead ppf "detection CDF (ms)";
+  Report.cdf_table ppf ~label:"prob"
+    ~series:(List.map (fun r -> (r.mode, r.detection)) results)
+    ~points:10;
+  Report.subhead ppf "OTS CDF (ms)";
+  Report.cdf_table ppf ~label:"prob"
+    ~series:(List.map (fun r -> (r.mode, r.ots)) results)
+    ~points:10

@@ -1,0 +1,39 @@
+(** Figure 4 — election performance under stable conditions.
+
+    The Section IV-B1 campaign: a 5-server cluster on 100 ms RTT lossless
+    links; the leader is killed repeatedly and the failure-detection and
+    out-of-service (OTS) times are measured for default Raft and for
+    Dynatune.  Also produces the Section IV-E decomposition (election time
+    = OTS − detection; split-vote rate). *)
+
+type result = {
+  mode : string;
+  failures : int;  (** measured failovers *)
+  detection : Stats.Summary.t;  (** ms *)
+  majority_detection : Stats.Summary.t;  (** ms; (f+1)-th expiry *)
+  ots : Stats.Summary.t;  (** ms *)
+  election : Stats.Summary.t;  (** ms; OTS − detection *)
+  randomized : Stats.Summary.t;  (** ms; randomizedTimeout at detection *)
+  rounds : Stats.Summary.t;  (** real campaigns per failover *)
+  split_vote_rate : float;  (** fraction of failovers needing > 1 round *)
+}
+
+val run :
+  ?seed:int64 ->
+  ?n:int ->
+  ?failures:int ->
+  ?rtt_ms:float ->
+  ?jitter:float ->
+  ?warmup:Des.Time.span ->
+  config:Raft.Config.t ->
+  unit ->
+  result
+(** Defaults match the paper: [n = 5], [rtt_ms = 100.], no injected loss,
+    small residual jitter (0.02 — a physical link is never exactly
+    noiseless, and the tuner needs a non-degenerate σ), 30 s warm-up.
+    [failures] defaults to 1000 as in the paper. *)
+
+val compare_modes : ?failures:int -> ?seed:int64 -> unit -> result list
+(** The paper's comparison: default Raft vs Dynatune. *)
+
+val print : Format.formatter -> result list -> unit

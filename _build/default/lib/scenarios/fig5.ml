@@ -1,0 +1,72 @@
+module Cluster = Harness.Cluster
+
+type result = {
+  mode : string;
+  levels : Kvsm.Workload.level_report list;
+  peak_rps : float;
+  saturation_rps : float option;
+}
+
+let default_rates =
+  List.init 17 (fun i -> float_of_int ((i + 1) * 1000))
+
+let run ?(seed = 7L) ?(n = 5) ?(cores = 4.) ?(rates = default_rates)
+    ?(hold = Des.Time.sec 10) ?(rtt_ms = 100.) ~config () =
+  let conditions =
+    Netsim.Conditions.(constant (profile ~rtt_ms ~jitter:0.05 ()))
+  in
+  let cluster =
+    Cluster.create ~seed ~costs:Raft.Cost_model.etcd_like ~cores ~n ~config
+      ~conditions ()
+  in
+  Cluster.start cluster;
+  (match Cluster.await_leader cluster ~timeout:(Des.Time.sec 30) with
+  | Some _ -> ()
+  | None -> failwith "fig5: initial election failed");
+  (* Let tuned modes finish warming before offering load. *)
+  Cluster.run_for cluster (Des.Time.sec 10);
+  let target = Cluster.submit_target cluster in
+  let levels =
+    Kvsm.Workload.run_ramp ~engine:(Cluster.engine cluster) ~target ~rates
+      ~hold
+      ~client_rtt:(Des.Time.of_ms_f rtt_ms)
+      ()
+  in
+  {
+    mode = Raft.Config.mode_name config;
+    levels;
+    peak_rps = Kvsm.Workload.peak_throughput levels;
+    saturation_rps = Kvsm.Workload.saturation_rate levels;
+  }
+
+let compare_modes ?(seed = 7L) ?rates ?hold () =
+  [
+    run ~seed ?rates ?hold ~config:(Raft.Config.static ()) ();
+    run ~seed ?rates ?hold ~config:(Raft.Config.dynatune ()) ();
+  ]
+
+let print ppf results =
+  Report.banner ppf "Fig 5: throughput & latency vs offered load";
+  List.iter
+    (fun r ->
+      Report.subhead ppf r.mode;
+      List.iter
+        (fun level ->
+          Format.fprintf ppf "  %a@." Kvsm.Workload.pp_report level)
+        r.levels;
+      Report.kv ppf "peak throughput"
+        (Printf.sprintf "%.0f req/s" r.peak_rps);
+      Report.kv ppf "saturation offered rate"
+        (match r.saturation_rps with
+        | Some v -> Printf.sprintf "%.0f req/s" v
+        | None -> "not reached"))
+    results;
+  match results with
+  | [ raft; dynatune ] when raft.mode <> dynatune.mode ->
+      Report.subhead ppf "paper comparison";
+      Report.kv ppf "peak throughput"
+        (Printf.sprintf
+           "%.0f -> %.0f req/s (%.1f%% lower; paper: 13678 -> 12800 = 6.4%% lower)"
+           raft.peak_rps dynatune.peak_rps
+           (100. *. (1. -. (dynatune.peak_rps /. raft.peak_rps))))
+  | _ -> ()

@@ -1,0 +1,33 @@
+(** Figure 5 — peak throughput and latency without failures.
+
+    The Section IV-B2 open-loop RPS ramp with the CPU cost model active:
+    Dynatune pays measurement/tuning overhead per heartbeat plus n−1
+    heartbeat timers, which shows up as a slightly lower peak throughput
+    than default Raft (the paper measures −6.4%). *)
+
+type result = {
+  mode : string;
+  levels : Kvsm.Workload.level_report list;
+  peak_rps : float;
+  saturation_rps : float option;
+}
+
+val run :
+  ?seed:int64 ->
+  ?n:int ->
+  ?cores:float ->
+  ?rates:float list ->
+  ?hold:Des.Time.span ->
+  ?rtt_ms:float ->
+  config:Raft.Config.t ->
+  unit ->
+  result
+(** Defaults: 5 servers with 4 cores each (the paper's container
+    allocation), RTT 10 ms LAN-like links, +1000 rps levels up to 17k,
+    10 s per level. *)
+
+val compare_modes :
+  ?seed:int64 -> ?rates:float list -> ?hold:Des.Time.span -> unit ->
+  result list
+
+val print : Format.formatter -> result list -> unit

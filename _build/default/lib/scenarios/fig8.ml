@@ -1,0 +1,83 @@
+module Cluster = Harness.Cluster
+module Fault = Harness.Fault
+
+let run ?(seed = 23L) ?(failures = 300) ?jitter ?loss ~config () =
+  let cluster = Cluster.create ~seed ~n:5 ~config () in
+  Geo.apply cluster ?jitter ?loss ();
+  Cluster.start cluster;
+  (match Cluster.await_leader cluster ~timeout:(Des.Time.sec 60) with
+  | Some _ -> ()
+  | None -> failwith "fig8: initial election failed");
+  Cluster.run_for cluster (Des.Time.sec 30);
+  let detection = ref [] and majority = ref [] and ots = ref [] in
+  let election = ref [] and randomized = ref [] and rounds = ref [] in
+  let splits = ref 0 and measured = ref 0 and attempts = ref 0 in
+  while !measured < failures && !attempts < 2 * failures do
+    incr attempts;
+    match Fault.fail_and_measure cluster () with
+    | Error _ -> Cluster.run_for cluster (Des.Time.sec 5)
+    | Ok o ->
+        incr measured;
+        detection := o.Fault.detection_ms :: !detection;
+        majority := o.Fault.majority_detection_ms :: !majority;
+        ots := o.Fault.ots_ms :: !ots;
+        election := (o.Fault.ots_ms -. o.Fault.detection_ms) :: !election;
+        randomized := o.Fault.randomized_at_detection_ms :: !randomized;
+        rounds := float_of_int o.Fault.election_rounds :: !rounds;
+        if o.Fault.election_rounds > 1 then incr splits
+  done;
+  {
+    Fig4.mode = Raft.Config.mode_name config;
+    failures = !measured;
+    detection = Stats.Summary.of_list !detection;
+    majority_detection = Stats.Summary.of_list !majority;
+    ots = Stats.Summary.of_list !ots;
+    election = Stats.Summary.of_list !election;
+    randomized = Stats.Summary.of_list !randomized;
+    rounds = Stats.Summary.of_list !rounds;
+    split_vote_rate =
+      (if !measured = 0 then 0.
+       else float_of_int !splits /. float_of_int !measured);
+  }
+
+let compare_modes ?(failures = 300) ?(seed = 23L) () =
+  [
+    run ~seed ~failures ~config:(Raft.Config.static ()) ();
+    run ~seed ~failures ~config:(Raft.Config.dynatune ()) ();
+  ]
+
+let print ppf results =
+  Report.banner ppf
+    "Fig 8: detection & OTS CDFs on the 5-region geo WAN (AWS analogue)";
+  List.iter
+    (fun (r : Fig4.result) ->
+      Report.subhead ppf
+        (r.Fig4.mode ^ " (" ^ string_of_int r.Fig4.failures ^ " leader failures)");
+      Report.summary_row ppf ~label:"detect" r.Fig4.detection;
+      Report.summary_row ppf ~label:"ots" r.Fig4.ots;
+      Report.summary_row ppf ~label:"randTO" r.Fig4.randomized)
+    results;
+  (match results with
+  | [ raft; dynatune ] when raft.Fig4.mode <> dynatune.Fig4.mode ->
+      Report.subhead ppf "paper comparison (means)";
+      let reduction field paper =
+        let a = Stats.Summary.mean (field raft)
+        and b = Stats.Summary.mean (field dynatune) in
+        Printf.sprintf "%.0fms -> %.0fms (%.0f%% reduction; paper: %s)" a b
+          (100. *. (1. -. (b /. a)))
+          paper
+      in
+      Report.kv ppf "detection"
+        (reduction (fun (r : Fig4.result) -> r.Fig4.detection)
+           "1137 -> 213 = 81%");
+      Report.kv ppf "ots"
+        (reduction (fun (r : Fig4.result) -> r.Fig4.ots) "1718 -> 1145 = 33%")
+  | _ -> ());
+  Report.subhead ppf "detection CDF (ms)";
+  Report.cdf_table ppf ~label:"prob"
+    ~series:(List.map (fun (r : Fig4.result) -> (r.Fig4.mode, r.Fig4.detection)) results)
+    ~points:10;
+  Report.subhead ppf "OTS CDF (ms)";
+  Report.cdf_table ppf ~label:"prob"
+    ~series:(List.map (fun (r : Fig4.result) -> (r.Fig4.mode, r.Fig4.ots)) results)
+    ~points:10

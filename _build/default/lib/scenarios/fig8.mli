@@ -1,0 +1,22 @@
+(** Figure 8 — the real-distributed (geo-replicated) experiment of
+    Section IV-D: the Fig 4 failure campaign on a five-region WAN
+    (Tokyo, London, California, Sydney, São Paulo) with heterogeneous
+    RTTs, jitter and residual loss.
+
+    The paper's deployment measures times across NTP-synchronized hosts
+    (tens of ms of error); the simulation's shared clock measures them
+    exactly, so our numbers are the error-free analogue. *)
+
+val run :
+  ?seed:int64 ->
+  ?failures:int ->
+  ?jitter:float ->
+  ?loss:float ->
+  config:Raft.Config.t ->
+  unit ->
+  Fig4.result
+
+val compare_modes : ?failures:int -> ?seed:int64 -> unit -> Fig4.result list
+(** Default Raft vs Dynatune on the geo WAN. *)
+
+val print : Format.formatter -> Fig4.result list -> unit

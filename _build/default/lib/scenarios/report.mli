@@ -1,0 +1,39 @@
+(** Text rendering helpers for the benchmark harness: section banners,
+    aligned series tables, CDF tables — the textual equivalents of the
+    paper's figures. *)
+
+val banner : Format.formatter -> string -> unit
+(** A boxed section header. *)
+
+val subhead : Format.formatter -> string -> unit
+
+val kv : Format.formatter -> string -> string -> unit
+(** An aligned ["  key: value"] line. *)
+
+val summary_row : Format.formatter -> label:string -> Stats.Summary.t -> unit
+(** One labelled row of count/mean/percentiles. *)
+
+val cdf_table :
+  Format.formatter ->
+  label:string ->
+  series:(string * Stats.Summary.t) list ->
+  points:int ->
+  unit
+(** A CDF table with one column per named summary: rows are cumulative
+    probabilities, cells are the value (ms) at that probability. *)
+
+val series_table :
+  Format.formatter ->
+  time_label:string ->
+  columns:(string * (float * float) list) list ->
+  unit
+(** Aligned multi-column time series: rows keyed by the first column's
+    times (columns must share sampling instants; missing cells print
+    as [-]). *)
+
+val intervals :
+  Format.formatter -> label:string -> (Des.Time.t * Des.Time.t) list -> unit
+(** Render OTS intervals as [start–end (length)] lines. *)
+
+val float_cell : float -> string
+(** Fixed-width numeric cell; NaN renders as ["-"]. *)

@@ -1,0 +1,1 @@
+lib/stats/timeseries.ml: Array List Stdlib

@@ -1,0 +1,1 @@
+lib/stats/window.ml: Array List Stdlib

@@ -1,0 +1,46 @@
+type t = {
+  lo : float;
+  hi : float;
+  counts : int array;
+  mutable underflow : int;
+  mutable overflow : int;
+  mutable total : int;
+}
+
+let create ~lo ~hi ~bins =
+  if not (lo < hi) then invalid_arg "Histogram.create: requires lo < hi";
+  if bins <= 0 then invalid_arg "Histogram.create: bins must be positive";
+  { lo; hi; counts = Array.make bins 0; underflow = 0; overflow = 0; total = 0 }
+
+let bins t = Array.length t.counts
+
+let add t x =
+  t.total <- t.total + 1;
+  if x < t.lo then t.underflow <- t.underflow + 1
+  else if x >= t.hi then t.overflow <- t.overflow + 1
+  else
+    let w = (t.hi -. t.lo) /. float_of_int (bins t) in
+    let i = Stdlib.min (bins t - 1) (int_of_float ((x -. t.lo) /. w)) in
+    t.counts.(i) <- t.counts.(i) + 1
+
+let count t = t.total
+let bin_count t i = t.counts.(i)
+let underflow t = t.underflow
+let overflow t = t.overflow
+
+let bin_bounds t i =
+  let w = (t.hi -. t.lo) /. float_of_int (bins t) in
+  (t.lo +. (w *. float_of_int i), t.lo +. (w *. float_of_int (i + 1)))
+
+let pp ?(width = 40) ppf t =
+  let peak = Array.fold_left Stdlib.max 1 t.counts in
+  Array.iteri
+    (fun i c ->
+      if c > 0 then begin
+        let lo, hi = bin_bounds t i in
+        let bar = String.make (Stdlib.max 1 (c * width / peak)) '#' in
+        Format.fprintf ppf "[%10.2f, %10.2f) %6d %s@." lo hi c bar
+      end)
+    t.counts;
+  if t.underflow > 0 then Format.fprintf ppf "underflow: %d@." t.underflow;
+  if t.overflow > 0 then Format.fprintf ppf "overflow: %d@." t.overflow

@@ -1,0 +1,26 @@
+(** Fixed-width histograms with text rendering.
+
+    The benchmark harness renders distributions (detection time, OTS time)
+    as ASCII histograms alongside the CDF tables. *)
+
+type t
+
+val create : lo:float -> hi:float -> bins:int -> t
+(** Uniform bins over [\[lo, hi)]; out-of-range samples land in saturating
+    underflow/overflow bins.  Requires [lo < hi] and [bins > 0]. *)
+
+val add : t -> float -> unit
+val count : t -> int
+(** Total samples added, including under/overflow. *)
+
+val bin_count : t -> int -> int
+(** Samples in bin [i], [0 <= i < bins]. *)
+
+val underflow : t -> int
+val overflow : t -> int
+
+val bin_bounds : t -> int -> float * float
+(** [bin_bounds t i] is the [(lo, hi)] range of bin [i]. *)
+
+val pp : ?width:int -> Format.formatter -> t -> unit
+(** Multi-line bar rendering, one row per non-empty bin. *)

@@ -1,0 +1,65 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+(* David Stafford's Mix13 finalizer, as used by SplitMix64. *)
+let mix64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let default_seed = 0x5DEECE66DL
+
+let create ?(seed = default_seed) () = { state = mix64 seed }
+let copy t = { state = t.state }
+
+let int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+(* FNV-1a over the name, folded into the parent's current state without
+   advancing the parent. *)
+let hash_name name =
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001B3L)
+    name;
+  !h
+
+let split t name = { state = mix64 (Int64.logxor t.state (hash_name name)) }
+
+let split_int t i =
+  { state = mix64 (Int64.logxor t.state (mix64 (Int64.of_int i))) }
+
+let bits t = Int64.to_int (Int64.shift_right_logical (int64 t) 2)
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling to avoid modulo bias. *)
+  let rec draw () =
+    let r = bits t in
+    let v = r mod n in
+    if r - v > (1 lsl 62) - n then draw () else v
+  in
+  draw ()
+
+let float t =
+  (* 53 random bits scaled into [0, 1). *)
+  let r = Int64.to_int (Int64.shift_right_logical (int64 t) 11) in
+  float_of_int r *. 0x1p-53
+
+let uniform t lo hi = lo +. ((hi -. lo) *. float t)
+let bool t = Int64.logand (int64 t) 1L = 1L
+
+let bernoulli t p =
+  if p <= 0. then false else if p >= 1. then true else float t < p
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

@@ -1,0 +1,52 @@
+(** Deterministic pseudo-random number generation.
+
+    Every stochastic choice in the simulator draws from an explicit [Rng.t]
+    stream.  Streams are seeded deterministically and can be split into
+    independent named substreams, so adding a consumer of randomness in one
+    component never perturbs the draws seen by another.  The generator is
+    SplitMix64 (Steele et al., OOPSLA 2014): 64-bit state, full period,
+    passes BigCrush, and is trivially splittable. *)
+
+type t
+(** A mutable stream of pseudo-random numbers. *)
+
+val create : ?seed:int64 -> unit -> t
+(** [create ?seed ()] makes a fresh stream.  The default seed is a fixed
+    constant so that runs are reproducible unless a seed is supplied. *)
+
+val copy : t -> t
+(** [copy t] duplicates the stream state; the copy evolves independently. *)
+
+val split : t -> string -> t
+(** [split t name] derives an independent substream keyed by [name].
+    Splitting the same parent with the same name twice yields streams that
+    produce identical draws; distinct names give decorrelated streams.
+    Splitting does not advance the parent. *)
+
+val split_int : t -> int -> t
+(** [split_int t i] is [split] keyed by an integer (e.g. a node id). *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val bits : t -> int
+(** Next 62 uniformly random non-negative bits as an [int]. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [\[0, n)].  Requires [n > 0]. *)
+
+val float : t -> float
+(** [float t] is uniform in [\[0, 1)], with 53 bits of precision. *)
+
+val uniform : t -> float -> float -> float
+(** [uniform t lo hi] is uniform in [\[lo, hi)]. *)
+
+val bool : t -> bool
+(** Fair coin flip. *)
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p].  [p <= 0.] never
+    succeeds and [p >= 1.] always succeeds. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

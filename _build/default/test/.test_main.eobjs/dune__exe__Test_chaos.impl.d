@@ -1,0 +1,1 @@
+test/test_chaos.ml: Alcotest Array Des Harness Hashtbl Int64 Kvsm List Netsim Printf Raft Stats

@@ -1,0 +1,1 @@
+test/test_faults.ml: Alcotest Des Harness Kvsm List Netsim Option Printf Raft

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Des Harness List Netsim Option Printf Raft Scenarios Stats

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Des Harness Hashtbl Kvsm List Netsim Printf Raft

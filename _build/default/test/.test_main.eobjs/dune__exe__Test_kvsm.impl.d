@@ -1,0 +1,1 @@
+test/test_kvsm.ml: Alcotest Des Format Kvsm List Netsim Printf Raft String

@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Des Dynatune Format Kvsm List Netsim Raft Scenarios Stats String

@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Des List Netsim Printf Stats

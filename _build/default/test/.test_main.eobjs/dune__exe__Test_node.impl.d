@@ -1,0 +1,1 @@
+test/test_node.ml: Alcotest Des Dynatune List Netsim Option Printf Raft Stdlib

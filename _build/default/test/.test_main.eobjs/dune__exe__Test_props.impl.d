@@ -1,0 +1,1 @@
+test/test_props.ml: Des Dynatune Fun Kvsm List Netsim QCheck QCheck_alcotest Raft Stats Stdlib

@@ -1,0 +1,1 @@
+test/test_reads_transfer.ml: Alcotest Des Harness Kvsm List Netsim Option Printf Raft

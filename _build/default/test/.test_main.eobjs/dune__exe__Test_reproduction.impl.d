@@ -1,0 +1,1 @@
+test/test_reproduction.ml: Alcotest Des Float List Printf Raft Scenarios Stats

@@ -1,0 +1,1 @@
+test/test_server.ml: Alcotest Des Dynatune List Netsim Option Raft Stats Stdlib

@@ -1,0 +1,1 @@
+test/test_server_ext.ml: Alcotest Des Dynatune List Netsim Raft Stats

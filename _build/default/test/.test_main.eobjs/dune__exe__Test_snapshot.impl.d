@@ -1,0 +1,1 @@
+test/test_snapshot.ml: Alcotest Des Harness Kvsm List Netsim Printf Raft

@@ -1,0 +1,290 @@
+(* Unit tests for the discrete-event simulation kernel. *)
+
+module Time = Des.Time
+module Heap = Des.Heap
+module Engine = Des.Engine
+module Timer = Des.Timer
+module Mtrace = Des.Mtrace
+
+(* {2 Time} *)
+
+let test_time_conversions () =
+  Alcotest.(check int) "ms" 5_000_000 (Time.ms 5);
+  Alcotest.(check int) "us" 5_000 (Time.us 5);
+  Alcotest.(check int) "sec" 1_000_000_000 (Time.sec 1);
+  Alcotest.(check int) "of_ms_f rounds" 1_500_000 (Time.of_ms_f 1.5);
+  Alcotest.(check (float 1e-9)) "to_ms_f" 1.5 (Time.to_ms_f 1_500_000);
+  Alcotest.(check (float 1e-9)) "to_sec_f" 0.25 (Time.to_sec_f 250_000_000)
+
+let test_time_clamp () =
+  Alcotest.(check int) "below" 10 (Time.clamp 5 ~lo:10 ~hi:20);
+  Alcotest.(check int) "above" 20 (Time.clamp 25 ~lo:10 ~hi:20);
+  Alcotest.(check int) "inside" 15 (Time.clamp 15 ~lo:10 ~hi:20)
+
+let test_time_scale () =
+  Alcotest.(check int) "halving" (Time.ms 50) (Time.scale (Time.ms 100) 0.5)
+
+(* {2 Heap} *)
+
+let test_heap_ordering () =
+  let h = Heap.create ~cmp:compare in
+  List.iter (Heap.push h) [ 5; 1; 4; 1; 3; 9; 2 ];
+  let drained = ref [] in
+  let rec drain () =
+    match Heap.pop h with
+    | Some v ->
+        drained := v :: !drained;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "sorted output" [ 1; 1; 2; 3; 4; 5; 9 ]
+    (List.rev !drained)
+
+let test_heap_peek () =
+  let h = Heap.create ~cmp:compare in
+  Alcotest.(check (option int)) "empty peek" None (Heap.peek h);
+  Heap.push h 3;
+  Heap.push h 1;
+  Alcotest.(check (option int)) "peek min" (Some 1) (Heap.peek h);
+  Alcotest.(check int) "peek does not remove" 2 (Heap.length h)
+
+let test_heap_random_drain () =
+  let rng = Stats.Rng.create ~seed:77L () in
+  let h = Heap.create ~cmp:compare in
+  let l = List.init 1000 (fun _ -> Stats.Rng.int rng 10_000) in
+  List.iter (Heap.push h) l;
+  let expected = List.sort compare l in
+  let got = List.filter_map (fun _ -> Heap.pop h) l in
+  Alcotest.(check (list int)) "heapsort matches" expected got
+
+(* {2 Engine} *)
+
+let test_engine_ordering () =
+  let e = Engine.create () in
+  let order = ref [] in
+  let log tag () = order := tag :: !order in
+  ignore (Engine.schedule_at e (Time.ms 30) (log "c"));
+  ignore (Engine.schedule_at e (Time.ms 10) (log "a"));
+  ignore (Engine.schedule_at e (Time.ms 20) (log "b"));
+  Engine.run e;
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ]
+    (List.rev !order)
+
+let test_engine_fifo_ties () =
+  let e = Engine.create () in
+  let order = ref [] in
+  for i = 1 to 5 do
+    ignore
+      (Engine.schedule_at e (Time.ms 10) (fun () -> order := i :: !order))
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "scheduling order on ties" [ 1; 2; 3; 4; 5 ]
+    (List.rev !order)
+
+let test_engine_clock_advances () =
+  let e = Engine.create () in
+  let seen = ref Time.zero in
+  ignore (Engine.schedule_at e (Time.ms 42) (fun () -> seen := Engine.now e));
+  Engine.run e;
+  Alcotest.(check int) "clock at event time" (Time.ms 42) !seen
+
+let test_engine_cancel () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let h = Engine.schedule_at e (Time.ms 5) (fun () -> fired := true) in
+  Engine.cancel h;
+  Engine.run e;
+  Alcotest.(check bool) "cancelled event does not fire" false !fired
+
+let test_engine_run_until_boundary () =
+  let e = Engine.create () in
+  let fired = ref [] in
+  ignore (Engine.schedule_at e (Time.ms 10) (fun () -> fired := 10 :: !fired));
+  ignore (Engine.schedule_at e (Time.ms 20) (fun () -> fired := 20 :: !fired));
+  Engine.run_until e (Time.ms 15);
+  Alcotest.(check (list int)) "only events <= limit" [ 10 ] !fired;
+  Alcotest.(check int) "clock set to limit" (Time.ms 15) (Engine.now e);
+  Engine.run_until e (Time.ms 25);
+  Alcotest.(check (list int)) "rest runs later" [ 20; 10 ] !fired
+
+let test_engine_run_until_cancelled_head () =
+  (* A cancelled event at the queue head must not cause an event beyond
+     the limit to run. *)
+  let e = Engine.create () in
+  let fired = ref false in
+  let h = Engine.schedule_at e (Time.ms 5) (fun () -> ()) in
+  ignore (Engine.schedule_at e (Time.ms 50) (fun () -> fired := true));
+  Engine.cancel h;
+  Engine.run_until e (Time.ms 10);
+  Alcotest.(check bool) "beyond-limit event did not run" false !fired
+
+let test_engine_schedule_during_run () =
+  let e = Engine.create () in
+  let result = ref 0 in
+  ignore
+    (Engine.schedule_at e (Time.ms 1) (fun () ->
+         ignore
+           (Engine.schedule_after e (Time.ms 1) (fun () -> result := 42))));
+  Engine.run e;
+  Alcotest.(check int) "nested scheduling runs" 42 !result
+
+let test_engine_past_rejected () =
+  let e = Engine.create () in
+  ignore (Engine.schedule_at e (Time.ms 10) (fun () -> ()));
+  Engine.run e;
+  Alcotest.(check bool) "scheduling in the past raises" true
+    (try
+       ignore (Engine.schedule_at e (Time.ms 5) (fun () -> ()));
+       false
+     with Invalid_argument _ -> true)
+
+let test_engine_counters () =
+  let e = Engine.create () in
+  for i = 1 to 5 do
+    ignore (Engine.schedule_at e (Time.ms i) (fun () -> ()))
+  done;
+  Alcotest.(check int) "pending" 5 (Engine.pending_events e);
+  Engine.run e;
+  Alcotest.(check int) "processed" 5 (Engine.processed_events e);
+  Alcotest.(check int) "drained" 0 (Engine.pending_events e)
+
+(* {2 Timer} *)
+
+let test_timer_fires_once () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let t = Timer.create e (fun () -> incr count) in
+  Timer.arm t (Time.ms 10);
+  Engine.run e;
+  Alcotest.(check int) "fires once" 1 !count
+
+let test_timer_rearm_cancels_previous () =
+  let e = Engine.create () in
+  let fired_at = ref [] in
+  let t = ref None in
+  let timer =
+    Timer.create e (fun () -> fired_at := Engine.now e :: !fired_at)
+  in
+  t := Some timer;
+  Timer.arm timer (Time.ms 10);
+  ignore
+    (Engine.schedule_at e (Time.ms 5) (fun () -> Timer.arm timer (Time.ms 10)));
+  Engine.run e;
+  Alcotest.(check (list int)) "fires only at re-armed deadline" [ Time.ms 15 ]
+    !fired_at
+
+let test_timer_disarm () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let t = Timer.create e (fun () -> incr count) in
+  Timer.arm t (Time.ms 10);
+  Timer.disarm t;
+  Engine.run e;
+  Alcotest.(check int) "disarmed timer is silent" 0 !count;
+  Alcotest.(check bool) "not armed" false (Timer.is_armed t)
+
+let test_timer_remaining () =
+  let e = Engine.create () in
+  let t = Timer.create e (fun () -> ()) in
+  Timer.arm t (Time.ms 100);
+  ignore
+    (Engine.schedule_at e (Time.ms 40) (fun () ->
+         match Timer.remaining t with
+         | Some r -> Alcotest.(check int) "remaining" (Time.ms 60) r
+         | None -> Alcotest.fail "expected armed timer"));
+  Engine.run_until e (Time.ms 50);
+  Timer.disarm t
+
+let test_timer_armed_span_persists () =
+  let e = Engine.create () in
+  let t = Timer.create e (fun () -> ()) in
+  Timer.arm t (Time.ms 123);
+  Engine.run e;
+  Alcotest.(check (option int)) "span recorded after firing"
+    (Some (Time.ms 123)) (Timer.armed_span t)
+
+let test_timer_rearm_from_callback () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let tref = ref None in
+  let timer =
+    Timer.create e (fun () ->
+        incr count;
+        if !count < 3 then Timer.arm (Option.get !tref) (Time.ms 10))
+  in
+  tref := Some timer;
+  Timer.arm timer (Time.ms 10);
+  Engine.run e;
+  Alcotest.(check int) "periodic re-arm" 3 !count
+
+(* {2 Mtrace} *)
+
+let test_mtrace_records_time () =
+  let e = Engine.create () in
+  let trace : string Mtrace.t = Mtrace.create e in
+  ignore (Engine.schedule_at e (Time.ms 5) (fun () -> Mtrace.emit trace "a"));
+  ignore (Engine.schedule_at e (Time.ms 9) (fun () -> Mtrace.emit trace "b"));
+  Engine.run e;
+  Alcotest.(check (list (pair int string)))
+    "events with timestamps"
+    [ (Time.ms 5, "a"); (Time.ms 9, "b") ]
+    (Mtrace.events trace)
+
+let test_mtrace_find_first () =
+  let e = Engine.create () in
+  let trace : int Mtrace.t = Mtrace.create e in
+  List.iter
+    (fun (t, v) ->
+      ignore (Engine.schedule_at e t (fun () -> Mtrace.emit trace v)))
+    [ (Time.ms 1, 10); (Time.ms 2, 20); (Time.ms 3, 20) ];
+  Engine.run e;
+  Alcotest.(check (option (pair int int)))
+    "first match after cutoff"
+    (Some (Time.ms 2, 20))
+    (Mtrace.find_first trace ~after:(Time.ms 1) ~f:(fun ~a -> a = 20))
+
+let test_mtrace_subscribe () =
+  let e = Engine.create () in
+  let trace : int Mtrace.t = Mtrace.create e in
+  let seen = ref [] in
+  Mtrace.subscribe trace (fun _ v -> seen := v :: !seen);
+  ignore (Engine.schedule_at e (Time.ms 1) (fun () -> Mtrace.emit trace 1));
+  ignore (Engine.schedule_at e (Time.ms 2) (fun () -> Mtrace.emit trace 2));
+  Engine.run e;
+  Alcotest.(check (list int)) "observer sees all" [ 1; 2 ] (List.rev !seen)
+
+let tests =
+  [
+    Alcotest.test_case "time: conversions" `Quick test_time_conversions;
+    Alcotest.test_case "time: clamp" `Quick test_time_clamp;
+    Alcotest.test_case "time: scale" `Quick test_time_scale;
+    Alcotest.test_case "heap: ordering" `Quick test_heap_ordering;
+    Alcotest.test_case "heap: peek" `Quick test_heap_peek;
+    Alcotest.test_case "heap: random drain" `Quick test_heap_random_drain;
+    Alcotest.test_case "engine: time ordering" `Quick test_engine_ordering;
+    Alcotest.test_case "engine: FIFO on ties" `Quick test_engine_fifo_ties;
+    Alcotest.test_case "engine: clock advances" `Quick
+      test_engine_clock_advances;
+    Alcotest.test_case "engine: cancel" `Quick test_engine_cancel;
+    Alcotest.test_case "engine: run_until boundary" `Quick
+      test_engine_run_until_boundary;
+    Alcotest.test_case "engine: run_until with cancelled head" `Quick
+      test_engine_run_until_cancelled_head;
+    Alcotest.test_case "engine: nested scheduling" `Quick
+      test_engine_schedule_during_run;
+    Alcotest.test_case "engine: past rejected" `Quick test_engine_past_rejected;
+    Alcotest.test_case "engine: counters" `Quick test_engine_counters;
+    Alcotest.test_case "timer: fires once" `Quick test_timer_fires_once;
+    Alcotest.test_case "timer: re-arm cancels previous" `Quick
+      test_timer_rearm_cancels_previous;
+    Alcotest.test_case "timer: disarm" `Quick test_timer_disarm;
+    Alcotest.test_case "timer: remaining" `Quick test_timer_remaining;
+    Alcotest.test_case "timer: armed_span persists" `Quick
+      test_timer_armed_span_persists;
+    Alcotest.test_case "timer: re-arm from callback" `Quick
+      test_timer_rearm_from_callback;
+    Alcotest.test_case "mtrace: records time" `Quick test_mtrace_records_time;
+    Alcotest.test_case "mtrace: find_first" `Quick test_mtrace_find_first;
+    Alcotest.test_case "mtrace: subscribe" `Quick test_mtrace_subscribe;
+  ]

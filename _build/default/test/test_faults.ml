@@ -1,0 +1,274 @@
+(* Tests for the two remaining fault models: network partitions and
+   crash-recovery (volatile state lost, persistent state replayed). *)
+
+module Cluster = Harness.Cluster
+module Fault = Harness.Fault
+module Monitor = Harness.Monitor
+module Time = Des.Time
+module Node_id = Netsim.Node_id
+
+let lan () = Netsim.Conditions.(constant (profile ~rtt_ms:10. ~jitter:0.02 ()))
+
+let make ?(seed = 23L) ?(n = 5) ?(config = Raft.Config.static ()) () =
+  let c = Cluster.create ~seed ~n ~config ~conditions:(lan ()) () in
+  Cluster.start c;
+  c
+
+let leader_id c =
+  match Cluster.leader c with
+  | Some l -> Raft.Node.id l
+  | None -> Alcotest.fail "expected a leader"
+
+let put c ~seq k v ~on_result =
+  Cluster.submit_target c
+    ~payload:(Kvsm.Command.to_payload (Kvsm.Command.Put { key = k; value = v }))
+    ~client_id:1 ~seq ~on_result
+
+(* {2 Partitions} *)
+
+let test_partition_reachability () =
+  let engine = Des.Engine.create () in
+  let f : string Netsim.Fabric.t = Netsim.Fabric.create engine in
+  let ids = Node_id.range 5 in
+  List.iter (Netsim.Fabric.add_node f) ids;
+  let n i = List.nth ids i in
+  Netsim.Fabric.partition f [ [ n 0; n 1 ]; [ n 2; n 3 ] ];
+  Alcotest.(check bool) "same group" true (Netsim.Fabric.reachable f (n 0) (n 1));
+  Alcotest.(check bool) "cross group" false
+    (Netsim.Fabric.reachable f (n 0) (n 2));
+  (* n4 was not mentioned: it forms its own group. *)
+  Alcotest.(check bool) "implicit group isolated" false
+    (Netsim.Fabric.reachable f (n 4) (n 0));
+  Alcotest.(check bool) "self always reachable" true
+    (Netsim.Fabric.reachable f (n 4) (n 4));
+  Netsim.Fabric.heal_partition f;
+  Alcotest.(check bool) "healed" true (Netsim.Fabric.reachable f (n 0) (n 2))
+
+let test_partition_rejects_duplicates () =
+  let engine = Des.Engine.create () in
+  let f : string Netsim.Fabric.t = Netsim.Fabric.create engine in
+  let ids = Node_id.range 2 in
+  List.iter (Netsim.Fabric.add_node f) ids;
+  Alcotest.(check bool) "duplicate rejected" true
+    (try
+       Netsim.Fabric.partition f [ [ List.hd ids ]; [ List.hd ids ] ];
+       false
+     with Invalid_argument _ -> true)
+
+let test_minority_partition_cannot_elect () =
+  let c = make () in
+  ignore (Cluster.await_leader c ~timeout:(Time.sec 20));
+  let leader = leader_id c in
+  let followers =
+    List.filter (fun id -> not (Node_id.equal id leader)) (Cluster.node_ids c)
+  in
+  (* Leader + one follower on the minority side. *)
+  let minority = [ leader; List.hd followers ] in
+  let majority = List.tl followers in
+  Cluster.partition c [ minority; majority ];
+  Cluster.run_for c (Time.sec 15);
+  (* The majority elected a replacement. *)
+  let new_leader = leader_id c in
+  Alcotest.(check bool) "replacement on the majority side" true
+    (List.exists (Node_id.equal new_leader) majority);
+  (* The minority leader abdicated via CheckQuorum rather than serving
+     stale reads forever. *)
+  Alcotest.(check bool) "old leader stepped down" false
+    (Raft.Types.is_leader
+       (Raft.Server.role (Raft.Node.server (Cluster.node c leader))));
+  (* Nobody on the minority side claims leadership. *)
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) "minority has no leader" false
+        (Raft.Types.is_leader
+           (Raft.Server.role (Raft.Node.server (Cluster.node c id)))))
+    minority
+
+let test_partition_heals_consistently () =
+  let c = make () in
+  ignore (Cluster.await_leader c ~timeout:(Time.sec 20));
+  let leader = leader_id c in
+  let followers =
+    List.filter (fun id -> not (Node_id.equal id leader)) (Cluster.node_ids c)
+  in
+  Cluster.partition c [ [ leader; List.hd followers ]; List.tl followers ];
+  Cluster.run_for c (Time.sec 10);
+  (* Write through the new (majority) leader during the partition. *)
+  let committed = ref 0 in
+  for i = 1 to 10 do
+    (match
+       put c ~seq:i
+         (Printf.sprintf "part:%d" i)
+         "v"
+         ~on_result:(fun ~committed:ok -> if ok then incr committed)
+     with
+    | `Accepted -> ()
+    | `Not_leader _ -> ());
+    Cluster.run_for c (Time.ms 50)
+  done;
+  Cluster.run_for c (Time.sec 2);
+  Alcotest.(check int) "majority committed during partition" 10 !committed;
+  (* Heal: the minority catches up and every replica converges. *)
+  Cluster.heal_partition c;
+  Cluster.run_for c (Time.sec 10);
+  let digests =
+    List.map (fun id -> Kvsm.Store.state_digest (Cluster.store c id))
+      (Cluster.node_ids c)
+  in
+  (match digests with
+  | d :: rest -> List.iter (Alcotest.(check string) "converged" d) rest
+  | [] -> Alcotest.fail "no stores");
+  (* Exactly one leader after healing. *)
+  let leaders =
+    List.filter
+      (fun id ->
+        Raft.Types.is_leader
+          (Raft.Server.role (Raft.Node.server (Cluster.node c id))))
+      (Cluster.node_ids c)
+  in
+  Alcotest.(check int) "one leader" 1 (List.length leaders)
+
+(* {2 Crash-recovery} *)
+
+let test_crash_loses_volatile_keeps_log () =
+  let c = make () in
+  ignore (Cluster.await_leader c ~timeout:(Time.sec 20));
+  let committed = ref 0 in
+  for i = 1 to 20 do
+    (match
+       put c ~seq:i
+         (Printf.sprintf "k%d" i)
+         "v"
+         ~on_result:(fun ~committed:ok -> if ok then incr committed)
+     with
+    | `Accepted -> ()
+    | `Not_leader _ -> ());
+    Cluster.run_for c (Time.ms 30)
+  done;
+  Cluster.run_for c (Time.sec 2);
+  Alcotest.(check int) "writes committed" 20 !committed;
+  let leader = leader_id c in
+  let victim =
+    List.find (fun id -> not (Node_id.equal id leader)) (Cluster.node_ids c)
+  in
+  let log_before =
+    Raft.Log.last_index (Raft.Server.log (Raft.Node.server (Cluster.node c victim)))
+  in
+  Fault.crash_and_restart c victim ~downtime:(Time.sec 2);
+  let server = Raft.Node.server (Cluster.node c victim) in
+  (* Immediately after restart: log preserved, commit index reset. *)
+  Alcotest.(check int) "log survived the crash" log_before
+    (Raft.Log.last_index (Raft.Server.log server));
+  Alcotest.(check int) "commit index is volatile" 0
+    (Raft.Server.commit_index server);
+  Alcotest.(check int) "store rebuilt from scratch" 0
+    (Kvsm.Store.size (Cluster.store c victim));
+  (* The leader re-teaches the commit point; replay rebuilds the store. *)
+  Cluster.run_for c (Time.sec 3);
+  Alcotest.(check bool) "commit recovered" true
+    (Raft.Server.commit_index server >= log_before);
+  Alcotest.(check string) "replica converged after replay"
+    (Kvsm.Store.state_digest (Cluster.store c leader))
+    (Kvsm.Store.state_digest (Cluster.store c victim))
+
+let test_crashed_node_keeps_vote () =
+  (* Election safety across crashes: a restarted node must remember its
+     vote and refuse to vote twice in the same term. *)
+  let ids = Node_id.range 5 in
+  let engine = Des.Engine.create ~seed:3L () in
+  let fabric = Netsim.Fabric.create engine in
+  List.iter (Netsim.Fabric.add_node fabric) ids;
+  let trace = Des.Mtrace.create engine in
+  let config = Raft.Config.static () in
+  let peers = List.tl ids in
+  let node =
+    Raft.Node.create ~fabric ~trace ~id:(List.hd ids) ~peers ~config ()
+  in
+  Raft.Node.start node;
+  (* Grant a vote in term 7 to peer 1. *)
+  let dispatch msg =
+    Netsim.Fabric.send fabric Netsim.Transport.Reliable ~src:(List.nth ids 1)
+      ~dst:(List.hd ids) msg;
+    Des.Engine.run_for engine (Time.ms 1)
+  in
+  dispatch
+    (Raft.Rpc.Vote_request
+       { term = 7; last_log_index = 0; last_log_term = 0; pre_vote = false; force = false });
+  Alcotest.(check int) "term adopted" 7
+    (Raft.Server.term (Raft.Node.server node));
+  Raft.Node.crash node;
+  Des.Engine.run_for engine (Time.ms 100);
+  Raft.Node.restart node;
+  let p = Raft.Server.persisted (Raft.Node.server node) in
+  Alcotest.(check int) "term persisted" 7 p.Raft.Server.term;
+  Alcotest.(check (option int)) "vote persisted" (Some 1)
+    (Option.map Node_id.to_int p.Raft.Server.voted_for)
+
+let test_crash_rejects_pending_waiters () =
+  let c = make () in
+  ignore (Cluster.await_leader c ~timeout:(Time.sec 20));
+  let leader = leader_id c in
+  let result = ref None in
+  (match
+     put c ~seq:1 "doomed" "v" ~on_result:(fun ~committed ->
+         result := Some committed)
+   with
+  | `Accepted -> ()
+  | `Not_leader _ -> Alcotest.fail "leader refused");
+  (* Crash the leader before the request can commit. *)
+  Raft.Node.crash (Cluster.node c leader);
+  Alcotest.(check (option bool)) "waiter rejected on crash" (Some false)
+    !result;
+  Raft.Node.restart (Cluster.node c leader)
+
+let test_full_cluster_crash_recovery () =
+  (* Every node crashes (rolling); all data committed before survives. *)
+  let c = make ~config:(Raft.Config.dynatune ()) () in
+  ignore (Cluster.await_leader c ~timeout:(Time.sec 20));
+  let committed = ref 0 in
+  for i = 1 to 10 do
+    (match
+       put c ~seq:i (Printf.sprintf "stable:%d" i) "v"
+         ~on_result:(fun ~committed:ok -> if ok then incr committed)
+     with
+    | `Accepted -> ()
+    | `Not_leader _ -> ());
+    Cluster.run_for c (Time.ms 30)
+  done;
+  Cluster.run_for c (Time.sec 2);
+  Alcotest.(check int) "baseline committed" 10 !committed;
+  List.iter
+    (fun id ->
+      Fault.crash_and_restart c id ~downtime:(Time.ms 500);
+      Cluster.run_for c (Time.sec 5);
+      ignore (Cluster.await_leader c ~timeout:(Time.sec 30)))
+    (Cluster.node_ids c);
+  Cluster.run_for c (Time.sec 5);
+  (* All stores converge and contain the ten keys. *)
+  let reference = Cluster.store c (leader_id c) in
+  for i = 1 to 10 do
+    Alcotest.(check (option string))
+      (Printf.sprintf "key %d survived" i)
+      (Some "v")
+      (Kvsm.Store.find reference (Printf.sprintf "stable:%d" i))
+  done
+
+let tests =
+  [
+    Alcotest.test_case "partition: reachability" `Quick
+      test_partition_reachability;
+    Alcotest.test_case "partition: duplicate groups rejected" `Quick
+      test_partition_rejects_duplicates;
+    Alcotest.test_case "partition: minority cannot elect" `Quick
+      test_minority_partition_cannot_elect;
+    Alcotest.test_case "partition: heal converges" `Quick
+      test_partition_heals_consistently;
+    Alcotest.test_case "crash: volatile lost, log kept" `Quick
+      test_crash_loses_volatile_keeps_log;
+    Alcotest.test_case "crash: vote persists" `Quick
+      test_crashed_node_keeps_vote;
+    Alcotest.test_case "crash: waiters rejected" `Quick
+      test_crash_rejects_pending_waiters;
+    Alcotest.test_case "crash: rolling full-cluster recovery" `Slow
+      test_full_cluster_crash_recovery;
+  ]

@@ -1,0 +1,239 @@
+(* Unit tests for the KV state machine, command codec, and workload. *)
+
+module Command = Kvsm.Command
+module Store = Kvsm.Store
+
+let roundtrip cmd =
+  match Command.of_payload (Command.to_payload cmd) with
+  | Ok decoded ->
+      Alcotest.(check bool)
+        (Format.asprintf "roundtrip %a" Command.pp cmd)
+        true (Command.equal cmd decoded)
+  | Error msg -> Alcotest.failf "decode failed: %s" msg
+
+let test_codec_roundtrip () =
+  List.iter roundtrip
+    [
+      Command.Put { key = "a"; value = "b" };
+      Command.Put { key = ""; value = "" };
+      Command.Put { key = "k:with:colons"; value = "v:1:2" };
+      Command.Get "some-key";
+      Command.Delete "x";
+      Command.Cas { key = "k"; expect = Some "old"; value = "new" };
+      Command.Cas { key = "k"; expect = None; value = "init" };
+      Command.Put { key = String.make 1000 'K'; value = String.make 5000 'V' };
+    ]
+
+let test_codec_rejects_garbage () =
+  List.iter
+    (fun payload ->
+      match Command.of_payload payload with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted garbage: %S" payload)
+    [ ""; "Z"; "P"; "P9:ab"; "P2:ab"; "P2:ab3:xyztrailing"; "P-1:a1:b" ]
+
+let test_store_put_get () =
+  let s = Store.create () in
+  (match Store.apply_command s (Command.Put { key = "k"; value = "v" }) with
+  | Store.Written -> ()
+  | _ -> Alcotest.fail "expected Written");
+  Alcotest.(check (option string)) "stored" (Some "v") (Store.find s "k");
+  match Store.apply_command s (Command.Get "k") with
+  | Store.Value (Some "v") -> ()
+  | _ -> Alcotest.fail "expected the stored value"
+
+let test_store_delete () =
+  let s = Store.create () in
+  ignore (Store.apply_command s (Command.Put { key = "k"; value = "v" }));
+  (match Store.apply_command s (Command.Delete "k") with
+  | Store.Deleted true -> ()
+  | _ -> Alcotest.fail "expected Deleted true");
+  (match Store.apply_command s (Command.Delete "k") with
+  | Store.Deleted false -> ()
+  | _ -> Alcotest.fail "expected Deleted false");
+  Alcotest.(check (option string)) "gone" None (Store.find s "k")
+
+let test_store_cas () =
+  let s = Store.create () in
+  (* CAS on absent key with expect None creates it. *)
+  (match
+     Store.apply_command s (Command.Cas { key = "k"; expect = None; value = "1" })
+   with
+  | Store.Swapped true -> ()
+  | _ -> Alcotest.fail "expected create");
+  (* Wrong expectation fails and leaves state untouched. *)
+  (match
+     Store.apply_command s
+       (Command.Cas { key = "k"; expect = Some "9"; value = "2" })
+   with
+  | Store.Swapped false -> ()
+  | _ -> Alcotest.fail "expected failed swap");
+  Alcotest.(check (option string)) "unchanged" (Some "1") (Store.find s "k");
+  match
+    Store.apply_command s
+      (Command.Cas { key = "k"; expect = Some "1"; value = "2" })
+  with
+  | Store.Swapped true ->
+      Alcotest.(check (option string)) "swapped" (Some "2") (Store.find s "k")
+  | _ -> Alcotest.fail "expected successful swap"
+
+let test_store_determinism () =
+  let run () =
+    let s = Store.create () in
+    for i = 0 to 99 do
+      ignore
+        (Store.apply_command s
+           (Command.Put
+              { key = "k" ^ string_of_int (i mod 10); value = string_of_int i }))
+    done;
+    ignore (Store.apply_command s (Command.Delete "k3"));
+    Store.state_digest s
+  in
+  Alcotest.(check string) "same history, same digest" (run ()) (run ())
+
+let test_store_digest_sensitive () =
+  let s1 = Store.create () and s2 = Store.create () in
+  ignore (Store.apply_command s1 (Command.Put { key = "a"; value = "1" }));
+  ignore (Store.apply_command s2 (Command.Put { key = "a"; value = "2" }));
+  Alcotest.(check bool) "different values differ" false
+    (Store.state_digest s1 = Store.state_digest s2)
+
+let test_apply_entry () =
+  let s = Store.create () in
+  let noop = { Raft.Log.term = 1; index = 1; command = Raft.Log.Noop } in
+  Alcotest.(check bool) "noop applies to nothing" true
+    (Store.apply_entry s noop = None);
+  let put =
+    {
+      Raft.Log.term = 1;
+      index = 2;
+      command =
+        Raft.Log.Data
+          {
+            payload = Command.to_payload (Command.Put { key = "x"; value = "y" });
+            client_id = 1;
+            seq = 1;
+          };
+    }
+  in
+  (match Store.apply_entry s put with
+  | Some Store.Written -> ()
+  | _ -> Alcotest.fail "expected Written");
+  let bad =
+    {
+      Raft.Log.term = 1;
+      index = 3;
+      command = Raft.Log.Data { payload = "garbage"; client_id = 1; seq = 2 };
+    }
+  in
+  match Store.apply_entry s bad with
+  | Some (Store.Invalid _) -> ()
+  | _ -> Alcotest.fail "expected Invalid for garbage payload"
+
+(* {2 Client (driven against a fake target)} *)
+
+let test_client_open_loop_rate () =
+  let engine = Des.Engine.create ~seed:3L () in
+  let accepted = ref 0 in
+  let target ~payload:_ ~client_id:_ ~seq:_ ~on_result =
+    incr accepted;
+    (* Commit instantly. *)
+    on_result ~committed:true;
+    `Accepted
+  in
+  let client =
+    Kvsm.Client.create ~engine ~target ~client_id:1 ~rate:1000. ()
+  in
+  Kvsm.Client.start client;
+  Des.Engine.run_for engine (Des.Time.sec 10);
+  Kvsm.Client.stop client;
+  let rate = float_of_int !accepted /. 10. in
+  Alcotest.(check bool)
+    (Printf.sprintf "rate %.0f near 1000" rate)
+    true
+    (rate > 900. && rate < 1100.);
+  Alcotest.(check int) "all completed" !accepted (Kvsm.Client.completed client)
+
+let test_client_latency_measurement () =
+  let engine = Des.Engine.create ~seed:4L () in
+  let target ~payload:_ ~client_id:_ ~seq:_ ~on_result =
+    (* Commit after 30ms of simulated time. *)
+    ignore
+      (Des.Engine.schedule_after engine (Des.Time.ms 30) (fun () ->
+           on_result ~committed:true)
+        : Des.Engine.handle);
+    `Accepted
+  in
+  let client =
+    Kvsm.Client.create ~engine ~target ~client_id:1 ~rate:100.
+      ~client_rtt:(Des.Time.ms 10) ()
+  in
+  Kvsm.Client.start client;
+  Des.Engine.run_for engine (Des.Time.sec 2);
+  Kvsm.Client.stop client;
+  let lats = Kvsm.Client.latencies_ms client in
+  Alcotest.(check bool) "some completions" true (List.length lats > 50);
+  List.iter
+    (fun l ->
+      if abs_float (l -. 40.) > 0.001 then
+        Alcotest.failf "latency %.3f, expected 40ms" l)
+    lats
+
+let test_client_counts_redirects () =
+  let engine = Des.Engine.create ~seed:5L () in
+  let target ~payload:_ ~client_id:_ ~seq:_ ~on_result:_ = `Not_leader None in
+  let client = Kvsm.Client.create ~engine ~target ~client_id:1 ~rate:100. () in
+  Kvsm.Client.start client;
+  Des.Engine.run_for engine (Des.Time.sec 1);
+  Kvsm.Client.stop client;
+  Alcotest.(check int) "no completions" 0 (Kvsm.Client.completed client);
+  Alcotest.(check bool) "redirects counted" true
+    (Kvsm.Client.redirected client > 50)
+
+let test_workload_saturation_detection () =
+  (* A fake service that can commit at most 500 req/s (2ms service). *)
+  let engine = Des.Engine.create ~seed:6L () in
+  let cpu = Netsim.Cpu.create engine ~cores:1. in
+  let target ~payload:_ ~client_id:_ ~seq:_ ~on_result =
+    Netsim.Cpu.execute cpu ~cost:(Des.Time.ms 2) (fun () ->
+        on_result ~committed:true);
+    `Accepted
+  in
+  let reports =
+    Kvsm.Workload.run_ramp ~engine ~target
+      ~rates:[ 100.; 300.; 700.; 1000. ]
+      ~hold:(Des.Time.sec 5) ()
+  in
+  Alcotest.(check int) "one report per level" 4 (List.length reports);
+  let peak = Kvsm.Workload.peak_throughput reports in
+  Alcotest.(check bool)
+    (Printf.sprintf "peak %.0f capped near 500" peak)
+    true
+    (peak > 420. && peak < 560.);
+  match Kvsm.Workload.saturation_rate reports with
+  | Some rate ->
+      Alcotest.(check bool)
+        (Printf.sprintf "saturation at %.0f" rate)
+        true (rate >= 500.)
+  | None -> Alcotest.fail "expected saturation to be detected"
+
+let tests =
+  [
+    Alcotest.test_case "codec roundtrip" `Quick test_codec_roundtrip;
+    Alcotest.test_case "codec rejects garbage" `Quick test_codec_rejects_garbage;
+    Alcotest.test_case "store: put/get" `Quick test_store_put_get;
+    Alcotest.test_case "store: delete" `Quick test_store_delete;
+    Alcotest.test_case "store: cas" `Quick test_store_cas;
+    Alcotest.test_case "store: determinism" `Quick test_store_determinism;
+    Alcotest.test_case "store: digest sensitivity" `Quick
+      test_store_digest_sensitive;
+    Alcotest.test_case "store: apply_entry" `Quick test_apply_entry;
+    Alcotest.test_case "client: open-loop rate" `Quick
+      test_client_open_loop_rate;
+    Alcotest.test_case "client: latency measurement" `Quick
+      test_client_latency_measurement;
+    Alcotest.test_case "client: counts redirects" `Quick
+      test_client_counts_redirects;
+    Alcotest.test_case "workload: saturation detection" `Quick
+      test_workload_saturation_detection;
+  ]

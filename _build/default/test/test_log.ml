@@ -1,0 +1,146 @@
+(* Unit tests for the replicated log. *)
+
+module Log = Raft.Log
+
+let entry term index = { Log.term; index; command = Log.Noop }
+
+let data term index payload =
+  { Log.term; index; command = Log.Data { payload; client_id = 0; seq = index } }
+
+let test_empty_log () =
+  let l = Log.create () in
+  Alcotest.(check int) "last index" 0 (Log.last_index l);
+  Alcotest.(check int) "last term" 0 (Log.last_term l);
+  Alcotest.(check (option int)) "sentinel term" (Some 0) (Log.term_at l 0);
+  Alcotest.(check (option int)) "beyond end" None (Log.term_at l 1)
+
+let test_append_new () =
+  let l = Log.create () in
+  let e1 = Log.append_new l ~term:1 Log.Noop in
+  let e2 = Log.append_new l ~term:1 (Log.Data { payload = "x"; client_id = 1; seq = 1 }) in
+  Alcotest.(check int) "first index" 1 e1.Log.index;
+  Alcotest.(check int) "second index" 2 e2.Log.index;
+  Alcotest.(check int) "last term" 1 (Log.last_term l);
+  Alcotest.(check (option int)) "term lookup" (Some 1) (Log.term_at l 2)
+
+let test_try_append_success () =
+  let l = Log.create () in
+  (match
+     Log.try_append l ~prev_index:0 ~prev_term:0
+       ~entries:[ entry 1 1; entry 1 2 ]
+   with
+  | `Ok covered -> Alcotest.(check int) "covered" 2 covered
+  | `Conflict _ -> Alcotest.fail "append at origin must succeed");
+  Alcotest.(check int) "length" 2 (Log.last_index l)
+
+let test_try_append_missing_prev () =
+  let l = Log.create () in
+  match Log.try_append l ~prev_index:5 ~prev_term:1 ~entries:[ entry 1 6 ] with
+  | `Conflict hint -> Alcotest.(check int) "hint = log end + 1" 1 hint
+  | `Ok _ -> Alcotest.fail "must conflict when predecessor is missing"
+
+let test_try_append_term_mismatch () =
+  let l = Log.create () in
+  ignore (Log.append_new l ~term:1 Log.Noop);
+  ignore (Log.append_new l ~term:1 Log.Noop);
+  match Log.try_append l ~prev_index:2 ~prev_term:9 ~entries:[] with
+  | `Conflict hint -> Alcotest.(check int) "hint points at conflict" 2 hint
+  | `Ok _ -> Alcotest.fail "must conflict on term mismatch"
+
+let test_try_append_truncates_conflicts () =
+  let l = Log.create () in
+  ignore (Log.append_new l ~term:1 Log.Noop);
+  ignore (Log.append_new l ~term:1 (Log.Data { payload = "old"; client_id = 0; seq = 0 }));
+  ignore (Log.append_new l ~term:1 (Log.Data { payload = "old2"; client_id = 0; seq = 0 }));
+  (* New leader at term 2 overwrites index 2 onward. *)
+  (match
+     Log.try_append l ~prev_index:1 ~prev_term:1
+       ~entries:[ data 2 2 "new" ]
+   with
+  | `Ok covered -> Alcotest.(check int) "covered" 2 covered
+  | `Conflict _ -> Alcotest.fail "expected success");
+  Alcotest.(check int) "conflicting suffix dropped" 2 (Log.last_index l);
+  match Log.entry_at l 2 with
+  | Some { Log.term = 2; command = Log.Data { payload = "new"; _ }; _ } -> ()
+  | _ -> Alcotest.fail "index 2 must hold the new entry"
+
+let test_try_append_idempotent () =
+  let l = Log.create () in
+  let es = [ entry 1 1; entry 1 2; entry 1 3 ] in
+  ignore (Log.try_append l ~prev_index:0 ~prev_term:0 ~entries:es);
+  (* A duplicate append (retransmission) must not truncate or duplicate. *)
+  (match Log.try_append l ~prev_index:0 ~prev_term:0 ~entries:es with
+  | `Ok covered -> Alcotest.(check int) "covered" 3 covered
+  | `Conflict _ -> Alcotest.fail "duplicate append must succeed");
+  Alcotest.(check int) "no growth" 3 (Log.last_index l)
+
+let test_try_append_partial_overlap () =
+  let l = Log.create () in
+  ignore
+    (Log.try_append l ~prev_index:0 ~prev_term:0
+       ~entries:[ entry 1 1; entry 1 2 ]);
+  (match
+     Log.try_append l ~prev_index:1 ~prev_term:1
+       ~entries:[ entry 1 2; entry 1 3; entry 1 4 ]
+   with
+  | `Ok covered -> Alcotest.(check int) "covered" 4 covered
+  | `Conflict _ -> Alcotest.fail "overlap must succeed");
+  Alcotest.(check int) "extended" 4 (Log.last_index l)
+
+let test_heartbeat_append_empty () =
+  let l = Log.create () in
+  ignore (Log.append_new l ~term:1 Log.Noop);
+  match Log.try_append l ~prev_index:1 ~prev_term:1 ~entries:[] with
+  | `Ok covered -> Alcotest.(check int) "covered = prev" 1 covered
+  | `Conflict _ -> Alcotest.fail "empty append with matching prev succeeds"
+
+let test_slice () =
+  let l = Log.create () in
+  for _ = 1 to 5 do
+    ignore (Log.append_new l ~term:1 Log.Noop)
+  done;
+  Alcotest.(check int) "middle slice" 2
+    (List.length (Log.slice l ~from:2 ~max:2));
+  Alcotest.(check int) "tail slice clipped" 2
+    (List.length (Log.slice l ~from:4 ~max:10));
+  Alcotest.(check int) "empty beyond end" 0
+    (List.length (Log.slice l ~from:6 ~max:10));
+  let indices = List.map (fun (e : Log.entry) -> e.Log.index) (Log.slice l ~from:2 ~max:3) in
+  Alcotest.(check (list int)) "contiguous" [ 2; 3; 4 ] indices
+
+let test_up_to_date () =
+  let l = Log.create () in
+  ignore (Log.append_new l ~term:2 Log.Noop);
+  ignore (Log.append_new l ~term:3 Log.Noop);
+  (* mine: last (2, term 3) *)
+  Alcotest.(check bool) "higher term wins" true
+    (Log.up_to_date l ~last_index:1 ~last_term:4);
+  Alcotest.(check bool) "same term longer wins" true
+    (Log.up_to_date l ~last_index:3 ~last_term:3);
+  Alcotest.(check bool) "same term same length ok" true
+    (Log.up_to_date l ~last_index:2 ~last_term:3);
+  Alcotest.(check bool) "shorter same term loses" false
+    (Log.up_to_date l ~last_index:1 ~last_term:3);
+  Alcotest.(check bool) "lower term loses" false
+    (Log.up_to_date l ~last_index:10 ~last_term:2)
+
+let tests =
+  [
+    Alcotest.test_case "empty log" `Quick test_empty_log;
+    Alcotest.test_case "append_new" `Quick test_append_new;
+    Alcotest.test_case "try_append: success" `Quick test_try_append_success;
+    Alcotest.test_case "try_append: missing prev" `Quick
+      test_try_append_missing_prev;
+    Alcotest.test_case "try_append: term mismatch" `Quick
+      test_try_append_term_mismatch;
+    Alcotest.test_case "try_append: truncates conflicts" `Quick
+      test_try_append_truncates_conflicts;
+    Alcotest.test_case "try_append: idempotent" `Quick
+      test_try_append_idempotent;
+    Alcotest.test_case "try_append: partial overlap" `Quick
+      test_try_append_partial_overlap;
+    Alcotest.test_case "try_append: heartbeat (empty)" `Quick
+      test_heartbeat_append_empty;
+    Alcotest.test_case "slice" `Quick test_slice;
+    Alcotest.test_case "up_to_date voting rule" `Quick test_up_to_date;
+  ]

@@ -1,0 +1,22 @@
+let () =
+  Alcotest.run "dynatune"
+    [
+      ("stats", Test_stats.tests);
+      ("des", Test_des.tests);
+      ("netsim", Test_netsim.tests);
+      ("tuner", Test_tuner.tests);
+      ("raft-log", Test_log.tests);
+      ("raft-server", Test_server.tests);
+      ("raft-server-ext", Test_server_ext.tests);
+      ("raft-node", Test_node.tests);
+      ("kvsm", Test_kvsm.tests);
+      ("harness", Test_harness.tests);
+      ("faults", Test_faults.tests);
+      ("snapshots", Test_snapshot.tests);
+      ("reads-transfer", Test_reads_transfer.tests);
+      ("chaos", Test_chaos.tests);
+      ("reproduction", Test_reproduction.tests);
+      ("integration", Test_integration.tests);
+      ("properties", Test_props.tests);
+      ("misc", Test_misc.tests);
+    ]

@@ -1,0 +1,389 @@
+(* Property-based tests (qcheck) on the core data structures and the
+   tuning invariants. *)
+
+module Q = QCheck
+
+let to_alcotest = QCheck_alcotest.to_alcotest
+
+(* {2 Window} *)
+
+let prop_window_matches_batch =
+  Q.Test.make ~count:300 ~name:"window stats match batch recomputation"
+    Q.(pair (int_range 1 20) (list (float_range (-1000.) 1000.)))
+    (fun (capacity, samples) ->
+      let w = Stats.Window.create ~capacity in
+      List.iter (Stats.Window.push w) samples;
+      let kept = Stats.Window.to_list w in
+      let n = List.length kept in
+      (n = Stdlib.min capacity (List.length samples))
+      &&
+      if n = 0 then true
+      else
+        let mean = List.fold_left ( +. ) 0. kept /. float_of_int n in
+        let var =
+          List.fold_left (fun a x -> a +. ((x -. mean) ** 2.)) 0. kept
+          /. float_of_int n
+        in
+        abs_float (Stats.Window.mean w -. mean) < 1e-6
+        && abs_float (Stats.Window.std w -. sqrt (Stdlib.max 0. var)) < 1e-6)
+
+let prop_window_keeps_newest =
+  Q.Test.make ~count:300 ~name:"window keeps the newest samples"
+    Q.(pair (int_range 1 10) (list_of_size (Q.Gen.int_range 0 50) Q.small_nat))
+    (fun (capacity, samples) ->
+      let w = Stats.Window.create ~capacity in
+      let floats = List.map float_of_int samples in
+      List.iter (Stats.Window.push w) floats;
+      let n = List.length floats in
+      let expected =
+        if n <= capacity then floats
+        else List.filteri (fun i _ -> i >= n - capacity) floats
+      in
+      Stats.Window.to_list w = expected)
+
+(* {2 Heap} *)
+
+let prop_heap_sorts =
+  Q.Test.make ~count:300 ~name:"heap drains in sorted order"
+    Q.(list Q.small_int)
+    (fun l ->
+      let h = Des.Heap.create ~cmp:compare in
+      List.iter (Des.Heap.push h) l;
+      let drained = List.filter_map (fun _ -> Des.Heap.pop h) l in
+      drained = List.sort compare l)
+
+(* {2 Engine ordering} *)
+
+let prop_engine_orders_events =
+  Q.Test.make ~count:100 ~name:"engine runs events in timestamp order"
+    Q.(list (int_range 0 1_000_000))
+    (fun times ->
+      let e = Des.Engine.create () in
+      let fired = ref [] in
+      List.iter
+        (fun t ->
+          ignore
+            (Des.Engine.schedule_at e t (fun () -> fired := t :: !fired)))
+        times;
+      Des.Engine.run e;
+      let got = List.rev !fired in
+      List.sort compare got = got && List.length got = List.length times)
+
+(* {2 Loss estimator} *)
+
+let prop_loss_rate_bounds =
+  Q.Test.make ~count:500 ~name:"loss rate stays in [0, 1)"
+    Q.(list (int_range 0 500))
+    (fun ids ->
+      let l = Dynatune.Loss_estimator.create ~min_size:2 ~max_size:50 in
+      List.iter (fun i -> ignore (Dynatune.Loss_estimator.observe l i)) ids;
+      let p = Dynatune.Loss_estimator.loss_rate l in
+      p >= 0. && p < 1.)
+
+let prop_loss_rate_exact_on_sets =
+  Q.Test.make ~count:300 ~name:"loss rate matches the paper's formula"
+    Q.(list_of_size (Q.Gen.int_range 2 40) (int_range 0 100))
+    (fun ids ->
+      let distinct = List.sort_uniq compare ids in
+      Q.assume (List.length distinct >= 2);
+      let l = Dynatune.Loss_estimator.create ~min_size:2 ~max_size:200 in
+      List.iter (fun i -> ignore (Dynatune.Loss_estimator.observe l i)) ids;
+      let lo = List.hd distinct
+      and hi = List.nth distinct (List.length distinct - 1) in
+      let expected =
+        1.
+        -. (float_of_int (List.length distinct) /. float_of_int (hi - lo + 1))
+      in
+      abs_float (Dynatune.Loss_estimator.loss_rate l -. expected) < 1e-9)
+
+let prop_loss_observe_insensitive_to_order =
+  Q.Test.make ~count:300 ~name:"loss estimate is order-insensitive"
+    Q.(list_of_size (Q.Gen.int_range 2 30) (int_range 0 60))
+    (fun ids ->
+      let run order =
+        let l = Dynatune.Loss_estimator.create ~min_size:2 ~max_size:100 in
+        List.iter (fun i -> ignore (Dynatune.Loss_estimator.observe l i)) order;
+        Dynatune.Loss_estimator.loss_rate l
+      in
+      run ids = run (List.rev ids))
+
+(* {2 Tuner invariants} *)
+
+let tuner_cfg =
+  {
+    Dynatune.Config.default with
+    Dynatune.Config.min_list_size = 2;
+    max_list_size = 50;
+  }
+
+let prop_required_heartbeats_minimal =
+  Q.Test.make ~count:500 ~name:"K is the minimal satisfying count"
+    Q.(pair (float_range 0.01 0.95) (float_range 0.9 0.9999))
+    (fun (p, x) ->
+      let k = Dynatune.Tuner.required_heartbeats_for ~p ~x in
+      let ok n = 1. -. (p ** float_of_int n) >= x -. 1e-12 in
+      ok k && (k = 1 || not (ok (k - 1))))
+
+let prop_tuner_h_bounds =
+  Q.Test.make ~count:300 ~name:"h stays within [min_h, Et]"
+    Q.(
+      pair
+        (list_of_size (Q.Gen.int_range 2 40) (float_range 0.5 800.))
+        (list_of_size (Q.Gen.int_range 0 30) (int_range 0 100)))
+    (fun (rtts_ms, drop_ids) ->
+      let t = Dynatune.Tuner.create tuner_cfg in
+      List.iteri
+        (fun i rtt ->
+          if not (List.mem i drop_ids) then
+            Dynatune.Tuner.observe_heartbeat t ~hb_id:i
+              ~rtt:(Some (Des.Time.of_ms_f rtt)))
+        rtts_ms;
+      let h = Dynatune.Tuner.heartbeat_interval t in
+      let et = Dynatune.Tuner.election_timeout t in
+      h >= tuner_cfg.Dynatune.Config.min_heartbeat_interval && h <= et)
+
+let prop_tuner_et_bounds =
+  Q.Test.make ~count:300 ~name:"tuned Et respects its clamps"
+    Q.(list_of_size (Q.Gen.int_range 2 40) (float_range 0.0001 100000.))
+    (fun rtts_ms ->
+      let t = Dynatune.Tuner.create tuner_cfg in
+      List.iteri
+        (fun i rtt ->
+          Dynatune.Tuner.observe_heartbeat t ~hb_id:i
+            ~rtt:(Some (Des.Time.of_ms_f rtt)))
+        rtts_ms;
+      let et = Dynatune.Tuner.election_timeout t in
+      et >= tuner_cfg.Dynatune.Config.min_election_timeout
+      && et <= tuner_cfg.Dynatune.Config.max_election_timeout)
+
+let prop_tuner_reset_restores_defaults =
+  Q.Test.make ~count:200 ~name:"reset always restores the defaults"
+    Q.(list_of_size (Q.Gen.int_range 0 40) (float_range 1. 1000.))
+    (fun rtts_ms ->
+      let t = Dynatune.Tuner.create tuner_cfg in
+      List.iteri
+        (fun i rtt ->
+          Dynatune.Tuner.observe_heartbeat t ~hb_id:i
+            ~rtt:(Some (Des.Time.of_ms_f rtt)))
+        rtts_ms;
+      Dynatune.Tuner.reset t;
+      Dynatune.Tuner.phase t = Dynatune.Tuner.Warming
+      && Dynatune.Tuner.election_timeout t
+         = tuner_cfg.Dynatune.Config.default_election_timeout
+      && Dynatune.Tuner.heartbeat_interval t
+         = tuner_cfg.Dynatune.Config.default_heartbeat_interval)
+
+(* {2 Summary} *)
+
+let prop_summary_percentile_monotone =
+  Q.Test.make ~count:300 ~name:"percentile is monotone in q"
+    Q.(
+      pair
+        (list_of_size (Q.Gen.int_range 1 50) (float_range (-100.) 100.))
+        (pair (float_range 0. 100.) (float_range 0. 100.)))
+    (fun (samples, (q1, q2)) ->
+      let s = Stats.Summary.of_list samples in
+      let lo = Stdlib.min q1 q2 and hi = Stdlib.max q1 q2 in
+      Stats.Summary.percentile s lo <= Stats.Summary.percentile s hi +. 1e-9)
+
+let prop_summary_mean_within_range =
+  Q.Test.make ~count:300 ~name:"mean lies within [min, max]"
+    Q.(list_of_size (Q.Gen.int_range 1 50) (float_range (-1e6) 1e6))
+    (fun samples ->
+      let s = Stats.Summary.of_list samples in
+      Stats.Summary.mean s >= Stats.Summary.min s -. 1e-6
+      && Stats.Summary.mean s <= Stats.Summary.max s +. 1e-6)
+
+(* {2 Command codec} *)
+
+let printable_string = Q.string_gen Q.Gen.printable
+
+let prop_codec_roundtrip =
+  Q.Test.make ~count:500 ~name:"command codec roundtrips"
+    Q.(pair printable_string printable_string)
+    (fun (key, value) ->
+      let cmds =
+        [
+          Kvsm.Command.Put { key; value };
+          Kvsm.Command.Get key;
+          Kvsm.Command.Delete key;
+          Kvsm.Command.Cas { key; expect = Some value; value = key };
+          Kvsm.Command.Cas { key; expect = None; value };
+        ]
+      in
+      List.for_all
+        (fun c ->
+          match Kvsm.Command.of_payload (Kvsm.Command.to_payload c) with
+          | Ok d -> Kvsm.Command.equal c d
+          | Error _ -> false)
+        cmds)
+
+(* {2 Log invariants} *)
+
+let prop_log_append_grows_monotonically =
+  Q.Test.make ~count:300 ~name:"append_new yields dense increasing indices"
+    Q.(list_of_size (Q.Gen.int_range 1 30) (int_range 1 5))
+    (fun terms ->
+      let sorted_terms = List.sort compare terms in
+      let l = Raft.Log.create () in
+      List.iteri
+        (fun i term ->
+          let e = Raft.Log.append_new l ~term Raft.Log.Noop in
+          assert (e.Raft.Log.index = i + 1))
+        sorted_terms;
+      Raft.Log.last_index l = List.length terms
+      && Raft.Log.last_term l = List.nth sorted_terms (List.length terms - 1))
+
+let prop_log_compaction_preserves_suffix =
+  Q.Test.make ~count:300 ~name:"compaction preserves the surviving suffix"
+    Q.(pair (int_range 1 40) (int_range 0 40))
+    (fun (n, cut) ->
+      let cut = Stdlib.min cut n in
+      let l = Raft.Log.create () in
+      let entries =
+        List.init n (fun i ->
+            Raft.Log.append_new l ~term:(1 + (i / 5)) Raft.Log.Noop)
+      in
+      Raft.Log.compact l ~upto:cut;
+      Raft.Log.last_index l = n
+      && Raft.Log.snapshot_index l = cut
+      && List.for_all
+           (fun (e : Raft.Log.entry) ->
+             if e.index <= cut then Raft.Log.term_at l e.index = None || e.index = cut
+             else Raft.Log.term_at l e.index = Some e.term)
+           entries)
+
+let prop_log_compaction_then_append_consistent =
+  Q.Test.make ~count:300 ~name:"appends after compaction stay dense"
+    Q.(pair (int_range 1 20) (int_range 1 20))
+    (fun (n, extra) ->
+      let l = Raft.Log.create () in
+      for _ = 1 to n do
+        ignore (Raft.Log.append_new l ~term:1 Raft.Log.Noop)
+      done;
+      Raft.Log.compact l ~upto:n;
+      let appended =
+        List.init extra (fun _ -> Raft.Log.append_new l ~term:2 Raft.Log.Noop)
+      in
+      List.for_all2
+        (fun (e : Raft.Log.entry) i -> e.index = n + i + 1)
+        appended
+        (List.init extra Fun.id)
+      && Raft.Log.last_index l = n + extra)
+
+let prop_store_snapshot_roundtrip =
+  Q.Test.make ~count:200 ~name:"store snapshots roundtrip any contents"
+    Q.(list (pair printable_string printable_string))
+    (fun bindings ->
+      let s = Kvsm.Store.create () in
+      List.iter
+        (fun (key, value) ->
+          ignore (Kvsm.Store.apply_command s (Kvsm.Command.Put { key; value })))
+        bindings;
+      match Kvsm.Store.of_serialized (Kvsm.Store.serialize s) with
+      | Ok restored ->
+          Kvsm.Store.state_digest restored = Kvsm.Store.state_digest s
+      | Error _ -> false)
+
+let prop_ewma_bounded_by_extremes =
+  Q.Test.make ~count:300 ~name:"ewma srtt stays within sample extremes"
+    Q.(
+      pair (float_range 0.01 1.)
+        (list_of_size (Q.Gen.int_range 1 60) (float_range 1. 1000.)))
+    (fun (alpha, samples_ms) ->
+      let e = Dynatune.Ewma_estimator.create ~alpha ~min_samples:1 () in
+      List.iter
+        (fun ms -> Dynatune.Ewma_estimator.observe e (Des.Time.of_ms_f ms))
+        samples_ms;
+      let srtt = Des.Time.to_ms_f (Dynatune.Ewma_estimator.mean e) in
+      let lo = List.fold_left Stdlib.min infinity samples_ms in
+      let hi = List.fold_left Stdlib.max neg_infinity samples_ms in
+      srtt >= lo -. 1e-6 && srtt <= hi +. 1e-6)
+
+let prop_ewma_constant_input_converges =
+  Q.Test.make ~count:200 ~name:"ewma on a constant input equals it"
+    Q.(pair (float_range 0.05 1.) (float_range 1. 500.))
+    (fun (alpha, level) ->
+      let e = Dynatune.Ewma_estimator.create ~alpha ~min_samples:1 () in
+      for _ = 1 to 300 do
+        Dynatune.Ewma_estimator.observe e (Des.Time.of_ms_f level)
+      done;
+      abs_float (Des.Time.to_ms_f (Dynatune.Ewma_estimator.mean e) -. level)
+      < 1.
+      && Des.Time.to_ms_f (Dynatune.Ewma_estimator.deviation e) < level)
+
+let prop_partition_reachability_is_equivalence =
+  Q.Test.make ~count:200 ~name:"partition reachability is an equivalence"
+    Q.(list_of_size (Q.Gen.int_range 0 8) (int_range 0 7))
+    (fun group_of ->
+      (* Node i belongs to the group group_of[i] (others implicit). *)
+      let n = 8 in
+      let engine = Des.Engine.create () in
+      let f : unit Netsim.Fabric.t = Netsim.Fabric.create engine in
+      let ids = Netsim.Node_id.range n in
+      List.iter (Netsim.Fabric.add_node f) ids;
+      let groups =
+        List.init 8 (fun g ->
+            List.filteri (fun i _ -> List.nth_opt group_of i = Some g) ids)
+      in
+      let groups = List.filter (fun l -> l <> []) groups in
+      Netsim.Fabric.partition f groups;
+      let reach a b =
+        Netsim.Fabric.reachable f (List.nth ids a) (List.nth ids b)
+      in
+      let ok = ref true in
+      for a = 0 to n - 1 do
+        if not (reach a a) then ok := false;
+        for b = 0 to n - 1 do
+          if reach a b <> reach b a then ok := false;
+          for c = 0 to n - 1 do
+            if reach a b && reach b c && not (reach a c) then ok := false
+          done
+        done
+      done;
+      !ok)
+
+let prop_conditions_piecewise_lookup =
+  Q.Test.make ~count:300 ~name:"piecewise lookup matches linear scan"
+    Q.(
+      pair
+        (list_of_size (Q.Gen.int_range 1 10) (float_range 1. 500.))
+        (int_range 0 10_000))
+    (fun (rtts, query_ms) ->
+      let hold = Des.Time.ms 700 in
+      let c =
+        Netsim.Conditions.rtt_staircase
+          ~base:(Netsim.Conditions.profile ~rtt_ms:0. ())
+          ~hold ~rtts_ms:rtts
+      in
+      let query = Des.Time.ms query_ms in
+      let expected_idx = Stdlib.min (query / hold) (List.length rtts - 1) in
+      (Netsim.Conditions.at c query).Netsim.Conditions.rtt_ms
+      = List.nth rtts expected_idx)
+
+let tests =
+  List.map to_alcotest
+    [
+      prop_window_matches_batch;
+      prop_window_keeps_newest;
+      prop_heap_sorts;
+      prop_engine_orders_events;
+      prop_loss_rate_bounds;
+      prop_loss_rate_exact_on_sets;
+      prop_loss_observe_insensitive_to_order;
+      prop_required_heartbeats_minimal;
+      prop_tuner_h_bounds;
+      prop_tuner_et_bounds;
+      prop_tuner_reset_restores_defaults;
+      prop_summary_percentile_monotone;
+      prop_summary_mean_within_range;
+      prop_codec_roundtrip;
+      prop_log_append_grows_monotonically;
+      prop_log_compaction_preserves_suffix;
+      prop_log_compaction_then_append_consistent;
+      prop_store_snapshot_roundtrip;
+      prop_ewma_bounded_by_extremes;
+      prop_ewma_constant_input_converges;
+      prop_partition_reachability_is_equivalence;
+      prop_conditions_piecewise_lookup;
+    ]

@@ -1,0 +1,233 @@
+(* Tests for linearizable reads (ReadIndex) and leadership transfer. *)
+
+module Cluster = Harness.Cluster
+module Fault = Harness.Fault
+module Time = Des.Time
+module Node_id = Netsim.Node_id
+
+let lan ?(rtt_ms = 50.) () =
+  Netsim.Conditions.(constant (profile ~rtt_ms ~jitter:0.02 ()))
+
+let make ?(seed = 41L) ?(n = 5) ?(config = Raft.Config.static ()) () =
+  let c = Cluster.create ~seed ~n ~config ~conditions:(lan ()) () in
+  Cluster.start c;
+  ignore (Cluster.await_leader c ~timeout:(Time.sec 20));
+  c
+
+let leader_id c =
+  match Cluster.leader c with
+  | Some l -> Raft.Node.id l
+  | None -> Alcotest.fail "expected a leader"
+
+let put_sync c ~seq k v =
+  let done_ = ref false in
+  (match
+     Cluster.submit_target c
+       ~payload:
+         (Kvsm.Command.to_payload (Kvsm.Command.Put { key = k; value = v }))
+       ~client_id:1 ~seq
+       ~on_result:(fun ~committed -> done_ := committed)
+   with
+  | `Accepted -> ()
+  | `Not_leader _ -> Alcotest.fail "no leader for put");
+  Cluster.run_for c (Time.sec 1);
+  Alcotest.(check bool) "put committed" true !done_
+
+(* {2 Linearizable reads} *)
+
+let test_read_sees_committed_write () =
+  let c = make () in
+  put_sync c ~seq:1 "color" "blue";
+  let result = ref `Pending in
+  Cluster.linearizable_read c ~key:"color" ~on_result:(fun r ->
+      result := `Done r);
+  (* Not served synchronously: a quorum round trip is needed. *)
+  Alcotest.(check bool) "read not served before confirmation" true
+    (!result = `Pending);
+  Cluster.run_for c (Time.ms 200);
+  match !result with
+  | `Done (Some (Some "blue")) -> ()
+  | `Done (Some other) ->
+      Alcotest.failf "wrong value: %s" (Option.value ~default:"<none>" other)
+  | `Done None -> Alcotest.fail "read failed"
+  | `Pending -> Alcotest.fail "read never served"
+
+let test_read_takes_about_one_rtt () =
+  let c = make () in
+  put_sync c ~seq:1 "k" "v";
+  let served_at = ref None in
+  let issued_at = Cluster.now c in
+  Cluster.linearizable_read c ~key:"k" ~on_result:(fun _ ->
+      served_at := Some (Cluster.now c));
+  Cluster.run_for c (Time.sec 1);
+  match !served_at with
+  | None -> Alcotest.fail "read never served"
+  | Some at ->
+      let ms = Time.to_ms_f (Time.diff at issued_at) in
+      (* RTT 50 ms (small jitter): the confirmation round is kicked off
+         immediately, so the read is served in about one round trip. *)
+      Alcotest.(check bool)
+        (Printf.sprintf "served in %.0fms" ms)
+        true
+        (ms >= 40. && ms < 150.)
+
+let test_read_fails_without_leader () =
+  let c = make () in
+  List.iter (fun id -> Fault.pause c id) (Cluster.node_ids c);
+  let result = ref `Pending in
+  Cluster.linearizable_read c ~key:"k" ~on_result:(fun r -> result := `Done r);
+  Alcotest.(check bool) "immediate failure" true (!result = `Done None)
+
+let test_read_rejected_when_leadership_lost () =
+  let c = make () in
+  put_sync c ~seq:1 "k" "v";
+  let leader = leader_id c in
+  let result = ref `Pending in
+  Cluster.linearizable_read c ~key:"k" ~on_result:(fun r -> result := `Done r);
+  (* Kill the leader before any confirmation can arrive. *)
+  Raft.Node.crash (Cluster.node c leader);
+  Alcotest.(check bool) "read rejected on crash" true (!result = `Done None);
+  Raft.Node.restart (Cluster.node c leader)
+
+let test_read_on_stale_minority_leader_fails () =
+  (* The classic ReadIndex safety case: a leader isolated in a minority
+     partition must NOT serve reads (it can no longer confirm
+     authority). *)
+  let c = make () in
+  put_sync c ~seq:1 "k" "v1";
+  let old_leader = leader_id c in
+  let others =
+    List.filter (fun id -> not (Node_id.equal id old_leader)) (Cluster.node_ids c)
+  in
+  Cluster.partition c [ [ old_leader ]; others ];
+  (* Register the read on the isolated leader while it still believes. *)
+  let result = ref `Pending in
+  (match
+     Raft.Node.read (Cluster.node c old_leader) ~client_id:(-9) ~seq:1
+       ~on_result:(fun ~committed ->
+         result := `Done committed)
+       ()
+   with
+  | `Accepted -> ()
+  | `Not_leader _ -> Alcotest.fail "was still leader");
+  (* Run long enough for the majority to elect and the old leader to
+     abdicate via CheckQuorum. *)
+  Cluster.run_for c (Time.sec 10);
+  (match !result with
+  | `Done false -> ()
+  | `Done true -> Alcotest.fail "stale leader served a linearizable read!"
+  | `Pending -> Alcotest.fail "read left pending after abdication");
+  Cluster.heal_partition c
+
+(* {2 Leadership transfer} *)
+
+let test_transfer_moves_leadership () =
+  let c = make () in
+  let old_leader = leader_id c in
+  let target =
+    List.find (fun id -> not (Node_id.equal id old_leader)) (Cluster.node_ids c)
+  in
+  (match Cluster.transfer_leadership c target with
+  | `Ok -> ()
+  | `Not_leader -> Alcotest.fail "leader refused transfer");
+  Cluster.run_for c (Time.sec 2);
+  Alcotest.(check int) "target took over" (Node_id.to_int target)
+    (Node_id.to_int (leader_id c));
+  Alcotest.(check bool) "old leader stepped down" false
+    (Raft.Types.is_leader
+       (Raft.Server.role (Raft.Node.server (Cluster.node c old_leader))))
+
+let test_transfer_is_fast () =
+  (* The hand-off bypasses pre-vote and leases: roughly one RTT, far
+     below a failover. *)
+  let c = make () in
+  let old_leader = leader_id c in
+  let target =
+    List.find (fun id -> not (Node_id.equal id old_leader)) (Cluster.node_ids c)
+  in
+  let start = Cluster.now c in
+  ignore (Cluster.transfer_leadership c target);
+  let rec wait () =
+    match Cluster.leader c with
+    | Some l when Node_id.equal (Raft.Node.id l) target -> Cluster.now c
+    | Some _ | None ->
+        if Time.diff (Cluster.now c) start > Time.sec 10 then
+          Alcotest.fail "transfer never completed"
+        else begin
+          Cluster.run_for c (Time.ms 5);
+          wait ()
+        end
+  in
+  let took = Time.to_ms_f (Time.diff (wait ()) start) in
+  Alcotest.(check bool)
+    (Printf.sprintf "transfer took %.0fms" took)
+    true (took < 300.)
+
+let test_transfer_no_data_loss () =
+  let c = make () in
+  put_sync c ~seq:1 "before" "transfer";
+  let target =
+    List.find
+      (fun id -> not (Node_id.equal id (leader_id c)))
+      (Cluster.node_ids c)
+  in
+  ignore (Cluster.transfer_leadership c target);
+  Cluster.run_for c (Time.sec 2);
+  put_sync c ~seq:2 "after" "transfer";
+  Cluster.run_for c (Time.sec 2);
+  let digests =
+    List.map (fun id -> Kvsm.Store.state_digest (Cluster.store c id))
+      (Cluster.node_ids c)
+  in
+  match digests with
+  | d :: rest -> List.iter (Alcotest.(check string) "converged" d) rest
+  | [] -> Alcotest.fail "no stores"
+
+let test_transfer_from_follower_refused () =
+  let c = make () in
+  let target = leader_id c in
+  let follower =
+    List.find (fun id -> not (Node_id.equal id target)) (Cluster.node_ids c)
+  in
+  Alcotest.(check bool) "follower cannot initiate" true
+    (Raft.Node.transfer_leadership (Cluster.node c follower) target
+    = `Not_leader)
+
+let test_transfer_works_under_dynatune () =
+  let c = make ~config:(Raft.Config.dynatune ()) () in
+  Cluster.run_for c (Time.sec 20) (* warm the tuners *);
+  let old_leader = leader_id c in
+  let target =
+    List.find (fun id -> not (Node_id.equal id old_leader)) (Cluster.node_ids c)
+  in
+  ignore (Cluster.transfer_leadership c target);
+  Cluster.run_for c (Time.sec 2);
+  Alcotest.(check int) "target leads" (Node_id.to_int target)
+    (Node_id.to_int (leader_id c));
+  (* The cluster re-tunes against the new leader and stays stable. *)
+  Cluster.run_for c (Time.sec 20);
+  Alcotest.(check int) "still leads after re-tuning" (Node_id.to_int target)
+    (Node_id.to_int (leader_id c))
+
+let tests =
+  [
+    Alcotest.test_case "read: sees committed write" `Quick
+      test_read_sees_committed_write;
+    Alcotest.test_case "read: ~one round trip" `Quick
+      test_read_takes_about_one_rtt;
+    Alcotest.test_case "read: fails without leader" `Quick
+      test_read_fails_without_leader;
+    Alcotest.test_case "read: rejected on leadership loss" `Quick
+      test_read_rejected_when_leadership_lost;
+    Alcotest.test_case "read: stale minority leader cannot serve" `Quick
+      test_read_on_stale_minority_leader_fails;
+    Alcotest.test_case "transfer: moves leadership" `Quick
+      test_transfer_moves_leadership;
+    Alcotest.test_case "transfer: fast hand-off" `Quick test_transfer_is_fast;
+    Alcotest.test_case "transfer: no data loss" `Quick
+      test_transfer_no_data_loss;
+    Alcotest.test_case "transfer: follower refused" `Quick
+      test_transfer_from_follower_refused;
+    Alcotest.test_case "transfer: under dynatune" `Quick
+      test_transfer_works_under_dynatune;
+  ]

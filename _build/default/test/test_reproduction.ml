@@ -1,0 +1,139 @@
+(* Reproduction regression tests: the paper's headline claims, pinned as
+   executable assertions over small multi-seed campaigns.  If a change
+   to the protocol, the tuner or the network model breaks the *shape* of
+   any reproduced result, this suite fails. *)
+
+module Fig4 = Scenarios.Fig4
+module Fig6 = Scenarios.Fig6
+module Time = Des.Time
+
+let mean = Stats.Summary.mean
+
+let fig4_pair ~seed ~failures =
+  let raft = Fig4.run ~seed ~failures ~config:(Raft.Config.static ()) () in
+  let dynatune = Fig4.run ~seed ~failures ~config:(Raft.Config.dynatune ()) () in
+  (raft, dynatune)
+
+let test_headline_detection_reduction () =
+  (* Paper: detection 1205 -> 237 ms (−80%).  Assert a >= 70% reduction
+     on every seed. *)
+  List.iter
+    (fun seed ->
+      let raft, dynatune = fig4_pair ~seed ~failures:30 in
+      let r = mean raft.Fig4.detection and d = mean dynatune.Fig4.detection in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %Ld: detection %.0f -> %.0f" seed r d)
+        true
+        (d < 0.3 *. r))
+    [ 101L; 202L; 303L ]
+
+let test_headline_ots_reduction () =
+  (* Paper: OTS 1449 -> 797 ms (−45%).  Assert Dynatune's OTS beats
+     Raft's on every seed (the magnitude is seed-noisy at 30 kills, the
+     direction must not be). *)
+  List.iter
+    (fun seed ->
+      let raft, dynatune = fig4_pair ~seed ~failures:30 in
+      let r = mean raft.Fig4.ots and d = mean dynatune.Fig4.ots in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %Ld: ots %.0f -> %.0f" seed r d)
+        true (d < r))
+    [ 101L; 202L; 303L ]
+
+let test_discussion_election_time_inversion () =
+  (* Section IV-E: Raft's election phase (244 ms) is *shorter* than
+     Dynatune's (560 ms) because Dynatune's narrow randomization window
+     splits votes.  Both the inversion and the split-vote excess must
+     reproduce. *)
+  let raft, dynatune = fig4_pair ~seed:404L ~failures:60 in
+  Alcotest.(check bool)
+    (Printf.sprintf "election time inverts (raft %.0f < dynatune %.0f)"
+       (mean raft.Fig4.election)
+       (mean dynatune.Fig4.election))
+    true
+    (mean raft.Fig4.election < mean dynatune.Fig4.election);
+  Alcotest.(check bool)
+    (Printf.sprintf "split votes excess (raft %.2f < dynatune %.2f)"
+       raft.Fig4.split_vote_rate dynatune.Fig4.split_vote_rate)
+    true
+    (raft.Fig4.split_vote_rate < dynatune.Fig4.split_vote_rate)
+
+let test_raft_baseline_matches_paper () =
+  (* The static-Raft side has no tuning freedom: its absolute numbers
+     must track the paper's (etcd defaults, RTT 100 ms) within a loose
+     band: detection ~1205 ms, OTS ~1449 ms, election ~244 ms. *)
+  let raft = Fig4.run ~seed:505L ~failures:60 ~config:(Raft.Config.static ()) () in
+  let within label lo hi v =
+    Alcotest.(check bool)
+      (Printf.sprintf "%s = %.0f in [%.0f, %.0f]" label v lo hi)
+      true
+      (v >= lo && v <= hi)
+  in
+  within "detection" 1000. 1400. (mean raft.Fig4.detection);
+  within "ots" 1200. 1800. (mean raft.Fig4.ots);
+  within "election" 150. 450. (mean raft.Fig4.election);
+  within "randomizedTimeout at detection" 1000. 1400.
+    (mean raft.Fig4.randomized)
+
+let test_fig6b_shape_all_modes () =
+  (* Radical RTT spike: Dynatune false-detects without OTS; Raft is
+     silent; Raft-Low collapses for the whole high-RTT phase. *)
+  let hold = Time.sec 15 in
+  let run config = Fig6.run ~seed:606L ~hold ~pattern:Fig6.Radical ~config () in
+  let dynatune = run (Raft.Config.dynatune ()) in
+  let raft = run (Raft.Config.static ()) in
+  let low = run (Raft.Config.raft_low ()) in
+  Alcotest.(check bool) "dynatune false-detects" true
+    (dynatune.Fig6.false_timeouts > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "dynatune OTS negligible (%.0fms)" dynatune.Fig6.ots_total_ms)
+    true
+    (dynatune.Fig6.ots_total_ms < 1000.);
+  Alcotest.(check int) "raft silent" 0 raft.Fig6.false_timeouts;
+  Alcotest.(check (float 1e-9)) "raft no OTS" 0. raft.Fig6.ots_total_ms;
+  Alcotest.(check bool)
+    (Printf.sprintf "raft-low collapses (%.0fms OTS, %d elections)"
+       low.Fig6.ots_total_ms low.Fig6.elections)
+    true
+    (low.Fig6.ots_total_ms > 10_000. && low.Fig6.elections > 20)
+
+let test_fig7_h_formula_shape () =
+  (* The tuned h at each loss level must match Et / ceil(log_p 0.001). *)
+  let r =
+    Scenarios.Fig7.run ~seed:707L ~hold:(Time.sec 10) ~n:5
+      ~config:(Raft.Config.dynatune ()) ()
+  in
+  Alcotest.(check int) "no unnecessary elections" 0 r.Scenarios.Fig7.elections;
+  (* At the 30% plateau h must sit well below the 0% plateau. *)
+  let h_at pct =
+    let samples =
+      List.filter_map
+        (fun ((_, l), (_, h)) ->
+          if abs_float (l -. pct) < 0.1 && not (Float.is_nan h) then Some h
+          else None)
+        (List.combine r.Scenarios.Fig7.loss r.Scenarios.Fig7.h)
+    in
+    match samples with
+    | [] -> nan
+    | l -> List.fold_left ( +. ) 0. l /. float_of_int (List.length l)
+  in
+  let h0 = h_at 0. and h30 = h_at 30. in
+  Alcotest.(check bool)
+    (Printf.sprintf "h dips under loss (%.0f -> %.0f ms)" h0 h30)
+    true
+    ((not (Float.is_nan h0)) && (not (Float.is_nan h30)) && h30 < h0 /. 3.)
+
+let tests =
+  [
+    Alcotest.test_case "headline: detection reduction across seeds" `Slow
+      test_headline_detection_reduction;
+    Alcotest.test_case "headline: OTS reduction across seeds" `Slow
+      test_headline_ots_reduction;
+    Alcotest.test_case "discussion: election-time inversion" `Slow
+      test_discussion_election_time_inversion;
+    Alcotest.test_case "baseline: raft matches the paper" `Slow
+      test_raft_baseline_matches_paper;
+    Alcotest.test_case "fig6b: three-mode shape" `Slow
+      test_fig6b_shape_all_modes;
+    Alcotest.test_case "fig7: h formula shape" `Slow test_fig7_h_formula_shape;
+  ]

@@ -1,0 +1,638 @@
+(* Unit tests for the Raft protocol state machine, driven without any
+   network: events in, actions out. *)
+
+module Time = Des.Time
+module Node_id = Netsim.Node_id
+module Server = Raft.Server
+module Rpc = Raft.Rpc
+module Types = Raft.Types
+module Probe = Raft.Probe
+module Config = Raft.Config
+
+let nid = Node_id.of_int
+
+let make ?(n = 5) ?(config = Config.static ()) ?(seed = 11L) ~self () =
+  let ids = Node_id.range n in
+  let peers = List.filter (fun p -> Node_id.to_int p <> self) ids in
+  Server.create ~id:(nid self) ~peers ~config
+    ~rng:(Stats.Rng.create ~seed ())
+    ()
+
+let sends actions =
+  List.filter_map
+    (function Server.Send { dst; msg; _ } -> Some (dst, msg) | _ -> None)
+    actions
+
+let armed_election actions =
+  List.filter_map
+    (function Server.Arm_election s -> Some s | _ -> None)
+    actions
+
+let commits actions =
+  List.concat_map
+    (function Server.Commit es -> es | _ -> [])
+    actions
+
+let heartbeat_meta ?(id = 0) ?(sent_at = Time.zero) ?rtt () =
+  { Dynatune.Leader_path.hb_id = id; sent_at; measured_rtt = rtt }
+
+let recv server ~from msg ~now =
+  Server.handle server ~now (Server.Message { from = nid from; msg })
+
+(* Drive a server to leadership: timeout -> pre-votes granted -> votes
+   granted. Returns the actions of the final step. *)
+let elect server ~now =
+  let acts = Server.handle server ~now Server.Election_timeout_fired in
+  let t = Server.term server in
+  ignore acts;
+  let acts =
+    recv server ~from:1
+      (Rpc.Vote_response { term = t + 1; granted = true; pre_vote = true })
+      ~now
+  in
+  ignore acts;
+  let acts =
+    recv server ~from:2
+      (Rpc.Vote_response { term = t + 1; granted = true; pre_vote = true })
+      ~now
+  in
+  ignore acts;
+  let t = Server.term server in
+  let acts =
+    recv server ~from:1
+      (Rpc.Vote_response { term = t; granted = true; pre_vote = false })
+      ~now
+  in
+  ignore acts;
+  recv server ~from:2
+    (Rpc.Vote_response { term = t; granted = true; pre_vote = false })
+    ~now
+
+let test_start_arms_election () =
+  let s = make ~self:0 () in
+  let acts = Server.start s in
+  match armed_election acts with
+  | [ span ] ->
+      let et = Time.ms 1000 in
+      Alcotest.(check bool) "randomized in [Et, 2Et)" true
+        (span >= et && span < 2 * et)
+  | _ -> Alcotest.fail "start must arm the election timer once"
+
+let test_randomization_spread () =
+  (* Across many draws the randomizedTimeout must cover the [Et, 2Et)
+     range, not collapse to a point. *)
+  let s = make ~self:0 () in
+  let lo = ref max_int and hi = ref 0 in
+  for _ = 1 to 200 do
+    let acts = Server.handle s ~now:Time.zero Server.Election_timeout_fired in
+    List.iter
+      (fun span ->
+        lo := Stdlib.min !lo span;
+        hi := Stdlib.max !hi span)
+      (armed_election acts)
+  done;
+  Alcotest.(check bool) "spread covers most of the range" true
+    (!hi - !lo > Time.ms 700)
+
+let test_timeout_starts_prevote () =
+  let s = make ~self:0 () in
+  ignore (Server.start s);
+  let acts = Server.handle s ~now:Time.zero Server.Election_timeout_fired in
+  Alcotest.(check bool) "becomes pre-candidate" true
+    (Server.role s = Types.Pre_candidate);
+  Alcotest.(check int) "term not bumped by pre-vote" 0 (Server.term s);
+  let prevotes =
+    sends acts
+    |> List.filter (fun (_, m) ->
+           match m with
+           | Rpc.Vote_request { pre_vote = true; term = 1; _ } -> true
+           | _ -> false)
+  in
+  Alcotest.(check int) "pre-vote broadcast to all peers" 4
+    (List.length prevotes)
+
+let test_no_prevote_when_disabled () =
+  let config = { (Config.static ()) with Config.pre_vote = false } in
+  let s = make ~config ~self:0 () in
+  ignore (Server.start s);
+  ignore (Server.handle s ~now:Time.zero Server.Election_timeout_fired);
+  Alcotest.(check bool) "directly candidate" true
+    (Server.role s = Types.Candidate);
+  Alcotest.(check int) "term bumped" 1 (Server.term s)
+
+let test_prevote_quorum_starts_election () =
+  let s = make ~self:0 () in
+  ignore (Server.start s);
+  ignore (Server.handle s ~now:Time.zero Server.Election_timeout_fired);
+  ignore
+    (recv s ~from:1
+       (Rpc.Vote_response { term = 1; granted = true; pre_vote = true })
+       ~now:Time.zero);
+  Alcotest.(check bool) "still pre-candidate at 2/5" true
+    (Server.role s = Types.Pre_candidate);
+  ignore
+    (recv s ~from:2
+       (Rpc.Vote_response { term = 1; granted = true; pre_vote = true })
+       ~now:Time.zero);
+  Alcotest.(check bool) "candidate at quorum" true
+    (Server.role s = Types.Candidate);
+  Alcotest.(check int) "term bumped exactly once" 1 (Server.term s)
+
+let test_election_win () =
+  let s = make ~self:0 () in
+  ignore (Server.start s);
+  let acts = elect s ~now:Time.zero in
+  Alcotest.(check bool) "leader" true (Server.role s = Types.Leader);
+  Alcotest.(check (option int)) "knows itself as leader" (Some 0)
+    (Option.map Node_id.to_int (Server.leader s));
+  (* The no-op barrier entry is appended. *)
+  Alcotest.(check int) "no-op appended" 1 (Raft.Log.last_index (Server.log s));
+  (* Appends broadcast on taking office. *)
+  let appends =
+    sends acts
+    |> List.filter (fun (_, m) ->
+           match m with Rpc.Append_request _ -> true | _ -> false)
+  in
+  Alcotest.(check int) "append broadcast" 4 (List.length appends)
+
+let test_duplicate_votes_dont_count () =
+  let s = make ~self:0 () in
+  ignore (Server.start s);
+  ignore (Server.handle s ~now:Time.zero Server.Election_timeout_fired);
+  (* The same voter granting twice must not reach pre-vote quorum. *)
+  for _ = 1 to 5 do
+    ignore
+      (recv s ~from:1
+         (Rpc.Vote_response { term = 1; granted = true; pre_vote = true })
+         ~now:Time.zero)
+  done;
+  Alcotest.(check bool) "still pre-candidate" true
+    (Server.role s = Types.Pre_candidate)
+
+let test_vote_granted_once_per_term () =
+  let s = make ~self:0 () in
+  ignore (Server.start s);
+  (* Server 1 asks first and gets the vote... *)
+  let acts =
+    recv s ~from:1
+      (Rpc.Vote_request
+         { term = 1; last_log_index = 0; last_log_term = 0; pre_vote = false; force = false })
+      ~now:Time.zero
+  in
+  (match sends acts with
+  | [ (_, Rpc.Vote_response { granted; _ }) ] ->
+      Alcotest.(check bool) "first request granted" true granted
+  | _ -> Alcotest.fail "expected one response");
+  (* ...server 2 in the same term is refused. *)
+  let acts =
+    recv s ~from:2
+      (Rpc.Vote_request
+         { term = 1; last_log_index = 0; last_log_term = 0; pre_vote = false; force = false })
+      ~now:Time.zero
+  in
+  match sends acts with
+  | [ (_, Rpc.Vote_response { granted; _ }) ] ->
+      Alcotest.(check bool) "second request refused" false granted
+  | _ -> Alcotest.fail "expected one response"
+
+let test_vote_rejected_for_stale_log () =
+  let s = make ~self:0 () in
+  ignore (Server.start s);
+  (* Give the server a log entry at term 2 via an append. *)
+  ignore
+    (recv s ~from:3
+       (Rpc.Append_request
+          {
+            term = 2;
+            prev_index = 0;
+            prev_term = 0;
+            entries = [ { Raft.Log.term = 2; index = 1; command = Raft.Log.Noop } ];
+            commit = 0;
+          })
+       ~now:Time.zero);
+  (* Candidate with an older log must be refused even in a newer term.
+     (Clear the lease first by timing out.) *)
+  ignore (Server.handle s ~now:Time.zero Server.Election_timeout_fired);
+  let acts =
+    recv s ~from:1
+      (Rpc.Vote_request
+         { term = 5; last_log_index = 0; last_log_term = 0; pre_vote = false; force = false })
+      ~now:Time.zero
+  in
+  match
+    List.filter_map
+      (fun (_, m) ->
+        match m with
+        | Rpc.Vote_response { granted; pre_vote = false; _ } -> Some granted
+        | _ -> None)
+      (sends acts)
+  with
+  | [ granted ] -> Alcotest.(check bool) "stale log refused" false granted
+  | _ -> Alcotest.fail "expected one vote response"
+
+let test_leader_stickiness_rejects_votes () =
+  let s = make ~self:0 () in
+  ignore (Server.start s);
+  (* Heartbeat installs a leader (and the lease). *)
+  ignore
+    (recv s ~from:3
+       (Rpc.Heartbeat { term = 1; commit = 0; meta = heartbeat_meta () })
+       ~now:Time.zero);
+  let acts =
+    recv s ~from:1
+      (Rpc.Vote_request
+         { term = 2; last_log_index = 5; last_log_term = 1; pre_vote = true; force = false })
+      ~now:(Time.ms 1)
+  in
+  (match sends acts with
+  | [ (_, Rpc.Vote_response { granted; _ }) ] ->
+      Alcotest.(check bool) "pre-vote refused under lease" false granted
+  | _ -> Alcotest.fail "expected one response");
+  Alcotest.(check int) "term not disturbed" 1 (Server.term s);
+  (* Real vote request is also ignored under the lease. *)
+  let acts =
+    recv s ~from:1
+      (Rpc.Vote_request
+         { term = 2; last_log_index = 5; last_log_term = 1; pre_vote = false; force = false })
+      ~now:(Time.ms 2)
+  in
+  (match sends acts with
+  | [ (_, Rpc.Vote_response { granted; _ }) ] ->
+      Alcotest.(check bool) "vote refused under lease" false granted
+  | _ -> Alcotest.fail "expected one response");
+  Alcotest.(check int) "term still not adopted" 1 (Server.term s)
+
+let test_heartbeat_rearms_election_timer () =
+  let s = make ~self:0 () in
+  ignore (Server.start s);
+  let acts =
+    recv s ~from:3
+      (Rpc.Heartbeat { term = 1; commit = 0; meta = heartbeat_meta () })
+      ~now:Time.zero
+  in
+  Alcotest.(check bool) "timer re-armed" true (armed_election acts <> []);
+  Alcotest.(check (option int)) "leader learned" (Some 3)
+    (Option.map Node_id.to_int (Server.leader s))
+
+let test_heartbeat_response_echoes_timestamp () =
+  let s = make ~self:0 () in
+  ignore (Server.start s);
+  let acts =
+    recv s ~from:3
+      (Rpc.Heartbeat
+         {
+           term = 1;
+           commit = 0;
+           meta = heartbeat_meta ~id:7 ~sent_at:(Time.ms 123) ();
+         })
+      ~now:(Time.ms 150)
+  in
+  match
+    List.filter_map
+      (fun (_, m) ->
+        match m with Rpc.Heartbeat_response r -> Some r | _ -> None)
+      (sends acts)
+  with
+  | [ r ] ->
+      Alcotest.(check int) "id echoed" 7 r.Rpc.echo.Rpc.hb_id;
+      Alcotest.(check int) "timestamp echoed verbatim" (Time.ms 123)
+        r.Rpc.echo.Rpc.echo_sent_at
+  | _ -> Alcotest.fail "expected one heartbeat response"
+
+let test_pre_candidate_aborts_on_heartbeat () =
+  let s = make ~self:0 () in
+  ignore (Server.start s);
+  ignore (Server.handle s ~now:Time.zero Server.Election_timeout_fired);
+  Alcotest.(check bool) "pre-candidate" true
+    (Server.role s = Types.Pre_candidate);
+  let acts =
+    recv s ~from:3
+      (Rpc.Heartbeat { term = 0; commit = 0; meta = heartbeat_meta () })
+      ~now:(Time.ms 1)
+  in
+  Alcotest.(check bool) "reverted to follower" true
+    (Server.role s = Types.Follower);
+  let aborted =
+    List.exists
+      (function
+        | Server.Probe (Probe.Pre_vote_aborted _) -> true | _ -> false)
+      acts
+  in
+  Alcotest.(check bool) "abort probe emitted" true aborted
+
+let test_step_down_on_higher_term_response () =
+  let s = make ~self:0 () in
+  ignore (Server.start s);
+  ignore (elect s ~now:Time.zero);
+  Alcotest.(check bool) "leader first" true (Server.role s = Types.Leader);
+  ignore
+    (recv s ~from:1
+       (Rpc.Heartbeat_response
+          {
+            term = 99;
+            echo = { Rpc.hb_id = 0; echo_sent_at = Time.zero; tuned_h = None };
+          })
+       ~now:(Time.ms 1));
+  Alcotest.(check bool) "stepped down" true (Server.role s = Types.Follower);
+  Alcotest.(check int) "adopted term" 99 (Server.term s)
+
+let test_leader_replicates_and_commits () =
+  let s = make ~self:0 () in
+  ignore (Server.start s);
+  ignore (elect s ~now:Time.zero);
+  (* Followers ack the no-op. *)
+  let ack from =
+    recv s ~from
+      (Rpc.Append_response
+         { term = Server.term s; success = true; match_index = 1; conflict_hint = 0 })
+      ~now:(Time.ms 1)
+  in
+  let acts1 = ack 1 in
+  Alcotest.(check int) "no commit on first ack (leader+1 < quorum)" 0
+    (List.length (commits acts1));
+  let acts2 = ack 2 in
+  (match commits acts2 with
+  | [ e ] -> Alcotest.(check int) "no-op committed at quorum" 1 e.Raft.Log.index
+  | _ -> Alcotest.fail "expected the no-op to commit");
+  Alcotest.(check int) "commit index" 1 (Server.commit_index s)
+
+let test_leader_propose_and_flush () =
+  let s = make ~self:0 () in
+  ignore (Server.start s);
+  ignore (elect s ~now:Time.zero);
+  (* Catch followers up on the no-op first. *)
+  List.iter
+    (fun from ->
+      ignore
+        (recv s ~from
+           (Rpc.Append_response
+              { term = Server.term s; success = true; match_index = 1; conflict_hint = 0 })
+           ~now:(Time.ms 1)))
+    [ 1; 2; 3; 4 ];
+  let acts =
+    Server.handle s ~now:(Time.ms 2)
+      (Server.Propose { payload = "p"; client_id = 9; seq = 1 })
+  in
+  Alcotest.(check bool) "flush requested" true
+    (List.exists (function Server.Request_flush -> true | _ -> false) acts);
+  let acts = Server.handle s ~now:(Time.ms 3) Server.Flush_due in
+  let appends =
+    sends acts
+    |> List.filter_map (fun (_, m) ->
+           match m with
+           | Rpc.Append_request { entries; _ } -> Some (List.length entries)
+           | _ -> None)
+  in
+  Alcotest.(check (list int)) "entry shipped to all followers" [ 1; 1; 1; 1 ]
+    appends
+
+let test_follower_rejects_stale_append () =
+  let s = make ~self:0 () in
+  ignore (Server.start s);
+  ignore
+    (recv s ~from:3
+       (Rpc.Heartbeat { term = 5; commit = 0; meta = heartbeat_meta () })
+       ~now:Time.zero);
+  let acts =
+    recv s ~from:1
+      (Rpc.Append_request
+         { term = 2; prev_index = 0; prev_term = 0; entries = []; commit = 0 })
+      ~now:(Time.ms 1)
+  in
+  match sends acts with
+  | [ (_, Rpc.Append_response { success; term; _ }) ] ->
+      Alcotest.(check bool) "refused" false success;
+      Alcotest.(check int) "carries current term" 5 term
+  | _ -> Alcotest.fail "expected one append response"
+
+let test_follower_commit_via_heartbeat () =
+  let s = make ~self:0 () in
+  ignore (Server.start s);
+  ignore
+    (recv s ~from:3
+       (Rpc.Append_request
+          {
+            term = 1;
+            prev_index = 0;
+            prev_term = 0;
+            entries = [ { Raft.Log.term = 1; index = 1; command = Raft.Log.Noop } ];
+            commit = 0;
+          })
+       ~now:Time.zero);
+  Alcotest.(check int) "not committed yet" 0 (Server.commit_index s);
+  let acts =
+    recv s ~from:3
+      (Rpc.Heartbeat { term = 1; commit = 1; meta = heartbeat_meta ~id:1 () })
+      ~now:(Time.ms 10)
+  in
+  Alcotest.(check int) "committed via heartbeat" 1 (Server.commit_index s);
+  Alcotest.(check int) "commit action carries the entry" 1
+    (List.length (commits acts))
+
+let test_conflict_backoff () =
+  let s = make ~self:0 () in
+  ignore (Server.start s);
+  ignore (elect s ~now:Time.zero);
+  let term = Server.term s in
+  (* Follower 1 reports a conflict; leader must retry from the hint. *)
+  let acts =
+    recv s ~from:1
+      (Rpc.Append_response
+         { term; success = false; match_index = 0; conflict_hint = 1 })
+      ~now:(Time.ms 1)
+  in
+  let retries =
+    sends acts
+    |> List.filter_map (fun (dst, m) ->
+           match m with
+           | Rpc.Append_request { prev_index; _ } when Node_id.to_int dst = 1 ->
+               Some prev_index
+           | _ -> None)
+  in
+  Alcotest.(check (list int)) "retries from hint - 1" [ 0 ] retries
+
+let dynatune_config () = Config.dynatune ()
+
+let test_dynatune_follower_piggybacks_h () =
+  let cfg =
+    Config.dynatune
+      ~cfg:{ Dynatune.Config.default with Dynatune.Config.min_list_size = 2 }
+      ()
+  in
+  let s = make ~config:cfg ~self:0 () in
+  ignore (Server.start s);
+  let hb i rtt now =
+    recv s ~from:3
+      (Rpc.Heartbeat
+         {
+           term = 1;
+           commit = 0;
+           meta = heartbeat_meta ~id:i ~sent_at:now ?rtt ();
+         })
+      ~now
+  in
+  (* While warming, no h is piggybacked. *)
+  let acts = hb 0 None Time.zero in
+  (match
+     List.filter_map
+       (fun (_, m) ->
+         match m with
+         | Rpc.Heartbeat_response r -> Some r.Rpc.echo.Rpc.tuned_h
+         | _ -> None)
+       (sends acts)
+   with
+  | [ None ] -> ()
+  | _ -> Alcotest.fail "no h expected while warming");
+  (* Two RTT samples warm the tuner (min_list_size = 2). *)
+  ignore (hb 1 (Some (Time.ms 50)) (Time.ms 100));
+  let acts = hb 2 (Some (Time.ms 50)) (Time.ms 200) in
+  match
+    List.filter_map
+      (fun (_, m) ->
+        match m with
+        | Rpc.Heartbeat_response r -> Some r.Rpc.echo.Rpc.tuned_h
+        | _ -> None)
+      (sends acts)
+  with
+  | [ Some h ] ->
+      Alcotest.(check int) "tuned h = Et (K=1, zero variance, no loss)"
+        (Time.ms 50) h
+  | _ -> Alcotest.fail "expected a piggybacked h"
+
+let test_dynatune_timeout_resets_tuner () =
+  let cfg =
+    Config.dynatune
+      ~cfg:{ Dynatune.Config.default with Dynatune.Config.min_list_size = 2 }
+      ()
+  in
+  let s = make ~config:cfg ~self:0 () in
+  ignore (Server.start s);
+  let hb i rtt now =
+    ignore
+      (recv s ~from:3
+         (Rpc.Heartbeat
+            {
+              term = 1;
+              commit = 0;
+              meta = heartbeat_meta ~id:i ~sent_at:now ?rtt ();
+            })
+         ~now)
+  in
+  hb 0 None Time.zero;
+  hb 1 (Some (Time.ms 50)) (Time.ms 100);
+  hb 2 (Some (Time.ms 50)) (Time.ms 200);
+  Alcotest.(check int) "tuned Et" (Time.ms 50) (Server.election_timeout_now s);
+  let acts = Server.handle s ~now:(Time.ms 400) Server.Election_timeout_fired in
+  Alcotest.(check bool) "tuner reset probe" true
+    (List.exists
+       (function Server.Probe (Probe.Tuner_reset _) -> true | _ -> false)
+       acts);
+  Alcotest.(check int) "fallback to default Et" (Time.ms 1000)
+    (Server.election_timeout_now s);
+  (* The re-armed timer must use the default range again. *)
+  match armed_election acts with
+  | [ span ] ->
+      Alcotest.(check bool) "randomized from defaults" true
+        (span >= Time.ms 1000 && span < Time.ms 2000)
+  | _ -> Alcotest.fail "expected a re-arm"
+
+let test_leader_applies_piggybacked_h () =
+  let s = make ~config:(dynatune_config ()) ~self:0 () in
+  ignore (Server.start s);
+  ignore (elect s ~now:Time.zero);
+  ignore
+    (recv s ~from:1
+       (Rpc.Heartbeat_response
+          {
+            term = Server.term s;
+            echo =
+              {
+                Rpc.hb_id = 0;
+                echo_sent_at = Time.zero;
+                tuned_h = Some (Time.ms 33);
+              };
+          })
+       ~now:(Time.ms 10));
+  Alcotest.(check (option int)) "interval applied toward that follower"
+    (Some (Time.ms 33))
+    (Server.heartbeat_interval_to s (nid 1));
+  Alcotest.(check (option int)) "other followers unchanged"
+    (Some (Time.ms 100))
+    (Server.heartbeat_interval_to s (nid 2))
+
+let test_static_leader_uses_broadcast_timer () =
+  let s = make ~config:(Config.static ()) ~self:0 () in
+  ignore (Server.start s);
+  let acts = elect s ~now:Time.zero in
+  Alcotest.(check bool) "broadcast timer armed" true
+    (List.exists
+       (function Server.Arm_broadcast _ -> true | _ -> false)
+       acts);
+  let acts = Server.handle s ~now:(Time.ms 100) Server.Broadcast_due in
+  let hbs =
+    sends acts
+    |> List.filter (fun (_, m) ->
+           match m with Rpc.Heartbeat _ -> true | _ -> false)
+  in
+  Alcotest.(check int) "heartbeats to all followers" 4 (List.length hbs)
+
+let test_dynatune_leader_uses_per_peer_timers () =
+  let s = make ~config:(dynatune_config ()) ~self:0 () in
+  ignore (Server.start s);
+  let acts = elect s ~now:Time.zero in
+  let armed =
+    List.filter_map
+      (function
+        | Server.Arm_heartbeat { peer; _ } -> Some (Node_id.to_int peer)
+        | _ -> None)
+      acts
+  in
+  Alcotest.(check (list int)) "one timer per follower" [ 1; 2; 3; 4 ]
+    (List.sort compare armed)
+
+let tests =
+  [
+    Alcotest.test_case "start arms election" `Quick test_start_arms_election;
+    Alcotest.test_case "randomization spreads over [Et,2Et)" `Quick
+      test_randomization_spread;
+    Alcotest.test_case "timeout starts pre-vote" `Quick
+      test_timeout_starts_prevote;
+    Alcotest.test_case "pre-vote can be disabled" `Quick
+      test_no_prevote_when_disabled;
+    Alcotest.test_case "pre-vote quorum starts election" `Quick
+      test_prevote_quorum_starts_election;
+    Alcotest.test_case "election win" `Quick test_election_win;
+    Alcotest.test_case "duplicate votes don't count" `Quick
+      test_duplicate_votes_dont_count;
+    Alcotest.test_case "one vote per term" `Quick test_vote_granted_once_per_term;
+    Alcotest.test_case "stale log refused" `Quick test_vote_rejected_for_stale_log;
+    Alcotest.test_case "leader stickiness" `Quick
+      test_leader_stickiness_rejects_votes;
+    Alcotest.test_case "heartbeat re-arms timer" `Quick
+      test_heartbeat_rearms_election_timer;
+    Alcotest.test_case "heartbeat echo" `Quick
+      test_heartbeat_response_echoes_timestamp;
+    Alcotest.test_case "pre-candidate aborts on leader contact" `Quick
+      test_pre_candidate_aborts_on_heartbeat;
+    Alcotest.test_case "step down on higher term" `Quick
+      test_step_down_on_higher_term_response;
+    Alcotest.test_case "replicate and commit at quorum" `Quick
+      test_leader_replicates_and_commits;
+    Alcotest.test_case "propose batches via flush" `Quick
+      test_leader_propose_and_flush;
+    Alcotest.test_case "stale append refused" `Quick
+      test_follower_rejects_stale_append;
+    Alcotest.test_case "commit via heartbeat" `Quick
+      test_follower_commit_via_heartbeat;
+    Alcotest.test_case "conflict backoff" `Quick test_conflict_backoff;
+    Alcotest.test_case "dynatune: follower piggybacks h" `Quick
+      test_dynatune_follower_piggybacks_h;
+    Alcotest.test_case "dynatune: timeout resets tuner" `Quick
+      test_dynatune_timeout_resets_tuner;
+    Alcotest.test_case "dynatune: leader applies h" `Quick
+      test_leader_applies_piggybacked_h;
+    Alcotest.test_case "static leader broadcast timer" `Quick
+      test_static_leader_uses_broadcast_timer;
+    Alcotest.test_case "dynatune per-peer timers" `Quick
+      test_dynatune_leader_uses_per_peer_timers;
+  ]

@@ -1,0 +1,252 @@
+(* Tests for log compaction and InstallSnapshot catch-up. *)
+
+module Cluster = Harness.Cluster
+module Fault = Harness.Fault
+module Time = Des.Time
+module Node_id = Netsim.Node_id
+module Log = Raft.Log
+
+(* {2 Log compaction unit tests} *)
+
+let filled_log n =
+  let l = Log.create () in
+  for _ = 1 to n do
+    ignore (Log.append_new l ~term:1 Log.Noop)
+  done;
+  l
+
+let test_compact_moves_boundary () =
+  let l = filled_log 10 in
+  Log.compact l ~upto:6;
+  Alcotest.(check int) "boundary" 6 (Log.snapshot_index l);
+  Alcotest.(check int) "boundary term" 1 (Log.snapshot_term l);
+  Alcotest.(check int) "entries kept" 4 (Log.length l);
+  Alcotest.(check int) "last index unchanged" 10 (Log.last_index l);
+  Alcotest.(check int) "first available" 7 (Log.first_available l);
+  Alcotest.(check (option int)) "compacted entries unavailable" None
+    (Log.term_at l 3);
+  Alcotest.(check (option int)) "boundary queryable" (Some 1) (Log.term_at l 6);
+  Alcotest.(check (option int)) "suffix intact" (Some 1) (Log.term_at l 9)
+
+let test_compact_idempotent_and_bounds () =
+  let l = filled_log 5 in
+  Log.compact l ~upto:3;
+  Log.compact l ~upto:2 (* no-op: below the boundary *);
+  Alcotest.(check int) "boundary unmoved" 3 (Log.snapshot_index l);
+  Alcotest.(check bool) "beyond end rejected" true
+    (try
+       Log.compact l ~upto:99;
+       false
+     with Invalid_argument _ -> true)
+
+let test_append_after_compaction () =
+  let l = filled_log 5 in
+  Log.compact l ~upto:5;
+  let e = Log.append_new l ~term:2 Log.Noop in
+  Alcotest.(check int) "indices continue" 6 e.Log.index;
+  Alcotest.(check int) "last term" 2 (Log.last_term l)
+
+let test_try_append_below_boundary () =
+  let l = filled_log 8 in
+  Log.compact l ~upto:6;
+  (* A stale append whose prev is compacted: the overlap is committed,
+     so it must succeed without touching the log. *)
+  let entries =
+    List.init 3 (fun i -> { Log.term = 1; index = 5 + i; command = Log.Noop })
+  in
+  (match Log.try_append l ~prev_index:4 ~prev_term:1 ~entries with
+  | `Ok covered -> Alcotest.(check int) "covered" 7 covered
+  | `Conflict _ -> Alcotest.fail "compacted prefix must match");
+  Alcotest.(check int) "log untouched" 8 (Log.last_index l)
+
+let test_install_snapshot_resets_log () =
+  let l = filled_log 4 in
+  Log.install_snapshot l ~index:20 ~term:7;
+  Alcotest.(check int) "boundary" 20 (Log.snapshot_index l);
+  Alcotest.(check int) "no entries" 0 (Log.length l);
+  Alcotest.(check int) "last index = boundary" 20 (Log.last_index l);
+  Alcotest.(check int) "last term from snapshot" 7 (Log.last_term l);
+  let e = Log.append_new l ~term:8 Log.Noop in
+  Alcotest.(check int) "appends continue past boundary" 21 e.Log.index
+
+let test_slice_skips_compacted () =
+  let l = filled_log 10 in
+  Log.compact l ~upto:5;
+  let s = Log.slice l ~from:3 ~max:100 in
+  Alcotest.(check int) "only available entries" 5 (List.length s);
+  match s with
+  | first :: _ -> Alcotest.(check int) "starts after boundary" 6 first.Log.index
+  | [] -> Alcotest.fail "expected entries"
+
+(* {2 Store snapshot serialization} *)
+
+let test_store_snapshot_roundtrip () =
+  let s = Kvsm.Store.create () in
+  List.iter
+    (fun (k, v) ->
+      ignore (Kvsm.Store.apply_command s (Kvsm.Command.Put { key = k; value = v })))
+    [ ("a", "1"); ("b:with:colons", "2:2"); ("", "empty-key") ];
+  match Kvsm.Store.of_serialized (Kvsm.Store.serialize s) with
+  | Error e -> Alcotest.fail e
+  | Ok restored ->
+      Alcotest.(check string) "identical state" (Kvsm.Store.state_digest s)
+        (Kvsm.Store.state_digest restored);
+      Alcotest.(check int) "applied count preserved"
+        (Kvsm.Store.applied_count s)
+        (Kvsm.Store.applied_count restored)
+
+let test_store_snapshot_rejects_garbage () =
+  List.iter
+    (fun payload ->
+      match Kvsm.Store.of_serialized payload with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted %S" payload)
+    [ ""; "xyz"; "3\n9:short" ]
+
+(* {2 End-to-end snapshot catch-up} *)
+
+let lan () = Netsim.Conditions.(constant (profile ~rtt_ms:10. ~jitter:0.02 ()))
+
+let make_cluster ?(threshold = 20) () =
+  let config =
+    Raft.Config.with_snapshots ~threshold (Raft.Config.static ())
+  in
+  let c = Cluster.create ~seed:31L ~n:3 ~config ~conditions:(lan ()) () in
+  Cluster.start c;
+  c
+
+let write_batch c ~from_seq ~n =
+  let committed = ref 0 in
+  for i = from_seq to from_seq + n - 1 do
+    (match
+       Cluster.submit_target c
+         ~payload:
+           (Kvsm.Command.to_payload
+              (Kvsm.Command.Put
+                 { key = Printf.sprintf "k%d" i; value = Printf.sprintf "v%d" i }))
+         ~client_id:1 ~seq:i
+         ~on_result:(fun ~committed:ok -> if ok then incr committed)
+     with
+    | `Accepted -> ()
+    | `Not_leader _ -> ());
+    Cluster.run_for c (Time.ms 20)
+  done;
+  Cluster.run_for c (Time.sec 1);
+  !committed
+
+let test_log_compacts_under_load () =
+  let c = make_cluster ~threshold:20 () in
+  ignore (Cluster.await_leader c ~timeout:(Time.sec 20));
+  let n = write_batch c ~from_seq:1 ~n:60 in
+  Alcotest.(check int) "all committed" 60 n;
+  List.iter
+    (fun id ->
+      let log = Raft.Server.log (Raft.Node.server (Cluster.node c id)) in
+      Alcotest.(check bool)
+        (Printf.sprintf "node %d compacted (boundary %d)"
+           (Node_id.to_int id) (Log.snapshot_index log))
+        true
+        (Log.snapshot_index log > 0);
+      Alcotest.(check bool) "log bounded" true (Log.length log <= 41))
+    (Cluster.node_ids c)
+
+let test_laggard_catches_up_via_snapshot () =
+  let c = make_cluster ~threshold:10 () in
+  ignore (Cluster.await_leader c ~timeout:(Time.sec 20));
+  let leader =
+    match Cluster.leader c with Some l -> Raft.Node.id l | None -> assert false
+  in
+  let laggard =
+    List.find (fun id -> not (Node_id.equal id leader)) (Cluster.node_ids c)
+  in
+  (* Disconnect the laggard, then commit far past the compaction point. *)
+  Fault.pause c laggard;
+  let n = write_batch c ~from_seq:1 ~n:50 in
+  Alcotest.(check int) "committed without the laggard" 50 n;
+  let leader_log = Raft.Server.log (Raft.Node.server (Cluster.node c leader)) in
+  Alcotest.(check bool) "leader compacted past the laggard" true
+    (Log.snapshot_index leader_log > 0);
+  (* Reconnect: the laggard is behind the boundary, so only an
+     InstallSnapshot can catch it up. *)
+  Fault.recover c laggard;
+  Cluster.run_for c (Time.sec 5);
+  Alcotest.(check string) "laggard replica converged"
+    (Kvsm.Store.state_digest (Cluster.store c leader))
+    (Kvsm.Store.state_digest (Cluster.store c laggard));
+  let server = Raft.Node.server (Cluster.node c laggard) in
+  Alcotest.(check bool) "laggard adopted a snapshot boundary" true
+    (Log.snapshot_index (Raft.Server.log server) > 0);
+  Alcotest.(check int) "laggard commit caught up"
+    (Raft.Server.commit_index (Raft.Node.server (Cluster.node c leader)))
+    (Raft.Server.commit_index server)
+
+let test_crash_restart_with_snapshot () =
+  let c = make_cluster ~threshold:10 () in
+  ignore (Cluster.await_leader c ~timeout:(Time.sec 20));
+  let n = write_batch c ~from_seq:1 ~n:40 in
+  Alcotest.(check int) "committed" 40 n;
+  let leader =
+    match Cluster.leader c with Some l -> Raft.Node.id l | None -> assert false
+  in
+  let victim =
+    List.find (fun id -> not (Node_id.equal id leader)) (Cluster.node_ids c)
+  in
+  Alcotest.(check bool) "victim had compacted" true
+    (Log.snapshot_index (Raft.Server.log (Raft.Node.server (Cluster.node c victim))) > 0);
+  Fault.crash_and_restart c victim ~downtime:(Time.sec 1);
+  Cluster.run_for c (Time.sec 3);
+  (* The replica is rebuilt from its persisted snapshot + log suffix. *)
+  Alcotest.(check string) "restored replica converged"
+    (Kvsm.Store.state_digest (Cluster.store c leader))
+    (Kvsm.Store.state_digest (Cluster.store c victim))
+
+let test_snapshots_preserve_liveness_under_failover () =
+  let c = make_cluster ~threshold:15 () in
+  ignore (Cluster.await_leader c ~timeout:(Time.sec 20));
+  ignore (write_batch c ~from_seq:1 ~n:30);
+  (match Fault.fail_and_measure c () with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail m);
+  ignore (Cluster.await_leader c ~timeout:(Time.sec 20));
+  let n = write_batch c ~from_seq:100 ~n:30 in
+  Alcotest.(check bool) "writes continue after failover with snapshots" true
+    (n >= 28);
+  Cluster.run_for c (Time.sec 3);
+  let digests =
+    List.filter_map
+      (fun id ->
+        if Raft.Node.is_paused (Cluster.node c id) then None
+        else Some (Kvsm.Store.state_digest (Cluster.store c id)))
+      (Cluster.node_ids c)
+  in
+  match digests with
+  | d :: rest -> List.iter (Alcotest.(check string) "converged" d) rest
+  | [] -> Alcotest.fail "no stores"
+
+let tests =
+  [
+    Alcotest.test_case "log: compact moves boundary" `Quick
+      test_compact_moves_boundary;
+    Alcotest.test_case "log: compact bounds" `Quick
+      test_compact_idempotent_and_bounds;
+    Alcotest.test_case "log: append after compaction" `Quick
+      test_append_after_compaction;
+    Alcotest.test_case "log: stale append below boundary" `Quick
+      test_try_append_below_boundary;
+    Alcotest.test_case "log: install snapshot" `Quick
+      test_install_snapshot_resets_log;
+    Alcotest.test_case "log: slice skips compacted" `Quick
+      test_slice_skips_compacted;
+    Alcotest.test_case "store: snapshot roundtrip" `Quick
+      test_store_snapshot_roundtrip;
+    Alcotest.test_case "store: snapshot rejects garbage" `Quick
+      test_store_snapshot_rejects_garbage;
+    Alcotest.test_case "e2e: log compacts under load" `Quick
+      test_log_compacts_under_load;
+    Alcotest.test_case "e2e: laggard catch-up via snapshot" `Quick
+      test_laggard_catches_up_via_snapshot;
+    Alcotest.test_case "e2e: crash-restart with snapshot" `Quick
+      test_crash_restart_with_snapshot;
+    Alcotest.test_case "e2e: liveness under failover" `Quick
+      test_snapshots_preserve_liveness_under_failover;
+  ]

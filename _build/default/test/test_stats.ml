@@ -1,0 +1,393 @@
+(* Unit tests for the statistics substrate. *)
+
+module Rng = Stats.Rng
+module Dist = Stats.Dist
+module Welford = Stats.Welford
+module Window = Stats.Window
+module Summary = Stats.Summary
+module Histogram = Stats.Histogram
+module Timeseries = Stats.Timeseries
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_close ?(eps = 1e-6) msg a b = Alcotest.(check (float eps)) msg a b
+
+(* {2 Rng} *)
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:42L () and b = Rng.create ~seed:42L () in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_rng_seed_changes_stream () =
+  let a = Rng.create ~seed:1L () and b = Rng.create ~seed:2L () in
+  let distinct = ref false in
+  for _ = 1 to 16 do
+    if Rng.int64 a <> Rng.int64 b then distinct := true
+  done;
+  Alcotest.(check bool) "different seeds differ" true !distinct
+
+let test_rng_split_independent () =
+  let root = Rng.create ~seed:3L () in
+  let a = Rng.split root "alpha" and b = Rng.split root "beta" in
+  let a' = Rng.split root "alpha" in
+  Alcotest.(check int64) "same name same stream" (Rng.int64 a) (Rng.int64 a');
+  Alcotest.(check bool)
+    "different names differ" true
+    (Rng.int64 a <> Rng.int64 b)
+
+let test_rng_split_does_not_advance_parent () =
+  let a = Rng.create ~seed:9L () and b = Rng.create ~seed:9L () in
+  ignore (Rng.split a "x" : Rng.t);
+  Alcotest.(check int64) "parent unchanged" (Rng.int64 a) (Rng.int64 b)
+
+let test_rng_int_bounds () =
+  let rng = Rng.create ~seed:5L () in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 7 in
+    if v < 0 || v >= 7 then Alcotest.failf "out of range: %d" v
+  done
+
+let test_rng_int_rejects_nonpositive () =
+  let rng = Rng.create () in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0 : int))
+
+let test_rng_float_range () =
+  let rng = Rng.create ~seed:11L () in
+  for _ = 1 to 10_000 do
+    let v = Rng.float rng in
+    if v < 0. || v >= 1. then Alcotest.failf "out of range: %f" v
+  done
+
+let test_rng_float_mean () =
+  let rng = Rng.create ~seed:13L () in
+  let w = Welford.create () in
+  for _ = 1 to 50_000 do
+    Welford.add w (Rng.float rng)
+  done;
+  check_close ~eps:0.01 "uniform mean 0.5" 0.5 (Welford.mean w)
+
+let test_rng_bernoulli_extremes () =
+  let rng = Rng.create ~seed:17L () in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "p=0 never" false (Rng.bernoulli rng 0.);
+    Alcotest.(check bool) "p=1 always" true (Rng.bernoulli rng 1.)
+  done
+
+let test_rng_bernoulli_rate () =
+  let rng = Rng.create ~seed:19L () in
+  let hits = ref 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    if Rng.bernoulli rng 0.3 then incr hits
+  done;
+  check_close ~eps:0.01 "p=0.3" 0.3 (float_of_int !hits /. float_of_int n)
+
+let test_rng_shuffle_permutes () =
+  let rng = Rng.create ~seed:23L () in
+  let a = Array.init 100 Fun.id in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "still a permutation"
+    (Array.init 100 Fun.id) sorted
+
+(* {2 Dist} *)
+
+let sample_stats n f =
+  let w = Welford.create () in
+  for _ = 1 to n do
+    Welford.add w (f ())
+  done;
+  w
+
+let test_exponential_mean () =
+  let rng = Rng.create ~seed:29L () in
+  let w = sample_stats 100_000 (fun () -> Dist.exponential rng ~rate:4.) in
+  check_close ~eps:0.01 "mean 1/rate" 0.25 (Welford.mean w)
+
+let test_exponential_positive () =
+  let rng = Rng.create ~seed:31L () in
+  for _ = 1 to 10_000 do
+    if Dist.exponential rng ~rate:0.5 < 0. then Alcotest.fail "negative"
+  done
+
+let test_normal_moments () =
+  let rng = Rng.create ~seed:37L () in
+  let w = sample_stats 100_000 (fun () -> Dist.normal rng ~mu:3. ~sigma:2.) in
+  check_close ~eps:0.05 "mean" 3. (Welford.mean w);
+  check_close ~eps:0.05 "std" 2. (Welford.std w)
+
+let test_lognormal_mean_preserving () =
+  let rng = Rng.create ~seed:41L () in
+  let w =
+    sample_stats 200_000 (fun () ->
+        Dist.lognormal_mean_preserving rng ~sigma:0.5)
+  in
+  check_close ~eps:0.02 "mean 1" 1. (Welford.mean w)
+
+let test_lognormal_zero_sigma () =
+  let rng = Rng.create ~seed:43L () in
+  check_float "sigma 0 gives exactly 1" 1.
+    (Dist.lognormal_mean_preserving rng ~sigma:0.)
+
+let test_truncated_normal_respects_floor () =
+  let rng = Rng.create ~seed:47L () in
+  for _ = 1 to 10_000 do
+    let v = Dist.truncated_normal rng ~mu:0. ~sigma:5. ~lo:1. in
+    if v < 1. then Alcotest.failf "below floor: %f" v
+  done
+
+let test_poisson_mean () =
+  let rng = Rng.create ~seed:53L () in
+  let w =
+    sample_stats 50_000 (fun () -> float_of_int (Dist.poisson rng ~mean:6.))
+  in
+  check_close ~eps:0.1 "mean 6" 6. (Welford.mean w)
+
+let test_poisson_large_mean_normal_approx () =
+  let rng = Rng.create ~seed:59L () in
+  let w =
+    sample_stats 20_000 (fun () -> float_of_int (Dist.poisson rng ~mean:200.))
+  in
+  check_close ~eps:2. "mean 200" 200. (Welford.mean w)
+
+let test_categorical_weights () =
+  let rng = Rng.create ~seed:61L () in
+  let counts = Array.make 3 0 in
+  let n = 60_000 in
+  for _ = 1 to n do
+    let i = Dist.categorical rng ~weights:[| 1.; 2.; 3. |] in
+    counts.(i) <- counts.(i) + 1
+  done;
+  check_close ~eps:0.02 "weight 1/6" (1. /. 6.)
+    (float_of_int counts.(0) /. float_of_int n);
+  check_close ~eps:0.02 "weight 3/6" 0.5
+    (float_of_int counts.(2) /. float_of_int n)
+
+(* {2 Welford} *)
+
+let test_welford_basic () =
+  let w = Welford.create () in
+  List.iter (Welford.add w) [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ];
+  check_float "mean" 5. (Welford.mean w);
+  check_float "population variance" 4. (Welford.variance w);
+  check_float "min" 2. (Welford.min w);
+  check_float "max" 9. (Welford.max w);
+  Alcotest.(check int) "count" 8 (Welford.count w)
+
+let test_welford_empty () =
+  let w = Welford.create () in
+  check_float "empty mean" 0. (Welford.mean w);
+  check_float "empty variance" 0. (Welford.variance w)
+
+let test_welford_merge () =
+  let all = Welford.create () in
+  let a = Welford.create () and b = Welford.create () in
+  List.iteri
+    (fun i x ->
+      Welford.add all x;
+      if i mod 2 = 0 then Welford.add a x else Welford.add b x)
+    [ 1.; 5.; 2.; 8.; 3.; 9.; 4.; 7.; 6.; 0. ];
+  let merged = Welford.merge a b in
+  check_close "merged mean" (Welford.mean all) (Welford.mean merged);
+  check_close "merged variance" (Welford.variance all)
+    (Welford.variance merged);
+  check_float "merged min" (Welford.min all) (Welford.min merged)
+
+(* {2 Window} *)
+
+let test_window_eviction () =
+  let w = Window.create ~capacity:3 in
+  List.iter (Window.push w) [ 1.; 2.; 3.; 4. ];
+  Alcotest.(check int) "bounded" 3 (Window.length w);
+  Alcotest.(check (list (float 1e-9))) "oldest evicted" [ 2.; 3.; 4. ]
+    (Window.to_list w)
+
+let test_window_stats () =
+  let w = Window.create ~capacity:10 in
+  List.iter (Window.push w) [ 2.; 4.; 6. ];
+  check_float "mean" 4. (Window.mean w);
+  check_close "std" (sqrt (8. /. 3.)) (Window.std w);
+  check_float "min" 2. (Window.min w);
+  check_float "max" 6. (Window.max w)
+
+let test_window_stats_after_eviction () =
+  let w = Window.create ~capacity:2 in
+  List.iter (Window.push w) [ 100.; 1.; 3. ];
+  check_float "mean of survivors" 2. (Window.mean w);
+  check_float "std of survivors" 1. (Window.std w)
+
+let test_window_clear () =
+  let w = Window.create ~capacity:4 in
+  List.iter (Window.push w) [ 1.; 2. ];
+  Window.clear w;
+  Alcotest.(check int) "empty" 0 (Window.length w);
+  check_float "mean resets" 0. (Window.mean w)
+
+let test_window_numerical_stability () =
+  (* Many pushes with eviction: running sums must not drift. *)
+  let w = Window.create ~capacity:50 in
+  for i = 1 to 100_000 do
+    Window.push w (1e9 +. float_of_int (i mod 7))
+  done;
+  let expected_mean =
+    let xs = Window.to_list w in
+    List.fold_left ( +. ) 0. xs /. 50.
+  in
+  check_close ~eps:1e-3 "mean matches recomputation" expected_mean
+    (Window.mean w);
+  Alcotest.(check bool) "std finite and small" true (Window.std w < 3.)
+
+let test_window_single_element_std () =
+  let w = Window.create ~capacity:4 in
+  Window.push w 42.;
+  check_float "single sample std" 0. (Window.std w)
+
+(* {2 Summary} *)
+
+let test_summary_percentiles () =
+  let s = Summary.of_list [ 1.; 2.; 3.; 4.; 5.; 6.; 7.; 8.; 9.; 10. ] in
+  check_float "p0 = min" 1. (Summary.percentile s 0.);
+  check_float "p100 = max" 10. (Summary.percentile s 100.);
+  check_float "median" 5.5 (Summary.median s);
+  check_float "mean" 5.5 (Summary.mean s)
+
+let test_summary_cdf_at () =
+  let s = Summary.of_list [ 1.; 2.; 3.; 4. ] in
+  check_float "cdf below" 0. (Summary.cdf_at s 0.5);
+  check_float "cdf mid" 0.5 (Summary.cdf_at s 2.);
+  check_float "cdf above" 1. (Summary.cdf_at s 10.)
+
+let test_summary_cdf_monotone () =
+  let s = Summary.of_list [ 5.; 1.; 3.; 2.; 4.; 9.; 7. ] in
+  let points = Summary.cdf s ~points:20 in
+  let rec check_sorted = function
+    | (v1, p1) :: ((v2, p2) :: _ as rest) ->
+        Alcotest.(check bool) "values non-decreasing" true (v2 >= v1);
+        Alcotest.(check bool) "probs non-decreasing" true (p2 >= p1);
+        check_sorted rest
+    | _ -> ()
+  in
+  check_sorted points
+
+let test_summary_empty () =
+  let s = Summary.of_list [] in
+  Alcotest.(check int) "count" 0 (Summary.count s);
+  Alcotest.(check bool) "nan percentile" true
+    (Float.is_nan (Summary.percentile s 50.))
+
+(* {2 Histogram} *)
+
+let test_histogram_binning () =
+  let h = Histogram.create ~lo:0. ~hi:10. ~bins:10 in
+  List.iter (Histogram.add h) [ 0.5; 1.5; 1.9; 9.99; -1.; 10.; 20. ];
+  Alcotest.(check int) "bin 0" 1 (Histogram.bin_count h 0);
+  Alcotest.(check int) "bin 1" 2 (Histogram.bin_count h 1);
+  Alcotest.(check int) "bin 9" 1 (Histogram.bin_count h 9);
+  Alcotest.(check int) "underflow" 1 (Histogram.underflow h);
+  Alcotest.(check int) "overflow" 2 (Histogram.overflow h);
+  Alcotest.(check int) "total" 7 (Histogram.count h)
+
+let test_histogram_bounds () =
+  let h = Histogram.create ~lo:0. ~hi:100. ~bins:4 in
+  let lo, hi = Histogram.bin_bounds h 1 in
+  check_float "bin lo" 25. lo;
+  check_float "bin hi" 50. hi
+
+(* {2 Timeseries} *)
+
+let test_timeseries_bucketing () =
+  let ts = Timeseries.create ~name:"t" () in
+  Timeseries.push ts ~time:0.1 ~value:1.;
+  Timeseries.push ts ~time:0.2 ~value:3.;
+  Timeseries.push ts ~time:1.4 ~value:10.;
+  Timeseries.push ts ~time:2.9 ~value:5.;
+  let buckets = Timeseries.bucket ts ~width:1. ~agg:Timeseries.Mean in
+  match buckets with
+  | [ (_, b0); (_, b1); (_, b2) ] ->
+      check_float "bucket 0 mean" 2. b0;
+      check_float "bucket 1" 10. b1;
+      check_float "bucket 2" 5. b2
+  | l -> Alcotest.failf "expected 3 buckets, got %d" (List.length l)
+
+let test_timeseries_values_in () =
+  let ts = Timeseries.create () in
+  List.iter
+    (fun (t, v) -> Timeseries.push ts ~time:t ~value:v)
+    [ (0., 1.); (1., 2.); (2., 3.); (3., 4.) ];
+  Alcotest.(check (list (float 1e-9))) "window [1,3)" [ 2.; 3. ]
+    (Timeseries.values_in ts ~lo:1. ~hi:3.)
+
+let test_timeseries_aggregations () =
+  let ts = Timeseries.create () in
+  List.iter
+    (fun v -> Timeseries.push ts ~time:0.5 ~value:v)
+    [ 1.; 5.; 3. ];
+  let get agg =
+    match Timeseries.bucket ts ~width:1. ~agg with
+    | [ (_, v) ] -> v
+    | _ -> Alcotest.fail "expected one bucket"
+  in
+  check_float "sum" 9. (get Timeseries.Sum);
+  check_float "max" 5. (get Timeseries.Max);
+  check_float "min" 1. (get Timeseries.Min);
+  check_float "last" 3. (get Timeseries.Last);
+  check_float "count" 3. (get Timeseries.Count)
+
+let tests =
+  [
+    Alcotest.test_case "rng: deterministic" `Quick test_rng_deterministic;
+    Alcotest.test_case "rng: seed changes stream" `Quick
+      test_rng_seed_changes_stream;
+    Alcotest.test_case "rng: named splits" `Quick test_rng_split_independent;
+    Alcotest.test_case "rng: split keeps parent" `Quick
+      test_rng_split_does_not_advance_parent;
+    Alcotest.test_case "rng: int bounds" `Quick test_rng_int_bounds;
+    Alcotest.test_case "rng: int rejects 0" `Quick test_rng_int_rejects_nonpositive;
+    Alcotest.test_case "rng: float range" `Quick test_rng_float_range;
+    Alcotest.test_case "rng: float mean" `Slow test_rng_float_mean;
+    Alcotest.test_case "rng: bernoulli extremes" `Quick
+      test_rng_bernoulli_extremes;
+    Alcotest.test_case "rng: bernoulli rate" `Slow test_rng_bernoulli_rate;
+    Alcotest.test_case "rng: shuffle permutes" `Quick test_rng_shuffle_permutes;
+    Alcotest.test_case "dist: exponential mean" `Slow test_exponential_mean;
+    Alcotest.test_case "dist: exponential positive" `Quick
+      test_exponential_positive;
+    Alcotest.test_case "dist: normal moments" `Slow test_normal_moments;
+    Alcotest.test_case "dist: lognormal mean-preserving" `Slow
+      test_lognormal_mean_preserving;
+    Alcotest.test_case "dist: lognormal sigma 0" `Quick
+      test_lognormal_zero_sigma;
+    Alcotest.test_case "dist: truncated normal floor" `Quick
+      test_truncated_normal_respects_floor;
+    Alcotest.test_case "dist: poisson mean" `Slow test_poisson_mean;
+    Alcotest.test_case "dist: poisson normal approx" `Slow
+      test_poisson_large_mean_normal_approx;
+    Alcotest.test_case "dist: categorical weights" `Slow
+      test_categorical_weights;
+    Alcotest.test_case "welford: basic moments" `Quick test_welford_basic;
+    Alcotest.test_case "welford: empty" `Quick test_welford_empty;
+    Alcotest.test_case "welford: merge" `Quick test_welford_merge;
+    Alcotest.test_case "window: eviction" `Quick test_window_eviction;
+    Alcotest.test_case "window: stats" `Quick test_window_stats;
+    Alcotest.test_case "window: stats after eviction" `Quick
+      test_window_stats_after_eviction;
+    Alcotest.test_case "window: clear" `Quick test_window_clear;
+    Alcotest.test_case "window: numerical stability" `Slow
+      test_window_numerical_stability;
+    Alcotest.test_case "window: single sample std" `Quick
+      test_window_single_element_std;
+    Alcotest.test_case "summary: percentiles" `Quick test_summary_percentiles;
+    Alcotest.test_case "summary: cdf_at" `Quick test_summary_cdf_at;
+    Alcotest.test_case "summary: cdf monotone" `Quick test_summary_cdf_monotone;
+    Alcotest.test_case "summary: empty" `Quick test_summary_empty;
+    Alcotest.test_case "histogram: binning" `Quick test_histogram_binning;
+    Alcotest.test_case "histogram: bounds" `Quick test_histogram_bounds;
+    Alcotest.test_case "timeseries: bucketing" `Quick test_timeseries_bucketing;
+    Alcotest.test_case "timeseries: window query" `Quick
+      test_timeseries_values_in;
+    Alcotest.test_case "timeseries: aggregations" `Quick
+      test_timeseries_aggregations;
+  ]

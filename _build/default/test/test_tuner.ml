@@ -1,0 +1,441 @@
+(* Unit tests for the Dynatune core: estimators, tuner, leader path. *)
+
+module Time = Des.Time
+module Config = Dynatune.Config
+module Rtt = Dynatune.Rtt_estimator
+module Loss = Dynatune.Loss_estimator
+module Tuner = Dynatune.Tuner
+module Leader_path = Dynatune.Leader_path
+
+let check_ms = Alcotest.(check int)
+
+(* {2 Config} *)
+
+let test_config_default_valid () =
+  match Config.validate Config.default with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.fail msg
+
+let test_config_rejects_bad () =
+  let bad_cases =
+    [
+      { Config.default with Config.safety_factor = -1. };
+      { Config.default with Config.arrival_probability = 1. };
+      { Config.default with Config.arrival_probability = 0. };
+      { Config.default with Config.min_list_size = 1 };
+      { Config.default with Config.max_list_size = 5 };
+      { Config.default with Config.min_heartbeat_interval = 0 };
+    ]
+  in
+  List.iteri
+    (fun i cfg ->
+      match Config.validate cfg with
+      | Ok _ -> Alcotest.failf "case %d should be rejected" i
+      | Error _ -> ())
+    bad_cases
+
+(* {2 Rtt_estimator} *)
+
+let test_rtt_warmup_threshold () =
+  let r = Rtt.create ~min_size:3 ~max_size:10 in
+  Rtt.observe r (Time.ms 10);
+  Rtt.observe r (Time.ms 12);
+  Alcotest.(check bool) "not warm at 2" false (Rtt.warmed_up r);
+  Alcotest.(check (option int)) "no Et before warm" None
+    (Rtt.election_timeout r ~s:2.);
+  Rtt.observe r (Time.ms 14);
+  Alcotest.(check bool) "warm at 3" true (Rtt.warmed_up r)
+
+let test_rtt_election_timeout_formula () =
+  let r = Rtt.create ~min_size:2 ~max_size:10 in
+  Rtt.observe r (Time.ms 100);
+  Rtt.observe r (Time.ms 140);
+  (* mean = 120ms, population std = 20ms, s = 2 -> 160ms *)
+  (match Rtt.election_timeout r ~s:2. with
+  | Some et -> check_ms "mu + 2 sigma" (Time.ms 160) et
+  | None -> Alcotest.fail "warmed up");
+  match Rtt.election_timeout r ~s:0. with
+  | Some et -> check_ms "s=0 gives mean" (Time.ms 120) et
+  | None -> Alcotest.fail "warmed up"
+
+let test_rtt_window_slides () =
+  let r = Rtt.create ~min_size:2 ~max_size:3 in
+  List.iter (Rtt.observe r) [ Time.ms 1000; Time.ms 10; Time.ms 10; Time.ms 10 ];
+  check_ms "old sample evicted" (Time.ms 10) (Rtt.mean r)
+
+let test_rtt_clear () =
+  let r = Rtt.create ~min_size:2 ~max_size:10 in
+  List.iter (Rtt.observe r) [ Time.ms 5; Time.ms 7 ];
+  Rtt.clear r;
+  Alcotest.(check int) "empty" 0 (Rtt.length r);
+  Alcotest.(check bool) "not warm" false (Rtt.warmed_up r)
+
+(* {2 Loss_estimator} *)
+
+let test_loss_no_loss () =
+  let l = Loss.create ~min_size:2 ~max_size:100 in
+  for i = 0 to 9 do
+    ignore (Loss.observe l i)
+  done;
+  Alcotest.(check (float 1e-9)) "no gaps" 0. (Loss.loss_rate l);
+  Alcotest.(check int) "expected count" 10 (Loss.expected l)
+
+let test_loss_gap_detection () =
+  let l = Loss.create ~min_size:2 ~max_size:100 in
+  (* ids 0..9 with 5 missing: received 5 of expected 10. *)
+  List.iter (fun i -> ignore (Loss.observe l i)) [ 0; 2; 4; 6; 9 ];
+  Alcotest.(check (float 1e-9)) "half lost" 0.5 (Loss.loss_rate l)
+
+let test_loss_duplicates_ignored () =
+  let l = Loss.create ~min_size:2 ~max_size:100 in
+  Alcotest.(check bool) "first recorded" true (Loss.observe l 5 = `Recorded);
+  Alcotest.(check bool) "duplicate flagged" true (Loss.observe l 5 = `Duplicate);
+  ignore (Loss.observe l 6);
+  Alcotest.(check int) "length ignores duplicates" 2 (Loss.length l)
+
+let test_loss_out_of_order () =
+  let l = Loss.create ~min_size:2 ~max_size:100 in
+  List.iter (fun i -> ignore (Loss.observe l i)) [ 3; 1; 2; 0 ];
+  Alcotest.(check (option (pair int int))) "sorted span" (Some (0, 3))
+    (Loss.span l);
+  Alcotest.(check (float 1e-9)) "no loss despite reordering" 0.
+    (Loss.loss_rate l)
+
+let test_loss_eviction_keeps_recent () =
+  let l = Loss.create ~min_size:2 ~max_size:4 in
+  for i = 0 to 9 do
+    ignore (Loss.observe l i)
+  done;
+  Alcotest.(check int) "bounded" 4 (Loss.length l);
+  Alcotest.(check (option (pair int int))) "recent ids kept" (Some (6, 9))
+    (Loss.span l)
+
+let test_loss_eviction_with_insert_in_middle () =
+  let l = Loss.create ~min_size:2 ~max_size:3 in
+  List.iter (fun i -> ignore (Loss.observe l i)) [ 2; 4; 6 ];
+  (* Full; inserting 5 evicts the oldest (2) and keeps order. *)
+  ignore (Loss.observe l 5);
+  Alcotest.(check (option (pair int int))) "span" (Some (4, 6)) (Loss.span l);
+  Alcotest.(check int) "len" 3 (Loss.length l)
+
+(* {2 required_heartbeats formula} *)
+
+let test_required_heartbeats_formula () =
+  let k p x = Tuner.required_heartbeats_for ~p ~x in
+  Alcotest.(check int) "p=0 -> 1" 1 (k 0. 0.999);
+  Alcotest.(check int) "p=0.05 x=0.999 -> 3" 3 (k 0.05 0.999);
+  Alcotest.(check int) "p=0.10 x=0.999 -> 3" 3 (k 0.10 0.999);
+  Alcotest.(check int) "p=0.30 x=0.999 -> 6" 6 (k 0.30 0.999);
+  Alcotest.(check int) "p=0.5 x=0.999 -> 10" 10 (k 0.5 0.999);
+  Alcotest.(check int) "p=1 -> max_int" max_int (k 1. 0.999)
+
+let test_required_heartbeats_guarantee () =
+  (* K must actually achieve 1 - p^K >= x. *)
+  List.iter
+    (fun p ->
+      List.iter
+        (fun x ->
+          let k = Tuner.required_heartbeats_for ~p ~x in
+          Alcotest.(check bool)
+            (Printf.sprintf "p=%.2f x=%.4f k=%d" p x k)
+            true
+            (1. -. (p ** float_of_int k) >= x -. 1e-12))
+        [ 0.9; 0.99; 0.999; 0.9999 ])
+    [ 0.01; 0.05; 0.1; 0.2; 0.3; 0.5; 0.8 ]
+
+(* {2 Tuner} *)
+
+let small_cfg =
+  {
+    Config.default with
+    Config.min_list_size = 3;
+    max_list_size = 10;
+  }
+
+let feed tuner ~n ~rtt ?(skip = fun _ -> false) () =
+  let id = ref 0 in
+  for i = 0 to n - 1 do
+    if not (skip i) then
+      Tuner.observe_heartbeat tuner ~hb_id:!id ~rtt:(Some rtt);
+    incr id
+  done
+
+let test_tuner_warming_uses_defaults () =
+  let t = Tuner.create small_cfg in
+  Alcotest.(check bool) "starts warming" true (Tuner.phase t = Tuner.Warming);
+  check_ms "default Et" Config.default.Config.default_election_timeout
+    (Tuner.election_timeout t);
+  check_ms "default h" Config.default.Config.default_heartbeat_interval
+    (Tuner.heartbeat_interval t)
+
+let test_tuner_tunes_after_warmup () =
+  let t = Tuner.create small_cfg in
+  feed t ~n:5 ~rtt:(Time.ms 100) ();
+  Alcotest.(check bool) "tuned" true (Tuner.phase t = Tuner.Tuned);
+  (* Zero variance: Et = mean = 100ms (above the 10ms clamp). *)
+  check_ms "Et = rtt" (Time.ms 100) (Tuner.election_timeout t);
+  (* p=0 -> K=1 -> h = Et. *)
+  Alcotest.(check int) "K=1 when lossless" 1 (Tuner.required_heartbeats t);
+  check_ms "h = Et" (Time.ms 100) (Tuner.heartbeat_interval t)
+
+let test_tuner_h_under_loss () =
+  let t = Tuner.create { small_cfg with Config.max_list_size = 100 } in
+  (* Drop 30% of heartbeat ids (deterministic pattern: 3 in 10).  With
+     ids 3..99 retained, p = 1 - 70/97 ≈ 0.278. *)
+  feed t ~n:100 ~rtt:(Time.ms 100) ~skip:(fun i -> i mod 10 < 3) ();
+  let p = Tuner.loss_rate t in
+  Alcotest.(check bool)
+    (Printf.sprintf "loss %.3f near 0.3" p)
+    true
+    (p > 0.25 && p < 0.35);
+  let k = Tuner.required_heartbeats t in
+  Alcotest.(check int) "K for 30% loss" 6 k;
+  check_ms "h = Et/K"
+    (Tuner.election_timeout t / k)
+    (Tuner.heartbeat_interval t)
+
+let test_tuner_reset_falls_back () =
+  let t = Tuner.create small_cfg in
+  feed t ~n:5 ~rtt:(Time.ms 50) ();
+  Alcotest.(check bool) "tuned before reset" true (Tuner.phase t = Tuner.Tuned);
+  Tuner.reset t;
+  Alcotest.(check bool) "warming after reset" true
+    (Tuner.phase t = Tuner.Warming);
+  check_ms "default Et restored"
+    Config.default.Config.default_election_timeout (Tuner.election_timeout t)
+
+let test_tuner_et_clamped_below () =
+  let t = Tuner.create small_cfg in
+  feed t ~n:5 ~rtt:(Time.us 100) ();
+  check_ms "clamped to min_election_timeout"
+    small_cfg.Config.min_election_timeout (Tuner.election_timeout t)
+
+let test_tuner_et_clamped_above () =
+  let cfg = { small_cfg with Config.max_election_timeout = Time.ms 300 } in
+  let t = Tuner.create cfg in
+  feed t ~n:5 ~rtt:(Time.ms 2000) ();
+  check_ms "clamped to max_election_timeout" (Time.ms 300)
+    (Tuner.election_timeout t)
+
+let test_tuner_duplicate_ids_dont_advance () =
+  let t = Tuner.create small_cfg in
+  for _ = 1 to 10 do
+    Tuner.observe_heartbeat t ~hb_id:0 ~rtt:(Some (Time.ms 10))
+  done;
+  Alcotest.(check int) "one sample" 1 (Tuner.samples t);
+  Alcotest.(check bool) "still warming" true (Tuner.phase t = Tuner.Warming)
+
+let test_tuner_et_tracks_rtt_increase () =
+  let t = Tuner.create small_cfg in
+  feed t ~n:10 ~rtt:(Time.ms 50) ();
+  let et_before = Tuner.election_timeout t in
+  (* Window slides: feed higher RTTs with fresh ids. *)
+  for i = 100 to 115 do
+    Tuner.observe_heartbeat t ~hb_id:i ~rtt:(Some (Time.ms 500))
+  done;
+  let et_after = Tuner.election_timeout t in
+  Alcotest.(check bool)
+    (Printf.sprintf "Et rises %dms -> %dms"
+       (int_of_float (Time.to_ms_f et_before))
+       (int_of_float (Time.to_ms_f et_after)))
+    true (et_after > et_before);
+  Alcotest.(check bool) "Et at least new RTT" true (et_after >= Time.ms 500)
+
+(* {2 EWMA estimator} *)
+
+module Ewma = Dynatune.Ewma_estimator
+
+let test_ewma_seeds_from_first_sample () =
+  let e = Ewma.create ~min_samples:1 () in
+  Ewma.observe e (Time.ms 100);
+  check_ms "srtt = first sample" (Time.ms 100) (Ewma.mean e);
+  check_ms "rttvar = half of it" (Time.ms 50) (Ewma.deviation e)
+
+let test_ewma_converges () =
+  let e = Ewma.create ~alpha:0.125 ~min_samples:1 () in
+  for _ = 1 to 200 do
+    Ewma.observe e (Time.ms 80)
+  done;
+  Alcotest.(check bool) "srtt converges to the level" true
+    (abs_float (Time.to_ms_f (Ewma.mean e) -. 80.) < 0.5);
+  Alcotest.(check bool) "rttvar decays toward zero" true
+    (Time.to_ms_f (Ewma.deviation e) < 1.)
+
+let test_ewma_tracks_level_shift () =
+  let fresh alpha =
+    let e = Ewma.create ~alpha ~min_samples:1 () in
+    for _ = 1 to 100 do
+      Ewma.observe e (Time.ms 50)
+    done;
+    (* Count samples needed after a shift to 150ms until srtt > 140ms. *)
+    let n = ref 0 in
+    while Time.to_ms_f (Ewma.mean e) < 140. && !n < 1000 do
+      incr n;
+      Ewma.observe e (Time.ms 150)
+    done;
+    !n
+  in
+  let slow = fresh 0.125 and fast = fresh 0.5 in
+  Alcotest.(check bool)
+    (Printf.sprintf "larger alpha adapts faster (%d < %d)" fast slow)
+    true (fast < slow)
+
+let test_ewma_warmup_and_clear () =
+  let e = Ewma.create ~min_samples:3 () in
+  Ewma.observe e (Time.ms 10);
+  Ewma.observe e (Time.ms 10);
+  Alcotest.(check bool) "not warm at 2" false (Ewma.warmed_up e);
+  Alcotest.(check (option int)) "no Et before warm" None
+    (Ewma.election_timeout e ~s:2.);
+  Ewma.observe e (Time.ms 10);
+  Alcotest.(check bool) "warm at 3" true (Ewma.warmed_up e);
+  Ewma.clear e;
+  Alcotest.(check int) "cleared" 0 (Ewma.length e);
+  Alcotest.(check bool) "not warm after clear" false (Ewma.warmed_up e)
+
+let test_ewma_rejects_bad_alpha () =
+  List.iter
+    (fun alpha ->
+      Alcotest.(check bool) "rejected" true
+        (try
+           ignore (Ewma.create ~alpha ~min_samples:1 ());
+           false
+         with Invalid_argument _ -> true))
+    [ 0.; -0.5; 1.5 ]
+
+let test_tuner_with_ewma_backend () =
+  let cfg =
+    {
+      small_cfg with
+      Config.rtt_estimator = Config.Ewma 0.25;
+    }
+  in
+  let t = Tuner.create cfg in
+  feed t ~n:30 ~rtt:(Time.ms 100) ();
+  Alcotest.(check bool) "tuned" true (Tuner.phase t = Tuner.Tuned);
+  let et = Time.to_ms_f (Tuner.election_timeout t) in
+  (* srtt -> 100, rttvar decays: Et approaches 100 from above. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "Et %.1f near RTT" et)
+    true
+    (et >= 100. && et < 140.);
+  Tuner.reset t;
+  Alcotest.(check bool) "reset rewinds to warming" true
+    (Tuner.phase t = Tuner.Warming);
+  check_ms "defaults after reset" cfg.Config.default_election_timeout
+    (Tuner.election_timeout t)
+
+(* {2 Leader_path} *)
+
+let test_leader_path_meta_sequence () =
+  let p = Leader_path.create Config.default in
+  let m0 = Leader_path.next_meta p ~now:(Time.ms 1) in
+  let m1 = Leader_path.next_meta p ~now:(Time.ms 2) in
+  Alcotest.(check int) "ids sequential" 0 m0.Leader_path.hb_id;
+  Alcotest.(check int) "ids sequential" 1 m1.Leader_path.hb_id;
+  Alcotest.(check int) "timestamps recorded" (Time.ms 2) m1.Leader_path.sent_at
+
+let test_leader_path_rtt_shipped_once () =
+  let p = Leader_path.create Config.default in
+  let m0 = Leader_path.next_meta p ~now:Time.zero in
+  Alcotest.(check (option int)) "no measurement yet" None
+    m0.Leader_path.measured_rtt;
+  Leader_path.on_response p ~now:(Time.ms 30) ~echo_sent_at:Time.zero
+    ~tuned_h:None;
+  let m1 = Leader_path.next_meta p ~now:(Time.ms 100) in
+  Alcotest.(check (option int)) "rtt piggybacked" (Some (Time.ms 30))
+    m1.Leader_path.measured_rtt;
+  let m2 = Leader_path.next_meta p ~now:(Time.ms 200) in
+  Alcotest.(check (option int)) "shipped only once" None
+    m2.Leader_path.measured_rtt
+
+let test_leader_path_applies_h () =
+  let p = Leader_path.create Config.default in
+  check_ms "default interval"
+    Config.default.Config.default_heartbeat_interval (Leader_path.interval p);
+  Leader_path.on_response p ~now:(Time.ms 10) ~echo_sent_at:Time.zero
+    ~tuned_h:(Some (Time.ms 42));
+  check_ms "tuned interval applied" (Time.ms 42) (Leader_path.interval p)
+
+let test_leader_path_h_clamped () =
+  let p = Leader_path.create Config.default in
+  Leader_path.on_response p ~now:(Time.ms 10) ~echo_sent_at:Time.zero
+    ~tuned_h:(Some 1);
+  check_ms "clamped to min interval"
+    Config.default.Config.min_heartbeat_interval (Leader_path.interval p)
+
+let test_leader_path_future_echo_ignored () =
+  let p = Leader_path.create Config.default in
+  Leader_path.on_response p ~now:(Time.ms 10) ~echo_sent_at:(Time.ms 20)
+    ~tuned_h:None;
+  Alcotest.(check (option int)) "future timestamp rejected" None
+    (Leader_path.last_rtt p)
+
+let test_leader_path_reset () =
+  let p = Leader_path.create Config.default in
+  ignore (Leader_path.next_meta p ~now:Time.zero);
+  Leader_path.on_response p ~now:(Time.ms 5) ~echo_sent_at:Time.zero
+    ~tuned_h:(Some (Time.ms 7));
+  Leader_path.reset p;
+  Alcotest.(check int) "id counter reset" 0 (Leader_path.sent_count p);
+  check_ms "interval reset"
+    Config.default.Config.default_heartbeat_interval (Leader_path.interval p)
+
+let tests =
+  [
+    Alcotest.test_case "config: default valid" `Quick test_config_default_valid;
+    Alcotest.test_case "config: rejects bad" `Quick test_config_rejects_bad;
+    Alcotest.test_case "rtt: warmup threshold" `Quick test_rtt_warmup_threshold;
+    Alcotest.test_case "rtt: Et formula" `Quick
+      test_rtt_election_timeout_formula;
+    Alcotest.test_case "rtt: window slides" `Quick test_rtt_window_slides;
+    Alcotest.test_case "rtt: clear" `Quick test_rtt_clear;
+    Alcotest.test_case "loss: no loss" `Quick test_loss_no_loss;
+    Alcotest.test_case "loss: gap detection" `Quick test_loss_gap_detection;
+    Alcotest.test_case "loss: duplicates ignored" `Quick
+      test_loss_duplicates_ignored;
+    Alcotest.test_case "loss: out of order" `Quick test_loss_out_of_order;
+    Alcotest.test_case "loss: eviction keeps recent" `Quick
+      test_loss_eviction_keeps_recent;
+    Alcotest.test_case "loss: eviction mid-insert" `Quick
+      test_loss_eviction_with_insert_in_middle;
+    Alcotest.test_case "K: formula values" `Quick
+      test_required_heartbeats_formula;
+    Alcotest.test_case "K: satisfies guarantee" `Quick
+      test_required_heartbeats_guarantee;
+    Alcotest.test_case "tuner: warming defaults" `Quick
+      test_tuner_warming_uses_defaults;
+    Alcotest.test_case "tuner: tunes after warmup" `Quick
+      test_tuner_tunes_after_warmup;
+    Alcotest.test_case "tuner: h under loss" `Quick test_tuner_h_under_loss;
+    Alcotest.test_case "tuner: reset falls back" `Quick
+      test_tuner_reset_falls_back;
+    Alcotest.test_case "tuner: Et clamped below" `Quick
+      test_tuner_et_clamped_below;
+    Alcotest.test_case "tuner: Et clamped above" `Quick
+      test_tuner_et_clamped_above;
+    Alcotest.test_case "tuner: duplicates don't advance" `Quick
+      test_tuner_duplicate_ids_dont_advance;
+    Alcotest.test_case "tuner: Et tracks RTT increase" `Quick
+      test_tuner_et_tracks_rtt_increase;
+    Alcotest.test_case "ewma: seeds from first sample" `Quick
+      test_ewma_seeds_from_first_sample;
+    Alcotest.test_case "ewma: converges" `Quick test_ewma_converges;
+    Alcotest.test_case "ewma: tracks level shift" `Quick
+      test_ewma_tracks_level_shift;
+    Alcotest.test_case "ewma: warmup and clear" `Quick
+      test_ewma_warmup_and_clear;
+    Alcotest.test_case "ewma: rejects bad alpha" `Quick
+      test_ewma_rejects_bad_alpha;
+    Alcotest.test_case "tuner: ewma backend" `Quick
+      test_tuner_with_ewma_backend;
+    Alcotest.test_case "path: meta sequence" `Quick
+      test_leader_path_meta_sequence;
+    Alcotest.test_case "path: rtt shipped once" `Quick
+      test_leader_path_rtt_shipped_once;
+    Alcotest.test_case "path: applies h" `Quick test_leader_path_applies_h;
+    Alcotest.test_case "path: h clamped" `Quick test_leader_path_h_clamped;
+    Alcotest.test_case "path: future echo ignored" `Quick
+      test_leader_path_future_echo_ignored;
+    Alcotest.test_case "path: reset" `Quick test_leader_path_reset;
+  ]
