@@ -57,9 +57,20 @@ let test_engine_schedule =
           ignore (Des.Engine.step e : bool)))
 
 let test_heap_push_pop =
-  Test.make ~name:"heap.push+pop"
+  Test.make ~name:"heap.push+pop (polymorphic cmp)"
     (Staged.stage
        (let h = Des.Heap.create ~cmp:compare in
+        List.iter (Des.Heap.push h) [ 5; 3; 9; 1; 7 ];
+        let i = ref 0 in
+        fun () ->
+          incr i;
+          Des.Heap.push h (!i mod 1000);
+          ignore (Des.Heap.pop h : int option)))
+
+let test_heap_push_pop_int =
+  Test.make ~name:"heap.push+pop (Int.compare)"
+    (Staged.stage
+       (let h = Des.Heap.create ~cmp:Int.compare in
         List.iter (Des.Heap.push h) [ 5; 3; 9; 1; 7 ];
         let i = ref 0 in
         fun () ->
@@ -116,9 +127,11 @@ let tests =
     test_window_push;
     test_engine_schedule;
     test_heap_push_pop;
+    test_heap_push_pop_int;
     test_server_heartbeat;
     test_codec;
   ]
+
 
 let run ppf =
   let ols =

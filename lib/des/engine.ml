@@ -16,8 +16,11 @@ type t = {
   rng : Stats.Rng.t;
 }
 
+(* [at] and [seq] are immediate ints ([Time.t = int]); [Int.compare]
+   keeps the hottest comparison in the simulator monomorphic instead of
+   going through [caml_compare]. *)
 let compare_events a b =
-  match compare a.at b.at with 0 -> compare a.seq b.seq | c -> c
+  match Int.compare a.at b.at with 0 -> Int.compare a.seq b.seq | c -> c
 
 let create ?seed () =
   {
