@@ -1,34 +1,35 @@
-type event = {
-  at : Time.t;
-  seq : int;
-  action : unit -> unit;
-  mutable cancelled : bool;
-}
-
-type handle = event
+type handle = Event_heap.event
 
 type t = {
   mutable clock : Time.t;
   mutable seq : int;
   mutable processed : int;
-  mutable live : int;
-  queue : event Heap.t;
+  mutable synced : int;  (* portion of [processed] already in [grand_total] *)
+  queue : Event_heap.t;
   rng : Stats.Rng.t;
 }
 
-(* [at] and [seq] are immediate ints ([Time.t = int]); [Int.compare]
-   keeps the hottest comparison in the simulator monomorphic instead of
-   going through [caml_compare]. *)
-let compare_events a b =
-  match Int.compare a.at b.at with 0 -> Int.compare a.seq b.seq | c -> c
+(* Events processed by every engine in the process, across domains.
+   Synced in batches at the end of [run]/[run_until] so the hot loop
+   never touches the atomic. *)
+let grand_total = Atomic.make 0
+
+let sync t =
+  let delta = t.processed - t.synced in
+  if delta > 0 then begin
+    ignore (Atomic.fetch_and_add grand_total delta : int);
+    t.synced <- t.processed
+  end
+
+let global_processed () = Atomic.get grand_total
 
 let create ?seed () =
   {
     clock = Time.zero;
     seq = 0;
     processed = 0;
-    live = 0;
-    queue = Heap.create ~cmp:compare_events;
+    synced = 0;
+    queue = Event_heap.create ();
     rng = Stats.Rng.create ?seed ();
   }
 
@@ -40,52 +41,41 @@ let schedule_at t at action =
     invalid_arg
       (Printf.sprintf "Engine.schedule_at: %d is in the past (now %d)" at
          t.clock);
-  let ev = { at; seq = t.seq; action; cancelled = false } in
+  let ev = Event_heap.schedule t.queue ~at ~seq:t.seq action in
   t.seq <- t.seq + 1;
-  t.live <- t.live + 1;
-  Heap.push t.queue ev;
   ev
 
 let schedule_after t span action =
   schedule_at t (Time.add t.clock (Time.max_span 0 span)) action
 
-let cancel ev =
-  ev.cancelled <- true
-
-let is_pending ev = not ev.cancelled
+let cancel = Event_heap.cancel
+let is_pending = Event_heap.is_pending
 
 let step t =
-  let rec next () =
-    match Heap.pop t.queue with
-    | None -> false
-    | Some ev when ev.cancelled ->
-        t.live <- t.live - 1;
-        next ()
-    | Some ev ->
-        t.live <- t.live - 1;
-        t.clock <- ev.at;
-        t.processed <- t.processed + 1;
-        ev.action ();
-        true
-  in
-  next ()
+  match Event_heap.pop_live t.queue with
+  | None -> false
+  | Some ev ->
+      t.clock <- ev.Event_heap.at;
+      t.processed <- t.processed + 1;
+      ev.Event_heap.action ();
+      true
 
-let run t = while step t do () done
+let run t =
+  while step t do () done;
+  sync t
 
 let run_until t limit =
   let continue = ref true in
   while !continue do
-    match Heap.peek t.queue with
-    | Some ev when ev.cancelled ->
-        (* Discard lazily so a cancelled head cannot make [step] run an
-           event beyond [limit]. *)
-        ignore (Heap.pop t.queue : event option);
-        t.live <- t.live - 1
-    | Some ev when ev.at <= limit -> ignore (step t : bool)
+    (* [peek_live] discards cancelled heads, so a cancelled head cannot
+       make [step] run an event beyond [limit]. *)
+    match Event_heap.peek_live t.queue with
+    | Some ev when ev.Event_heap.at <= limit -> ignore (step t : bool)
     | Some _ | None -> continue := false
   done;
-  if limit > t.clock then t.clock <- limit
+  if limit > t.clock then t.clock <- limit;
+  sync t
 
 let run_for t span = run_until t (Time.add t.clock span)
-let pending_events t = t.live
+let pending_events t = Event_heap.live_length t.queue
 let processed_events t = t.processed

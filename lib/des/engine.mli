@@ -45,8 +45,13 @@ val step : t -> bool
 (** Process the single next event; [false] if the queue was empty. *)
 
 val pending_events : t -> int
-(** Number of queued (non-cancelled) events — an upper bound, since
-    cancelled events are discarded lazily. *)
+(** Number of queued non-cancelled events. *)
 
 val processed_events : t -> int
 (** Total events executed since creation. *)
+
+val global_processed : unit -> int
+(** Events executed by every engine in the process so far, across all
+    domains.  Updated in batches at the end of [run] / [run_until], so
+    read it between runs, not mid-run.  Used by the benchmark harness to
+    report events-per-figure. *)

@@ -1,0 +1,129 @@
+type event = {
+  at : Time.t;
+  seq : int;
+  action : unit -> unit;
+  mutable cancelled : bool;
+  mutable queued : bool;
+  dead : int ref;
+}
+
+type t = { mutable data : event array; mutable len : int; dead : int ref }
+
+let create () = { data = [||]; len = 0; dead = ref 0 }
+let length t = t.len
+let live_length t = t.len - !(t.dead)
+let compact_min_dead = 64
+
+(* The ordering [compare_events] implements, with the comparison inlined
+   so sift loops never make an indirect call.  [at] and [seq] are
+   immediate ints. *)
+let[@inline] lt a b = a.at < b.at || (a.at = b.at && a.seq < b.seq)
+
+let grow t x =
+  let cap = Array.length t.data in
+  if cap = 0 then t.data <- Array.make 16 x
+  else begin
+    let data = Array.make (2 * cap) x in
+    Array.blit t.data 0 data 0 t.len;
+    t.data <- data
+  end
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if lt t.data.(i) t.data.(parent) then begin
+      let tmp = t.data.(i) in
+      t.data.(i) <- t.data.(parent);
+      t.data.(parent) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.len && lt t.data.(l) t.data.(!smallest) then smallest := l;
+  if r < t.len && lt t.data.(r) t.data.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    let tmp = t.data.(i) in
+    t.data.(i) <- t.data.(!smallest);
+    t.data.(!smallest) <- tmp;
+    sift_down t !smallest
+  end
+
+let push t x =
+  if t.len = Array.length t.data then grow t x;
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1;
+  sift_up t (t.len - 1)
+
+(* Drop every cancelled entry and re-heapify.  O(len), amortized against
+   the >= len/2 pushes it took to accumulate that many dead entries. *)
+let compact t =
+  let j = ref 0 in
+  for i = 0 to t.len - 1 do
+    let ev = t.data.(i) in
+    if ev.cancelled then ev.queued <- false
+    else begin
+      t.data.(!j) <- ev;
+      incr j
+    end
+  done;
+  (* Release references beyond the live prefix so dead actions can be
+     collected. *)
+  if !j > 0 then
+    for i = !j to t.len - 1 do
+      t.data.(i) <- t.data.(0)
+    done;
+  t.len <- !j;
+  t.dead := 0;
+  for i = (t.len / 2) - 1 downto 0 do
+    sift_down t i
+  done
+
+let schedule t ~at ~seq action =
+  if !(t.dead) > compact_min_dead && 2 * !(t.dead) > t.len then compact t;
+  let ev = { at; seq; action; cancelled = false; queued = true; dead = t.dead } in
+  push t ev;
+  ev
+
+let cancel ev =
+  if not ev.cancelled then begin
+    ev.cancelled <- true;
+    if ev.queued then incr ev.dead
+  end
+
+let is_pending ev = not ev.cancelled
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let top = t.data.(0) in
+    t.len <- t.len - 1;
+    if t.len > 0 then begin
+      t.data.(0) <- t.data.(t.len);
+      sift_down t 0
+    end;
+    top.queued <- false;
+    Some top
+  end
+
+let rec pop_live t =
+  match pop t with
+  | None -> None
+  | Some ev when ev.cancelled ->
+      decr t.dead;
+      pop_live t
+  | some -> some
+
+let rec peek_live t =
+  if t.len = 0 then None
+  else begin
+    let top = t.data.(0) in
+    if top.cancelled then begin
+      ignore (pop t : event option);
+      decr t.dead;
+      peek_live t
+    end
+    else Some top
+  end
