@@ -4,10 +4,16 @@
      dune exec bench/main.exe                 # all figures, quick scale
      dune exec bench/main.exe -- fig4 fig6a   # selected figures
      dune exec bench/main.exe -- --full       # paper-scale parameters
+     dune exec bench/main.exe -- --jobs 4     # campaign parallelism
+     dune exec bench/main.exe -- --json out.json  # machine-readable timings
 
    Quick scale shrinks campaign sizes and hold durations (the *shape* of
    every result is preserved; only statistical resolution drops); --full
-   runs the paper's exact parameters. *)
+   runs the paper's exact parameters.
+
+   --jobs N fans campaigns out over N domains (default: all cores minus
+   one for the coordinator).  --jobs 1 reproduces the sequential run bit
+   for bit; any N is deterministic for a fixed (seed, N). *)
 
 module Fig4 = Scenarios.Fig4
 module Fig5 = Scenarios.Fig5
@@ -17,57 +23,64 @@ module Fig8 = Scenarios.Fig8
 module Ablation = Scenarios.Ablation
 module Report = Scenarios.Report
 
-type scale = { full : bool }
+type scale = { full : bool; jobs : int }
 
 let ppf = Format.std_formatter
 
+(* (figure, wall seconds, DES events processed), in run order — the
+   rows of the --json report. *)
+let records : (string * float * int) list ref = ref []
+
 let timed name f =
   let t0 = Unix.gettimeofday () in
+  let e0 = Des.Engine.global_processed () in
   f ();
-  Format.fprintf ppf "@.[%s done in %.1fs wall]@." name
-    (Unix.gettimeofday () -. t0)
+  let wall = Unix.gettimeofday () -. t0 in
+  let events = Des.Engine.global_processed () - e0 in
+  records := (name, wall, events) :: !records;
+  Format.fprintf ppf "@.[%s done in %.1fs wall]@." name wall
 
-let run_fig4 { full } =
+let run_fig4 { full; jobs } =
   timed "fig4" (fun () ->
       let failures = if full then 1000 else 200 in
-      Fig4.print ppf (Fig4.compare_modes ~failures ()))
+      Fig4.print ppf (Fig4.compare_modes ~failures ~jobs ()))
 
-let run_fig5 { full } =
+let run_fig5 { full; jobs } =
   timed "fig5" (fun () ->
       let hold = Des.Time.sec (if full then 10 else 3) in
-      Fig5.print ppf (Fig5.compare_modes ~hold ()))
+      Fig5.print ppf (Fig5.compare_modes ~hold ~jobs ()))
 
-let run_fig6 pattern { full } =
+let run_fig6 pattern { full; jobs } =
   let name = match pattern with Fig6.Gradual -> "fig6a" | Fig6.Radical -> "fig6b" in
   timed name (fun () ->
       let hold = Des.Time.sec (if full then 60 else 20) in
-      Fig6.print ppf pattern (Fig6.compare_modes ~hold ~pattern ()))
+      Fig6.print ppf pattern (Fig6.compare_modes ~hold ~jobs ~pattern ()))
 
-let run_fig7 { full } =
+let run_fig7 { full; jobs } =
   timed "fig7" (fun () ->
       let hold = Des.Time.sec (if full then 180 else 20) in
       let ns = [ 5; 17; 65 ] in
-      Fig7.print ppf (Fig7.compare_modes ~hold ~ns ()))
+      Fig7.print ppf (Fig7.compare_modes ~hold ~jobs ~ns ()))
 
-let run_fig8 { full } =
+let run_fig8 { full; jobs } =
   timed "fig8" (fun () ->
       let failures = if full then 1000 else 150 in
-      Fig8.print ppf (Fig8.compare_modes ~failures ()))
+      Fig8.print ppf (Fig8.compare_modes ~failures ~jobs ()))
 
-let run_ablation { full } =
+let run_ablation { full; jobs } =
   timed "ablation" (fun () ->
       let failures = if full then 200 else 60 in
       let quiet = Des.Time.sec (if full then 300 else 60) in
-      let safety = Ablation.safety_factor_sweep ~failures ~quiet () in
-      let arrival = Ablation.arrival_probability_sweep ~quiet () in
-      let sizes = Ablation.list_size_sweep () in
-      let estimators = Ablation.estimator_sweep () in
+      let safety = Ablation.safety_factor_sweep ~failures ~quiet ~jobs () in
+      let arrival = Ablation.arrival_probability_sweep ~quiet ~jobs () in
+      let sizes = Ablation.list_size_sweep ~jobs () in
+      let estimators = Ablation.estimator_sweep ~jobs () in
       Ablation.print ppf (safety, arrival, sizes, estimators))
 
-let run_extensions { full } =
+let run_extensions { full; jobs } =
   timed "extensions" (fun () ->
       let hold = Des.Time.sec (if full then 10 else 3) in
-      Scenarios.Extensions.print ppf (Scenarios.Extensions.run ~hold ()))
+      Scenarios.Extensions.print ppf (Scenarios.Extensions.run ~hold ~jobs ()))
 
 let run_micro _ =
   timed "micro" (fun () ->
@@ -87,11 +100,74 @@ let figures =
     ("micro", run_micro);
   ]
 
+(* The report is flat and the values are numbers/strings, so the JSON is
+   written by hand rather than pulling in a serialization library. *)
+let write_json path ~full ~jobs =
+  match open_out path with
+  | exception Sys_error msg ->
+      (* The figures already went to stdout; don't let a bad report path
+         look like a failed run. *)
+      Format.eprintf "warning: cannot write JSON report: %s@." msg
+  | oc ->
+      let rows = List.rev !records in
+      Printf.fprintf oc
+        "{\n  \"full\": %b,\n  \"jobs\": %d,\n  \"figures\": [\n" full jobs;
+      List.iteri
+        (fun i (name, wall, events) ->
+          Printf.fprintf oc
+            "    {\"name\": %S, \"wall_s\": %.3f, \"events\": %d}%s\n" name
+            wall events
+            (if i = List.length rows - 1 then "" else ","))
+        rows;
+      Printf.fprintf oc "  ]\n}\n";
+      close_out oc;
+      Format.fprintf ppf "[wrote %s]@." path
+
+let usage () =
+  Format.eprintf
+    "usage: main.exe [--full] [--jobs N] [--json FILE] [FIGURE...]@.available figures: %s@."
+    (String.concat ", " (List.map fst figures));
+  exit 2
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let full = List.mem "--full" args in
+  let full = ref false and jobs = ref 0 and json = ref None in
+  let names = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--full" :: rest ->
+        full := true;
+        parse rest
+    | "--jobs" :: v :: rest -> (
+        match int_of_string_opt v with
+        | Some n when n >= 1 ->
+            jobs := n;
+            parse rest
+        | _ ->
+            Format.eprintf "--jobs expects a positive integer, got %S@." v;
+            exit 2)
+    | [ "--jobs" ] ->
+        Format.eprintf "--jobs expects a positive integer@.";
+        exit 2
+    | "--json" :: path :: rest ->
+        json := Some path;
+        parse rest
+    | [ "--json" ] ->
+        Format.eprintf "--json expects a file path@.";
+        exit 2
+    | a :: _ when String.length a > 1 && a.[0] = '-' ->
+        Format.eprintf "unknown option %S@." a;
+        usage ()
+    | a :: rest ->
+        names := a :: !names;
+        parse rest
+  in
+  parse args;
+  let jobs =
+    if !jobs > 0 then !jobs else max 1 (Domain.recommended_domain_count () - 1)
+  in
   let wanted =
-    match List.filter (fun a -> a <> "--full") args with
+    match List.rev !names with
     | [] -> List.map fst figures
     | names ->
         List.iter
@@ -106,9 +182,12 @@ let () =
         names
   in
   Format.fprintf ppf
-    "Dynatune reproduction benchmarks (%s scale)@.figures: %s@."
-    (if full then "paper (--full)" else "quick")
+    "Dynatune reproduction benchmarks (%s scale, %d job%s)@.figures: %s@."
+    (if !full then "paper (--full)" else "quick")
+    jobs
+    (if jobs = 1 then "" else "s")
     (String.concat ", " wanted);
-  let scale = { full } in
+  let scale = { full = !full; jobs } in
   List.iter (fun name -> (List.assoc name figures) scale) wanted;
+  Option.iter (fun path -> write_json path ~full:!full ~jobs) !json;
   Format.pp_print_flush ppf ()

@@ -1,0 +1,36 @@
+type shard = { index : int; shards : int; seed : int64; quota : int }
+
+let plan ~jobs ~seed ~total =
+  if jobs <= 1 || total <= 1 then [ { index = 0; shards = 1; seed; quota = total } ]
+  else begin
+    let shards = min jobs total in
+    let base = total / shards and extra = total mod shards in
+    List.init shards (fun index ->
+        {
+          index;
+          shards;
+          seed = Stats.Rng.derive seed index;
+          (* First [extra] shards carry one more trial so quotas sum to
+             [total]. *)
+          quota = (base + if index < extra then 1 else 0);
+        })
+  end
+
+let sharded ~jobs ~seed ~total ~f =
+  match plan ~jobs ~seed ~total with
+  | [ single ] -> [ f single ]
+  | shards ->
+      let pool = Pool.create ~domains:(List.length shards) in
+      Fun.protect
+        ~finally:(fun () -> Pool.shutdown pool)
+        (fun () -> Pool.map pool f shards)
+
+let all ~jobs thunks =
+  let n = List.length thunks in
+  if jobs <= 1 || n <= 1 then List.map (fun f -> f ()) thunks
+  else begin
+    let pool = Pool.create ~domains:(min jobs n) in
+    Fun.protect
+      ~finally:(fun () -> Pool.shutdown pool)
+      (fun () -> Pool.map pool (fun f -> f ()) thunks)
+  end

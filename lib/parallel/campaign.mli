@@ -1,0 +1,43 @@
+(** Deterministic sharding of simulation campaigns across domains.
+
+    A campaign is a batch of [total] independent trials (e.g. leader
+    failures to measure) driven by a single root seed.  [sharded]
+    splits the batch into at most [jobs] shards; each shard gets a
+    quota of trials and an independent seed derived from the campaign
+    seed with {!Stats.Rng.derive}, so the plan — and therefore every
+    shard's draw sequence — is a pure function of [(seed, jobs,
+    total)].  Running the same plan with any worker count, or on any
+    machine, produces identical results.
+
+    With [jobs <= 1] the campaign collapses to a single shard whose
+    seed is the campaign seed {e unchanged}, executed inline on the
+    calling domain: the sequential code path of the pre-sharding
+    simulator, bit for bit. *)
+
+type shard = {
+  index : int;  (** 0-based shard number. *)
+  shards : int;  (** Total number of shards in the plan. *)
+  seed : int64;  (** Root seed for this shard's PRNG streams. *)
+  quota : int;  (** Number of trials this shard must complete. *)
+}
+
+val plan : jobs:int -> seed:int64 -> total:int -> shard list
+(** The shard plan that {!sharded} executes, exposed for testing.
+    [jobs <= 1] or [total <= 1] yields the single shard
+    [{index = 0; shards = 1; seed; quota = total}].  Otherwise there
+    are [min jobs total] shards; quotas differ by at most one and sum
+    to [total]; shard [i]'s seed is [Stats.Rng.derive seed i]. *)
+
+val sharded : jobs:int -> seed:int64 -> total:int -> f:(shard -> 'a) -> 'a list
+(** [sharded ~jobs ~seed ~total ~f] runs [f] on every shard of
+    [plan ~jobs ~seed ~total] and returns the results in shard order.
+    Single-shard plans run inline on the calling domain (no pool);
+    multi-shard plans fan out over a fresh {!Pool} of one domain per
+    shard, which is shut down before returning. *)
+
+val all : jobs:int -> (unit -> 'a) list -> 'a list
+(** [all ~jobs thunks] runs independent thunks — complete scenario
+    runs that cannot be subdivided, such as the legs of a parameter
+    sweep — and returns their results in order.  [jobs <= 1] or a
+    single thunk runs inline sequentially; otherwise the thunks fan
+    out over a pool of [min jobs (List.length thunks)] domains. *)

@@ -1,0 +1,95 @@
+type t = {
+  mutex : Mutex.t;
+  wake : Condition.t;  (* task available or stop requested *)
+  queue : (unit -> unit) Queue.t;
+  mutable stop : bool;
+  mutable workers : unit Domain.t array;
+}
+
+let worker t =
+  let rec loop () =
+    Mutex.lock t.mutex;
+    while Queue.is_empty t.queue && not t.stop do
+      Condition.wait t.wake t.mutex
+    done;
+    match Queue.take_opt t.queue with
+    | Some task ->
+        Mutex.unlock t.mutex;
+        task ();
+        loop ()
+    | None ->
+        (* stop && empty *)
+        Mutex.unlock t.mutex
+  in
+  loop ()
+
+let create ~domains =
+  if domains < 1 then invalid_arg "Pool.create: domains must be >= 1";
+  let t =
+    {
+      mutex = Mutex.create ();
+      wake = Condition.create ();
+      queue = Queue.create ();
+      stop = false;
+      workers = [||];
+    }
+  in
+  t.workers <- Array.init domains (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let size t = Array.length t.workers
+
+(* Per-batch completion state; tasks store either a result or the
+   exception they died with, so [map] can re-raise deterministically
+   (lowest index wins) after the whole batch has drained. *)
+let map t f xs =
+  let xs = Array.of_list xs in
+  let n = Array.length xs in
+  if n = 0 then []
+  else begin
+    let results = Array.make n None in
+    let remaining = ref n in
+    let done_m = Mutex.create () in
+    let done_c = Condition.create () in
+    let task i () =
+      let r =
+        match f xs.(i) with
+        | v -> Ok v
+        | exception e -> Error (e, Printexc.get_raw_backtrace ())
+      in
+      Mutex.lock done_m;
+      results.(i) <- Some r;
+      decr remaining;
+      if !remaining = 0 then Condition.signal done_c;
+      Mutex.unlock done_m
+    in
+    Mutex.lock t.mutex;
+    if t.stop then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Pool.map: pool is shut down"
+    end;
+    for i = 0 to n - 1 do
+      Queue.add (task i) t.queue
+    done;
+    Condition.broadcast t.wake;
+    Mutex.unlock t.mutex;
+    Mutex.lock done_m;
+    while !remaining > 0 do
+      Condition.wait done_c done_m
+    done;
+    Mutex.unlock done_m;
+    Array.to_list results
+    |> List.map (function
+         | Some (Ok v) -> v
+         | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+         | None -> assert false)
+  end
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  let workers = t.workers in
+  t.stop <- true;
+  t.workers <- [||];
+  Condition.broadcast t.wake;
+  Mutex.unlock t.mutex;
+  Array.iter Domain.join workers

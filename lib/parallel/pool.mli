@@ -1,0 +1,34 @@
+(** Fixed-size domain pool with a mutex/condvar task queue.
+
+    OCaml 5 multicore without Domainslib: [create ~domains] spawns that
+    many worker domains which block on a shared FIFO; [map] fans a batch
+    of independent jobs out to them and waits for all results.  The
+    caller's domain does not execute tasks, so a campaign wanting J-way
+    parallelism on a C-core box should use [J = C - 1] workers (the
+    default picked by the benchmark harness).
+
+    Tasks must not share mutable state — the simulator guarantees this
+    by giving every shard its own engine, cluster and PRNG streams. *)
+
+type t
+
+val create : domains:int -> t
+(** Spawn [domains] worker domains ([domains >= 1]; raises
+    [Invalid_argument] otherwise).  Spawning is cheap (~100 us/domain)
+    relative to any campaign, so pools are created per call site and
+    shut down with [shutdown] when the batch completes. *)
+
+val size : t -> int
+(** Number of worker domains. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map t f xs] runs [f] on every element on the worker domains and
+    returns the results in input order.  If one or more applications
+    raise, the remaining tasks still run to completion, then the
+    exception of the lowest-indexed failure is re-raised (with its
+    backtrace) in the caller; the pool stays usable.  Raises
+    [Invalid_argument] if the pool is shut down. *)
+
+val shutdown : t -> unit
+(** Join all workers.  Idempotent.  Outstanding tasks are finished
+    first; tasks submitted after shutdown raise. *)

@@ -70,9 +70,11 @@ let tuned_follower_et cluster =
   | _ -> List.fold_left ( +. ) 0. ets /. float_of_int (List.length ets)
 
 let safety_factor_sweep ?(seed = 31L) ?(values = [ 0.; 1.; 2.; 3.; 4. ])
-    ?(failures = 100) ?(quiet = Des.Time.sec 120) ?(jitter = 0.15) () =
-  List.map
-    (fun s ->
+    ?(failures = 100) ?(quiet = Des.Time.sec 120) ?(jitter = 0.15)
+    ?(jobs = 1) () =
+  Parallel.Campaign.all ~jobs
+  @@ List.map
+       (fun s () ->
       let config =
         dynatune_with (fun cfg -> { cfg with Dynatune.Config.safety_factor = s })
       in
@@ -114,7 +116,7 @@ let safety_factor_sweep ?(seed = 31L) ?(values = [ 0.; 1.; 2.; 3.; 4. ])
         et_mean_ms;
         false_timeouts;
       })
-    values
+       values
 
 type arrival_row = {
   x : float;
@@ -126,9 +128,10 @@ type arrival_row = {
 
 let arrival_probability_sweep ?(seed = 37L)
     ?(values = [ 0.9; 0.99; 0.999; 0.9999 ]) ?(loss = 0.10)
-    ?(quiet = Des.Time.sec 120) () =
-  List.map
-    (fun x ->
+    ?(quiet = Des.Time.sec 120) ?(jobs = 1) () =
+  Parallel.Campaign.all ~jobs
+  @@ List.map
+       (fun x () ->
       let config =
         dynatune_with (fun cfg ->
             { cfg with Dynatune.Config.arrival_probability = x })
@@ -170,7 +173,7 @@ let arrival_probability_sweep ?(seed = 37L)
         heartbeat_rate_hz = (if h_ms > 0. then 1000. /. h_ms else nan);
         false_timeouts;
       })
-    values
+       values
 
 type list_size_row = {
   min_list_size : int;
@@ -178,9 +181,11 @@ type list_size_row = {
   adaptation_ms : float;
 }
 
-let list_size_sweep ?(seed = 41L) ?(values = [ 5; 20; 50; 100 ]) () =
-  List.map
-    (fun min_list_size ->
+let list_size_sweep ?(seed = 41L) ?(values = [ 5; 20; 50; 100 ]) ?(jobs = 1)
+    () =
+  Parallel.Campaign.all ~jobs
+  @@ List.map
+       (fun min_list_size () ->
       let config =
         dynatune_with (fun cfg ->
             {
@@ -251,7 +256,7 @@ let list_size_sweep ?(seed = 41L) ?(values = [ 5; 20; 50; 100 ]) () =
         warmup_ms;
         adaptation_ms = Des.Time.to_ms_f (Des.Time.diff adapted_at step_at);
       })
-    values
+       values
 
 type estimator_row = {
   estimator : string;
@@ -262,7 +267,7 @@ type estimator_row = {
   detection_mean_ms : float;
 }
 
-let estimator_sweep ?(seed = 47L) ?(failures = 40) () =
+let estimator_sweep ?(seed = 47L) ?(failures = 40) ?(jobs = 1) () =
   let backends =
     [
       ("window", Dynatune.Config.Sliding_window);
@@ -271,8 +276,9 @@ let estimator_sweep ?(seed = 47L) ?(failures = 40) () =
       ("ewma-1/2", Dynatune.Config.Ewma 0.5);
     ]
   in
-  List.map
-    (fun (name, rtt_estimator) ->
+  Parallel.Campaign.all ~jobs
+  @@ List.map
+       (fun (name, rtt_estimator) () ->
       let config =
         dynatune_with (fun cfg -> { cfg with Dynatune.Config.rtt_estimator })
       in
@@ -361,7 +367,7 @@ let estimator_sweep ?(seed = 47L) ?(failures = 40) () =
         false_timeouts;
         detection_mean_ms = Stats.Summary.(mean (of_list !det));
       })
-    backends
+       backends
 
 let print ppf (safety, arrival, sizes, estimators) =
   Report.banner ppf "Ablations: Dynatune runtime parameters";

@@ -17,6 +17,7 @@ val safety_factor_sweep :
   ?failures:int ->
   ?quiet:Des.Time.span ->
   ?jitter:float ->
+  ?jobs:int ->
   unit ->
   safety_row list
 (** For each safety factor: tuned Et, detection/OTS means over a failure
@@ -37,6 +38,7 @@ val arrival_probability_sweep :
   ?values:float list ->
   ?loss:float ->
   ?quiet:Des.Time.span ->
+  ?jobs:int ->
   unit ->
   arrival_row list
 (** For each target arrival probability [x] under 10% link loss: the
@@ -51,7 +53,7 @@ type list_size_row = {
 }
 
 val list_size_sweep :
-  ?seed:int64 -> ?values:int list -> unit -> list_size_row list
+  ?seed:int64 -> ?values:int list -> ?jobs:int -> unit -> list_size_row list
 (** Responsiveness cost of larger measurement windows (Section III-E). *)
 
 type estimator_row = {
@@ -64,7 +66,7 @@ type estimator_row = {
 }
 
 val estimator_sweep :
-  ?seed:int64 -> ?failures:int -> unit -> estimator_row list
+  ?seed:int64 -> ?failures:int -> ?jobs:int -> unit -> estimator_row list
 (** Compare the paper's sliding-window statistics against EWMA
     (Jacobson/Karels) backends: stability vs. adaptation lag. *)
 

@@ -68,21 +68,25 @@ let failover_probe ~seed ~config =
   let r = Fig4.run ~seed ~failures:50 ~config () in
   (Stats.Summary.mean r.Fig4.detection, Stats.Summary.mean r.Fig4.ots)
 
-let run ?(seed = 29L) ?rates ?(hold = Des.Time.sec 3) ?failures:_ () =
-  List.map
-    (fun v ->
-      let fig5 = Fig5.run ~seed ?rates ~hold ~config:v.config () in
-      let leader_cpu_pct, heartbeats_sent = cpu_probe ~seed ~config:v.config in
-      let detection_ms, ots_ms = failover_probe ~seed ~config:v.config in
-      {
-        label = v.label;
-        peak_rps = fig5.Fig5.peak_rps;
-        leader_cpu_pct;
-        heartbeats_sent;
-        detection_ms;
-        ots_ms;
-      })
-    (variants ())
+let run ?(seed = 29L) ?rates ?(hold = Des.Time.sec 3) ?failures:_ ?(jobs = 1)
+    () =
+  Parallel.Campaign.all ~jobs
+  @@ List.map
+       (fun v () ->
+         let fig5 = Fig5.run ~seed ?rates ~hold ~config:v.config () in
+         let leader_cpu_pct, heartbeats_sent =
+           cpu_probe ~seed ~config:v.config
+         in
+         let detection_ms, ots_ms = failover_probe ~seed ~config:v.config in
+         {
+           label = v.label;
+           peak_rps = fig5.Fig5.peak_rps;
+           leader_cpu_pct;
+           heartbeats_sent;
+           detection_ms;
+           ots_ms;
+         })
+       (variants ())
 
 let print ppf rows =
   Report.banner ppf

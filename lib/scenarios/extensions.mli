@@ -30,7 +30,11 @@ val run :
   ?rates:float list ->
   ?hold:Des.Time.span ->
   ?failures:int ->
+  ?jobs:int ->
   unit ->
   row list
+(** [jobs > 1] evaluates the four variants on parallel domains; each
+    variant is a self-contained simulation, so results are identical at
+    any [jobs]. *)
 
 val print : Format.formatter -> row list -> unit

@@ -1,5 +1,4 @@
 module Cluster = Harness.Cluster
-module Fault = Harness.Fault
 
 type result = {
   mode : string;
@@ -13,59 +12,42 @@ type result = {
   split_vote_rate : float;
 }
 
-let run ?(seed = 42L) ?(n = 5) ?(failures = 1000) ?(rtt_ms = 100.)
-    ?(jitter = 0.02) ?(warmup = Des.Time.sec 30) ~config () =
-  let conditions =
-    Netsim.Conditions.(constant (profile ~rtt_ms ~jitter ()))
-  in
-  let cluster = Cluster.create ~seed ~n ~config ~conditions () in
-  Cluster.start cluster;
-  (match Cluster.await_leader cluster ~timeout:(Des.Time.sec 30) with
-  | Some _ -> ()
-  | None -> failwith "fig4: initial election failed");
-  Cluster.run_for cluster warmup;
-  let detection = ref [] in
-  let majority = ref [] in
-  let ots = ref [] in
-  let election = ref [] in
-  let randomized = ref [] in
-  let rounds = ref [] in
-  let splits = ref 0 in
-  let measured = ref 0 in
-  let attempts = ref 0 in
-  while !measured < failures && !attempts < 2 * failures do
-    incr attempts;
-    match Fault.fail_and_measure cluster () with
-    | Error _ ->
-        (* Give the cluster a chance to re-stabilise before retrying. *)
-        Cluster.run_for cluster (Des.Time.sec 5)
-    | Ok o ->
-        incr measured;
-        detection := o.Fault.detection_ms :: !detection;
-        majority := o.Fault.majority_detection_ms :: !majority;
-        ots := o.Fault.ots_ms :: !ots;
-        election := (o.Fault.ots_ms -. o.Fault.detection_ms) :: !election;
-        randomized := o.Fault.randomized_at_detection_ms :: !randomized;
-        rounds := float_of_int o.Fault.election_rounds :: !rounds;
-        if o.Fault.election_rounds > 1 then incr splits
-  done;
+let result_of_raw ~mode (raw : Measure.raw) =
   {
-    mode = Raft.Config.mode_name config;
-    failures = !measured;
-    detection = Stats.Summary.of_list !detection;
-    majority_detection = Stats.Summary.of_list !majority;
-    ots = Stats.Summary.of_list !ots;
-    election = Stats.Summary.of_list !election;
-    randomized = Stats.Summary.of_list !randomized;
-    rounds = Stats.Summary.of_list !rounds;
+    mode;
+    failures = raw.Measure.measured;
+    detection = Stats.Summary.of_list raw.Measure.detection;
+    majority_detection = Stats.Summary.of_list raw.Measure.majority;
+    ots = Stats.Summary.of_list raw.Measure.ots;
+    election = Stats.Summary.of_list raw.Measure.election;
+    randomized = Stats.Summary.of_list raw.Measure.randomized;
+    rounds = Stats.Summary.of_list raw.Measure.rounds;
     split_vote_rate =
-      (if !measured = 0 then 0. else float_of_int !splits /. float_of_int !measured);
+      (if raw.Measure.measured = 0 then 0.
+       else float_of_int raw.Measure.splits /. float_of_int raw.Measure.measured);
   }
 
-let compare_modes ?(failures = 1000) ?(seed = 42L) () =
+let run ?(seed = 42L) ?(n = 5) ?(failures = 1000) ?(rtt_ms = 100.)
+    ?(jitter = 0.02) ?(warmup = Des.Time.sec 30) ?(jobs = 1) ~config () =
+  let shard (s : Parallel.Campaign.shard) =
+    let conditions =
+      Netsim.Conditions.(constant (profile ~rtt_ms ~jitter ()))
+    in
+    let cluster = Cluster.create ~seed:s.seed ~n ~config ~conditions () in
+    Cluster.start cluster;
+    (match Cluster.await_leader cluster ~timeout:(Des.Time.sec 30) with
+    | Some _ -> ()
+    | None -> failwith "fig4: initial election failed");
+    Cluster.run_for cluster warmup;
+    Measure.failures cluster ~quota:s.quota
+  in
+  let raws = Parallel.Campaign.sharded ~jobs ~seed ~total:failures ~f:shard in
+  result_of_raw ~mode:(Raft.Config.mode_name config) (Measure.merge raws)
+
+let compare_modes ?(failures = 1000) ?(seed = 42L) ?(jobs = 1) () =
   [
-    run ~seed ~failures ~config:(Raft.Config.static ()) ();
-    run ~seed ~failures ~config:(Raft.Config.dynatune ()) ();
+    run ~seed ~failures ~jobs ~config:(Raft.Config.static ()) ();
+    run ~seed ~failures ~jobs ~config:(Raft.Config.dynatune ()) ();
   ]
 
 let print ppf results =

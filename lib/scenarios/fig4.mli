@@ -18,6 +18,10 @@ type result = {
   split_vote_rate : float;  (** fraction of failovers needing > 1 round *)
 }
 
+val result_of_raw : mode:string -> Measure.raw -> result
+(** Summarize the raw samples of a (possibly merged) failure campaign.
+    Shared with {!Fig8}, which produces the same result shape. *)
+
 val run :
   ?seed:int64 ->
   ?n:int ->
@@ -25,15 +29,27 @@ val run :
   ?rtt_ms:float ->
   ?jitter:float ->
   ?warmup:Des.Time.span ->
+  ?jobs:int ->
   config:Raft.Config.t ->
   unit ->
   result
 (** Defaults match the paper: [n = 5], [rtt_ms = 100.], no injected loss,
     small residual jitter (0.02 — a physical link is never exactly
     noiseless, and the tuner needs a non-degenerate σ), 30 s warm-up.
-    [failures] defaults to 1000 as in the paper. *)
+    [failures] defaults to 1000 as in the paper.
 
-val compare_modes : ?failures:int -> ?seed:int64 -> unit -> result list
+    [jobs] (default 1) splits the campaign into up to [jobs] shards run
+    on parallel domains, each an independent cluster seeded by
+    {!Parallel.Campaign}.  [jobs = 1] runs the single-cluster
+    sequential campaign with [seed] unchanged — bit-for-bit the
+    pre-sharding behaviour; [jobs > 1] draws the same total number of
+    failovers from [jobs] decorrelated clusters, so summaries are
+    statistically equivalent but not numerically identical to the
+    sequential run.  Output depends only on [(seed, jobs)], never on
+    scheduling. *)
+
+val compare_modes :
+  ?failures:int -> ?seed:int64 -> ?jobs:int -> unit -> result list
 (** The paper's comparison: default Raft vs Dynatune. *)
 
 val print : Format.formatter -> result list -> unit

@@ -39,11 +39,12 @@ let run ?(seed = 7L) ?(n = 5) ?(cores = 4.) ?(rates = default_rates)
     saturation_rps = Kvsm.Workload.saturation_rate levels;
   }
 
-let compare_modes ?(seed = 7L) ?rates ?hold () =
-  [
-    run ~seed ?rates ?hold ~config:(Raft.Config.static ()) ();
-    run ~seed ?rates ?hold ~config:(Raft.Config.dynatune ()) ();
-  ]
+let compare_modes ?(seed = 7L) ?rates ?hold ?(jobs = 1) () =
+  Parallel.Campaign.all ~jobs
+    [
+      (fun () -> run ~seed ?rates ?hold ~config:(Raft.Config.static ()) ());
+      (fun () -> run ~seed ?rates ?hold ~config:(Raft.Config.dynatune ()) ());
+    ]
 
 let print ppf results =
   Report.banner ppf "Fig 5: throughput & latency vs offered load";

@@ -27,7 +27,10 @@ val run :
     10 s per level. *)
 
 val compare_modes :
-  ?seed:int64 -> ?rates:float list -> ?hold:Des.Time.span -> unit ->
-  result list
+  ?seed:int64 -> ?rates:float list -> ?hold:Des.Time.span -> ?jobs:int ->
+  unit -> result list
+(** [jobs > 1] runs the two modes on parallel domains.  Each mode's
+    ramp is a self-contained deterministic simulation, so the results
+    are identical at any [jobs] — only the wall-clock changes. *)
 
 val print : Format.formatter -> result list -> unit

@@ -103,12 +103,13 @@ let run ?(seed = 11L) ?(hold = Des.Time.sec 60)
     elections = !elections;
   }
 
-let compare_modes ?(seed = 11L) ?hold ~pattern () =
-  [
-    run ~seed ?hold ~pattern ~config:(Raft.Config.dynatune ()) ();
-    run ~seed ?hold ~pattern ~config:(Raft.Config.static ()) ();
-    run ~seed ?hold ~pattern ~config:(Raft.Config.raft_low ()) ();
-  ]
+let compare_modes ?(seed = 11L) ?hold ?(jobs = 1) ~pattern () =
+  Parallel.Campaign.all ~jobs
+    [
+      (fun () -> run ~seed ?hold ~pattern ~config:(Raft.Config.dynatune ()) ());
+      (fun () -> run ~seed ?hold ~pattern ~config:(Raft.Config.static ()) ());
+      (fun () -> run ~seed ?hold ~pattern ~config:(Raft.Config.raft_low ()) ());
+    ]
 
 let print ppf pattern results =
   let title =

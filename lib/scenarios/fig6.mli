@@ -40,8 +40,9 @@ val run :
 (** [hold] is the duration of each RTT step (paper: 60 s). *)
 
 val compare_modes :
-  ?seed:int64 -> ?hold:Des.Time.span -> pattern:pattern -> unit ->
-  series list
-(** Dynatune vs Raft vs Raft-Low. *)
+  ?seed:int64 -> ?hold:Des.Time.span -> ?jobs:int -> pattern:pattern ->
+  unit -> series list
+(** Dynatune vs Raft vs Raft-Low.  [jobs > 1] runs the three modes on
+    parallel domains; results are identical at any [jobs]. *)
 
 val print : Format.formatter -> pattern -> series list -> unit

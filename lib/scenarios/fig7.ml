@@ -107,14 +107,15 @@ let run ?(seed = 19L) ?(hold = Des.Time.sec 180)
     timer_expiries = !expiries;
   }
 
-let compare_modes ?(seed = 19L) ?hold ~ns () =
-  List.concat_map
-    (fun n ->
-      [
-        run ~seed ?hold ~n ~config:(Raft.Config.dynatune ()) ();
-        run ~seed ?hold ~n ~config:(Raft.Config.fix_k ~k:10 ()) ();
-      ])
-    ns
+let compare_modes ?(seed = 19L) ?hold ?(jobs = 1) ~ns () =
+  Parallel.Campaign.all ~jobs
+    (List.concat_map
+       (fun n ->
+         [
+           (fun () -> run ~seed ?hold ~n ~config:(Raft.Config.dynatune ()) ());
+           (fun () -> run ~seed ?hold ~n ~config:(Raft.Config.fix_k ~k:10 ()) ());
+         ])
+       ns)
 
 let print ppf results =
   Report.banner ppf

@@ -37,7 +37,9 @@ val run :
     (the paper's Fig 7 allocation). *)
 
 val compare_modes :
-  ?seed:int64 -> ?hold:Des.Time.span -> ns:int list -> unit -> result list
-(** Dynatune and Fix-K(10) at each cluster size. *)
+  ?seed:int64 -> ?hold:Des.Time.span -> ?jobs:int -> ns:int list -> unit ->
+  result list
+(** Dynatune and Fix-K(10) at each cluster size.  [jobs > 1] runs the
+    legs on parallel domains; results are identical at any [jobs]. *)
 
 val print : Format.formatter -> result list -> unit

@@ -1,49 +1,23 @@
 module Cluster = Harness.Cluster
-module Fault = Harness.Fault
 
-let run ?(seed = 23L) ?(failures = 300) ?jitter ?loss ~config () =
-  let cluster = Cluster.create ~seed ~n:5 ~config () in
-  Geo.apply cluster ?jitter ?loss ();
-  Cluster.start cluster;
-  (match Cluster.await_leader cluster ~timeout:(Des.Time.sec 60) with
-  | Some _ -> ()
-  | None -> failwith "fig8: initial election failed");
-  Cluster.run_for cluster (Des.Time.sec 30);
-  let detection = ref [] and majority = ref [] and ots = ref [] in
-  let election = ref [] and randomized = ref [] and rounds = ref [] in
-  let splits = ref 0 and measured = ref 0 and attempts = ref 0 in
-  while !measured < failures && !attempts < 2 * failures do
-    incr attempts;
-    match Fault.fail_and_measure cluster () with
-    | Error _ -> Cluster.run_for cluster (Des.Time.sec 5)
-    | Ok o ->
-        incr measured;
-        detection := o.Fault.detection_ms :: !detection;
-        majority := o.Fault.majority_detection_ms :: !majority;
-        ots := o.Fault.ots_ms :: !ots;
-        election := (o.Fault.ots_ms -. o.Fault.detection_ms) :: !election;
-        randomized := o.Fault.randomized_at_detection_ms :: !randomized;
-        rounds := float_of_int o.Fault.election_rounds :: !rounds;
-        if o.Fault.election_rounds > 1 then incr splits
-  done;
-  {
-    Fig4.mode = Raft.Config.mode_name config;
-    failures = !measured;
-    detection = Stats.Summary.of_list !detection;
-    majority_detection = Stats.Summary.of_list !majority;
-    ots = Stats.Summary.of_list !ots;
-    election = Stats.Summary.of_list !election;
-    randomized = Stats.Summary.of_list !randomized;
-    rounds = Stats.Summary.of_list !rounds;
-    split_vote_rate =
-      (if !measured = 0 then 0.
-       else float_of_int !splits /. float_of_int !measured);
-  }
+let run ?(seed = 23L) ?(failures = 300) ?jitter ?loss ?(jobs = 1) ~config () =
+  let shard (s : Parallel.Campaign.shard) =
+    let cluster = Cluster.create ~seed:s.seed ~n:5 ~config () in
+    Geo.apply cluster ?jitter ?loss ();
+    Cluster.start cluster;
+    (match Cluster.await_leader cluster ~timeout:(Des.Time.sec 60) with
+    | Some _ -> ()
+    | None -> failwith "fig8: initial election failed");
+    Cluster.run_for cluster (Des.Time.sec 30);
+    Measure.failures cluster ~quota:s.quota
+  in
+  let raws = Parallel.Campaign.sharded ~jobs ~seed ~total:failures ~f:shard in
+  Fig4.result_of_raw ~mode:(Raft.Config.mode_name config) (Measure.merge raws)
 
-let compare_modes ?(failures = 300) ?(seed = 23L) () =
+let compare_modes ?(failures = 300) ?(seed = 23L) ?(jobs = 1) () =
   [
-    run ~seed ~failures ~config:(Raft.Config.static ()) ();
-    run ~seed ~failures ~config:(Raft.Config.dynatune ()) ();
+    run ~seed ~failures ~jobs ~config:(Raft.Config.static ()) ();
+    run ~seed ~failures ~jobs ~config:(Raft.Config.dynatune ()) ();
   ]
 
 let print ppf results =

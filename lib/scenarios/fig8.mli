@@ -12,11 +12,17 @@ val run :
   ?failures:int ->
   ?jitter:float ->
   ?loss:float ->
+  ?jobs:int ->
   config:Raft.Config.t ->
   unit ->
   Fig4.result
+(** [jobs] shards the campaign exactly as in {!Fig4.run}: [1] (the
+    default) is the sequential run, bit for bit; [> 1] fans the quota
+    out over that many independently seeded clusters on parallel
+    domains. *)
 
-val compare_modes : ?failures:int -> ?seed:int64 -> unit -> Fig4.result list
+val compare_modes :
+  ?failures:int -> ?seed:int64 -> ?jobs:int -> unit -> Fig4.result list
 (** Default Raft vs Dynatune on the geo WAN. *)
 
 val print : Format.formatter -> Fig4.result list -> unit

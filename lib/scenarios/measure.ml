@@ -1,0 +1,71 @@
+module Cluster = Harness.Cluster
+module Fault = Harness.Fault
+
+type raw = {
+  measured : int;
+  splits : int;
+  detection : float list;
+  majority : float list;
+  ots : float list;
+  election : float list;
+  randomized : float list;
+  rounds : float list;
+}
+
+let empty =
+  {
+    measured = 0;
+    splits = 0;
+    detection = [];
+    majority = [];
+    ots = [];
+    election = [];
+    randomized = [];
+    rounds = [];
+  }
+
+let failures cluster ~quota =
+  let detection = ref [] and majority = ref [] and ots = ref [] in
+  let election = ref [] and randomized = ref [] and rounds = ref [] in
+  let splits = ref 0 and measured = ref 0 and attempts = ref 0 in
+  while !measured < quota && !attempts < 2 * quota do
+    incr attempts;
+    match Fault.fail_and_measure cluster () with
+    | Error _ ->
+        (* Give the cluster a chance to re-stabilise before retrying. *)
+        Cluster.run_for cluster (Des.Time.sec 5)
+    | Ok o ->
+        incr measured;
+        detection := o.Fault.detection_ms :: !detection;
+        majority := o.Fault.majority_detection_ms :: !majority;
+        ots := o.Fault.ots_ms :: !ots;
+        election := (o.Fault.ots_ms -. o.Fault.detection_ms) :: !election;
+        randomized := o.Fault.randomized_at_detection_ms :: !randomized;
+        rounds := float_of_int o.Fault.election_rounds :: !rounds;
+        if o.Fault.election_rounds > 1 then incr splits
+  done;
+  {
+    measured = !measured;
+    splits = !splits;
+    detection = !detection;
+    majority = !majority;
+    ots = !ots;
+    election = !election;
+    randomized = !randomized;
+    rounds = !rounds;
+  }
+
+let merge parts =
+  List.fold_left
+    (fun acc p ->
+      {
+        measured = acc.measured + p.measured;
+        splits = acc.splits + p.splits;
+        detection = acc.detection @ p.detection;
+        majority = acc.majority @ p.majority;
+        ots = acc.ots @ p.ots;
+        election = acc.election @ p.election;
+        randomized = acc.randomized @ p.randomized;
+        rounds = acc.rounds @ p.rounds;
+      })
+    empty parts

@@ -1,0 +1,31 @@
+(** Shared leader-failure measurement loop for the failover campaigns.
+
+    Fig 4 (stable links), Fig 8 (geo WAN) and the campaign shards they
+    fan out over all drive the same loop: kill the leader, measure
+    detection / out-of-service / election metrics, repeat until a quota
+    of successful measurements is reached.  The loop returns the raw
+    samples rather than summaries so that shards run on separate
+    domains can be merged exactly ({!merge} concatenates sample lists;
+    {!Stats.Summary.of_list} sorts, so the result is independent of
+    shard interleaving). *)
+
+type raw = {
+  measured : int;  (** successful failover measurements *)
+  splits : int;  (** failovers that needed more than one round *)
+  detection : float list;  (** ms *)
+  majority : float list;  (** ms; (f+1)-th expiry *)
+  ots : float list;  (** ms *)
+  election : float list;  (** ms; OTS − detection *)
+  randomized : float list;  (** ms; randomizedTimeout at detection *)
+  rounds : float list;  (** election rounds per failover *)
+}
+
+val failures : Harness.Cluster.t -> quota:int -> raw
+(** Run the kill/measure loop on a started, warmed-up cluster until
+    [quota] failovers have been measured (giving up after [2 * quota]
+    attempts, matching the paper campaigns' retry budget).  Failed
+    measurements re-stabilise the cluster for 5 s before retrying. *)
+
+val merge : raw list -> raw
+(** Concatenate shard results in order; counts add, sample lists
+    append.  [merge [r]] is [r] itself, field for field. *)

@@ -23,6 +23,19 @@ let add t x =
     let i = Stdlib.min (bins t - 1) (int_of_float ((x -. t.lo) /. w)) in
     t.counts.(i) <- t.counts.(i) + 1
 
+let merge a b =
+  if a.lo <> b.lo || a.hi <> b.hi || Array.length a.counts <> Array.length b.counts
+  then invalid_arg "Histogram.merge: histograms have different bin layouts";
+  let counts = Array.mapi (fun i c -> c + b.counts.(i)) a.counts in
+  {
+    lo = a.lo;
+    hi = a.hi;
+    counts;
+    underflow = a.underflow + b.underflow;
+    overflow = a.overflow + b.overflow;
+    total = a.total + b.total;
+  }
+
 let count t = t.total
 let bin_count t i = t.counts.(i)
 let underflow t = t.underflow

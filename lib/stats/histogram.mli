@@ -10,6 +10,16 @@ val create : lo:float -> hi:float -> bins:int -> t
     underflow/overflow bins.  Requires [lo < hi] and [bins > 0]. *)
 
 val add : t -> float -> unit
+
+val merge : t -> t -> t
+(** [merge a b] is a fresh histogram whose every bin (including
+    under/overflow) holds the sum of the corresponding bins of [a] and
+    [b] — exactly the histogram that adding both sample streams to one
+    accumulator would produce, which is what makes sharded campaigns
+    mergeable without approximation.  Neither input is mutated.  Raises
+    [Invalid_argument] if the bin layouts ([lo], [hi], bin count)
+    differ. *)
+
 val count : t -> int
 (** Total samples added, including under/overflow. *)
 

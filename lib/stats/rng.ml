@@ -33,6 +33,9 @@ let split t name = { state = mix64 (Int64.logxor t.state (hash_name name)) }
 let split_int t i =
   { state = mix64 (Int64.logxor t.state (mix64 (Int64.of_int i))) }
 
+let derive seed i =
+  mix64 (Int64.logxor (mix64 seed) (mix64 (Int64.of_int i)))
+
 let bits t = Int64.to_int (Int64.shift_right_logical (int64 t) 2)
 
 let int t n =

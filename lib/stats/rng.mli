@@ -26,6 +26,12 @@ val split : t -> string -> t
 val split_int : t -> int -> t
 (** [split_int t i] is [split] keyed by an integer (e.g. a node id). *)
 
+val derive : int64 -> int -> int64
+(** [derive seed i] deterministically derives an independent seed from a
+    campaign seed and a shard index via SplitMix64 mixing — two rounds
+    of the finalizer, so nearby [(seed, i)] pairs land far apart.  Used
+    to give each campaign shard its own decorrelated root stream. *)
+
 val int64 : t -> int64
 (** Next raw 64-bit output. *)
 

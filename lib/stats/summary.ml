@@ -8,6 +8,12 @@ let of_array a =
   { sorted; mean = Welford.mean w; std = Welford.std w }
 
 let of_list l = of_array (Array.of_list l)
+
+let of_parts parts =
+  (* Concatenating the retained (sorted) sample arrays and rebuilding
+     gives the summary of the union of the raw samples — exact, not an
+     approximation, because [t] keeps every sample. *)
+  of_array (Array.concat (List.map (fun t -> t.sorted) parts))
 let count t = Array.length t.sorted
 let mean t = t.mean
 let std t = t.std

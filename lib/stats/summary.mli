@@ -11,6 +11,13 @@ val of_list : float list -> t
 val of_array : float array -> t
 (** The input array is copied; the original is not mutated. *)
 
+val of_parts : t list -> t
+(** [of_parts parts] summarizes the union of the samples behind
+    [parts].  Because a summary retains every sample, this is exactly
+    [of_list] applied to the concatenated raw samples — percentiles
+    and CDFs included — so campaign shards can be summarized
+    independently and merged without losing precision. *)
+
 val count : t -> int
 val mean : t -> float
 val std : t -> float
