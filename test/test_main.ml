@@ -2,6 +2,7 @@ let () =
   Alcotest.run "dynatune"
     [
       ("stats", Test_stats.tests);
+      ("parallel", Test_parallel.tests);
       ("des", Test_des.tests);
       ("netsim", Test_netsim.tests);
       ("tuner", Test_tuner.tests);

@@ -336,6 +336,103 @@ let test_timeseries_aggregations () =
   check_float "last" 3. (get Timeseries.Last);
   check_float "count" 3. (get Timeseries.Count)
 
+(* {2 Mergeable accumulators (campaign sharding)} *)
+
+(* NaN-tolerant closeness with a relative term, for property checks over
+   arbitrary magnitudes. *)
+let close a b =
+  (Float.is_nan a && Float.is_nan b)
+  || abs_float (a -. b) <= 1e-9 *. (1. +. abs_float a +. abs_float b)
+
+let prop_welford_merge_matches_concat =
+  QCheck.Test.make ~count:200
+    ~name:"welford: merge matches single pass over concatenation"
+    QCheck.(
+      pair
+        (list (float_range (-1e6) 1e6))
+        (list (float_range (-1e6) 1e6)))
+    (fun (xs, ys) ->
+      let wa = Welford.create ()
+      and wb = Welford.create ()
+      and all = Welford.create () in
+      List.iter
+        (fun x ->
+          Welford.add wa x;
+          Welford.add all x)
+        xs;
+      List.iter
+        (fun y ->
+          Welford.add wb y;
+          Welford.add all y)
+        ys;
+      let m = Welford.merge wa wb in
+      Welford.count m = Welford.count all
+      && close (Welford.mean m) (Welford.mean all)
+      && close (Welford.variance m) (Welford.variance all)
+      && close (Welford.min m) (Welford.min all)
+      && close (Welford.max m) (Welford.max all))
+
+let test_histogram_merge () =
+  let rng = Rng.create ~seed:99L () in
+  let fresh () = Histogram.create ~lo:0. ~hi:100. ~bins:10 in
+  let a = fresh () and b = fresh () and all = fresh () in
+  for _ = 1 to 500 do
+    (* Spill beyond [lo, hi) on both sides to exercise under/overflow. *)
+    let x = Rng.uniform rng (-20.) 120. in
+    let target = if Rng.bool rng then a else b in
+    Histogram.add target x;
+    Histogram.add all x
+  done;
+  let m = Histogram.merge a b in
+  Alcotest.(check int) "total" (Histogram.count all) (Histogram.count m);
+  Alcotest.(check int) "underflow" (Histogram.underflow all)
+    (Histogram.underflow m);
+  Alcotest.(check int) "overflow" (Histogram.overflow all)
+    (Histogram.overflow m);
+  for i = 0 to 9 do
+    Alcotest.(check int)
+      (Printf.sprintf "bin %d" i)
+      (Histogram.bin_count all i) (Histogram.bin_count m i)
+  done;
+  (* Inputs are not consumed by the merge. *)
+  Alcotest.(check int) "inputs untouched" (Histogram.count all)
+    (Histogram.count a + Histogram.count b)
+
+let test_histogram_merge_layout_mismatch () =
+  let a = Histogram.create ~lo:0. ~hi:100. ~bins:10 in
+  List.iter
+    (fun b ->
+      match Histogram.merge a b with
+      | _ -> Alcotest.fail "expected Invalid_argument on layout mismatch"
+      | exception Invalid_argument _ -> ())
+    [
+      Histogram.create ~lo:1. ~hi:100. ~bins:10;
+      Histogram.create ~lo:0. ~hi:50. ~bins:10;
+      Histogram.create ~lo:0. ~hi:100. ~bins:20;
+    ]
+
+let test_summary_of_parts_exact () =
+  let rng = Rng.create ~seed:123L () in
+  let parts =
+    List.map
+      (fun n -> List.init n (fun _ -> Rng.uniform rng (-50.) 50.))
+      [ 17; 0; 41; 1; 23 ]
+  in
+  let merged = Summary.of_parts (List.map Summary.of_list parts) in
+  let whole = Summary.of_list (List.concat parts) in
+  Alcotest.(check int) "count" (Summary.count whole) (Summary.count merged);
+  (* Exact: a summary retains every sample, so rebuilding from parts is
+     the same sorted array — identical to the last bit. *)
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 0.))
+        (Printf.sprintf "p%g" q)
+        (Summary.percentile whole q)
+        (Summary.percentile merged q))
+    [ 0.; 10.; 25.; 50.; 75.; 90.; 99.; 100. ];
+  Alcotest.(check (float 0.)) "mean" (Summary.mean whole) (Summary.mean merged);
+  Alcotest.(check (float 0.)) "std" (Summary.std whole) (Summary.std merged)
+
 let tests =
   [
     Alcotest.test_case "rng: deterministic" `Quick test_rng_deterministic;
@@ -383,7 +480,13 @@ let tests =
     Alcotest.test_case "summary: cdf_at" `Quick test_summary_cdf_at;
     Alcotest.test_case "summary: cdf monotone" `Quick test_summary_cdf_monotone;
     Alcotest.test_case "summary: empty" `Quick test_summary_empty;
+    Alcotest.test_case "summary: of_parts exact merge" `Quick
+      test_summary_of_parts_exact;
     Alcotest.test_case "histogram: binning" `Quick test_histogram_binning;
+    Alcotest.test_case "histogram: merge" `Quick test_histogram_merge;
+    Alcotest.test_case "histogram: merge layout mismatch" `Quick
+      test_histogram_merge_layout_mismatch;
+    QCheck_alcotest.to_alcotest prop_welford_merge_matches_concat;
     Alcotest.test_case "histogram: bounds" `Quick test_histogram_bounds;
     Alcotest.test_case "timeseries: bucketing" `Quick test_timeseries_bucketing;
     Alcotest.test_case "timeseries: window query" `Quick
