@@ -127,7 +127,9 @@ let watch_cmd =
           [
             {
               Harness.Monitor.name = "rto";
-              read = Harness.Monitor.majority_randomized_ms;
+              read =
+                (fun c ->
+                  Harness.Monitor.gap (Harness.Monitor.majority_randomized_ms c));
             };
             {
               Harness.Monitor.name = "led";

@@ -1,0 +1,277 @@
+(* Purely static source lint for the simulator sources.
+
+   The simulator's determinism contract bans certain constructs outright:
+   wall-clock reads (the only clock is the DES's virtual one), the global
+   [Random] state (all randomness flows from seeded [Stats.Rng] streams),
+   [Obj.magic], polymorphic [Stdlib.compare]/[Hashtbl.hash] (message and
+   state types carry their own comparisons), and top-level mutable
+   globals in [lib/raft] (all protocol state lives in [Server.t] so that
+   parallel campaign domains share nothing).
+
+   Usage:
+     lint.exe [--allow FILE] DIR...    scan .ml/.mli under DIRs; exit 1 on hits
+     lint.exe --self-test DIR          fixture mode: every rule must fire in
+                                       bad*.ml files, none may fire in good*.ml
+
+   The allowlist file holds lines of the form [path-suffix:rule-id]
+   ([#] comments and blank lines ignored); a hit is suppressed when the
+   file path ends with the suffix and the rule id matches. *)
+
+let ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '\''
+
+(* Blank out comments (nested) and string literals, preserving line
+   structure, so rules only see code. *)
+let strip source =
+  let n = String.length source in
+  let b = Buffer.create n in
+  let i = ref 0 in
+  let depth = ref 0 in
+  while !i < n do
+    let c = source.[!i] in
+    let next = if !i + 1 < n then source.[!i + 1] else '\000' in
+    if !depth > 0 then
+      if c = '(' && next = '*' then begin
+        incr depth;
+        i := !i + 2
+      end
+      else if c = '*' && next = ')' then begin
+        decr depth;
+        i := !i + 2
+      end
+      else begin
+        if c = '\n' then Buffer.add_char b '\n';
+        incr i
+      end
+    else if c = '(' && next = '*' then begin
+      incr depth;
+      i := !i + 2
+    end
+    else if c = '\'' && next = '"' && !i + 2 < n && source.[!i + 2] = '\'' then begin
+      (* the char literal '"' must not open a string *)
+      Buffer.add_string b "' '";
+      i := !i + 3
+    end
+    else if c = '"' then begin
+      Buffer.add_char b ' ';
+      incr i;
+      let fin = ref false in
+      while (not !fin) && !i < n do
+        let c = source.[!i] in
+        if c = '\\' && !i + 1 < n then i := !i + 2
+        else begin
+          if c = '"' then fin := true else if c = '\n' then Buffer.add_char b '\n';
+          incr i
+        end
+      done
+    end
+    else begin
+      Buffer.add_char b c;
+      incr i
+    end
+  done;
+  Buffer.contents b
+
+(* [tok] present as a standalone path/identifier: not preceded by an
+   identifier character or a ['.'] (so [My_random.x] and [Foo.Sys.time]
+   don't match), and — unless the token itself ends in ['.'] — not
+   followed by an identifier character (so [Unix.times] is not
+   [Unix.time]). *)
+let has_token line tok =
+  let ln = String.length line and tn = String.length tok in
+  let open_ended = tn > 0 && tok.[tn - 1] = '.' in
+  let rec go i =
+    if i + tn > ln then false
+    else if
+      String.sub line i tn = tok
+      && (i = 0 || ((not (ident_char line.[i - 1])) && line.[i - 1] <> '.'))
+      && (open_ended || i + tn = ln || not (ident_char line.[i + tn]))
+    then true
+    else go (i + 1)
+  in
+  go 0
+
+let any_token toks line = List.exists (has_token line) toks
+
+(* A column-0 [let NAME [: TYPE] = ref ...]: a top-level mutable global.
+   Bindings with parameters (functions returning refs) don't match. *)
+let toplevel_ref line =
+  String.length line > 4
+  && String.sub line 0 4 = "let "
+  &&
+  match String.index_opt line '=' with
+  | None -> false
+  | Some eq -> (
+      let name = String.trim (String.sub line 4 (eq - 4)) in
+      let name =
+        match String.index_opt name ':' with
+        | Some c -> String.trim (String.sub name 0 c)
+        | None -> name
+      in
+      name <> ""
+      && String.for_all ident_char name
+      &&
+      let rhs = String.trim (String.sub line (eq + 1) (String.length line - eq - 1)) in
+      rhs = "ref"
+      || (String.length rhs > 3 && String.sub rhs 0 4 = "ref ")
+      || (String.length rhs > 3 && String.sub rhs 0 4 = "ref("))
+
+let contains_sub ~sub s =
+  let sn = String.length sub and n = String.length s in
+  let rec go i = i + sn <= n && (String.sub s i sn = sub || go (i + 1)) in
+  go 0
+
+type rule = {
+  id : string;
+  doc : string;
+  scope : string -> bool;  (* does the rule apply to this path? *)
+  fires : string -> bool;  (* on one stripped source line *)
+}
+
+let rules =
+  [
+    {
+      id = "wall-clock";
+      doc = "wall-clock read (the DES virtual clock is the only clock)";
+      scope = (fun _ -> true);
+      fires = any_token [ "Unix.gettimeofday"; "Sys.time"; "Unix.time" ];
+    };
+    {
+      id = "global-rng";
+      doc = "global Random state (use seeded Stats.Rng streams)";
+      scope = (fun _ -> true);
+      fires = any_token [ "Random." ];
+    };
+    {
+      id = "obj-magic";
+      doc = "Obj.magic defeats the type system";
+      scope = (fun _ -> true);
+      fires = any_token [ "Obj.magic" ];
+    };
+    {
+      id = "poly-compare";
+      doc = "polymorphic compare/hash on message or state values";
+      scope = (fun _ -> true);
+      fires = any_token [ "Stdlib.compare"; "Hashtbl.hash" ];
+    };
+    {
+      id = "mutable-global";
+      doc = "top-level ref in lib/raft (protocol state belongs in Server.t)";
+      scope = (fun path -> contains_sub ~sub:"lib/raft/" path);
+      fires = toplevel_ref;
+    };
+  ]
+
+type hit = { path : string; lineno : int; rule : rule; line : string }
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let rec source_files path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort String.compare
+    |> List.concat_map (fun entry -> source_files (Filename.concat path entry))
+  else if Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
+  then [ path ]
+  else []
+
+let scan_file ~all_rules path =
+  let stripped = strip (read_file path) in
+  let hits = ref [] in
+  List.iteri
+    (fun i line ->
+      List.iter
+        (fun rule ->
+          if (all_rules || rule.scope path) && rule.fires line then
+            hits := { path; lineno = i + 1; rule; line } :: !hits)
+        rules)
+    (String.split_on_char '\n' stripped);
+  List.rev !hits
+
+let load_allowlist path =
+  read_file path |> String.split_on_char '\n' |> List.map String.trim
+  |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+  |> List.map (fun l ->
+         match String.rindex_opt l ':' with
+         | Some c ->
+             ( String.sub l 0 c,
+               String.sub l (c + 1) (String.length l - c - 1) )
+         | None ->
+             prerr_endline ("lint: malformed allowlist entry: " ^ l);
+             exit 2)
+
+let allowed allowlist hit =
+  List.exists
+    (fun (suffix, rule_id) ->
+      rule_id = hit.rule.id && Filename.check_suffix hit.path suffix)
+    allowlist
+
+let report hit =
+  Printf.eprintf "%s:%d: [%s] %s\n  %s\n" hit.path hit.lineno hit.rule.id
+    hit.rule.doc (String.trim hit.line)
+
+let run_scan ~allowlist dirs =
+  let hits =
+    List.concat_map (fun d -> source_files d) dirs
+    |> List.concat_map (scan_file ~all_rules:false)
+    |> List.filter (fun h -> not (allowed allowlist h))
+  in
+  List.iter report hits;
+  if hits = [] then print_endline "lint: clean"
+  else begin
+    Printf.eprintf "lint: %d forbidden pattern(s)\n" (List.length hits);
+    exit 1
+  end
+
+(* Fixture mode: prove the rules can fire.  Every rule must hit at least
+   once in bad*.ml, and good*.ml must be entirely clean (false-positive
+   guard). *)
+let self_test dir =
+  let files = source_files dir in
+  if files = [] then begin
+    prerr_endline ("lint --self-test: no fixtures under " ^ dir);
+    exit 2
+  end;
+  let bad, good =
+    List.partition
+      (fun p -> String.length (Filename.basename p) >= 3
+                && String.sub (Filename.basename p) 0 3 = "bad")
+      files
+  in
+  let bad_hits = List.concat_map (scan_file ~all_rules:true) bad in
+  let good_hits = List.concat_map (scan_file ~all_rules:true) good in
+  let failures = ref 0 in
+  List.iter
+    (fun rule ->
+      if not (List.exists (fun h -> h.rule.id = rule.id) bad_hits) then begin
+        Printf.eprintf "lint --self-test: rule %s never fired on %s\n" rule.id
+          (String.concat ", " bad);
+        incr failures
+      end)
+    rules;
+  List.iter
+    (fun h ->
+      Printf.eprintf "lint --self-test: false positive in clean fixture:\n";
+      report h;
+      incr failures)
+    good_hits;
+  if !failures > 0 then exit 1;
+  Printf.printf "lint --self-test: all %d rules fire, clean fixture clean\n"
+    (List.length rules)
+
+let () =
+  match Array.to_list Sys.argv with
+  | [ _; "--self-test"; dir ] -> self_test dir
+  | _ :: "--allow" :: allow :: dirs when dirs <> [] ->
+      run_scan ~allowlist:(load_allowlist allow) dirs
+  | _ :: dirs when dirs <> [] && not (List.exists (fun d -> d = "--allow" || d = "--self-test") dirs) ->
+      run_scan ~allowlist:[] dirs
+  | _ ->
+      prerr_endline "usage: lint [--allow FILE] DIR...\n       lint --self-test DIR";
+      exit 2

@@ -37,7 +37,10 @@ let () =
     Monitor.watch cluster ~every:(Des.Time.sec 2) ~duration
       ~probes:
         [
-          { Monitor.name = "rto"; read = Monitor.majority_randomized_ms };
+          {
+            Monitor.name = "rto";
+            read = (fun c -> Monitor.gap (Monitor.majority_randomized_ms c));
+          };
           {
             Monitor.name = "leader";
             read = (fun c -> if Monitor.has_leader c then 1. else 0.);

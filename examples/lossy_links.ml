@@ -46,7 +46,7 @@ let () =
         [
           {
             Monitor.name = "h";
-            read = (fun c -> Monitor.leader_h_ms c ~follower);
+            read = (fun c -> Monitor.gap (Monitor.leader_h_ms c ~follower));
           };
           {
             Monitor.name = "k";

@@ -8,10 +8,13 @@ type t = {
   trace : Raft.Probe.t Des.Mtrace.t;
   members : member Node_id.Table.t;
   ids : Node_id.t list;
+  checker : Check.t option;
+  digest : Check.Digest.t;
   mutable read_seq : int;  (* sequence numbers for internal read clients *)
 }
 
-let create ?seed ?costs ?(cores = 4.) ?conditions ?flush_delay ~n ~config () =
+let create ?seed ?costs ?(cores = 4.) ?conditions ?flush_delay
+    ?(check = Check.Off) ~n ~config () =
   if n <= 0 then invalid_arg "Cluster.create: n must be positive";
   let engine = Des.Engine.create ?seed () in
   let fabric = Netsim.Fabric.create engine in
@@ -55,11 +58,36 @@ let create ?seed ?costs ?(cores = 4.) ?conditions ?flush_delay ~n ~config () =
       in
       Node_id.Table.add members id (Lazy.force member))
     ids;
-  { engine; fabric; trace; members; ids; read_seq = 0 }
+  (* The digest accumulates online through a subscription, so it survives
+     the trace clears the measurement loop performs between failures. *)
+  let digest = Check.Digest.create () in
+  Des.Mtrace.subscribe trace (fun time probe ->
+      Check.Digest.feed_int digest time;
+      Check.Digest.feed_string digest (Format.asprintf "%a" Raft.Probe.pp probe));
+  let checker =
+    match check with
+    | Check.Off -> None
+    | (Check.Sample | Check.Always) as mode ->
+        let views =
+          List.map
+            (fun id -> Check.view_of_node (Node_id.Table.find members id).node)
+            ids
+        in
+        let c = Check.create ~mode ~nodes:views () in
+        Check.observe_trace c trace;
+        Des.Engine.set_post_hook engine (Some (fun () -> Check.step c));
+        Some c
+  in
+  { engine; fabric; trace; members; ids; checker; digest; read_seq = 0 }
 
 let engine t = t.engine
 let fabric t = t.fabric
 let trace t = t.trace
+let checker t = t.checker
+let trace_digest t = Check.Digest.value t.digest
+
+let check_now t =
+  match t.checker with None -> () | Some c -> Check.check_now c
 let size t = List.length t.ids
 let quorum t = (size t / 2) + 1
 let node_ids t = t.ids

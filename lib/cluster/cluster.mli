@@ -12,6 +12,7 @@ val create :
   ?cores:float ->
   ?conditions:Netsim.Conditions.t ->
   ?flush_delay:Des.Time.span ->
+  ?check:Check.mode ->
   n:int ->
   config:Raft.Config.t ->
   unit ->
@@ -20,11 +21,33 @@ val create :
     (default: ideal links) applies to every directed link; per-pair
     overrides can be set afterwards.  When [costs] is given, each node
     gets a CPU with [cores] (default 4., matching the paper's container
-    allocation). *)
+    allocation).
+
+    [check] (default {!Check.Off}) runs the online safety-invariant
+    checker after every delivered simulation event, on the schedule the
+    mode selects; a broken invariant raises {!Check.Violation} out of
+    whatever [run_for] / [await_leader] call delivered the event. *)
 
 val engine : t -> Des.Engine.t
 val fabric : t -> Raft.Rpc.message Netsim.Fabric.t
 val trace : t -> Raft.Probe.t Des.Mtrace.t
+
+val checker : t -> Check.t option
+(** The online invariant checker, when [create] was given a mode other
+    than {!Check.Off}. *)
+
+val check_now : t -> unit
+(** Run the checker's full battery immediately (final verdict at the end
+    of a scenario).  Raises {!Check.Violation}; no-op when checking is
+    off. *)
+
+val trace_digest : t -> int64
+(** Order-sensitive FNV-1a digest of every probe emitted on this
+    cluster's trace so far (timestamps included).  Accumulated through a
+    live subscription, so it is immune to [Mtrace.clear] and usable as a
+    determinism sanitizer: equal seeds and schedules must yield equal
+    digests. *)
+
 val size : t -> int
 val quorum : t -> int
 

@@ -9,9 +9,9 @@ let randomized_timeouts_ms t =
            Some (Des.Time.to_ms_f (Raft.Server.randomized_timeout server)))
 
 let majority_randomized_ms t =
-  let sorted = List.sort compare (randomized_timeouts_ms t) in
+  let sorted = List.sort Float.compare (randomized_timeouts_ms t) in
   let f = Cluster.size t / 2 in
-  match List.nth_opt sorted f with Some v -> v | None -> nan
+  List.nth_opt sorted f
 
 let election_timeout_ms t id =
   Des.Time.to_ms_f
@@ -19,15 +19,16 @@ let election_timeout_ms t id =
 
 let leader_h_ms t ~follower =
   match Cluster.leader t with
-  | None -> nan
+  | None -> None
   | Some l -> (
       match
         Raft.Server.heartbeat_interval_to (Raft.Node.server l) follower
       with
       | Some h when not (Node_id.equal (Raft.Node.id l) follower) ->
-          Des.Time.to_ms_f h
-      | Some _ | None -> nan)
+          Some (Des.Time.to_ms_f h)
+      | Some _ | None -> None)
 
+let gap = function Some v -> v | None -> nan
 let has_leader t = Cluster.leader t <> None
 
 type probe = { name : string; read : Cluster.t -> float }

@@ -9,16 +9,20 @@
 val randomized_timeouts_ms : Cluster.t -> float list
 (** Current randomizedTimeout of every non-leader node, ms, unsorted. *)
 
-val majority_randomized_ms : Cluster.t -> float
+val majority_randomized_ms : Cluster.t -> float option
 (** The (f+1)-th smallest of the above — the value at which a pre-vote
-    quorum becomes possible.  [nan] when not enough followers. *)
+    quorum becomes possible.  [None] when not enough followers. *)
 
 val election_timeout_ms : Cluster.t -> Netsim.Node_id.t -> float
 (** Node's current base [Et] (tuned or default). *)
 
-val leader_h_ms : Cluster.t -> follower:Netsim.Node_id.t -> float
+val leader_h_ms : Cluster.t -> follower:Netsim.Node_id.t -> float option
 (** The heartbeat interval the current leader applies toward [follower];
-    [nan] when there is no leader (or the follower {e is} the leader). *)
+    [None] when there is no leader (or the follower {e is} the leader). *)
+
+val gap : float option -> float
+(** [None] rendered as [nan] — for plotted time series, where a missing
+    sample must become a gap in the curve rather than a point. *)
 
 val has_leader : Cluster.t -> bool
 

@@ -5,6 +5,7 @@ type t = {
   mutable seq : int;
   mutable processed : int;
   mutable synced : int;  (* portion of [processed] already in [grand_total] *)
+  mutable post_hook : (unit -> unit) option;
   queue : Event_heap.t;
   rng : Stats.Rng.t;
 }
@@ -29,9 +30,12 @@ let create ?seed () =
     seq = 0;
     processed = 0;
     synced = 0;
+    post_hook = None;
     queue = Event_heap.create ();
     rng = Stats.Rng.create ?seed ();
   }
+
+let set_post_hook t hook = t.post_hook <- hook
 
 let now t = t.clock
 let rng t = t.rng
@@ -58,6 +62,7 @@ let step t =
       t.clock <- ev.Event_heap.at;
       t.processed <- t.processed + 1;
       ev.Event_heap.action ();
+      (match t.post_hook with None -> () | Some f -> f ());
       true
 
 let run t =

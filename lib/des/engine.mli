@@ -44,6 +44,13 @@ val run_for : t -> Time.span -> unit
 val step : t -> bool
 (** Process the single next event; [false] if the queue was empty. *)
 
+val set_post_hook : t -> (unit -> unit) option -> unit
+(** Install (or clear, with [None]) a callback invoked after every
+    processed event.  At most one hook is installed at a time; the
+    online invariant checker uses it to inspect all servers' states
+    between events.  An exception raised by the hook propagates out of
+    [run] / [run_until] / [step]. *)
+
 val pending_events : t -> int
 (** Number of queued non-cancelled events. *)
 

@@ -1,14 +1,20 @@
 type shard = { index : int; shards : int; seed : int64; quota : int }
 
-let plan ~jobs ~seed ~total =
-  if jobs <= 1 || total <= 1 then [ { index = 0; shards = 1; seed; quota = total } ]
+let plan ?shards ~jobs ~seed ~total () =
+  let count =
+    match shards with
+    | Some s ->
+        if s <= 0 then invalid_arg "Campaign.plan: shards must be positive";
+        Stdlib.max 1 (Stdlib.min s total)
+    | None -> if jobs <= 1 || total <= 1 then 1 else Stdlib.min jobs total
+  in
+  if count = 1 then [ { index = 0; shards = 1; seed; quota = total } ]
   else begin
-    let shards = min jobs total in
-    let base = total / shards and extra = total mod shards in
-    List.init shards (fun index ->
+    let base = total / count and extra = total mod count in
+    List.init count (fun index ->
         {
           index;
-          shards;
+          shards = count;
           seed = Stats.Rng.derive seed index;
           (* First [extra] shards carry one more trial so quotas sum to
              [total]. *)
@@ -16,14 +22,19 @@ let plan ~jobs ~seed ~total =
         })
   end
 
-let sharded ~jobs ~seed ~total ~f =
-  match plan ~jobs ~seed ~total with
+let sharded ?shards ~jobs ~seed ~total ~f () =
+  match plan ?shards ~jobs ~seed ~total () with
   | [ single ] -> [ f single ]
-  | shards ->
-      let pool = Pool.create ~domains:(List.length shards) in
+  | plan when jobs <= 1 ->
+      (* A pinned shard count with one worker: the same plan, executed
+         sequentially — results and traces bit-identical to the pooled
+         run. *)
+      List.map f plan
+  | plan ->
+      let pool = Pool.create ~domains:(Stdlib.min jobs (List.length plan)) in
       Fun.protect
         ~finally:(fun () -> Pool.shutdown pool)
-        (fun () -> Pool.map pool f shards)
+        (fun () -> Pool.map pool f plan)
 
 let all ~jobs thunks =
   let n = List.length thunks in

@@ -21,19 +21,30 @@ type shard = {
   quota : int;  (** Number of trials this shard must complete. *)
 }
 
-val plan : jobs:int -> seed:int64 -> total:int -> shard list
+val plan : ?shards:int -> jobs:int -> seed:int64 -> total:int -> unit -> shard list
 (** The shard plan that {!sharded} executes, exposed for testing.
-    [jobs <= 1] or [total <= 1] yields the single shard
-    [{index = 0; shards = 1; seed; quota = total}].  Otherwise there
-    are [min jobs total] shards; quotas differ by at most one and sum
-    to [total]; shard [i]'s seed is [Stats.Rng.derive seed i]. *)
 
-val sharded : jobs:int -> seed:int64 -> total:int -> f:(shard -> 'a) -> 'a list
-(** [sharded ~jobs ~seed ~total ~f] runs [f] on every shard of
-    [plan ~jobs ~seed ~total] and returns the results in shard order.
-    Single-shard plans run inline on the calling domain (no pool);
-    multi-shard plans fan out over a fresh {!Pool} of one domain per
-    shard, which is shut down before returning. *)
+    Without [shards], the plan is a function of [(jobs, total)]:
+    [jobs <= 1] or [total <= 1] yields the single shard
+    [{index = 0; shards = 1; seed; quota = total}]; otherwise there are
+    [min jobs total] shards.  With [shards], the shard count is pinned
+    to [min shards total] {e independently of [jobs]} — the determinism
+    sanitizer uses this to hold the plan (and therefore every trace)
+    fixed while varying only the worker count.  In every plan, quotas
+    differ by at most one and sum to [total]; a multi-shard plan gives
+    shard [i] the seed [Stats.Rng.derive seed i], while a single-shard
+    plan keeps the campaign seed unchanged (the sequential code path,
+    bit for bit).  Raises [Invalid_argument] if [shards <= 0]. *)
+
+val sharded :
+  ?shards:int -> jobs:int -> seed:int64 -> total:int -> f:(shard -> 'a) ->
+  unit -> 'a list
+(** [sharded ?shards ~jobs ~seed ~total ~f ()] runs [f] on every shard
+    of [plan ?shards ~jobs ~seed ~total ()] and returns the results in
+    shard order.  Single-shard plans run inline on the calling domain
+    (no pool), as does any plan when [jobs <= 1]; otherwise the shards
+    fan out over a fresh {!Pool} of [min jobs shards] domains, which is
+    shut down before returning. *)
 
 val all : jobs:int -> (unit -> 'a) list -> 'a list
 (** [all ~jobs thunks] runs independent thunks — complete scenario

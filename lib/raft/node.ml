@@ -21,12 +21,17 @@ type t = {
   install_sm : string -> unit;
   flush_delay : Des.Time.span;
   mutable paused : bool;
+  mutable incarnation : int;
+      (* bumped on every crash-recovery: volatile server state does not
+         survive a restart, and observers (the invariant checker) must
+         reset their volatile baselines when this changes *)
 }
 
 let id t = Server.id t.server
 let server t = t.server
 let cpu t = t.cpu
 let is_paused t = t.paused
+let incarnation t = t.incarnation
 
 let rec dispatch t event =
   let actions = Server.handle t.server ~now:(Des.Engine.now t.engine) event in
@@ -171,6 +176,7 @@ let create ~fabric ~trace ?cpu ?(costs = Cost_model.zero) ?apply ?snapshot_of
         install_sm;
         flush_delay;
         paused = false;
+        incarnation = 0;
       }
   in
   let t = Lazy.force t in
@@ -252,6 +258,7 @@ let restart t =
   let rng = Stats.Rng.split_int t.rng (Des.Engine.now t.engine) in
   t.server <-
     Server.create ~restore ~id:(id t) ~peers:t.peers ~config:t.config ~rng ();
+  t.incarnation <- t.incarnation + 1;
   (* Seed the state machine from the persisted snapshot; entries above
      the boundary are replayed as the leader re-teaches the commit
      point. *)

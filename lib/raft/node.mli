@@ -80,6 +80,12 @@ val resume : t -> unit
 
 val is_paused : t -> bool
 
+val incarnation : t -> int
+(** Number of crash-recoveries this node has been through.  The protocol
+    state machine is replaced wholesale by {!restart}; observers that
+    track volatile quantities (commit index, role) across checks use
+    this to detect the replacement and reset their baselines. *)
+
 val crash : t -> unit
 (** Crash the node: like {!pause}, but volatile state (role, commit
     index, measurement windows, outstanding client waiters — rejected)

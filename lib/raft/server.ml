@@ -146,6 +146,7 @@ let persisted (srv : t) =
 let id t = t.id
 let role t = t.role
 let term t = t.term
+let voted_for t = t.voted_for
 let leader t = t.leader
 let commit_index t = t.commit_index
 let log t = t.log

@@ -101,6 +101,11 @@ val handle : t -> now:Des.Time.t -> event -> action list
 val id : t -> Netsim.Node_id.t
 val role : t -> Types.role
 val term : t -> Types.term
+
+val voted_for : t -> Netsim.Node_id.t option
+(** The vote cast in the current term, if any (durable state; the
+    invariant checker asserts it never changes within a term). *)
+
 val leader : t -> Netsim.Node_id.t option
 (** The leader this server currently believes in ([None] after its own
     timeout — this is also the stickiness lease). *)

@@ -33,8 +33,9 @@ let sampled_mean cluster ~duration ~read =
   let rec arm () =
     ignore
       (Des.Engine.schedule_after engine (Des.Time.sec 1) (fun () ->
-           let v = read cluster in
-           if not (Float.is_nan v) then Stats.Welford.add w v;
+           (match read cluster with
+           | Some v -> Stats.Welford.add w v
+           | None -> ());
            if Des.Engine.now engine < stop_at then arm ())
         : Des.Engine.handle)
   in
@@ -42,8 +43,8 @@ let sampled_mean cluster ~duration ~read =
   Des.Engine.run_until engine stop_at;
   if Stats.Welford.count w = 0 then nan else Stats.Welford.mean w
 
-(* Mean tuned Et across followers whose tuner has left Step 0; NaN when
-   none is tuned right now. *)
+(* Mean tuned Et across followers whose tuner has left Step 0; [None]
+   when none is tuned right now. *)
 let tuned_follower_et cluster =
   let leader = Option.map Raft.Node.id (Cluster.leader cluster) in
   let ets =
@@ -66,8 +67,9 @@ let tuned_follower_et cluster =
       (Cluster.node_ids cluster)
   in
   match ets with
-  | [] -> nan
-  | _ -> List.fold_left ( +. ) 0. ets /. float_of_int (List.length ets)
+  | [] -> None
+  | _ ->
+      Some (List.fold_left ( +. ) 0. ets /. float_of_int (List.length ets))
 
 let safety_factor_sweep ?(seed = 31L) ?(values = [ 0.; 1.; 2.; 3.; 4. ])
     ?(failures = 100) ?(quiet = Des.Time.sec 120) ?(jitter = 0.15)
@@ -242,7 +244,11 @@ let list_size_sweep ?(seed = 41L) ?(values = [ 5; 20; 50; 100 ]) ?(jobs = 1)
          accommodates the new RTT. *)
       Des.Engine.run_until (Cluster.engine cluster) step_at;
       let rec wait_adapted limit =
-        if all_tuned () && Monitor.majority_randomized_ms cluster >= 150.
+        if
+          all_tuned ()
+          && (match Monitor.majority_randomized_ms cluster with
+             | Some v -> v >= 150.
+             | None -> false)
         then Cluster.now cluster
         else if Cluster.now cluster >= limit then Cluster.now cluster
         else begin
@@ -306,8 +312,9 @@ let estimator_sweep ?(seed = 47L) ?(failures = 40) ?(jobs = 1) () =
       let rec arm () =
         ignore
           (Des.Engine.schedule_after engine (Des.Time.sec 1) (fun () ->
-               let v = tuned_follower_et cluster in
-               if not (Float.is_nan v) then Stats.Welford.add et v;
+               (match tuned_follower_et cluster with
+               | Some v -> Stats.Welford.add et v
+               | None -> ());
                if Des.Engine.now engine < stop_at then arm ())
             : Des.Engine.handle)
       in
@@ -319,7 +326,9 @@ let estimator_sweep ?(seed = 47L) ?(failures = 40) ?(jobs = 1) () =
       (* Adaptation to the RTT step. *)
       Des.Engine.run_until engine step_at;
       let all_tuned_and_adapted () =
-        Monitor.majority_randomized_ms cluster >= 150.
+        (match Monitor.majority_randomized_ms cluster with
+        | Some v -> v >= 150.
+        | None -> false)
         && List.for_all
              (fun id ->
                match

@@ -10,11 +10,15 @@ type result = {
   randomized : Stats.Summary.t;
   rounds : Stats.Summary.t;
   split_vote_rate : float;
+  digest : int64;
+      (* order-sensitive digest of every shard's probe trace, in shard
+         order: the determinism sanitizer's witness *)
 }
 
-let result_of_raw ~mode (raw : Measure.raw) =
+let result_of_raw ~mode ~digest (raw : Measure.raw) =
   {
     mode;
+    digest;
     failures = raw.Measure.measured;
     detection = Stats.Summary.of_list raw.Measure.detection;
     majority_detection = Stats.Summary.of_list raw.Measure.majority;
@@ -28,21 +32,30 @@ let result_of_raw ~mode (raw : Measure.raw) =
   }
 
 let run ?(seed = 42L) ?(n = 5) ?(failures = 1000) ?(rtt_ms = 100.)
-    ?(jitter = 0.02) ?(warmup = Des.Time.sec 30) ?(jobs = 1) ~config () =
+    ?(jitter = 0.02) ?(warmup = Des.Time.sec 30) ?(jobs = 1) ?shards
+    ?(check = Check.Off) ~config () =
   let shard (s : Parallel.Campaign.shard) =
     let conditions =
       Netsim.Conditions.(constant (profile ~rtt_ms ~jitter ()))
     in
-    let cluster = Cluster.create ~seed:s.seed ~n ~config ~conditions () in
+    let cluster =
+      Cluster.create ~seed:s.seed ~n ~config ~conditions ~check ()
+    in
     Cluster.start cluster;
     (match Cluster.await_leader cluster ~timeout:(Des.Time.sec 30) with
     | Some _ -> ()
     | None -> failwith "fig4: initial election failed");
     Cluster.run_for cluster warmup;
-    Measure.failures cluster ~quota:s.quota
+    let raw = Measure.failures cluster ~quota:s.quota in
+    Cluster.check_now cluster;
+    (raw, Cluster.trace_digest cluster)
   in
-  let raws = Parallel.Campaign.sharded ~jobs ~seed ~total:failures ~f:shard in
-  result_of_raw ~mode:(Raft.Config.mode_name config) (Measure.merge raws)
+  let outcomes =
+    Parallel.Campaign.sharded ?shards ~jobs ~seed ~total:failures ~f:shard ()
+  in
+  let digest = Check.Digest.combine (List.map snd outcomes) in
+  result_of_raw ~mode:(Raft.Config.mode_name config) ~digest
+    (Measure.merge (List.map fst outcomes))
 
 let compare_modes ?(failures = 1000) ?(seed = 42L) ?(jobs = 1) () =
   [

@@ -16,9 +16,14 @@ type result = {
   randomized : Stats.Summary.t;  (** ms; randomizedTimeout at detection *)
   rounds : Stats.Summary.t;  (** real campaigns per failover *)
   split_vote_rate : float;  (** fraction of failovers needing > 1 round *)
+  digest : int64;
+      (** {!Check.Digest.combine} of every shard's probe-trace digest,
+          in shard order — the determinism sanitizer's witness: two runs
+          of the same [(seed, shard plan)] must agree on it, whatever
+          the worker count. *)
 }
 
-val result_of_raw : mode:string -> Measure.raw -> result
+val result_of_raw : mode:string -> digest:int64 -> Measure.raw -> result
 (** Summarize the raw samples of a (possibly merged) failure campaign.
     Shared with {!Fig8}, which produces the same result shape. *)
 
@@ -30,6 +35,8 @@ val run :
   ?jitter:float ->
   ?warmup:Des.Time.span ->
   ?jobs:int ->
+  ?shards:int ->
+  ?check:Check.mode ->
   config:Raft.Config.t ->
   unit ->
   result
@@ -46,7 +53,15 @@ val run :
     failovers from [jobs] decorrelated clusters, so summaries are
     statistically equivalent but not numerically identical to the
     sequential run.  Output depends only on [(seed, jobs)], never on
-    scheduling. *)
+    scheduling.
+
+    [shards] pins the shard count independently of [jobs] (see
+    {!Parallel.Campaign.plan}): with it, the result — including
+    [digest] — is a function of [(seed, shards)] alone, so running the
+    same plan with [jobs = 1] and [jobs = n] must produce bit-identical
+    digests.  [check] (default {!Check.Off}) runs the safety-invariant
+    checker inside every shard's cluster and a full check at the end of
+    its campaign. *)
 
 val compare_modes :
   ?failures:int -> ?seed:int64 -> ?jobs:int -> unit -> result list

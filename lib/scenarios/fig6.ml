@@ -60,7 +60,7 @@ let run ?(seed = 11L) ?(hold = Des.Time.sec 60)
         [
           {
             Monitor.name = "majority_timeout";
-            read = Monitor.majority_randomized_ms;
+            read = (fun c -> Monitor.gap (Monitor.majority_randomized_ms c));
           };
         ]
   in

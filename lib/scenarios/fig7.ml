@@ -66,7 +66,8 @@ let run ?(seed = 19L) ?(hold = Des.Time.sec 180)
         [
           {
             Monitor.name = "h";
-            read = (fun c -> Monitor.leader_h_ms c ~follower:follower_id);
+            read =
+              (fun c -> Monitor.gap (Monitor.leader_h_ms c ~follower:follower_id));
           };
           { Monitor.name = "leader_cpu"; read = cpu_probe leader_node };
           { Monitor.name = "follower_cpu"; read = cpu_probe follower_node };

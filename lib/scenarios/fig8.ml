@@ -1,18 +1,25 @@
 module Cluster = Harness.Cluster
 
-let run ?(seed = 23L) ?(failures = 300) ?jitter ?loss ?(jobs = 1) ~config () =
+let run ?(seed = 23L) ?(failures = 300) ?jitter ?loss ?(jobs = 1) ?shards
+    ?(check = Check.Off) ~config () =
   let shard (s : Parallel.Campaign.shard) =
-    let cluster = Cluster.create ~seed:s.seed ~n:5 ~config () in
+    let cluster = Cluster.create ~seed:s.seed ~n:5 ~config ~check () in
     Geo.apply cluster ?jitter ?loss ();
     Cluster.start cluster;
     (match Cluster.await_leader cluster ~timeout:(Des.Time.sec 60) with
     | Some _ -> ()
     | None -> failwith "fig8: initial election failed");
     Cluster.run_for cluster (Des.Time.sec 30);
-    Measure.failures cluster ~quota:s.quota
+    let raw = Measure.failures cluster ~quota:s.quota in
+    Cluster.check_now cluster;
+    (raw, Cluster.trace_digest cluster)
   in
-  let raws = Parallel.Campaign.sharded ~jobs ~seed ~total:failures ~f:shard in
-  Fig4.result_of_raw ~mode:(Raft.Config.mode_name config) (Measure.merge raws)
+  let outcomes =
+    Parallel.Campaign.sharded ?shards ~jobs ~seed ~total:failures ~f:shard ()
+  in
+  Fig4.result_of_raw ~mode:(Raft.Config.mode_name config)
+    ~digest:(Check.Digest.combine (List.map snd outcomes))
+    (Measure.merge (List.map fst outcomes))
 
 let compare_modes ?(failures = 300) ?(seed = 23L) ?(jobs = 1) () =
   [

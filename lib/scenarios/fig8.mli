@@ -13,13 +13,16 @@ val run :
   ?jitter:float ->
   ?loss:float ->
   ?jobs:int ->
+  ?shards:int ->
+  ?check:Check.mode ->
   config:Raft.Config.t ->
   unit ->
   Fig4.result
 (** [jobs] shards the campaign exactly as in {!Fig4.run}: [1] (the
     default) is the sequential run, bit for bit; [> 1] fans the quota
     out over that many independently seeded clusters on parallel
-    domains. *)
+    domains.  [shards] pins the shard plan and [check] enables the
+    online invariant checker, as in {!Fig4.run}. *)
 
 val compare_modes :
   ?failures:int -> ?seed:int64 -> ?jobs:int -> unit -> Fig4.result list

@@ -1,0 +1,22 @@
+(* Lint self-test fixture: every forbidden pattern, one per rule.  This
+   file is never compiled — it only feeds [lint --self-test]. *)
+
+(* wall-clock *)
+let now () = Unix.gettimeofday ()
+let cpu_seconds = Sys.time ()
+let epoch = Unix.time ()
+
+(* global-rng *)
+let roll () = Random.int 6
+let seed () = Random.self_init ()
+
+(* obj-magic *)
+let cast x = Obj.magic x
+
+(* poly-compare *)
+let cmp a b = Stdlib.compare a b
+let bucket x = Hashtbl.hash x
+
+(* mutable-global *)
+let counter = ref 0
+let total : float ref = ref 0.

@@ -1,0 +1,18 @@
+(* Lint self-test fixture: near-miss patterns that must NOT fire.
+   Mentions of Unix.gettimeofday, Sys.time, Random.int, Obj.magic,
+   Stdlib.compare and Hashtbl.hash inside comments are fine. *)
+
+let description = "Random.self_init and Unix.time are banned in lib/"
+let compare_ints (a : int) b = Int.compare a b
+let wait_times clock = Unix.times clock (* not Unix.time *)
+let quote = '"'
+let still_scanned_after_char_literal x = x
+
+(* A function returning a fresh ref is not a mutable global... *)
+let fresh_counter () = ref 0
+
+(* ...and neither is a local one. *)
+let bump () =
+  let local = ref 0 in
+  incr local;
+  !local

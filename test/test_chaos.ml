@@ -22,7 +22,9 @@ let lan () =
    returns the acknowledged writes for the final durability check. *)
 let run_chaos ~seed ~config ~steps =
   let n = 5 in
-  let c = Cluster.create ~seed ~n ~config ~conditions:(lan ()) () in
+  let c =
+    Cluster.create ~seed ~n ~config ~conditions:(lan ()) ~check:Check.Always ()
+  in
   Cluster.start c;
   let rng = Stats.Rng.create ~seed:(Int64.add seed 1000L) () in
   let ids = Array.of_list (Cluster.node_ids c) in

@@ -10,7 +10,9 @@ module Node_id = Netsim.Node_id
 let lan () = Netsim.Conditions.(constant (profile ~rtt_ms:10. ~jitter:0.02 ()))
 
 let make ?(seed = 23L) ?(n = 5) ?(config = Raft.Config.static ()) () =
-  let c = Cluster.create ~seed ~n ~config ~conditions:(lan ()) () in
+  let c =
+    Cluster.create ~seed ~n ~config ~conditions:(lan ()) ~check:Check.Always ()
+  in
   Cluster.start c;
   c
 

@@ -108,7 +108,11 @@ let test_monitor_randomized_sampling () =
         true
         (v >= 1000. && v < 2000.))
     values;
-  let majority = Monitor.majority_randomized_ms c in
+  let majority =
+    match Monitor.majority_randomized_ms c with
+    | Some v -> v
+    | None -> Alcotest.fail "majority randomized timeout unavailable"
+  in
   let sorted = List.sort compare values in
   Alcotest.(check (float 1e-9)) "majority = (f+1)-th smallest"
     (List.nth sorted 2) majority

@@ -11,7 +11,7 @@ let lan_conditions ?(rtt_ms = 10.) ?(jitter = 0.05) ?(loss = 0.) () =
 
 let make_cluster ?(seed = 7L) ?(n = 5) ?(config = Raft.Config.static ())
     ?(conditions = lan_conditions ()) () =
-  let c = Cluster.create ~seed ~n ~config ~conditions () in
+  let c = Cluster.create ~seed ~n ~config ~conditions ~check:Check.Always () in
   Cluster.start c;
   c
 
@@ -239,7 +239,11 @@ let test_fix_k_mode_tunes_et_only () =
   let et = Monitor.election_timeout_ms c follower in
   Alcotest.(check bool) (Printf.sprintf "Et tuned (%.0f)" et) true
     (et > 200. && et < 300.);
-  let h = Monitor.leader_h_ms c ~follower in
+  let h =
+    match Monitor.leader_h_ms c ~follower with
+    | Some h -> h
+    | None -> Alcotest.fail "no heartbeat interval toward follower"
+  in
   Alcotest.(check bool)
     (Printf.sprintf "h = Et/10 (%.1f vs %.1f)" h (et /. 10.))
     true

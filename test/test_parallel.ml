@@ -64,7 +64,7 @@ let test_pool_create_invalid () =
 let test_plan_single_shard () =
   List.iter
     (fun (jobs, total) ->
-      match Campaign.plan ~jobs ~seed:42L ~total with
+      match Campaign.plan ~jobs ~seed:42L ~total () with
       | [ s ] ->
           Alcotest.(check int) "index" 0 s.Campaign.index;
           Alcotest.(check int) "shards" 1 s.Campaign.shards;
@@ -77,7 +77,7 @@ let test_plan_single_shard () =
 
 let test_plan_quotas_and_seeds () =
   let seed = 42L in
-  let shards = Campaign.plan ~jobs:4 ~seed ~total:10 in
+  let shards = Campaign.plan ~jobs:4 ~seed ~total:10 () in
   Alcotest.(check int) "shard count" 4 (List.length shards);
   Alcotest.(check int) "quotas sum to total" 10
     (List.fold_left (fun a s -> a + s.Campaign.quota) 0 shards);
@@ -96,18 +96,36 @@ let test_plan_quotas_and_seeds () =
     (List.length (List.sort_uniq Int64.compare seeds));
   (* More workers than work: one shard per unit of work. *)
   Alcotest.(check int) "jobs > total collapses to total" 3
-    (List.length (Campaign.plan ~jobs:8 ~seed ~total:3))
+    (List.length (Campaign.plan ~jobs:8 ~seed ~total:3 ()));
+  (* A pinned shard count overrides jobs in both directions. *)
+  Alcotest.(check int) "pinned shards with jobs=1" 4
+    (List.length (Campaign.plan ~shards:4 ~jobs:1 ~seed ~total:10 ()));
+  Alcotest.(check int) "pinned shards with jobs=8" 4
+    (List.length (Campaign.plan ~shards:4 ~jobs:8 ~seed ~total:10 ()));
+  Alcotest.(check bool) "pinned plan independent of jobs" true
+    (Campaign.plan ~shards:4 ~jobs:1 ~seed ~total:10 ()
+    = Campaign.plan ~shards:4 ~jobs:8 ~seed ~total:10 ())
 
 let test_sharded_runs_all_shards () =
   let quotas =
-    Campaign.sharded ~jobs:4 ~seed:7L ~total:10 ~f:(fun s -> s.Campaign.quota)
+    Campaign.sharded ~jobs:4 ~seed:7L ~total:10
+      ~f:(fun s -> s.Campaign.quota)
+      ()
   in
   Alcotest.(check int) "full campaign covered" 10
     (List.fold_left ( + ) 0 quotas);
   let indexes =
-    Campaign.sharded ~jobs:4 ~seed:7L ~total:10 ~f:(fun s -> s.Campaign.index)
+    Campaign.sharded ~jobs:4 ~seed:7L ~total:10
+      ~f:(fun s -> s.Campaign.index)
+      ()
   in
-  Alcotest.(check (list int)) "results in shard order" [ 0; 1; 2; 3 ] indexes
+  Alcotest.(check (list int)) "results in shard order" [ 0; 1; 2; 3 ] indexes;
+  (* Pinned shards, one worker: the same plan runs inline. *)
+  let seq =
+    Campaign.sharded ~shards:4 ~jobs:1 ~seed:7L ~total:10 ~f:Fun.id ()
+  in
+  Alcotest.(check bool) "pinned plan identical inline vs pooled" true
+    (seq = Campaign.sharded ~shards:4 ~jobs:4 ~seed:7L ~total:10 ~f:Fun.id ())
 
 let test_all_runs_in_order () =
   let thunks = List.init 9 (fun i () -> i * i) in
