@@ -102,7 +102,7 @@ let figures =
 
 (* The report is flat and the values are numbers/strings, so the JSON is
    written by hand rather than pulling in a serialization library. *)
-let write_json path ~full ~jobs =
+let write_json path ~full ~jobs ~metrics =
   match open_out path with
   | exception Sys_error msg ->
       (* The figures already went to stdout; don't let a bad report path
@@ -119,9 +119,20 @@ let write_json path ~full ~jobs =
             wall events
             (if i = List.length rows - 1 then "" else ","))
         rows;
-      Printf.fprintf oc "  ]\n}\n";
+      Printf.fprintf oc "  ],\n  \"metrics\": %s\n}\n" metrics;
       close_out oc;
       Format.fprintf ppf "[wrote %s]@." path
+
+(* The metrics section of the JSON report: a small instrumented failover
+   campaign on a pinned 4-shard plan.  Pinning the plan makes the merged
+   snapshot a function of the seed alone — byte-identical whatever
+   --jobs says — so the report doubles as a determinism witness. *)
+let metrics_json ~jobs =
+  let r =
+    Fig4.run ~seed:42L ~failures:40 ~shards:4 ~jobs ~instrument:true
+      ~config:(Raft.Config.dynatune ()) ()
+  in
+  Telemetry.Metrics.to_json r.Fig4.metrics
 
 let usage () =
   Format.eprintf
@@ -189,5 +200,7 @@ let () =
     (String.concat ", " wanted);
   let scale = { full = !full; jobs } in
   List.iter (fun name -> (List.assoc name figures) scale) wanted;
-  Option.iter (fun path -> write_json path ~full:!full ~jobs) !json;
+  Option.iter
+    (fun path -> write_json path ~full:!full ~jobs ~metrics:(metrics_json ~jobs))
+    !json;
   Format.pp_print_flush ppf ()

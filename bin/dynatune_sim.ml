@@ -65,15 +65,53 @@ let failover_cmd =
       value & opt int 100
       & info [ "failures" ] ~docv:"K" ~doc:"Number of leader kills.")
   in
-  let run config n failures rtt_ms jitter seed =
-    let result =
-      Scenarios.Fig4.run ~seed ~n ~failures ~rtt_ms ~jitter ~config ()
-    in
-    Scenarios.Fig4.print ppf [ result ]
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace-event JSON file of the campaign (open in \
+             Perfetto or chrome://tracing): election spans per node, tuner \
+             decisions, per-link counters.  Implies full instrumentation.")
+  in
+  let run config n failures rtt_ms jitter seed trace_out =
+    match trace_out with
+    | None ->
+        let result =
+          Scenarios.Fig4.run ~seed ~n ~failures ~rtt_ms ~jitter ~config ()
+        in
+        Scenarios.Fig4.print ppf [ result ]
+    | Some path ->
+        let sink = Telemetry.Chrome_trace.create () in
+        let bridges = ref [] in
+        let result =
+          Scenarios.Fig4.run ~seed ~n ~failures ~rtt_ms ~jitter ~config
+            ~instrument:true
+            ~on_cluster:(fun ~shard cluster ->
+              (* Shard s becomes Chrome process s+1 (pid 0 is reserved).
+                 With the default jobs=1 there is exactly one. *)
+              let b =
+                Harness.Tracing.attach ~pid:(shard + 1)
+                  ~name:(Printf.sprintf "shard %d" shard)
+                  cluster sink
+              in
+              bridges := b :: !bridges)
+            ()
+        in
+        List.iter Harness.Tracing.finish !bridges;
+        Telemetry.Chrome_trace.write sink path;
+        Scenarios.Fig4.print ppf [ result ];
+        Format.fprintf ppf "@.telemetry:@.%a"
+          Telemetry.Metrics.pp result.Scenarios.Fig4.metrics;
+        Format.fprintf ppf "@.wrote %d trace events to %s@."
+          (Telemetry.Chrome_trace.event_count sink)
+          path
   in
   Cmd.v
     (Cmd.info "failover" ~doc:"Leader-failure campaign (Fig 4 style)")
-    Term.(const run $ mode $ servers $ failures $ rtt $ jitter $ seed)
+    Term.(
+      const run $ mode $ servers $ failures $ rtt $ jitter $ seed $ trace_out)
 
 (* {2 watch} *)
 

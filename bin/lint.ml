@@ -158,6 +158,30 @@ let rules =
       fires = any_token [ "Stdlib.compare"; "Hashtbl.hash" ];
     };
     {
+      id = "direct-print";
+      doc =
+        "direct printing from lib/ (take a formatter or return data; \
+         only scenarios/report.ml owns rendering)";
+      scope =
+        (fun path ->
+          contains_sub ~sub:"lib/" path
+          && not (Filename.check_suffix path "scenarios/report.ml"));
+      fires =
+        any_token
+          [
+            "Printf.printf";
+            "Printf.eprintf";
+            "Format.printf";
+            "Format.eprintf";
+            "print_endline";
+            "prerr_endline";
+            "print_string";
+            "print_newline";
+            "Format.std_formatter";
+            "Format.err_formatter";
+          ];
+    };
+    {
       id = "mutable-global";
       doc = "top-level ref in lib/raft (protocol state belongs in Server.t)";
       scope = (fun path -> contains_sub ~sub:"lib/raft/" path);

@@ -197,8 +197,8 @@ let on_probe t time probe =
       | Some _ | None -> Hashtbl.replace t.leaders_by_term term id)
   | Raft.Probe.Role_change _ | Raft.Probe.Timeout_expired _
   | Raft.Probe.Pre_vote_aborted _ | Raft.Probe.Tuner_reset _
-  | Raft.Probe.Election_started _ | Raft.Probe.Node_paused _
-  | Raft.Probe.Node_resumed _ ->
+  | Raft.Probe.Tuner_decision _ | Raft.Probe.Election_started _
+  | Raft.Probe.Node_paused _ | Raft.Probe.Node_resumed _ ->
       ()
 
 let observe_trace t trace = Des.Mtrace.subscribe trace (on_probe t)

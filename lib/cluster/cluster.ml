@@ -10,11 +10,70 @@ type t = {
   ids : Node_id.t list;
   checker : Check.t option;
   digest : Check.Digest.t;
+  telemetry : Telemetry.Metrics.t;
+  mutable collected : bool;  (* [collect_metrics] already ran *)
   mutable read_seq : int;  (* sequence numbers for internal read clients *)
 }
 
+let node_label id = "n" ^ string_of_int (Node_id.to_int id)
+
+(* Per-node protocol counters, filled through a live trace subscription
+   so they survive the measurement loop's [Mtrace.clear]s. *)
+type probe_counters = {
+  c_timeouts : Telemetry.Metrics.Counter.t;
+  c_elections : Telemetry.Metrics.Counter.t;
+  c_prevote_aborts : Telemetry.Metrics.Counter.t;
+  c_tuner_resets : Telemetry.Metrics.Counter.t;
+  c_tuner_decisions : Telemetry.Metrics.Counter.t;
+  c_leader_wins : Telemetry.Metrics.Counter.t;
+}
+
+let attach_probe_counters telemetry trace =
+  if Telemetry.Metrics.enabled telemetry then begin
+    let tbl = Node_id.Table.create 8 in
+    let handles id =
+      match Node_id.Table.find_opt tbl id with
+      | Some h -> h
+      | None ->
+          let node = node_label id in
+          let counter name =
+            Telemetry.Metrics.counter telemetry ~scope:"raft" ~name ~node ()
+          in
+          let h =
+            {
+              c_timeouts = counter "timeouts";
+              c_elections = counter "elections";
+              c_prevote_aborts = counter "prevote_aborts";
+              c_tuner_resets = counter "tuner_resets";
+              c_tuner_decisions = counter "tuner_decisions";
+              c_leader_wins = counter "leader_wins";
+            }
+          in
+          Node_id.Table.add tbl id h;
+          h
+    in
+    Des.Mtrace.subscribe trace (fun _time probe ->
+        let h = handles (Raft.Probe.node probe) in
+        match probe with
+        | Raft.Probe.Timeout_expired _ ->
+            Telemetry.Metrics.Counter.incr h.c_timeouts
+        | Raft.Probe.Election_started _ ->
+            Telemetry.Metrics.Counter.incr h.c_elections
+        | Raft.Probe.Pre_vote_aborted _ ->
+            Telemetry.Metrics.Counter.incr h.c_prevote_aborts
+        | Raft.Probe.Tuner_reset _ ->
+            Telemetry.Metrics.Counter.incr h.c_tuner_resets
+        | Raft.Probe.Tuner_decision _ ->
+            Telemetry.Metrics.Counter.incr h.c_tuner_decisions
+        | Raft.Probe.Role_change { role = Raft.Types.Leader; _ } ->
+            Telemetry.Metrics.Counter.incr h.c_leader_wins
+        | Raft.Probe.Role_change _ | Raft.Probe.Node_paused _
+        | Raft.Probe.Node_resumed _ ->
+            ())
+  end
+
 let create ?seed ?costs ?(cores = 4.) ?conditions ?flush_delay
-    ?(check = Check.Off) ~n ~config () =
+    ?(check = Check.Off) ?(telemetry = Telemetry.Metrics.noop) ~n ~config () =
   if n <= 0 then invalid_arg "Cluster.create: n must be positive";
   let engine = Des.Engine.create ?seed () in
   let fabric = Netsim.Fabric.create engine in
@@ -52,7 +111,7 @@ let create ?seed ?costs ?(cores = 4.) ?conditions ?flush_delay
                   match Kvsm.Store.of_serialized data with
                   | Ok store -> m.store <- store
                   | Error _ -> m.store <- Kvsm.Store.create ())
-                ?flush_delay ~id ~peers ~config ();
+                ?flush_delay ~metrics:telemetry ~id ~peers ~config ();
             store = Kvsm.Store.create ();
           }
       in
@@ -78,12 +137,67 @@ let create ?seed ?costs ?(cores = 4.) ?conditions ?flush_delay
         Des.Engine.set_post_hook engine (Some (fun () -> Check.step c));
         Some c
   in
-  { engine; fabric; trace; members; ids; checker; digest; read_seq = 0 }
+  attach_probe_counters telemetry trace;
+  {
+    engine;
+    fabric;
+    trace;
+    members;
+    ids;
+    checker;
+    digest;
+    telemetry;
+    collected = false;
+    read_seq = 0;
+  }
 
 let engine t = t.engine
 let fabric t = t.fabric
 let trace t = t.trace
 let checker t = t.checker
+let telemetry t = t.telemetry
+
+(* Fold the pull-style sources (engine, fabric, links) into the registry.
+   Idempotent: the counters are cumulative and registered fresh here, so
+   only the first call records. *)
+let collect_metrics t =
+  if Telemetry.Metrics.enabled t.telemetry && not t.collected then begin
+    t.collected <- true;
+    let m = t.telemetry in
+    let add scope name v =
+      Telemetry.Metrics.Counter.add
+        (Telemetry.Metrics.counter m ~scope ~name ())
+        v
+    in
+    let es = Des.Engine.stats t.engine in
+    add "des" "events_processed" es.Des.Engine.processed;
+    add "des" "events_pending" es.Des.Engine.pending;
+    add "des" "timers_cancelled" es.Des.Engine.cancelled;
+    add "des" "heap_compactions" es.Des.Engine.compactions;
+    Telemetry.Metrics.Gauge.set_max
+      (Telemetry.Metrics.gauge m ~scope:"des" ~name:"heap_high_water" ())
+      (float_of_int es.Des.Engine.heap_high_water);
+    let fc = Netsim.Fabric.counters t.fabric in
+    add "net" "sent" fc.Netsim.Fabric.sent;
+    add "net" "delivered" fc.Netsim.Fabric.delivered;
+    add "net" "lost" fc.Netsim.Fabric.lost;
+    add "net" "dropped_paused" fc.Netsim.Fabric.dropped_paused;
+    add "net" "duplicated" fc.Netsim.Fabric.duplicated;
+    List.iter
+      (fun ((src, dst), (lc : Netsim.Link.counters)) ->
+        let node = Printf.sprintf "n%d->n%d" src dst in
+        let add name v =
+          Telemetry.Metrics.Counter.add
+            (Telemetry.Metrics.counter m ~scope:"link" ~name ~node ())
+            v
+        in
+        add "sent" lc.Netsim.Link.sent;
+        add "delivered" lc.Netsim.Link.delivered;
+        add "lost" lc.Netsim.Link.lost;
+        add "duplicated" lc.Netsim.Link.duplicated;
+        add "retransmissions" lc.Netsim.Link.retransmissions)
+      (Netsim.Fabric.link_counters t.fabric)
+  end
 let trace_digest t = Check.Digest.value t.digest
 
 let check_now t =

@@ -13,6 +13,7 @@ val create :
   ?conditions:Netsim.Conditions.t ->
   ?flush_delay:Des.Time.span ->
   ?check:Check.mode ->
+  ?telemetry:Telemetry.Metrics.t ->
   n:int ->
   config:Raft.Config.t ->
   unit ->
@@ -26,7 +27,13 @@ val create :
     [check] (default {!Check.Off}) runs the online safety-invariant
     checker after every delivered simulation event, on the schedule the
     mode selects; a broken invariant raises {!Check.Violation} out of
-    whatever [run_for] / [await_leader] call delivered the event. *)
+    whatever [run_for] / [await_leader] call delivered the event.
+
+    [telemetry] (default {!Telemetry.Metrics.noop}) is handed to every
+    node (per-node RPC metrics, tuner-decision probes) and fed per-node
+    protocol counters through a live trace subscription; finish with
+    {!collect_metrics} to fold in the pull-style engine/fabric/link
+    statistics before taking the snapshot. *)
 
 val engine : t -> Des.Engine.t
 val fabric : t -> Raft.Rpc.message Netsim.Fabric.t
@@ -35,6 +42,16 @@ val trace : t -> Raft.Probe.t Des.Mtrace.t
 val checker : t -> Check.t option
 (** The online invariant checker, when [create] was given a mode other
     than {!Check.Off}. *)
+
+val telemetry : t -> Telemetry.Metrics.t
+(** The registry passed at creation ({!Telemetry.Metrics.noop} when none
+    was). *)
+
+val collect_metrics : t -> unit
+(** Fold the cumulative engine, fabric and per-link statistics into the
+    telemetry registry (scopes ["des"], ["net"], ["link"]).  Call once,
+    at the end of the scenario, just before snapshotting; subsequent
+    calls are no-ops.  No-op when telemetry is disabled. *)
 
 val check_now : t -> unit
 (** Run the checker's full battery immediately (final verdict at the end

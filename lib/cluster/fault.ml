@@ -38,14 +38,13 @@ let analyse t ~failed ~failed_at ~new_leader_at ~new_leader =
      probe (the polling loop only brackets it to the millisecond). *)
   let new_leader_at =
     match
-      Des.Mtrace.find_first (Cluster.trace t) ~after:failed_at ~f:(fun ~a ->
-          match a with
+      Des.Mtrace.find_first (Cluster.trace t) ~after:failed_at ~f:(function
           | Raft.Probe.Role_change { id; role = Raft.Types.Leader; _ } ->
               not (Node_id.equal id failed)
           | Raft.Probe.Role_change _ | Raft.Probe.Timeout_expired _
           | Raft.Probe.Pre_vote_aborted _ | Raft.Probe.Tuner_reset _
-          | Raft.Probe.Election_started _ | Raft.Probe.Node_paused _
-          | Raft.Probe.Node_resumed _ ->
+          | Raft.Probe.Tuner_decision _ | Raft.Probe.Election_started _
+          | Raft.Probe.Node_paused _ | Raft.Probe.Node_resumed _ ->
               false)
     with
     | Some (time, _) -> time
@@ -62,7 +61,8 @@ let analyse t ~failed ~failed_at ~new_leader_at ~new_leader =
         | Raft.Probe.Election_started _ -> incr rounds
         | Raft.Probe.Timeout_expired _ | Raft.Probe.Role_change _
         | Raft.Probe.Pre_vote_aborted _ | Raft.Probe.Tuner_reset _
-        | Raft.Probe.Node_paused _ | Raft.Probe.Node_resumed _ ->
+        | Raft.Probe.Tuner_decision _ | Raft.Probe.Node_paused _
+        | Raft.Probe.Node_resumed _ ->
             ());
   match List.rev !timeouts with
   | [] -> Error "no follower detected the failure"

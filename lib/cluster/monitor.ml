@@ -66,7 +66,8 @@ let role_changes t ~until =
         | Raft.Probe.Node_resumed { id } ->
             events := (time, id, `Resumed) :: !events
         | Raft.Probe.Timeout_expired _ | Raft.Probe.Pre_vote_aborted _
-        | Raft.Probe.Tuner_reset _ | Raft.Probe.Election_started _ ->
+        | Raft.Probe.Tuner_reset _ | Raft.Probe.Tuner_decision _
+        | Raft.Probe.Election_started _ ->
             ());
   List.rev !events
 

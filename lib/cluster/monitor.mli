@@ -42,8 +42,11 @@ val leaderless_intervals :
   Cluster.t -> from:Des.Time.t -> until:Des.Time.t ->
   (Des.Time.t * Des.Time.t) list
 (** Out-of-service intervals within the window, reconstructed from the
-    role-change trace (requires the trace not to have been cleared since
-    before [from]). *)
+    role-change trace.  Requires the trace not to have been cleared since
+    before [from], {e and} not capacity-trimmed over the window: replay
+    only sees what [Mtrace.events] retains, so clusters measured with
+    this must keep the default unbounded trace (see the retention
+    contract in {!Des.Mtrace}). *)
 
 val total_ots_ms : Cluster.t -> from:Des.Time.t -> until:Des.Time.t -> float
 (** Sum of the leaderless interval lengths in the window. *)

@@ -1,0 +1,132 @@
+module Node_id = Netsim.Node_id
+module Chrome = Telemetry.Chrome_trace
+
+type t = {
+  cluster : Cluster.t;
+  sink : Chrome.t;
+  pid : int;
+  (* The span currently open on each node's Chrome thread, if any.  The
+     trace-event format requires B/E pairs to nest per (pid, tid), so a
+     role change always closes the previous span before opening the
+     next. *)
+  open_spans : string Node_id.Table.t;
+  mutable finished : bool;
+}
+
+(* The election lifecycle as nested-free spans: a follower is "idle"
+   (no span), everything else is a phase of seeking or holding
+   leadership. *)
+let span_of_role = function
+  | Raft.Types.Follower -> None
+  | Raft.Types.Pre_candidate -> Some "pre-vote"
+  | Raft.Types.Candidate -> Some "campaign"
+  | Raft.Types.Leader -> Some "leader"
+
+let tid id = Node_id.to_int id
+
+let close_span t ~at id =
+  match Node_id.Table.find_opt t.open_spans id with
+  | None -> ()
+  | Some name ->
+      Node_id.Table.remove t.open_spans id;
+      Chrome.duration_end t.sink ~name ~pid:t.pid ~tid:(tid id) ~at ()
+
+let open_span t ~at id name ~args =
+  Node_id.Table.replace t.open_spans id name;
+  Chrome.duration_begin t.sink ~name ~pid:t.pid ~tid:(tid id) ~at ~args ()
+
+let on_probe t at probe =
+  if not t.finished then begin
+    let id = Raft.Probe.node probe in
+    let instant name args =
+      Chrome.instant t.sink ~name ~pid:t.pid ~tid:(tid id) ~at ~args ()
+    in
+    match probe with
+    | Raft.Probe.Role_change { role; term; _ } -> begin
+        close_span t ~at id;
+        match span_of_role role with
+        | None -> ()
+        | Some name -> open_span t ~at id name ~args:[ ("term", Chrome.Int term) ]
+      end
+    | Raft.Probe.Timeout_expired { term; randomized; _ } ->
+        instant "timeout_expired"
+          [
+            ("term", Chrome.Int term);
+            ("randomized_ms", Chrome.Float (Des.Time.to_ms_f randomized));
+          ]
+    | Raft.Probe.Pre_vote_aborted { term; _ } ->
+        instant "pre_vote_aborted" [ ("term", Chrome.Int term) ]
+    | Raft.Probe.Tuner_reset _ -> instant "tuner_reset" []
+    | Raft.Probe.Tuner_decision { rtt_ms; rtt_std_ms; loss; k; et; h; reason; _ }
+      ->
+        instant "tuner_decision"
+          [
+            ("reason", Chrome.Str (Raft.Probe.reason_name reason));
+            ("rtt_ms", Chrome.Float rtt_ms);
+            ("rtt_std_ms", Chrome.Float rtt_std_ms);
+            ("loss", Chrome.Float loss);
+            ("et_ms", Chrome.Float (Des.Time.to_ms_f et));
+            ("h_ms", Chrome.Float (Des.Time.to_ms_f h));
+            ("k", Chrome.Int k);
+          ]
+    | Raft.Probe.Election_started { term; _ } ->
+        instant "election_started" [ ("term", Chrome.Int term) ]
+    | Raft.Probe.Node_paused _ -> instant "node_paused" []
+    | Raft.Probe.Node_resumed _ -> instant "node_resumed" []
+  end
+
+let attach ?(pid = 1) ?name cluster sink =
+  let t =
+    {
+      cluster;
+      sink;
+      pid;
+      open_spans = Node_id.Table.create 8;
+      finished = false;
+    }
+  in
+  (match name with
+  | Some n -> Chrome.process_name sink ~pid n
+  | None -> ());
+  List.iter
+    (fun id ->
+      Chrome.thread_name sink ~pid ~tid:(tid id)
+        ("node " ^ string_of_int (Node_id.to_int id)))
+    (Cluster.node_ids cluster);
+  Des.Mtrace.subscribe (Cluster.trace cluster) (fun at probe ->
+      on_probe t at probe);
+  t
+
+let finish t =
+  if not t.finished then begin
+    t.finished <- true;
+    let at = Cluster.now t.cluster in
+    List.iter (fun id -> close_span t ~at id) (Cluster.node_ids t.cluster);
+    (* Fabric- and link-level tallies as counter tracks, so the trace
+       shows where messages were dropped alongside the election spans. *)
+    let fc = Netsim.Fabric.counters (Cluster.fabric t.cluster) in
+    Chrome.counter t.sink ~name:"fabric" ~pid:t.pid ~tid:0 ~at
+      ~values:
+        [
+          ("sent", float_of_int fc.Netsim.Fabric.sent);
+          ("delivered", float_of_int fc.Netsim.Fabric.delivered);
+          ("lost", float_of_int fc.Netsim.Fabric.lost);
+          ("dropped_paused", float_of_int fc.Netsim.Fabric.dropped_paused);
+          ("duplicated", float_of_int fc.Netsim.Fabric.duplicated);
+        ]
+      ();
+    List.iter
+      (fun ((src, dst), (lc : Netsim.Link.counters)) ->
+        Chrome.counter t.sink
+          ~name:(Printf.sprintf "link n%d->n%d" src dst)
+          ~pid:t.pid ~tid:0 ~at
+          ~values:
+            [
+              ("sent", float_of_int lc.Netsim.Link.sent);
+              ("lost", float_of_int lc.Netsim.Link.lost);
+              ("duplicated", float_of_int lc.Netsim.Link.duplicated);
+              ("retransmissions", float_of_int lc.Netsim.Link.retransmissions);
+            ]
+          ())
+      (Netsim.Fabric.link_counters (Cluster.fabric t.cluster))
+  end

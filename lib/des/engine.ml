@@ -84,3 +84,21 @@ let run_until t limit =
 let run_for t span = run_until t (Time.add t.clock span)
 let pending_events t = Event_heap.live_length t.queue
 let processed_events t = t.processed
+
+type stats = {
+  processed : int;
+  pending : int;
+  cancelled : int;
+  compactions : int;
+  heap_high_water : int;
+}
+
+let stats t =
+  let hs = Event_heap.stats t.queue in
+  {
+    processed = t.processed;
+    pending = Event_heap.live_length t.queue;
+    cancelled = hs.Event_heap.cancelled;
+    compactions = hs.Event_heap.compactions;
+    heap_high_water = hs.Event_heap.high_water;
+  }

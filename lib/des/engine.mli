@@ -57,6 +57,23 @@ val pending_events : t -> int
 val processed_events : t -> int
 (** Total events executed since creation. *)
 
+type stats = {
+  processed : int;  (** events executed ({!processed_events}) *)
+  pending : int;  (** queued non-cancelled events ({!pending_events}) *)
+  cancelled : int;  (** lifetime [cancel] marks on scheduled events *)
+  compactions : int;  (** lazy-cancel heap sweeps performed *)
+  heap_high_water : int;  (** deepest the event heap has ever been *)
+}
+(** Engine self-instrumentation.  [cancelled] vs [processed] shows how
+    much timer churn (heartbeat re-arming, election resets) the workload
+    generates relative to events that actually fire; [compactions] and
+    [heap_high_water] characterize the lazy-cancellation heap's
+    behaviour.  Maintained unconditionally — each is a plain field
+    mutation on a path that already mutates the heap. *)
+
+val stats : t -> stats
+(** Snapshot of the counters at this instant. *)
+
 val global_processed : unit -> int
 (** Events executed by every engine in the process so far, across all
     domains.  Updated in batches at the end of [run] / [run_until], so

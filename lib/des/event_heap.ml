@@ -1,17 +1,31 @@
+type stats = {
+  mutable dead : int;
+  mutable cancelled : int;
+  mutable compactions : int;
+  mutable high_water : int;
+}
+
 type event = {
   at : Time.t;
   seq : int;
   action : unit -> unit;
   mutable cancelled : bool;
   mutable queued : bool;
-  dead : int ref;
+  stats : stats;
 }
 
-type t = { mutable data : event array; mutable len : int; dead : int ref }
+type t = { mutable data : event array; mutable len : int; stats : stats }
 
-let create () = { data = [||]; len = 0; dead = ref 0 }
+let create () =
+  {
+    data = [||];
+    len = 0;
+    stats = { dead = 0; cancelled = 0; compactions = 0; high_water = 0 };
+  }
+
 let length t = t.len
-let live_length t = t.len - !(t.dead)
+let live_length t = t.len - t.stats.dead
+let stats t = t.stats
 let compact_min_dead = 64
 
 (* The ordering [compare_events] implements, with the comparison inlined
@@ -55,6 +69,7 @@ let push t x =
   if t.len = Array.length t.data then grow t x;
   t.data.(t.len) <- x;
   t.len <- t.len + 1;
+  if t.len > t.stats.high_water then t.stats.high_water <- t.len;
   sift_up t (t.len - 1)
 
 (* Drop every cancelled entry and re-heapify.  O(len), amortized against
@@ -76,21 +91,25 @@ let compact t =
       t.data.(i) <- t.data.(0)
     done;
   t.len <- !j;
-  t.dead := 0;
+  t.stats.dead <- 0;
+  t.stats.compactions <- t.stats.compactions + 1;
   for i = (t.len / 2) - 1 downto 0 do
     sift_down t i
   done
 
 let schedule t ~at ~seq action =
-  if !(t.dead) > compact_min_dead && 2 * !(t.dead) > t.len then compact t;
-  let ev = { at; seq; action; cancelled = false; queued = true; dead = t.dead } in
+  if t.stats.dead > compact_min_dead && 2 * t.stats.dead > t.len then compact t;
+  let ev =
+    { at; seq; action; cancelled = false; queued = true; stats = t.stats }
+  in
   push t ev;
   ev
 
 let cancel ev =
   if not ev.cancelled then begin
     ev.cancelled <- true;
-    if ev.queued then incr ev.dead
+    ev.stats.cancelled <- ev.stats.cancelled + 1;
+    if ev.queued then ev.stats.dead <- ev.stats.dead + 1
   end
 
 let is_pending ev = not ev.cancelled
@@ -112,7 +131,7 @@ let rec pop_live t =
   match pop t with
   | None -> None
   | Some ev when ev.cancelled ->
-      decr t.dead;
+      t.stats.dead <- t.stats.dead - 1;
       pop_live t
   | some -> some
 
@@ -122,7 +141,7 @@ let rec peek_live t =
     let top = t.data.(0) in
     if top.cancelled then begin
       ignore (pop t : event option);
-      decr t.dead;
+      t.stats.dead <- t.stats.dead - 1;
       peek_live t
     end
     else Some top

@@ -13,13 +13,23 @@
     (heartbeat churn over long holds) cannot grow the queue without
     bound.  Not thread-safe: each simulation runs single-domain. *)
 
+type stats = private {
+  mutable dead : int;  (** cancelled-but-still-queued entries, right now *)
+  mutable cancelled : int;  (** lifetime count of {!cancel} marks *)
+  mutable compactions : int;  (** lifetime count of lazy-cancel sweeps *)
+  mutable high_water : int;  (** deepest the heap has ever been *)
+}
+(** Self-instrumentation counters, maintained unconditionally — they are
+    single field mutations on paths that already mutate the heap, too
+    cheap to be worth gating.  Read them via {!stats}. *)
+
 type event = private {
   at : Time.t;
   seq : int;  (** tie-break: strictly increasing scheduling order *)
   action : unit -> unit;
   mutable cancelled : bool;
   mutable queued : bool;  (** currently stored in the heap *)
-  dead : int ref;  (** owning heap's count of cancelled-but-queued events *)
+  stats : stats;  (** owning heap's counters *)
 }
 
 type t
@@ -49,6 +59,9 @@ val length : t -> int
 
 val live_length : t -> int
 (** Entries that are still scheduled to fire. *)
+
+val stats : t -> stats
+(** The heap's live counter record (not a copy). *)
 
 val compact_min_dead : int
 (** Compaction triggers when more than [compact_min_dead] entries are

@@ -210,3 +210,8 @@ let counters t =
     dropped_paused = t.dropped_paused;
     duplicated = t.duplicated;
   }
+
+let link_counters t =
+  Hashtbl.fold (fun k l acc -> (k, Link.counters l) :: acc) t.links []
+  |> List.sort (fun ((a1, a2), _) ((b1, b2), _) ->
+         match Int.compare a1 b1 with 0 -> Int.compare a2 b2 | c -> c)

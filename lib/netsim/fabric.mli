@@ -71,3 +71,9 @@ type counters = {
 }
 
 val counters : _ t -> counters
+
+val link_counters : _ t -> ((int * int) * Link.counters) list
+(** Per-link statistics for every link created so far, keyed by
+    [(src, dst)] node ints and sorted by that key, so snapshots built
+    from it are deterministic.  Links are created lazily: a pair that
+    never exchanged a message is absent. *)

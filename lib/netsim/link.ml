@@ -1,12 +1,30 @@
+type counters = {
+  mutable sent : int;
+  mutable delivered : int;
+  mutable lost : int;
+  mutable duplicated : int;
+  mutable retransmissions : int;
+}
+
 type t = {
   engine : Des.Engine.t;
   rng : Stats.Rng.t;
   mutable conditions : Conditions.t;
+  counters : counters;
 }
 
-let create engine ~rng conditions = { engine; rng; conditions }
+let create engine ~rng conditions =
+  {
+    engine;
+    rng;
+    conditions;
+    counters =
+      { sent = 0; delivered = 0; lost = 0; duplicated = 0; retransmissions = 0 };
+  }
+
 let set_conditions t c = t.conditions <- c
 let conditions t = t.conditions
+let counters t = t.counters
 let profile_now t = Conditions.at t.conditions (Des.Engine.now t.engine)
 
 type outcome =
@@ -20,24 +38,38 @@ let one_way t (p : Conditions.profile) =
   Des.Time.of_ms_f (base *. mult)
 
 let sample_datagram t =
+  let c = t.counters in
+  c.sent <- c.sent + 1;
   let p = profile_now t in
-  if Stats.Rng.bernoulli t.rng p.loss then Lost
-  else
+  if Stats.Rng.bernoulli t.rng p.loss then begin
+    c.lost <- c.lost + 1;
+    Lost
+  end
+  else begin
+    c.delivered <- c.delivered + 1;
     let d1 = one_way t p in
-    if p.duplicate > 0. && Stats.Rng.bernoulli t.rng p.duplicate then
+    if p.duplicate > 0. && Stats.Rng.bernoulli t.rng p.duplicate then begin
+      c.duplicated <- c.duplicated + 1;
       Duplicated (d1, one_way t p)
+    end
     else Delivered d1
+  end
 
 let min_rto = Des.Time.ms 200
 let max_retransmissions = 8
 
 let sample_reliable t =
+  let c = t.counters in
+  c.sent <- c.sent + 1;
+  c.delivered <- c.delivered + 1;
   let p = profile_now t in
   let rto = Des.Time.max_span min_rto (Des.Time.of_ms_f (2. *. p.rtt_ms)) in
   let rec attempt n penalty =
     if n >= max_retransmissions then penalty
-    else if Stats.Rng.bernoulli t.rng p.loss then
+    else if Stats.Rng.bernoulli t.rng p.loss then begin
+      c.retransmissions <- c.retransmissions + 1;
       attempt (n + 1) (penalty + (rto * (1 lsl n)))
+    end
     else penalty
   in
   attempt 0 0 + one_way t p

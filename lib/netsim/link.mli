@@ -7,9 +7,24 @@
 
 type t
 
+type counters = private {
+  mutable sent : int;  (** messages offered to the link *)
+  mutable delivered : int;  (** at least one copy arrived *)
+  mutable lost : int;  (** datagrams dropped by the loss draw *)
+  mutable duplicated : int;  (** datagrams delivered twice *)
+  mutable retransmissions : int;  (** reliable-stream loss events *)
+}
+(** Per-link transmission statistics, maintained unconditionally (one
+    field increment per sample, on a path that draws from the PRNG).
+    Reliable sends always count as delivered — loss becomes
+    retransmission delay, tallied separately. *)
+
 val create : Des.Engine.t -> rng:Stats.Rng.t -> Conditions.t -> t
 val set_conditions : t -> Conditions.t -> unit
 val conditions : t -> Conditions.t
+
+val counters : t -> counters
+(** The link's live counter record (not a copy). *)
 
 val profile_now : t -> Conditions.profile
 (** The profile in force at the current simulation time. *)

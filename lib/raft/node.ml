@@ -20,6 +20,10 @@ type t = {
   snapshot_of : unit -> string;
   install_sm : string -> unit;
   flush_delay : Des.Time.span;
+  instrumented : bool;
+  m_sent : Telemetry.Metrics.Counter.t;
+  m_recv : Telemetry.Metrics.Counter.t;
+  m_hb_rtt : Telemetry.Metrics.Timer.t;
   mutable paused : bool;
   mutable incarnation : int;
       (* bumped on every crash-recovery: volatile server state does not
@@ -39,6 +43,7 @@ let rec dispatch t event =
 
 and interpret t = function
   | Server.Send { dst; kind; msg } ->
+      Telemetry.Metrics.Counter.incr t.m_sent;
       Netsim.Cpu.charge t.cpu
         ~cost:
           (Cost_model.message_send_cost t.costs
@@ -123,8 +128,10 @@ let datagram_overflow t msg =
   | Netsim.Transport.Reliable -> false)
 
 let create ~fabric ~trace ?cpu ?(costs = Cost_model.zero) ?apply ?snapshot_of
-    ?install_sm ?(flush_delay = Des.Time.ms 1) ~id:node_id ~peers ~config () =
+    ?install_sm ?(flush_delay = Des.Time.ms 1)
+    ?(metrics = Telemetry.Metrics.noop) ~id:node_id ~peers ~config () =
   let engine = Netsim.Fabric.engine fabric in
+  let node_label = "n" ^ string_of_int (Node_id.to_int node_id) in
   let cpu =
     match cpu with Some c -> c | None -> Netsim.Cpu.passthrough engine
   in
@@ -134,6 +141,7 @@ let create ~fabric ~trace ?cpu ?(costs = Cost_model.zero) ?apply ?snapshot_of
       (Node_id.to_int node_id)
   in
   let server = Server.create ~id:node_id ~peers ~config ~rng:(Stats.Rng.copy rng) () in
+  Server.set_instrument server (Telemetry.Metrics.enabled metrics);
   let apply = match apply with Some f -> f | None -> fun _ -> () in
   let snapshot_of = match snapshot_of with Some f -> f | None -> fun () -> "" in
   let install_sm = match install_sm with Some f -> f | None -> fun _ -> () in
@@ -171,6 +179,16 @@ let create ~fabric ~trace ?cpu ?(costs = Cost_model.zero) ?apply ?snapshot_of
                 dispatch (Lazy.force t) Server.Flush_due);
         hb_timers = Node_id.Table.create 8;
         waiters = Hashtbl.create 64;
+        instrumented = Telemetry.Metrics.enabled metrics;
+        m_sent =
+          Telemetry.Metrics.counter metrics ~scope:"rpc" ~name:"sent"
+            ~node:node_label ();
+        m_recv =
+          Telemetry.Metrics.counter metrics ~scope:"rpc" ~name:"recv"
+            ~node:node_label ();
+        m_hb_rtt =
+          Telemetry.Metrics.timer metrics ~scope:"rpc" ~name:"hb_rtt_ms"
+            ~node:node_label ~lo:0. ~hi:1000. ~bins:100 ();
         apply;
         snapshot_of;
         install_sm;
@@ -183,7 +201,23 @@ let create ~fabric ~trace ?cpu ?(costs = Cost_model.zero) ?apply ?snapshot_of
   Netsim.Fabric.set_handler fabric node_id (fun ~src msg ->
       if not t.paused then
         if datagram_overflow t msg then ()
-        else
+        else begin
+          if t.instrumented then begin
+            Telemetry.Metrics.Counter.incr t.m_recv;
+            (* Heartbeat echoes carry their send instant, so the leader
+               observes the full heartbeat round-trip at delivery. *)
+            match msg with
+            | Rpc.Heartbeat_response { Rpc.echo; _ } ->
+                Telemetry.Metrics.Timer.observe_ms t.m_hb_rtt
+                  (Des.Time.to_ms_f
+                     (Des.Time.diff (Des.Engine.now t.engine)
+                        echo.Rpc.echo_sent_at))
+            | Rpc.Heartbeat _ | Rpc.Vote_request _ | Rpc.Vote_response _
+            | Rpc.Append_request _ | Rpc.Append_response _
+            | Rpc.Install_snapshot _ | Rpc.Install_snapshot_response _
+            | Rpc.Timeout_now _ ->
+                ()
+          end;
           Netsim.Cpu.execute t.cpu
             ~cost:
               (Cost_model.message_recv_cost t.costs
@@ -191,7 +225,8 @@ let create ~fabric ~trace ?cpu ?(costs = Cost_model.zero) ?apply ?snapshot_of
                  msg)
             (fun () ->
               if not t.paused then
-                dispatch t (Server.Message { from = src; msg })));
+                dispatch t (Server.Message { from = src; msg }))
+        end);
   t
 
 let start t = List.iter (interpret t) (Server.start t.server)
@@ -258,6 +293,7 @@ let restart t =
   let rng = Stats.Rng.split_int t.rng (Des.Engine.now t.engine) in
   t.server <-
     Server.create ~restore ~id:(id t) ~peers:t.peers ~config:t.config ~rng ();
+  Server.set_instrument t.server t.instrumented;
   t.incarnation <- t.incarnation + 1;
   (* Seed the state machine from the persisted snapshot; entries above
      the boundary are replayed as the leader re-teaches the commit

@@ -17,6 +17,7 @@ val create :
   ?snapshot_of:(unit -> string) ->
   ?install_sm:(string -> unit) ->
   ?flush_delay:Des.Time.span ->
+  ?metrics:Telemetry.Metrics.t ->
   id:Netsim.Node_id.t ->
   peers:Netsim.Node_id.t list ->
   config:Config.t ->
@@ -28,7 +29,13 @@ val create :
     every committed entry, in log order.  When log compaction is enabled
     ({!Config.with_snapshots}), [snapshot_of] must serialize the current
     state machine and [install_sm] must replace it with a received
-    serialization. *)
+    serialization.
+
+    [metrics] (default {!Telemetry.Metrics.noop}) receives per-node RPC
+    counters ([rpc/sent], [rpc/recv]) and the heartbeat round-trip
+    histogram ([rpc/hb_rtt_ms]); when it is enabled the node also turns
+    on [Server.set_instrument] (and keeps it on across {!restart}), so
+    tuner decisions reach the trace. *)
 
 val start : t -> unit
 (** Arm the initial election timer.  Call once, on every node, before

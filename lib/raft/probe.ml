@@ -1,3 +1,5 @@
+type decision_reason = Warmed | Retuned
+
 type t =
   | Role_change of { id : Netsim.Node_id.t; role : Types.role; term : Types.term }
   | Timeout_expired of {
@@ -7,9 +9,21 @@ type t =
     }
   | Pre_vote_aborted of { id : Netsim.Node_id.t; term : Types.term }
   | Tuner_reset of { id : Netsim.Node_id.t }
+  | Tuner_decision of {
+      id : Netsim.Node_id.t;
+      rtt_ms : float;
+      rtt_std_ms : float;
+      loss : float;
+      k : int;
+      et : Des.Time.span;
+      h : Des.Time.span;
+      reason : decision_reason;
+    }
   | Election_started of { id : Netsim.Node_id.t; term : Types.term }
   | Node_paused of { id : Netsim.Node_id.t }
   | Node_resumed of { id : Netsim.Node_id.t }
+
+let reason_name = function Warmed -> "warmed" | Retuned -> "retuned"
 
 let pp ppf = function
   | Role_change { id; role; term } ->
@@ -23,6 +37,11 @@ let pp ppf = function
         term
   | Tuner_reset { id } ->
       Format.fprintf ppf "%a tuner reset" Netsim.Node_id.pp id
+  | Tuner_decision { id; rtt_ms; rtt_std_ms; loss; k; et; h; reason } ->
+      Format.fprintf ppf
+        "%a tuner %s: rtt %.3f±%.3fms loss %.4f -> Et %a H %a k %d"
+        Netsim.Node_id.pp id (reason_name reason) rtt_ms rtt_std_ms loss
+        Des.Time.pp_ms et Des.Time.pp_ms h k
   | Election_started { id; term } ->
       Format.fprintf ppf "%a election started (term %d)" Netsim.Node_id.pp id
         term
@@ -36,6 +55,7 @@ let node = function
   | Timeout_expired { id; _ }
   | Pre_vote_aborted { id; _ }
   | Tuner_reset { id }
+  | Tuner_decision { id; _ }
   | Election_started { id; _ }
   | Node_paused { id }
   | Node_resumed { id } ->

@@ -5,6 +5,10 @@
     establishment), split votes (repeated campaigns per term), and
     Dynatune's fallback behaviour (tuner resets, pre-vote aborts). *)
 
+type decision_reason =
+  | Warmed  (** first tuned values after leaving Step 0 (warming) *)
+  | Retuned  (** a subsequent measurement window changed [Et]/[H]/[k] *)
+
 type t =
   | Role_change of { id : Netsim.Node_id.t; role : Types.role; term : Types.term }
   | Timeout_expired of {
@@ -15,11 +19,28 @@ type t =
   | Pre_vote_aborted of { id : Netsim.Node_id.t; term : Types.term }
       (** leader contact arrived during a pre-campaign *)
   | Tuner_reset of { id : Netsim.Node_id.t }
+  | Tuner_decision of {
+      id : Netsim.Node_id.t;
+      rtt_ms : float;  (** mean heartbeat RTT the tuner measured *)
+      rtt_std_ms : float;
+      loss : float;  (** estimated heartbeat loss rate, [0, 1] *)
+      k : int;  (** required consecutive misses before suspicion *)
+      et : Des.Time.span;  (** chosen election timeout *)
+      h : Des.Time.span;  (** chosen heartbeat interval *)
+      reason : decision_reason;
+    }
+      (** A follower's tuner adopted new parameters.  Emitted only by
+          instrumented servers ([Server.set_instrument]) and only when the
+          chosen [(et, h, k)] differs from the previous decision, so the
+          trace records parameter {e changes}, not every heartbeat. *)
   | Election_started of { id : Netsim.Node_id.t; term : Types.term }
       (** a real (post-pre-vote) campaign began *)
   | Node_paused of { id : Netsim.Node_id.t }
       (** fault injection froze the node (container sleep) *)
   | Node_resumed of { id : Netsim.Node_id.t }
+
+val reason_name : decision_reason -> string
+(** ["warmed"] / ["retuned"]. *)
 
 val pp : Format.formatter -> t -> unit
 val node : t -> Netsim.Node_id.t

@@ -59,6 +59,8 @@ type t = {
   mutable snapshot_data : string option;
   mutable force_campaign : bool;
   mutable pending_reads : pending_read list;
+  mutable instrument : bool;
+  mutable last_decision : (Des.Time.span * Des.Time.span * int) option;
 }
 and pending_read = {
   r_client : int;
@@ -123,6 +125,8 @@ let create ?restore ~id ~peers ~config ~rng () =
     snapshot_data;
     force_campaign = false;
     pending_reads = [];
+    instrument = false;
+    last_decision = None;
   }
 
 (* {2 Introspection} *)
@@ -153,6 +157,7 @@ let log t = t.log
 let config t = t.config
 let randomized_timeout t = t.randomized
 let tuner t = t.tuner
+let set_instrument t on = t.instrument <- on
 
 let election_timeout_now t =
   match t.tuner with
@@ -231,8 +236,50 @@ let reset_tuner t ctx =
   match t.tuner with
   | Some tuner ->
       Dynatune.Tuner.reset tuner;
+      t.last_decision <- None;
       emit ctx (Probe (Probe.Tuner_reset { id = t.id }))
   | None -> ()
+
+(* Probe the tuner's chosen parameters when they change.  Runs only on
+   instrumented servers: the per-heartbeat comparison (and the probe
+   volume) stays out of plain campaigns. *)
+let note_tuner_decision t ctx =
+  if t.instrument then
+    match t.tuner with
+    | None -> ()
+    | Some tuner -> (
+        match Dynatune.Tuner.phase tuner with
+        | Dynatune.Tuner.Warming -> ()
+        | Dynatune.Tuner.Tuned ->
+            let et = election_timeout_now t in
+            let h =
+              match piggyback_h t with
+              | Some h -> h
+              | None -> Dynatune.Tuner.heartbeat_interval tuner
+            in
+            let k = Dynatune.Tuner.required_heartbeats tuner in
+            if t.last_decision <> Some (et, h, k) then begin
+              let reason =
+                match t.last_decision with
+                | None -> Probe.Warmed
+                | Some _ -> Probe.Retuned
+              in
+              t.last_decision <- Some (et, h, k);
+              emit ctx
+                (Probe
+                   (Probe.Tuner_decision
+                      {
+                        id = t.id;
+                        rtt_ms = Des.Time.to_ms_f (Dynatune.Tuner.rtt_mean tuner);
+                        rtt_std_ms =
+                          Des.Time.to_ms_f (Dynatune.Tuner.rtt_std tuner);
+                        loss = Dynatune.Tuner.loss_rate tuner;
+                        k;
+                        et;
+                        h;
+                        reason;
+                      }))
+            end)
 
 let become_follower t ctx ~term ~leader =
   if term > t.term then begin
@@ -738,6 +785,7 @@ let on_heartbeat t ctx ~now ~from (hb : Rpc.heartbeat) =
           ~hb_id:hb.meta.Dynatune.Leader_path.hb_id
           ~rtt:hb.meta.Dynatune.Leader_path.measured_rtt
     | None -> ());
+    note_tuner_decision t ctx;
     follower_advance_commit t ctx ~leader_commit:hb.commit;
     emit ctx
       (Send

@@ -124,6 +124,12 @@ val election_timeout_now : t -> Des.Time.span
 val tuner : t -> Dynatune.Tuner.t option
 (** The follower-side tuner, when a tuned mode is configured. *)
 
+val set_instrument : t -> bool -> unit
+(** Enable (or disable) emission of [Probe.Tuner_decision] events.  Off
+    by default so plain campaigns pay nothing; the telemetry harness
+    turns it on, and must turn it on again after a restart (a restart
+    builds a fresh server). *)
+
 val heartbeat_interval_to : t -> Netsim.Node_id.t -> Des.Time.span option
 (** Leader only: the interval currently applied toward a follower (the
     quantity Fig 7a plots). *)

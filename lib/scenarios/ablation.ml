@@ -19,8 +19,9 @@ let count_expiries cluster ~from ~until =
         match probe with
         | Raft.Probe.Timeout_expired _ -> incr n
         | Raft.Probe.Role_change _ | Raft.Probe.Pre_vote_aborted _
-        | Raft.Probe.Tuner_reset _ | Raft.Probe.Election_started _
-        | Raft.Probe.Node_paused _ | Raft.Probe.Node_resumed _ ->
+        | Raft.Probe.Tuner_reset _ | Raft.Probe.Tuner_decision _
+        | Raft.Probe.Election_started _ | Raft.Probe.Node_paused _
+        | Raft.Probe.Node_resumed _ ->
             ());
   !n
 

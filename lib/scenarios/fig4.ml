@@ -13,12 +13,14 @@ type result = {
   digest : int64;
       (* order-sensitive digest of every shard's probe trace, in shard
          order: the determinism sanitizer's witness *)
+  metrics : Telemetry.Metrics.snapshot;
 }
 
-let result_of_raw ~mode ~digest (raw : Measure.raw) =
+let result_of_raw ~mode ~digest ?(metrics = []) (raw : Measure.raw) =
   {
     mode;
     digest;
+    metrics;
     failures = raw.Measure.measured;
     detection = Stats.Summary.of_list raw.Measure.detection;
     majority_detection = Stats.Summary.of_list raw.Measure.majority;
@@ -33,29 +35,40 @@ let result_of_raw ~mode ~digest (raw : Measure.raw) =
 
 let run ?(seed = 42L) ?(n = 5) ?(failures = 1000) ?(rtt_ms = 100.)
     ?(jitter = 0.02) ?(warmup = Des.Time.sec 30) ?(jobs = 1) ?shards
-    ?(check = Check.Off) ~config () =
+    ?(check = Check.Off) ?(instrument = false) ?on_cluster ~config () =
   let shard (s : Parallel.Campaign.shard) =
     let conditions =
       Netsim.Conditions.(constant (profile ~rtt_ms ~jitter ()))
     in
+    (* One registry per shard; the per-shard snapshots merge in shard
+       order below, so the aggregate is independent of the worker
+       count. *)
+    let telemetry = Telemetry.Metrics.create ~enabled:instrument () in
     let cluster =
-      Cluster.create ~seed:s.seed ~n ~config ~conditions ~check ()
+      Cluster.create ~seed:s.seed ~n ~config ~conditions ~check ~telemetry ()
     in
+    (match on_cluster with Some f -> f ~shard:s.index cluster | None -> ());
     Cluster.start cluster;
     (match Cluster.await_leader cluster ~timeout:(Des.Time.sec 30) with
     | Some _ -> ()
     | None -> failwith "fig4: initial election failed");
     Cluster.run_for cluster warmup;
-    let raw = Measure.failures cluster ~quota:s.quota in
+    let raw = Measure.failures ~metrics:telemetry cluster ~quota:s.quota in
     Cluster.check_now cluster;
-    (raw, Cluster.trace_digest cluster)
+    Cluster.collect_metrics cluster;
+    (raw, Cluster.trace_digest cluster, Telemetry.Metrics.snapshot telemetry)
   in
   let outcomes =
     Parallel.Campaign.sharded ?shards ~jobs ~seed ~total:failures ~f:shard ()
   in
-  let digest = Check.Digest.combine (List.map snd outcomes) in
-  result_of_raw ~mode:(Raft.Config.mode_name config) ~digest
-    (Measure.merge (List.map fst outcomes))
+  let digest =
+    Check.Digest.combine (List.map (fun (_, d, _) -> d) outcomes)
+  in
+  let metrics =
+    Telemetry.Metrics.merge (List.map (fun (_, _, m) -> m) outcomes)
+  in
+  result_of_raw ~mode:(Raft.Config.mode_name config) ~digest ~metrics
+    (Measure.merge (List.map (fun (r, _, _) -> r) outcomes))
 
 let compare_modes ?(failures = 1000) ?(seed = 42L) ?(jobs = 1) () =
   [

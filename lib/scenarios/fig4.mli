@@ -21,9 +21,19 @@ type result = {
           in shard order — the determinism sanitizer's witness: two runs
           of the same [(seed, shard plan)] must agree on it, whatever
           the worker count. *)
+  metrics : Telemetry.Metrics.snapshot;
+      (** Merged per-shard telemetry, empty unless [run ~instrument:true].
+          Merged in shard order, so — like [digest] — it is a function of
+          [(seed, shard plan)] alone: [--jobs 1] and [--jobs n] runs of a
+          pinned plan agree bit-for-bit. *)
 }
 
-val result_of_raw : mode:string -> digest:int64 -> Measure.raw -> result
+val result_of_raw :
+  mode:string ->
+  digest:int64 ->
+  ?metrics:Telemetry.Metrics.snapshot ->
+  Measure.raw ->
+  result
 (** Summarize the raw samples of a (possibly merged) failure campaign.
     Shared with {!Fig8}, which produces the same result shape. *)
 
@@ -37,6 +47,8 @@ val run :
   ?jobs:int ->
   ?shards:int ->
   ?check:Check.mode ->
+  ?instrument:bool ->
+  ?on_cluster:(shard:int -> Harness.Cluster.t -> unit) ->
   config:Raft.Config.t ->
   unit ->
   result
@@ -61,7 +73,13 @@ val run :
     same plan with [jobs = 1] and [jobs = n] must produce bit-identical
     digests.  [check] (default {!Check.Off}) runs the safety-invariant
     checker inside every shard's cluster and a full check at the end of
-    its campaign. *)
+    its campaign.
+
+    [instrument] (default false) gives every shard an enabled telemetry
+    registry — filling [result.metrics] — and turns on tuner-decision
+    probes.  [on_cluster] is invoked with each shard's cluster right
+    after creation (before [start]); the [--trace-out] exporter uses it
+    to attach a {!Harness.Tracing} bridge per shard. *)
 
 val compare_modes :
   ?failures:int -> ?seed:int64 -> ?jobs:int -> unit -> result list

@@ -85,7 +85,8 @@ let run ?(seed = 11L) ?(hold = Des.Time.sec 60)
         | Raft.Probe.Pre_vote_aborted _ -> incr aborts
         | Raft.Probe.Election_started _ -> incr elections
         | Raft.Probe.Role_change _ | Raft.Probe.Tuner_reset _
-        | Raft.Probe.Node_paused _ | Raft.Probe.Node_resumed _ ->
+        | Raft.Probe.Tuner_decision _ | Raft.Probe.Node_paused _
+        | Raft.Probe.Node_resumed _ ->
             ());
   let ots =
     Monitor.leaderless_intervals cluster ~from:measure_from

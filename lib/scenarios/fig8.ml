@@ -1,25 +1,31 @@
 module Cluster = Harness.Cluster
 
 let run ?(seed = 23L) ?(failures = 300) ?jitter ?loss ?(jobs = 1) ?shards
-    ?(check = Check.Off) ~config () =
+    ?(check = Check.Off) ?(instrument = false) ~config () =
   let shard (s : Parallel.Campaign.shard) =
-    let cluster = Cluster.create ~seed:s.seed ~n:5 ~config ~check () in
+    let telemetry = Telemetry.Metrics.create ~enabled:instrument () in
+    let cluster =
+      Cluster.create ~seed:s.seed ~n:5 ~config ~check ~telemetry ()
+    in
     Geo.apply cluster ?jitter ?loss ();
     Cluster.start cluster;
     (match Cluster.await_leader cluster ~timeout:(Des.Time.sec 60) with
     | Some _ -> ()
     | None -> failwith "fig8: initial election failed");
     Cluster.run_for cluster (Des.Time.sec 30);
-    let raw = Measure.failures cluster ~quota:s.quota in
+    let raw = Measure.failures ~metrics:telemetry cluster ~quota:s.quota in
     Cluster.check_now cluster;
-    (raw, Cluster.trace_digest cluster)
+    Cluster.collect_metrics cluster;
+    (raw, Cluster.trace_digest cluster, Telemetry.Metrics.snapshot telemetry)
   in
   let outcomes =
     Parallel.Campaign.sharded ?shards ~jobs ~seed ~total:failures ~f:shard ()
   in
   Fig4.result_of_raw ~mode:(Raft.Config.mode_name config)
-    ~digest:(Check.Digest.combine (List.map snd outcomes))
-    (Measure.merge (List.map fst outcomes))
+    ~digest:(Check.Digest.combine (List.map (fun (_, d, _) -> d) outcomes))
+    ~metrics:
+      (Telemetry.Metrics.merge (List.map (fun (_, _, m) -> m) outcomes))
+    (Measure.merge (List.map (fun (r, _, _) -> r) outcomes))
 
 let compare_modes ?(failures = 300) ?(seed = 23L) ?(jobs = 1) () =
   [

@@ -15,6 +15,7 @@ val run :
   ?jobs:int ->
   ?shards:int ->
   ?check:Check.mode ->
+  ?instrument:bool ->
   config:Raft.Config.t ->
   unit ->
   Fig4.result

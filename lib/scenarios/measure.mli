@@ -20,11 +20,13 @@ type raw = {
   rounds : float list;  (** election rounds per failover *)
 }
 
-val failures : Harness.Cluster.t -> quota:int -> raw
+val failures : ?metrics:Telemetry.Metrics.t -> Harness.Cluster.t -> quota:int -> raw
 (** Run the kill/measure loop on a started, warmed-up cluster until
     [quota] failovers have been measured (giving up after [2 * quota]
     attempts, matching the paper campaigns' retry budget).  Failed
-    measurements re-stabilise the cluster for 5 s before retrying. *)
+    measurements re-stabilise the cluster for 5 s before retrying.
+    [metrics] (default {!Telemetry.Metrics.noop}) receives the loop's
+    attempt/measured/error tallies under scope ["measure"]. *)
 
 val merge : raw list -> raw
 (** Concatenate shard results in order; counts add, sample lists

@@ -35,22 +35,32 @@ let cdf_table ppf ~label ~series ~points =
 let series_table ppf ~time_label ~columns =
   match columns with
   | [] -> ()
-  | (_, first) :: _ ->
+  | columns ->
+      (* Rows are the union of every column's sample instants: columns
+         sampled at different times still line up, with [-] where a
+         column has no point at that instant (indexing cells by row
+         position would pair unrelated instants instead). *)
+      let instants =
+        List.sort_uniq Float.compare
+          (List.concat_map (fun (_, points) -> List.map fst points) columns)
+      in
       Format.fprintf ppf "  %10s" time_label;
       List.iter (fun (name, _) -> Format.fprintf ppf "%14s" name) columns;
       Format.fprintf ppf "@.";
-      List.iteri
-        (fun i (time, _) ->
+      List.iter
+        (fun time ->
           Format.fprintf ppf "  %10.0f" time;
           List.iter
             (fun (_, points) ->
-              match List.nth_opt points i with
+              match
+                List.find_opt (fun (t, _) -> Float.compare t time = 0) points
+              with
               | Some (_, v) ->
                   Format.fprintf ppf "%14s" (String.trim (float_cell v))
               | None -> Format.fprintf ppf "%14s" "-")
             columns;
           Format.fprintf ppf "@.")
-        first
+        instants
 
 let intervals ppf ~label spans =
   match spans with

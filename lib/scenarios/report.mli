@@ -27,9 +27,10 @@ val series_table :
   time_label:string ->
   columns:(string * (float * float) list) list ->
   unit
-(** Aligned multi-column time series: rows keyed by the first column's
-    times (columns must share sampling instants; missing cells print
-    as [-]). *)
+(** Aligned multi-column time series: one row per instant in the sorted
+    union of every column's sample times.  Columns need not share
+    sampling instants — a column without a point at a row's instant
+    prints [-] in that cell, keeping the columns aligned. *)
 
 val intervals :
   Format.formatter -> label:string -> (Des.Time.t * Des.Time.t) list -> unit

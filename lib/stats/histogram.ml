@@ -13,6 +13,18 @@ let create ~lo ~hi ~bins =
   { lo; hi; counts = Array.make bins 0; underflow = 0; overflow = 0; total = 0 }
 
 let bins t = Array.length t.counts
+let lo t = t.lo
+let hi t = t.hi
+
+let copy t =
+  {
+    lo = t.lo;
+    hi = t.hi;
+    counts = Array.copy t.counts;
+    underflow = t.underflow;
+    overflow = t.overflow;
+    total = t.total;
+  }
 
 let add t x =
   t.total <- t.total + 1;

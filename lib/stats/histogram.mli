@@ -20,8 +20,19 @@ val merge : t -> t -> t
     [Invalid_argument] if the bin layouts ([lo], [hi], bin count)
     differ. *)
 
+val copy : t -> t
+(** An independent histogram with the same layout and counts — what the
+    telemetry registry hands out in snapshots so later samples don't
+    mutate an already-taken snapshot. *)
+
 val count : t -> int
 (** Total samples added, including under/overflow. *)
+
+val bins : t -> int
+(** Number of regular bins (excluding under/overflow). *)
+
+val lo : t -> float
+val hi : t -> float
 
 val bin_count : t -> int -> int
 (** Samples in bin [i], [0 <= i < bins]. *)

@@ -1,0 +1,122 @@
+(* Chrome trace-event JSON writer (the format Perfetto and
+   chrome://tracing load).  Events are appended to an in-memory buffer
+   and serialized once at the end; timestamps are virtual DES time
+   converted to the format's microsecond unit. *)
+
+type arg =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+
+type t = { buf : Buffer.t; mutable count : int }
+
+let create () = { buf = Buffer.create 4096; count = 0 }
+let event_count t = t.count
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let arg_to_json = function
+  | Int n -> string_of_int n
+  | Float x ->
+      if Float.is_nan x || Float.abs x = Float.infinity then "null"
+      else Printf.sprintf "%.6g" x
+  | Str s -> "\"" ^ escape s ^ "\""
+  | Bool b -> if b then "true" else "false"
+
+let add_args buf args =
+  match args with
+  | [] -> ()
+  | args ->
+      Buffer.add_string buf ", \"args\": {";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string buf ", ";
+          Buffer.add_string buf "\"";
+          Buffer.add_string buf (escape k);
+          Buffer.add_string buf "\": ";
+          Buffer.add_string buf (arg_to_json v))
+        args;
+      Buffer.add_string buf "}"
+
+(* The trace-event format counts in microseconds; DES time is integer
+   nanoseconds, so %.3f keeps exact virtual time with no rounding. *)
+let ts_us at = Printf.sprintf "%.3f" (Des.Time.to_us_f at)
+
+(* [fields] are extra top-level members, already rendered as JSON (the
+   instant scope ["s"] lives beside [ph], not inside [args]). *)
+let emit t ~ph ~name ~pid ~tid ?at ?(fields = []) ?(args = []) () =
+  if t.count > 0 then Buffer.add_string t.buf ",";
+  Buffer.add_string t.buf "\n  {\"ph\": \"";
+  Buffer.add_string t.buf ph;
+  Buffer.add_string t.buf "\", \"name\": \"";
+  Buffer.add_string t.buf (escape name);
+  Buffer.add_string t.buf "\", \"pid\": ";
+  Buffer.add_string t.buf (string_of_int pid);
+  Buffer.add_string t.buf ", \"tid\": ";
+  Buffer.add_string t.buf (string_of_int tid);
+  (match at with
+  | None -> ()
+  | Some at ->
+      Buffer.add_string t.buf ", \"ts\": ";
+      Buffer.add_string t.buf (ts_us at));
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string t.buf ", \"";
+      Buffer.add_string t.buf k;
+      Buffer.add_string t.buf "\": ";
+      Buffer.add_string t.buf v)
+    fields;
+  add_args t.buf args;
+  Buffer.add_string t.buf "}";
+  t.count <- t.count + 1
+
+let duration_begin t ~name ~pid ~tid ~at ?(args = []) () =
+  emit t ~ph:"B" ~name ~pid ~tid ~at ~args ()
+
+let duration_end t ~name ~pid ~tid ~at ?(args = []) () =
+  emit t ~ph:"E" ~name ~pid ~tid ~at ~args ()
+
+let instant t ~name ~pid ~tid ~at ?(args = []) () =
+  emit t ~ph:"i" ~name ~pid ~tid ~at ~fields:[ ("s", "\"t\"") ] ~args ()
+
+let counter t ~name ~pid ~tid ~at ~values () =
+  emit t ~ph:"C" ~name ~pid ~tid ~at
+    ~args:(List.map (fun (k, v) -> (k, Float v)) values)
+    ()
+
+let thread_name t ~pid ~tid name =
+  emit t ~ph:"M" ~name:"thread_name" ~pid ~tid ~args:[ ("name", Str name) ] ()
+
+let process_name t ~pid name =
+  emit t ~ph:"M" ~name:"process_name" ~pid ~tid:0
+    ~args:[ ("name", Str name) ]
+    ()
+
+let to_string t =
+  let b = Buffer.create (Buffer.length t.buf + 64) in
+  Buffer.add_string b "{\"traceEvents\": [";
+  Buffer.add_buffer b t.buf;
+  if t.count > 0 then Buffer.add_string b "\n";
+  Buffer.add_string b "], \"displayTimeUnit\": \"ms\"}\n";
+  Buffer.contents b
+
+let write t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string t))

@@ -20,3 +20,9 @@ let bucket x = Hashtbl.hash x
 (* mutable-global *)
 let counter = ref 0
 let total : float ref = ref 0.
+
+(* direct-print *)
+let show x = Printf.printf "%d\n" x
+let complain msg = Format.eprintf "%s@." msg
+let announce () = print_endline "ready"
+let default_ppf = Format.std_formatter

@@ -16,3 +16,9 @@ let bump () =
   let local = ref 0 in
   incr local;
   !local
+
+(* Building a string is not printing it, and writing to a formatter the
+   caller passed in is how lib/ code is supposed to render. *)
+let render x = Printf.sprintf "%d" x
+let pp ppf x = Format.fprintf ppf "%d" x
+let pp_name ppf = Format.pp_print_string ppf "name"

@@ -21,4 +21,5 @@ let () =
       ("integration", Test_integration.tests);
       ("properties", Test_props.tests);
       ("misc", Test_misc.tests);
+      ("telemetry", Test_telemetry.tests);
     ]

@@ -61,6 +61,17 @@ let test_probe_pp_total () =
     [
       Raft.Probe.Role_change { id; role = Raft.Types.Leader; term = 3 };
       Raft.Probe.Timeout_expired { id; term = 3; randomized = Time.ms 120 };
+      Raft.Probe.Tuner_decision
+        {
+          id;
+          rtt_ms = 99.4;
+          rtt_std_ms = 1.2;
+          loss = 0.01;
+          k = 2;
+          et = Time.ms 140;
+          h = Time.ms 60;
+          reason = Raft.Probe.Warmed;
+        };
       Raft.Probe.Pre_vote_aborted { id; term = 3 };
       Raft.Probe.Tuner_reset { id };
       Raft.Probe.Election_started { id; term = 4 };
@@ -196,6 +207,37 @@ let test_report_renders () =
       Alcotest.(check bool) (needle ^ " present") true (contains needle))
     [ "Title"; "sub"; "key"; "lbl"; "gaps" ]
 
+(* Columns sampled at different instants still line up: a column with
+   no point at a row's instant renders [-] in its own cell.  Indexing
+   cells by row position (the old bug) paired unrelated instants. *)
+let test_report_series_table_ragged () =
+  let out =
+    asprintf "%a"
+      (fun ppf () ->
+        Scenarios.Report.series_table ppf ~time_label:"t"
+          ~columns:
+            [
+              ("left", [ (0., 1.); (10., 2.) ]);
+              ("right", [ (0., 5.); (5., 6.); (10., 7.) ]);
+            ])
+      ()
+  in
+  let lines =
+    String.split_on_char '\n' out
+    |> List.filter (fun l -> String.trim l <> "")
+    |> List.map (fun l ->
+           String.split_on_char ' ' l |> List.filter (fun w -> w <> ""))
+  in
+  Alcotest.(check (list (list string)))
+    "rows are the union of instants; gaps render as -"
+    [
+      [ "t"; "left"; "right" ];
+      [ "0"; "1.0"; "5.0" ];
+      [ "5"; "-"; "6.0" ];
+      [ "10"; "2.0"; "7.0" ];
+    ]
+    lines
+
 (* {2 Workload} *)
 
 let test_workload_empty () =
@@ -282,6 +324,8 @@ let tests =
     Alcotest.test_case "config: base parameters" `Quick test_config_bases;
     Alcotest.test_case "report: float cell" `Quick test_report_float_cell;
     Alcotest.test_case "report: renders" `Quick test_report_renders;
+    Alcotest.test_case "report: ragged series table" `Quick
+      test_report_series_table_ragged;
     Alcotest.test_case "workload: empty" `Quick test_workload_empty;
     Alcotest.test_case "time: pp" `Quick test_time_pp;
     Alcotest.test_case "dist: pareto" `Quick test_pareto_bounds;
