@@ -77,6 +77,12 @@ let run_ablation { full; jobs } =
       let estimators = Ablation.estimator_sweep ~jobs () in
       Ablation.print ppf (safety, arrival, sizes, estimators))
 
+let run_reconfig { full; jobs } =
+  timed "reconfig" (fun () ->
+      let rounds = if full then 8 else 4 in
+      Scenarios.Reconfig.print ppf
+        (Scenarios.Reconfig.compare_modes ~rounds ~jobs ()))
+
 let run_extensions { full; jobs } =
   timed "extensions" (fun () ->
       let hold = Des.Time.sec (if full then 10 else 3) in
@@ -96,6 +102,7 @@ let figures =
     ("fig7", run_fig7);
     ("fig8", run_fig8);
     ("ablation", run_ablation);
+    ("reconfig", run_reconfig);
     ("extensions", run_extensions);
     ("micro", run_micro);
   ]

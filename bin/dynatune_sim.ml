@@ -2,6 +2,7 @@
 
    Subcommands:
      failover    repeated leader-kill campaign, detection/OTS statistics
+     reconfig    rolling-replace membership campaign on the geo WAN
      watch       live election-parameter adaptation under RTT/loss schedules
      throughput  open-loop RPS ramp with the CPU cost model
      calc        the tuning formulas as a calculator (K, h, Et)
@@ -112,6 +113,59 @@ let failover_cmd =
     (Cmd.info "failover" ~doc:"Leader-failure campaign (Fig 4 style)")
     Term.(
       const run $ mode $ servers $ failures $ rtt $ jitter $ seed $ trace_out)
+
+(* {2 reconfig} *)
+
+let reconfig_cmd =
+  let rounds =
+    Arg.(
+      value & opt int 2
+      & info [ "rounds" ] ~docv:"K"
+          ~doc:"Rolling-replace rounds (each replaces all 5 servers).")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace-event JSON file of the campaign (open in \
+             Perfetto or chrome://tracing): election spans per node plus \
+             leadership-transfer and learner catch-up spans on the \
+             per-node reconfig threads.  Implies full instrumentation.")
+  in
+  let run config rounds seed trace_out =
+    match trace_out with
+    | None ->
+        Scenarios.Reconfig.print ppf
+          [ Scenarios.Reconfig.run ~seed ~rounds ~config () ]
+    | Some path ->
+        let sink = Telemetry.Chrome_trace.create () in
+        let bridges = ref [] in
+        let result =
+          Scenarios.Reconfig.run ~seed ~rounds ~config ~instrument:true
+            ~on_cluster:(fun ~shard cluster ->
+              let b =
+                Harness.Tracing.attach ~pid:(shard + 1)
+                  ~name:(Printf.sprintf "shard %d" shard)
+                  cluster sink
+              in
+              bridges := b :: !bridges)
+            ()
+        in
+        List.iter Harness.Tracing.finish !bridges;
+        Telemetry.Chrome_trace.write sink path;
+        Scenarios.Reconfig.print ppf [ result ];
+        Format.fprintf ppf "@.telemetry:@.%a" Telemetry.Metrics.pp
+          result.Scenarios.Reconfig.metrics;
+        Format.fprintf ppf "@.wrote %d trace events to %s@."
+          (Telemetry.Chrome_trace.event_count sink)
+          path
+  in
+  Cmd.v
+    (Cmd.info "reconfig"
+       ~doc:"Rolling-replace membership campaign (dynamic reconfiguration)")
+    Term.(const run $ mode $ rounds $ seed $ trace_out)
 
 (* {2 watch} *)
 
@@ -328,4 +382,11 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default info
-          [ failover_cmd; watch_cmd; throughput_cmd; calc_cmd; figure_cmd ]))
+          [
+            failover_cmd;
+            reconfig_cmd;
+            watch_cmd;
+            throughput_cmd;
+            calc_cmd;
+            figure_cmd;
+          ]))

@@ -4,9 +4,10 @@
    wall-clock reads (the only clock is the DES's virtual one), the global
    [Random] state (all randomness flows from seeded [Stats.Rng] streams),
    [Obj.magic], polymorphic [Stdlib.compare]/[Hashtbl.hash] (message and
-   state types carry their own comparisons), and top-level mutable
-   globals in [lib/raft] (all protocol state lives in [Server.t] so that
-   parallel campaign domains share nothing).
+   state types carry their own comparisons), [exit] from [lib/] (library
+   code raises or returns; only the binaries may end the process), and
+   top-level mutable globals in [lib/raft] (all protocol state lives in
+   [Server.t] so that parallel campaign domains share nothing).
 
    Usage:
      lint.exe [--allow FILE] DIR...    scan .ml/.mli under DIRs; exit 1 on hits
@@ -180,6 +181,14 @@ let rules =
             "Format.std_formatter";
             "Format.err_formatter";
           ];
+    };
+    {
+      id = "stdlib-exit";
+      doc =
+        "exit from lib/ (raise or return a result; only bin/ may end \
+         the process)";
+      scope = (fun path -> contains_sub ~sub:"lib/" path);
+      fires = any_token [ "exit"; "Stdlib.exit" ];
     };
     {
       id = "mutable-global";

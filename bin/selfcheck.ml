@@ -2,9 +2,12 @@
 
    1. short hostile runs under [Check.Always] — leader pauses and
       crash-restarts across several seeds must violate no invariant;
-   2. the determinism sanitizer — a pinned shard plan must produce
-      bit-identical trace digests with one worker and with many;
-   3. a deliberately broken fixture — two leaders sharing a term — that
+   2. a 200-seed reconfiguration sweep — random membership changes and
+      leader failures mid-campaign, also under [Check.Always];
+   3. the determinism sanitizer — pinned shard plans (failover and
+      reconfig campaigns) must produce bit-identical trace digests and
+      metrics snapshots with one worker and with many;
+   4. a deliberately broken fixture — two leaders sharing a term — that
       the checker is required to catch. *)
 
 module Cluster = Harness.Cluster
@@ -49,6 +52,70 @@ let mini_chaos ~seed =
         fail "checker installed but never ran (seed %Ld)" seed
   | None -> fail "checker missing despite Check.Always"
 
+(* Random single-server add/remove (plus leader pauses) mid-campaign,
+   with every safety and reconfiguration invariant checked after every
+   delivered event.  One short hostile run per seed. *)
+let reconfig_chaos ~seed =
+  let conditions =
+    Netsim.Conditions.(constant (profile ~rtt_ms:20. ~jitter:0.05 ()))
+  in
+  let cluster =
+    Cluster.create ~seed ~n:3 ~config:(Raft.Config.dynatune ()) ~conditions
+      ~check:Check.Always ()
+  in
+  Cluster.start cluster;
+  (match Cluster.await_leader cluster ~timeout:(Des.Time.sec 30) with
+  | Some _ -> ()
+  | None -> fail "reconfig chaos: no initial leader (seed %Ld)" seed);
+  Cluster.run_for cluster (Des.Time.sec 2);
+  let rng =
+    Stats.Rng.split (Des.Engine.rng (Cluster.engine cluster)) "selfcheck-chaos"
+  in
+  for _op = 1 to 4 do
+    (match Stats.Rng.int rng 4 with
+    | 0 ->
+        (* Grow: spawn a joiner and ask the leader to adopt it. *)
+        ignore (Cluster.add_server cluster : Netsim.Node_id.t * _)
+    | 1 -> (
+        (* Shrink: remove a random member (the leader included — that
+           exercises the automatic hand-off; an invalid pick is refused
+           by the leader, which is also worth hitting). *)
+        let ids = Cluster.node_ids cluster in
+        let victim = List.nth ids (Stats.Rng.int rng (List.length ids)) in
+        match Cluster.remove_server cluster victim with
+        | `Ok _ ->
+            if Cluster.await_config_quiet cluster ~timeout:(Des.Time.sec 20)
+            then begin
+              match Cluster.leader cluster with
+              | Some l
+                when not
+                       (List.exists (Netsim.Node_id.equal victim)
+                          (Raft.Server.members (Raft.Node.server l))) ->
+                  Cluster.retire cluster victim
+              | Some _ | None -> ()
+            end
+        | `Not_leader | `Pending | `Invalid _ -> ())
+    | _ -> (
+        (* Unplanned leader failure in the middle of it all. *)
+        match Cluster.leader cluster with
+        | Some l ->
+            Raft.Node.pause l;
+            Cluster.run_for cluster (Des.Time.sec 3);
+            if List.exists
+                 (Netsim.Node_id.equal (Raft.Node.id l))
+                 (Cluster.node_ids cluster)
+            then Raft.Node.resume l
+        | None -> ()));
+    Cluster.run_for cluster (Des.Time.sec 3)
+  done;
+  ignore (Cluster.await_config_quiet cluster ~timeout:(Des.Time.sec 30) : bool);
+  Cluster.check_now cluster;
+  match Cluster.checker cluster with
+  | Some c ->
+      if Check.checks_run c = 0 then
+        fail "reconfig chaos: checker never ran (seed %Ld)" seed
+  | None -> fail "reconfig chaos: checker missing despite Check.Always"
+
 let digest_determinism () =
   let run jobs =
     Scenarios.Fig4.run ~failures:4 ~jobs ~shards:2 ~check:Check.Sample
@@ -58,6 +125,26 @@ let digest_determinism () =
   if not (Int64.equal a.Scenarios.Fig4.digest b.Scenarios.Fig4.digest) then
     fail "fig4 digests differ: jobs=1 %Lx vs jobs=2 %Lx"
       a.Scenarios.Fig4.digest b.Scenarios.Fig4.digest
+
+(* The reconfig scenario on a pinned 2-shard plan must be a function of
+   the seed alone: same trace digest and byte-identical merged metrics
+   snapshot whether one worker runs both shards or two run one each. *)
+let reconfig_determinism () =
+  let run jobs =
+    Scenarios.Reconfig.run ~rounds:2 ~jobs ~shards:2 ~check:Check.Sample
+      ~instrument:true
+      ~config:(Raft.Config.dynatune ())
+      ()
+  in
+  let a = run 1 and b = run 2 in
+  if not (Int64.equal a.Scenarios.Reconfig.digest b.Scenarios.Reconfig.digest)
+  then
+    fail "reconfig digests differ: jobs=1 %Lx vs jobs=2 %Lx"
+      a.Scenarios.Reconfig.digest b.Scenarios.Reconfig.digest;
+  let ja = Telemetry.Metrics.to_json a.Scenarios.Reconfig.metrics in
+  let jb = Telemetry.Metrics.to_json b.Scenarios.Reconfig.metrics in
+  if not (String.equal ja jb) then
+    fail "reconfig metrics snapshots differ between jobs=1 and jobs=2"
 
 let broken_fixture () =
   let fake id : Check.node_view =
@@ -73,6 +160,9 @@ let broken_fixture () =
       snapshot_index = (fun () -> 0);
       term_at = (fun _ -> None);
       entry_at = (fun _ -> None);
+      voters = (fun () -> Netsim.Node_id.range 2);
+      learners = (fun () -> []);
+      votes = (fun () -> []);
     }
   in
   let checker =
@@ -88,7 +178,11 @@ let broken_fixture () =
 
 let () =
   List.iter (fun seed -> mini_chaos ~seed) [ 11L; 12L; 13L ];
+  for i = 0 to 199 do
+    reconfig_chaos ~seed:(Int64.of_int (1000 + i))
+  done;
   broken_fixture ();
   digest_determinism ();
+  reconfig_determinism ();
   print_endline
     "selfcheck: invariants hold, digests deterministic, broken fixture caught"

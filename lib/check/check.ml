@@ -52,6 +52,9 @@ type node_view = {
   snapshot_index : unit -> Types.index;
   term_at : Types.index -> Types.term option;
   entry_at : Types.index -> Log.entry option;
+  voters : unit -> Node_id.t list;
+  learners : unit -> Node_id.t list;
+  votes : unit -> Node_id.t list;
 }
 
 let view_of_node node =
@@ -71,6 +74,9 @@ let view_of_node node =
       (fun () -> Log.snapshot_index (Raft.Server.log (server ())));
     term_at = (fun i -> Log.term_at (Raft.Server.log (server ())) i);
     entry_at = (fun i -> Log.entry_at (Raft.Server.log (server ())) i);
+    voters = (fun () -> Raft.Server.voters (server ()));
+    learners = (fun () -> Raft.Server.learners (server ()));
+    votes = (fun () -> Raft.Server.votes (server ()));
   }
 
 (* {1 Violations} *)
@@ -123,7 +129,10 @@ let ring_size = 50
 
 type t = {
   mode : mode;
-  nodes : tracked array;
+  mutable nodes : tracked array;
+  initial_voters : Node_id.t list;
+      (* voting membership when the checker was created; committed
+         Config entries replay on top of it in the deep check *)
   committed : (Types.index, Types.term * Log.command) Hashtbl.t;
   leaders_by_term : (Types.term, Node_id.t) Hashtbl.t;
   ring : string array;
@@ -136,24 +145,24 @@ type t = {
 let cheap_every = function Off -> 0 | Sample -> 64 | Always -> 1
 let deep_every = function Off -> 0 | Sample -> 8192 | Always -> 512
 
+let tracked_of_view view =
+  {
+    view;
+    inc = view.incarnation ();
+    prev_term = view.term ();
+    prev_commit = view.commit_index ();
+    prev_role = view.role ();
+    prev_vote = view.voted_for ();
+    registered = view.snapshot_index ();
+    leader_mark = None;
+  }
+
 let create ~mode ~nodes () =
   {
     mode;
-    nodes =
-      Array.of_list
-        (List.map
-           (fun view ->
-             {
-               view;
-               inc = view.incarnation ();
-               prev_term = view.term ();
-               prev_commit = view.commit_index ();
-               prev_role = view.role ();
-               prev_vote = view.voted_for ();
-               registered = view.snapshot_index ();
-               leader_mark = None;
-             })
-           nodes);
+    nodes = Array.of_list (List.map tracked_of_view nodes);
+    initial_voters =
+      (match nodes with [] -> [] | v :: _ -> v.voters ());
     committed = Hashtbl.create 256;
     leaders_by_term = Hashtbl.create 64;
     ring = Array.make ring_size "";
@@ -162,6 +171,9 @@ let create ~mode ~nodes () =
     events = 0;
     checks = 0;
   }
+
+let add_view t view =
+  t.nodes <- Array.append t.nodes [| tracked_of_view view |]
 
 let events_seen t = t.events
 let checks_run t = t.checks
@@ -198,7 +210,9 @@ let on_probe t time probe =
   | Raft.Probe.Role_change _ | Raft.Probe.Timeout_expired _
   | Raft.Probe.Pre_vote_aborted _ | Raft.Probe.Tuner_reset _
   | Raft.Probe.Tuner_decision _ | Raft.Probe.Election_started _
-  | Raft.Probe.Node_paused _ | Raft.Probe.Node_resumed _ ->
+  | Raft.Probe.Node_paused _ | Raft.Probe.Node_resumed _
+  | Raft.Probe.Config_change _ | Raft.Probe.Transfer_started _
+  | Raft.Probe.Transfer_aborted _ ->
       ()
 
 let observe_trace t trace = Des.Mtrace.subscribe trace (on_probe t)
@@ -355,6 +369,40 @@ let check_node t ~max_term tr =
      tr.leader_mark <- Some (term, li, ltm)
    end
    else tr.leader_mark <- None);
+  (* Learners replicate but hold no electoral power: one must never
+     lead or campaign, and no candidate may count a learner's vote. *)
+  let learners = v.learners () in
+  if List.exists (Node_id.equal v.id) learners then begin
+    match role with
+    | Types.Leader | Types.Candidate | Types.Pre_candidate ->
+        fail t ~invariant:"learner-no-vote" ~node:v.id ~term
+          "learner %a is campaigning or leading (role %s)" Node_id.pp v.id
+          (Types.show_role role)
+    | Types.Follower -> ()
+  end;
+  List.iter
+    (fun voter ->
+      if List.exists (Node_id.equal voter) learners then
+        fail t ~invariant:"learner-no-vote" ~node:v.id ~term
+          "candidate %a counted a vote from learner %a" Node_id.pp v.id
+          Node_id.pp voter)
+    (v.votes ());
+  (* Single-server changes only: a leader may carry at most one
+     uncommitted Config entry in its log tail. *)
+  if Types.equal_role role Types.Leader then begin
+    let commit = v.commit_index () in
+    let last = v.last_index () in
+    let pending = ref 0 in
+    for i = commit + 1 to last do
+      match v.entry_at i with
+      | Some { Log.command = Log.Config _; _ } -> incr pending
+      | Some _ | None -> ()
+    done;
+    if !pending > 1 then
+      fail t ~invariant:"single-pending-config" ~node:v.id ~term
+        "leader holds %d uncommitted config entries (commit %d, last %d)"
+        !pending commit last
+  end;
   (* Register fresh commits, then — on a transition into leadership —
      check the new leader holds everything committed so far. *)
   scan_commits t tr;
@@ -427,6 +475,66 @@ let log_matching t a b =
               Node_id.pp va.id Node_id.pp vb.id m i
       done
 
+(* {2 Deep checks: configuration history} *)
+
+(* Replay the committed Config entries, in index order, on top of the
+   initial membership.  Each step must be a valid single-server change
+   (config-validity), and every voter-set transition must leave the old
+   and new quorums overlapping (config-overlap) — the property that
+   makes applied-on-append reconfiguration safe. *)
+let config_history t =
+  if t.initial_voters <> [] then begin
+    let module S = Node_id.Set in
+    let changes =
+      Hashtbl.fold
+        (fun i (tm, cmd) acc ->
+          match cmd with Log.Config c -> (i, tm, c) :: acc | _ -> acc)
+        t.committed []
+      |> List.sort (fun (a, _, _) (b, _, _) -> Int.compare a b)
+    in
+    let overlap ~index ~term v1 v2 =
+      let q s = (S.cardinal s / 2) + 1 in
+      let union = S.cardinal (S.union v1 v2) in
+      if q v1 + q v2 <= union then
+        fail t ~invariant:"config-overlap" ~term
+          "quorums of consecutive configs at index %d do not overlap \
+           (|V1|=%d |V2|=%d |V1∪V2|=%d)"
+          index (S.cardinal v1) (S.cardinal v2) union
+    in
+    ignore
+      (List.fold_left
+         (fun (voters, learners) (index, term, change) ->
+           match change with
+           | Log.Add_learner id ->
+               if S.mem id voters || S.mem id learners then
+                 fail t ~invariant:"config-validity" ~node:id ~term
+                   "Add_learner at index %d names an existing member" index;
+               (voters, S.add id learners)
+           | Log.Promote id ->
+               if not (S.mem id learners) then
+                 fail t ~invariant:"config-validity" ~node:id ~term
+                   "Promote at index %d names a non-learner" index;
+               let voters' = S.add id voters in
+               overlap ~index ~term voters voters';
+               (voters', S.remove id learners)
+           | Log.Remove id ->
+               if S.mem id voters then begin
+                 if S.cardinal voters <= 1 then
+                   fail t ~invariant:"config-validity" ~node:id ~term
+                     "Remove at index %d deletes the last voter" index;
+                 let voters' = S.remove id voters in
+                 overlap ~index ~term voters voters';
+                 (voters', learners)
+               end
+               else if S.mem id learners then (voters, S.remove id learners)
+               else
+                 fail t ~invariant:"config-validity" ~node:id ~term
+                   "Remove at index %d names a non-member" index)
+         (S.of_list t.initial_voters, S.empty)
+         changes
+        : S.t * S.t)
+  end
+
 let deep_check t =
   let n = Array.length t.nodes in
   for i = 0 to n - 1 do
@@ -434,6 +542,7 @@ let deep_check t =
       log_matching t t.nodes.(i) t.nodes.(j)
     done
   done;
+  config_history t;
   (* Re-assert completeness for the authoritative leader — live and at
      the globally highest term — so commits registered since its
      election are covered too.  Stale leaders (paused or partitioned

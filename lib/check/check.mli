@@ -6,8 +6,11 @@
       event, asserts the five machine-checkable safety properties of the
       Raft paper (Election Safety, Leader Append-Only, Log Matching,
       Leader Completeness, State Machine Safety) plus monotonic
-      [currentTerm] / [commitIndex], single-vote-per-term, and pre-vote
-      non-disruption, across all servers' observable states;
+      [currentTerm] / [commitIndex], single-vote-per-term, pre-vote
+      non-disruption, and the reconfiguration invariants (at most one
+      pending config change, valid single-server steps with overlapping
+      quorums between consecutive configs, no electoral power for
+      learners), across all servers' observable states;
     - a {e trace digest} ({!Digest}): an order-sensitive FNV-1a hash of
       a cluster's probe trace, used as a determinism sanitizer for the
       domain-sharded campaign runner — identical [(seed, shard plan)]
@@ -70,6 +73,11 @@ type node_view = {
   snapshot_index : unit -> Raft.Types.index;
   term_at : Raft.Types.index -> Raft.Types.term option;
   entry_at : Raft.Types.index -> Raft.Log.entry option;
+  voters : unit -> Netsim.Node_id.t list;
+      (** voting members of the server's live configuration *)
+  learners : unit -> Netsim.Node_id.t list;
+  votes : unit -> Netsim.Node_id.t list;
+      (** votes gathered in the current campaign (empty outside one) *)
 }
 (** What the checker can observe of one server, as closures so that the
     state is re-read at every check (and so tests can fabricate broken
@@ -102,8 +110,14 @@ val pp_violation : Format.formatter -> violation -> unit
 type t
 
 val create : mode:mode -> nodes:node_view list -> unit -> t
-(** A checker over a fixed set of servers.  [mode = Off] turns every
+(** A checker over an initial set of servers ({!add_view} grows it).
+    The first view's [voters] at creation time seed the configuration
+    history replayed by the config invariants.  [mode = Off] turns every
     entry point into a no-op. *)
+
+val add_view : t -> node_view -> unit
+(** Track one more server (a node added to the cluster at runtime).
+    Subsequent checks cover it like any other. *)
 
 val observe_trace : t -> Raft.Probe.t Des.Mtrace.t -> unit
 (** Subscribe to a cluster trace: every probe is recorded into the

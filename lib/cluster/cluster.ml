@@ -7,10 +7,16 @@ type t = {
   fabric : Raft.Rpc.message Netsim.Fabric.t;
   trace : Raft.Probe.t Des.Mtrace.t;
   members : member Node_id.Table.t;
-  ids : Node_id.t list;
+  mutable ids : Node_id.t list;  (* live membership, in join order *)
   checker : Check.t option;
   digest : Check.Digest.t;
   telemetry : Telemetry.Metrics.t;
+  (* Creation parameters, kept so [add_server] can build members later. *)
+  costs : Raft.Cost_model.t option;
+  cores : float;
+  flush_delay : Des.Time.span option;
+  config : Raft.Config.t;
+  mutable next_id : int;  (* next fresh id for [add_server] *)
   mutable collected : bool;  (* [collect_metrics] already ran *)
   mutable read_seq : int;  (* sequence numbers for internal read clients *)
 }
@@ -68,9 +74,42 @@ let attach_probe_counters telemetry trace =
         | Raft.Probe.Role_change { role = Raft.Types.Leader; _ } ->
             Telemetry.Metrics.Counter.incr h.c_leader_wins
         | Raft.Probe.Role_change _ | Raft.Probe.Node_paused _
-        | Raft.Probe.Node_resumed _ ->
+        | Raft.Probe.Node_resumed _ | Raft.Probe.Config_change _
+        | Raft.Probe.Transfer_started _ | Raft.Probe.Transfer_aborted _ ->
             ())
   end
+
+(* The member record is created first so the apply closure reads the
+   store through it: a crash-restart swaps in a fresh replica and the
+   replayed log rebuilds it. *)
+let make_member ~engine ~fabric ~trace ~costs ~cores ~flush_delay ~telemetry
+    ~config ~joining ~id ~peers =
+  let cpu =
+    match costs with
+    | Some _ -> Some (Netsim.Cpu.create engine ~cores)
+    | None -> None
+  in
+  let rec member =
+    lazy
+      {
+        node =
+          Raft.Node.create ~fabric ~trace ?cpu ?costs
+            ~apply:(fun entry ->
+              ignore
+                (Kvsm.Store.apply_entry (Lazy.force member).store entry
+                  : Kvsm.Store.result option))
+            ~snapshot_of:(fun () ->
+              Kvsm.Store.serialize (Lazy.force member).store)
+            ~install_sm:(fun data ->
+              let m = Lazy.force member in
+              match Kvsm.Store.of_serialized data with
+              | Ok store -> m.store <- store
+              | Error _ -> m.store <- Kvsm.Store.create ())
+            ?flush_delay ~metrics:telemetry ~joining ~id ~peers ~config ();
+        store = Kvsm.Store.create ();
+      }
+  in
+  Lazy.force member
 
 let create ?seed ?costs ?(cores = 4.) ?conditions ?flush_delay
     ?(check = Check.Off) ?(telemetry = Telemetry.Metrics.noop) ~n ~config () =
@@ -87,35 +126,9 @@ let create ?seed ?costs ?(cores = 4.) ?conditions ?flush_delay
   List.iter
     (fun id ->
       let peers = List.filter (fun p -> not (Node_id.equal p id)) ids in
-      let cpu =
-        match costs with
-        | Some _ -> Some (Netsim.Cpu.create engine ~cores)
-        | None -> None
-      in
-      (* The member record is created first so the apply closure reads the
-         store through it: a crash-restart swaps in a fresh replica and
-         the replayed log rebuilds it. *)
-      let rec member =
-        lazy
-          {
-            node =
-              Raft.Node.create ~fabric ~trace ?cpu ?costs
-                ~apply:(fun entry ->
-                  ignore
-                    (Kvsm.Store.apply_entry (Lazy.force member).store entry
-                      : Kvsm.Store.result option))
-                ~snapshot_of:(fun () ->
-                  Kvsm.Store.serialize (Lazy.force member).store)
-                ~install_sm:(fun data ->
-                  let m = Lazy.force member in
-                  match Kvsm.Store.of_serialized data with
-                  | Ok store -> m.store <- store
-                  | Error _ -> m.store <- Kvsm.Store.create ())
-                ?flush_delay ~metrics:telemetry ~id ~peers ~config ();
-            store = Kvsm.Store.create ();
-          }
-      in
-      Node_id.Table.add members id (Lazy.force member))
+      Node_id.Table.add members id
+        (make_member ~engine ~fabric ~trace ~costs ~cores ~flush_delay
+           ~telemetry ~config ~joining:false ~id ~peers))
     ids;
   (* The digest accumulates online through a subscription, so it survives
      the trace clears the measurement loop performs between failures. *)
@@ -147,6 +160,11 @@ let create ?seed ?costs ?(cores = 4.) ?conditions ?flush_delay
     checker;
     digest;
     telemetry;
+    costs;
+    cores;
+    flush_delay;
+    config;
+    next_id = n;
     collected = false;
     read_seq = 0;
   }
@@ -292,3 +310,73 @@ let transfer_leadership t target =
   match leader t with
   | None -> `Not_leader
   | Some l -> Raft.Node.transfer_leadership l target
+
+(* {2 Dynamic membership} *)
+
+let submit_to t id ~payload ~client_id ~seq ~on_result =
+  Raft.Node.submit (node t id) ~payload ~client_id ~seq ~on_result ()
+
+let reconfigure t change =
+  match leader t with
+  | None -> `Not_leader
+  | Some l -> Raft.Node.reconfigure l change
+
+let spawn_joiner t =
+  let id = Node_id.of_int t.next_id in
+  t.next_id <- t.next_id + 1;
+  Netsim.Fabric.add_node t.fabric id;
+  let m =
+    make_member ~engine:t.engine ~fabric:t.fabric ~trace:t.trace
+      ~costs:t.costs ~cores:t.cores ~flush_delay:t.flush_delay
+      ~telemetry:t.telemetry ~config:t.config ~joining:true ~id ~peers:t.ids
+  in
+  Node_id.Table.add t.members id m;
+  t.ids <- t.ids @ [ id ];
+  (match t.checker with
+  | Some c -> Check.add_view c (Check.view_of_node m.node)
+  | None -> ());
+  Raft.Node.start m.node;
+  id
+
+let add_server t =
+  let id = spawn_joiner t in
+  (id, reconfigure t (Raft.Log.Add_learner id))
+
+let remove_server t id = reconfigure t (Raft.Log.Remove id)
+
+let retire t id =
+  let m = member t id in
+  if not (Raft.Node.is_paused m.node) then Raft.Node.pause m.node;
+  Netsim.Fabric.remove_node t.fabric id;
+  t.ids <- List.filter (fun i -> not (Node_id.equal i id)) t.ids
+
+let config_quiet t =
+  match leader t with
+  | None -> false
+  | Some l ->
+      let s = Raft.Node.server l in
+      Raft.Server.pending_config s = None
+      && Raft.Server.transfer_pending s = None
+
+let poll_until t ~timeout cond =
+  let deadline = Des.Time.add (now t) timeout in
+  let rec poll () =
+    if cond () then true
+    else if now t >= deadline then false
+    else begin
+      Des.Engine.run_until t.engine
+        (Stdlib.min deadline (Des.Time.add (now t) (Des.Time.ms 1)));
+      poll ()
+    end
+  in
+  poll ()
+
+let await_config_quiet t ~timeout = poll_until t ~timeout (fun () -> config_quiet t)
+
+let await_voter t target ~timeout =
+  poll_until t ~timeout (fun () ->
+      match leader t with
+      | None -> false
+      | Some l ->
+          let s = Raft.Node.server l in
+          Raft.Server.is_voter s target && Raft.Server.pending_config s = None)

@@ -112,5 +112,45 @@ val linearizable_read :
 val transfer_leadership : t -> Netsim.Node_id.t -> [ `Ok | `Not_leader ]
 (** Ask the current leader to hand off to [target]. *)
 
+(** {2 Dynamic membership}
+
+    Single-server reconfiguration: spin up a fresh node as a learner,
+    let the leader promote it once caught up, and retire removed
+    servers.  The safety checker (when on) tracks added nodes too. *)
+
+val submit_to : t -> Netsim.Node_id.t -> Kvsm.Client.target
+(** A client target pinned to one node (for redirect-following clients:
+    pass [submit_to t] as the client's [route]). *)
+
+val reconfigure : t -> Raft.Log.change -> Raft.Server.reconfigure_result
+(** Submit a membership change to the current leader. *)
+
+val spawn_joiner : t -> Netsim.Node_id.t
+(** Create, register and start a fresh node (next unused id) outside the
+    configuration; it joins once a leader's [Add_learner] entry names
+    it.  Links to it are created lazily with the fabric's current
+    default conditions — set per-pair overrides afterwards. *)
+
+val add_server : t -> Netsim.Node_id.t * Raft.Server.reconfigure_result
+(** [spawn_joiner] plus an [Add_learner] submitted to the leader. *)
+
+val remove_server : t -> Netsim.Node_id.t -> Raft.Server.reconfigure_result
+(** Submit the removal of a member to the leader.  Once the change
+    commits (and, for a leader removing itself, the automatic
+    leadership hand-off completes), call {!retire}. *)
+
+val retire : t -> Netsim.Node_id.t -> unit
+(** Take a removed server off the air: pause it and deregister it from
+    the fabric (in-flight traffic to it is dropped; its links die with
+    it).  The member's store remains readable. *)
+
+val await_config_quiet : t -> timeout:Des.Time.span -> bool
+(** Run until a leader exists with no pending config change and no
+    in-flight leadership transfer (millisecond polling), or time out. *)
+
+val await_voter : t -> Netsim.Node_id.t -> timeout:Des.Time.span -> bool
+(** Run until the leader's configuration lists the node as a voter with
+    no change pending (i.e. its promotion committed), or time out. *)
+
 val run_for : t -> Des.Time.span -> unit
 val now : t -> Des.Time.t

@@ -44,7 +44,9 @@ let analyse t ~failed ~failed_at ~new_leader_at ~new_leader =
           | Raft.Probe.Role_change _ | Raft.Probe.Timeout_expired _
           | Raft.Probe.Pre_vote_aborted _ | Raft.Probe.Tuner_reset _
           | Raft.Probe.Tuner_decision _ | Raft.Probe.Election_started _
-          | Raft.Probe.Node_paused _ | Raft.Probe.Node_resumed _ ->
+          | Raft.Probe.Node_paused _ | Raft.Probe.Node_resumed _
+          | Raft.Probe.Config_change _ | Raft.Probe.Transfer_started _
+          | Raft.Probe.Transfer_aborted _ ->
               false)
     with
     | Some (time, _) -> time
@@ -62,7 +64,8 @@ let analyse t ~failed ~failed_at ~new_leader_at ~new_leader =
         | Raft.Probe.Timeout_expired _ | Raft.Probe.Role_change _
         | Raft.Probe.Pre_vote_aborted _ | Raft.Probe.Tuner_reset _
         | Raft.Probe.Tuner_decision _ | Raft.Probe.Node_paused _
-        | Raft.Probe.Node_resumed _ ->
+        | Raft.Probe.Node_resumed _ | Raft.Probe.Config_change _
+        | Raft.Probe.Transfer_started _ | Raft.Probe.Transfer_aborted _ ->
             ());
   match List.rev !timeouts with
   | [] -> Error "no follower detected the failure"

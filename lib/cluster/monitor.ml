@@ -67,7 +67,8 @@ let role_changes t ~until =
             events := (time, id, `Resumed) :: !events
         | Raft.Probe.Timeout_expired _ | Raft.Probe.Pre_vote_aborted _
         | Raft.Probe.Tuner_reset _ | Raft.Probe.Tuner_decision _
-        | Raft.Probe.Election_started _ ->
+        | Raft.Probe.Election_started _ | Raft.Probe.Config_change _
+        | Raft.Probe.Transfer_started _ | Raft.Probe.Transfer_aborted _ ->
             ());
   List.rev !events
 

@@ -10,6 +10,13 @@ type t = {
      role change always closes the previous span before opening the
      next. *)
   open_spans : string Node_id.Table.t;
+  (* Reconfiguration spans live on synthetic threads (tid 1000 + node)
+     so they can overlap the role spans without breaking B/E nesting:
+     an in-flight leadership transfer keyed by the old leader, and a
+     learner's catch-up window keyed by the learner. *)
+  xfer_spans : unit Node_id.Table.t;
+  catchup_spans : unit Node_id.Table.t;
+  named : unit Node_id.Table.t;  (* threads named so far (nodes join late) *)
   mutable finished : bool;
 }
 
@@ -23,6 +30,30 @@ let span_of_role = function
   | Raft.Types.Leader -> Some "leader"
 
 let tid id = Node_id.to_int id
+let reconfig_tid id = 1000 + Node_id.to_int id
+
+let ensure_named t id =
+  if not (Node_id.Table.mem t.named id) then begin
+    Node_id.Table.add t.named id ();
+    Chrome.thread_name t.sink ~pid:t.pid ~tid:(tid id)
+      ("node " ^ string_of_int (Node_id.to_int id));
+    Chrome.thread_name t.sink ~pid:t.pid ~tid:(reconfig_tid id)
+      ("reconfig n" ^ string_of_int (Node_id.to_int id))
+  end
+
+let open_reconfig_span t table ~at id name ~args =
+  if not (Node_id.Table.mem table id) then begin
+    ensure_named t id;
+    Node_id.Table.add table id ();
+    Chrome.duration_begin t.sink ~name ~pid:t.pid ~tid:(reconfig_tid id) ~at
+      ~args ()
+  end
+
+let close_reconfig_span t table ~at id name =
+  if Node_id.Table.mem table id then begin
+    Node_id.Table.remove table id;
+    Chrome.duration_end t.sink ~name ~pid:t.pid ~tid:(reconfig_tid id) ~at ()
+  end
 
 let close_span t ~at id =
   match Node_id.Table.find_opt t.open_spans id with
@@ -38,11 +69,16 @@ let open_span t ~at id name ~args =
 let on_probe t at probe =
   if not t.finished then begin
     let id = Raft.Probe.node probe in
+    ensure_named t id;
     let instant name args =
       Chrome.instant t.sink ~name ~pid:t.pid ~tid:(tid id) ~at ~args ()
     in
     match probe with
     | Raft.Probe.Role_change { role; term; _ } -> begin
+        (* Any role change on the old leader ends its transfer window
+           (on success it steps down when the successor's term
+           arrives). *)
+        close_reconfig_span t t.xfer_spans ~at id "transfer";
         close_span t ~at id;
         match span_of_role role with
         | None -> ()
@@ -73,6 +109,35 @@ let on_probe t at probe =
         instant "election_started" [ ("term", Chrome.Int term) ]
     | Raft.Probe.Node_paused _ -> instant "node_paused" []
     | Raft.Probe.Node_resumed _ -> instant "node_resumed" []
+    | Raft.Probe.Transfer_started { term; target; _ } ->
+        open_reconfig_span t t.xfer_spans ~at id "transfer"
+          ~args:
+            [
+              ("term", Chrome.Int term);
+              ("target", Chrome.Int (Node_id.to_int target));
+            ]
+    | Raft.Probe.Transfer_aborted { term; _ } ->
+        close_reconfig_span t t.xfer_spans ~at id "transfer";
+        instant "transfer_aborted" [ ("term", Chrome.Int term) ]
+    | Raft.Probe.Config_change { index; change; committed; _ } -> (
+        instant "config_change"
+          [
+            ("change", Chrome.Str (Raft.Log.show_change change));
+            ("index", Chrome.Int index);
+            ("committed", Chrome.Str (if committed then "yes" else "no"));
+          ];
+        (* The catch-up window runs from the leader appending
+           [Add_learner] (committed:false, emitted once) to it
+           appending the [Promote] that ends the learner phase. *)
+        match (change, committed) with
+        | Raft.Log.Add_learner l, false ->
+            open_reconfig_span t t.catchup_spans ~at l "catch-up"
+              ~args:[ ("index", Chrome.Int index) ]
+        | (Raft.Log.Promote l | Raft.Log.Remove l), false ->
+            close_reconfig_span t t.catchup_spans ~at l "catch-up"
+        | (Raft.Log.Add_learner _ | Raft.Log.Promote _ | Raft.Log.Remove _), _
+          ->
+            ())
   end
 
 let attach ?(pid = 1) ?name cluster sink =
@@ -82,17 +147,16 @@ let attach ?(pid = 1) ?name cluster sink =
       sink;
       pid;
       open_spans = Node_id.Table.create 8;
+      xfer_spans = Node_id.Table.create 4;
+      catchup_spans = Node_id.Table.create 4;
+      named = Node_id.Table.create 8;
       finished = false;
     }
   in
   (match name with
   | Some n -> Chrome.process_name sink ~pid n
   | None -> ());
-  List.iter
-    (fun id ->
-      Chrome.thread_name sink ~pid ~tid:(tid id)
-        ("node " ^ string_of_int (Node_id.to_int id)))
-    (Cluster.node_ids cluster);
+  List.iter (ensure_named t) (Cluster.node_ids cluster);
   Des.Mtrace.subscribe (Cluster.trace cluster) (fun at probe ->
       on_probe t at probe);
   t
@@ -101,7 +165,14 @@ let finish t =
   if not t.finished then begin
     t.finished <- true;
     let at = Cluster.now t.cluster in
-    List.iter (fun id -> close_span t ~at id) (Cluster.node_ids t.cluster);
+    let keys table = Node_id.Table.fold (fun id _ acc -> id :: acc) table [] in
+    List.iter (fun id -> close_span t ~at id) (keys t.open_spans);
+    List.iter
+      (fun id -> close_reconfig_span t t.xfer_spans ~at id "transfer")
+      (keys t.xfer_spans);
+    List.iter
+      (fun id -> close_reconfig_span t t.catchup_spans ~at id "catch-up")
+      (keys t.catchup_spans);
     (* Fabric- and link-level tallies as counter tracks, so the trace
        shows where messages were dropped alongside the election spans. *)
     let fc = Netsim.Fabric.counters (Cluster.fabric t.cluster) in

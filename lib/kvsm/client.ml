@@ -14,6 +14,9 @@ type t = {
   rate : float;
   value : string;
   client_rtt : Des.Time.span;
+  route : (Netsim.Node_id.t -> target) option;
+  max_redirects : int;
+  redirect_backoff : Des.Time.span;
   rng : Stats.Rng.t;
   mutable running : bool;
   mutable seq : int;
@@ -21,12 +24,16 @@ type t = {
   mutable completed : int;
   mutable rejected : int;
   mutable redirected : int;
+  mutable abandoned : int;
   mutable latencies : float list; (* ms, newest first *)
 }
 
 let create ~engine ~target ~client_id ~rate ?(value_size = 64)
-    ?(client_rtt = 0) () =
+    ?(client_rtt = 0) ?route ?(max_redirects = 3)
+    ?(redirect_backoff = Des.Time.ms 1) () =
   if rate <= 0. then invalid_arg "Client.create: rate must be positive";
+  if max_redirects < 0 then
+    invalid_arg "Client.create: max_redirects must be non-negative";
   {
     engine;
     target;
@@ -34,6 +41,9 @@ let create ~engine ~target ~client_id ~rate ?(value_size = 64)
     rate;
     value = String.make value_size 'v';
     client_rtt;
+    route;
+    max_redirects;
+    redirect_backoff;
     rng =
       Stats.Rng.split_int
         (Stats.Rng.split (Des.Engine.rng engine) "kv-client")
@@ -44,6 +54,7 @@ let create ~engine ~target ~client_id ~rate ?(value_size = 64)
     completed = 0;
     rejected = 0;
     redirected = 0;
+    abandoned = 0;
     latencies = [];
   }
 
@@ -59,6 +70,8 @@ let issue t =
   let on_result ~committed =
     if committed then begin
       t.completed <- t.completed + 1;
+      (* Latency runs from the {e first} send, so redirect hops are
+         charged to the request that needed them. *)
       let elapsed =
         Des.Time.diff (Des.Engine.now t.engine) sent_at + t.client_rtt
       in
@@ -66,9 +79,20 @@ let issue t =
     end
     else t.rejected <- t.rejected + 1
   in
-  match t.target ~payload ~client_id:t.client_id ~seq ~on_result with
-  | `Accepted -> ()
-  | `Not_leader _ -> t.redirected <- t.redirected + 1
+  let rec attempt ~via ~hops =
+    match via ~payload ~client_id:t.client_id ~seq ~on_result with
+    | `Accepted -> ()
+    | `Not_leader hint -> (
+        t.redirected <- t.redirected + 1;
+        match (t.route, hint) with
+        | Some route, Some next when hops < t.max_redirects ->
+            ignore
+              (Des.Engine.schedule_after t.engine t.redirect_backoff
+                 (fun () -> attempt ~via:(route next) ~hops:(hops + 1))
+                : Des.Engine.handle)
+        | _ -> t.abandoned <- t.abandoned + 1)
+  in
+  attempt ~via:t.target ~hops:0
 
 let rec schedule_next t =
   let gap = Stats.Dist.exponential t.rng ~rate:t.rate in
@@ -91,4 +115,5 @@ let offered t = t.offered
 let completed t = t.completed
 let rejected t = t.rejected
 let redirected t = t.redirected
+let abandoned t = t.abandoned
 let latencies_ms t = List.rev t.latencies

@@ -25,12 +25,24 @@ val create :
   rate:float ->
   ?value_size:int ->
   ?client_rtt:Des.Time.span ->
+  ?route:(Netsim.Node_id.t -> target) ->
+  ?max_redirects:int ->
+  ?redirect_backoff:Des.Time.span ->
   unit ->
   t
 (** A stopped client issuing [Put] requests at [rate] per second with
     exponential inter-arrival gaps.  [client_rtt] is added to every
     recorded latency (the client→leader network round trip, which the
-    simulation fabric does not carry).  Requires [rate > 0.]. *)
+    simulation fabric does not carry).  Requires [rate > 0.].
+
+    With [route], the client follows leader hints: a [`Not_leader (Some
+    hint)] reply re-submits the request to [route hint] after
+    [redirect_backoff] (default 1 ms), at most [max_redirects] times per
+    request (default 3; must be non-negative).  Latency still runs from
+    the first send.  A request whose reply carries no hint, or that
+    exhausts the hop budget, is dropped and counted in {!abandoned}.
+    Without [route] (the default) behaviour is unchanged: every
+    [`Not_leader] is terminal. *)
 
 val start : t -> unit
 val stop : t -> unit
@@ -48,7 +60,12 @@ val rejected : t -> int
 (** Proposals that lost leadership mid-flight. *)
 
 val redirected : t -> int
-(** Arrivals that found no leader. *)
+(** [`Not_leader] replies received (one per hop when following
+    redirects). *)
+
+val abandoned : t -> int
+(** Requests dropped after a hint-less [`Not_leader] or an exhausted
+    redirect budget. *)
 
 val latencies_ms : t -> float list
 (** Commit latencies (ms) of completed requests, in completion order. *)

@@ -32,7 +32,7 @@ let apply_command t command =
 
 let apply_entry t (entry : Raft.Log.entry) =
   match entry.command with
-  | Raft.Log.Noop -> None
+  | Raft.Log.Noop | Raft.Log.Config _ -> None
   | Raft.Log.Data { payload; _ } -> (
       match Command.of_payload payload with
       | Ok command -> Some (apply_command t command)

@@ -56,6 +56,25 @@ let add_node t id =
 
 let nodes t = t.node_order
 
+let remove_node t id =
+  if not (Node_id.Table.mem t.nodes id) then
+    invalid_arg "Fabric.remove_node: unknown node id";
+  Node_id.Table.remove t.nodes id;
+  t.node_order <- List.filter (fun n -> not (Node_id.equal n id)) t.node_order;
+  let touches (a, b) =
+    let i = Node_id.to_int id in
+    a = i || b = i
+  in
+  let drop table =
+    let keys = Hashtbl.fold (fun k _ acc -> k :: acc) table [] in
+    List.iter (fun k -> if touches k then Hashtbl.remove table k) keys
+  in
+  drop t.links;
+  drop t.channels;
+  match t.groups with
+  | Some table -> Node_id.Table.remove table id
+  | None -> ()
+
 let state t id =
   match Node_id.Table.find_opt t.nodes id with
   | Some s -> s
@@ -106,15 +125,20 @@ let channel t src dst =
       Hashtbl.add t.channels k c;
       c
 
+(* Tolerant of unknown destinations: a message in flight toward a node
+   that [remove_node] has since deleted counts as dropped, not an
+   error. *)
 let deliver t ~src ~dst msg =
-  let st = state t dst in
-  if st.paused then t.dropped_paused <- t.dropped_paused + 1
-  else
-    match st.handler with
-    | None -> t.dropped_paused <- t.dropped_paused + 1
-    | Some handler ->
-        t.delivered <- t.delivered + 1;
-        handler ~src msg
+  match Node_id.Table.find_opt t.nodes dst with
+  | None -> t.dropped_paused <- t.dropped_paused + 1
+  | Some st -> (
+      if st.paused then t.dropped_paused <- t.dropped_paused + 1
+      else
+        match st.handler with
+        | None -> t.dropped_paused <- t.dropped_paused + 1
+        | Some handler ->
+            t.delivered <- t.delivered + 1;
+            handler ~src msg)
 
 let schedule_delivery t ~src ~dst ~latency msg =
   ignore
@@ -162,8 +186,6 @@ let partition t groups =
 let heal_partition t = t.groups <- None
 
 let reachable t src dst =
-  ignore (state t src : _ node_state);
-  ignore (state t dst : _ node_state);
   match t.groups with
   | None -> true
   | Some table ->
@@ -173,6 +195,10 @@ let reachable t src dst =
 let send t kind ~src ~dst msg =
   t.sent <- t.sent + 1;
   if Node_id.equal src dst then deliver t ~src ~dst msg
+  else if not (Node_id.Table.mem t.nodes dst) then
+    (* Destination left the fabric: the message vanishes into a closed
+       port. *)
+    t.lost <- t.lost + 1
   else if not (reachable t src dst) then t.lost <- t.lost + 1
   else
     let l = link t ~src ~dst in

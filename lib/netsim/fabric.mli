@@ -14,6 +14,13 @@ val engine : _ t -> Des.Engine.t
 val add_node : 'msg t -> Node_id.t -> unit
 (** Register a node.  Adding the same id twice is an error. *)
 
+val remove_node : 'msg t -> Node_id.t -> unit
+(** Deregister a node: its state, handler and every link or channel
+    touching it are discarded, so a node re-added under the same id gets
+    fresh per-link delay/loss models.  Messages already in flight toward
+    it are dropped on arrival (counted as [dropped_paused]); new sends to
+    it are counted as [lost].  Removing an unknown id is an error. *)
+
 val nodes : _ t -> Node_id.t list
 
 val set_handler : 'msg t -> Node_id.t -> (src:Node_id.t -> 'msg -> unit) -> unit

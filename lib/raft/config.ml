@@ -15,7 +15,12 @@ type t = {
   suppress_heartbeats_under_load : bool;
   consolidated_timer : bool;
   snapshot_threshold : int;
+  learner_promotion_gap : int;
 }
+
+let with_learner_promotion_gap ~gap t =
+  if gap < 0 then invalid_arg "Config.with_learner_promotion_gap: negative gap";
+  { t with learner_promotion_gap = gap }
 
 let with_snapshots ~threshold t =
   if threshold < 0 then invalid_arg "Config.with_snapshots: negative threshold";
@@ -39,6 +44,7 @@ let static ?(election_timeout = Des.Time.ms 1000)
     suppress_heartbeats_under_load = false;
     consolidated_timer = false;
     snapshot_threshold = 0;
+    learner_promotion_gap = 64;
   }
 
 let raft_low () =
@@ -58,6 +64,7 @@ let dynatune ?(cfg = Dynatune.Config.default) () =
     suppress_heartbeats_under_load = false;
     consolidated_timer = false;
     snapshot_threshold = 0;
+    learner_promotion_gap = 64;
   }
 
 let fix_k ?(cfg = Dynatune.Config.default) ~k () =
@@ -76,6 +83,8 @@ let validate t =
     err "max_entries_per_append must be positive"
   else if t.snapshot_threshold < 0 then
     err "snapshot_threshold must be non-negative"
+  else if t.learner_promotion_gap < 0 then
+    err "learner_promotion_gap must be non-negative"
   else
     match t.tuning with
     | Static -> Ok t

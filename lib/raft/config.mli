@@ -55,6 +55,10 @@ type t = {
           entries have been committed past the previous snapshot;
           laggards behind the boundary catch up via InstallSnapshot.
           [0] disables compaction. *)
+  learner_promotion_gap : int;
+      (** A learner is considered caught up — and auto-promoted by the
+          leader — once its match index is within this many entries of
+          the leader's last index.  [0] requires an exact match. *)
 }
 
 val with_extensions :
@@ -63,6 +67,10 @@ val with_extensions :
 
 val with_snapshots : threshold:int -> t -> t
 (** Enable log compaction every [threshold] committed entries. *)
+
+val with_learner_promotion_gap : gap:int -> t -> t
+(** Set the catch-up gap under which the leader auto-promotes a learner.
+    Raises [Invalid_argument] if [gap < 0]. *)
 
 val static : ?election_timeout:Des.Time.span -> ?heartbeat_interval:Des.Time.span -> unit -> t
 (** etcd defaults: [Et = 1000 ms], [h = 100 ms], pre-vote and stickiness

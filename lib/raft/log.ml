@@ -1,6 +1,13 @@
+type change =
+  | Add_learner of Netsim.Node_id.t
+  | Promote of Netsim.Node_id.t
+  | Remove of Netsim.Node_id.t
+[@@deriving show, eq]
+
 type command =
   | Noop
   | Data of { payload : string; client_id : int; seq : int }
+  | Config of change
 [@@deriving show, eq]
 
 type entry = { term : Types.term; index : Types.index; command : command }
@@ -11,10 +18,19 @@ type t = {
   mutable len : int;
   mutable snapshot_index : Types.index;
   mutable snapshot_term : Types.term;
+  mutable mutations : int;
 }
 
 let create () =
-  { entries = [||]; len = 0; snapshot_index = 0; snapshot_term = 0 }
+  {
+    entries = [||];
+    len = 0;
+    snapshot_index = 0;
+    snapshot_term = 0;
+    mutations = 0;
+  }
+
+let mutations t = t.mutations
 
 let length t = t.len
 let last_index t = t.snapshot_index + t.len
@@ -57,7 +73,9 @@ let append_new t ~term command =
 
 let truncate_from t index =
   (* Drop entries at [index] and beyond. *)
-  t.len <- Stdlib.max 0 (Stdlib.min t.len (index - t.snapshot_index - 1))
+  let len = Stdlib.max 0 (Stdlib.min t.len (index - t.snapshot_index - 1)) in
+  if len <> t.len then t.mutations <- t.mutations + 1;
+  t.len <- len
 
 let try_append t ~prev_index ~prev_term ~entries =
   let check =
@@ -121,7 +139,8 @@ let compact t ~upto =
 let install_snapshot t ~index ~term =
   t.len <- 0;
   t.snapshot_index <- index;
-  t.snapshot_term <- term
+  t.snapshot_term <- term;
+  t.mutations <- t.mutations + 1
 
 let slice t ~from ~max =
   let from = Stdlib.max (first_available t) from in

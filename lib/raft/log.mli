@@ -10,9 +10,21 @@
     boundary: [try_append] verifies the predecessor entry and truncates
     conflicting suffixes before appending. *)
 
+type change =
+  | Add_learner of Netsim.Node_id.t
+      (** join as a non-voting learner that receives replication only *)
+  | Promote of Netsim.Node_id.t  (** grant a caught-up learner its vote *)
+  | Remove of Netsim.Node_id.t  (** drop a voter or learner entirely *)
+[@@deriving show, eq]
+(** A single-server membership change (Raft dissertation §4): each entry
+    alters the configuration by exactly one server, which keeps the
+    quorums of consecutive configurations overlapping. *)
+
 type command =
   | Noop  (** the empty entry a new leader commits to establish its term *)
   | Data of { payload : string; client_id : int; seq : int }
+  | Config of change
+      (** a membership change, effective as soon as it is {e appended} *)
 [@@deriving show, eq]
 
 type entry = { term : Types.term; index : Types.index; command : command }
@@ -24,6 +36,11 @@ val create : unit -> t
 
 val length : t -> int
 (** Number of entries currently stored (after the snapshot boundary). *)
+
+val mutations : t -> int
+(** Counter bumped whenever stored entries are retroactively invalidated
+    (suffix truncation, snapshot install).  Configuration state derived
+    from a log scan is stale once this changes. *)
 
 val last_index : t -> Types.index
 val last_term : t -> Types.term

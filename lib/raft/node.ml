@@ -68,7 +68,7 @@ and interpret t = function
           Netsim.Cpu.charge t.cpu ~cost:t.costs.Cost_model.apply;
           t.apply entry;
           match entry.command with
-          | Log.Noop -> ()
+          | Log.Noop | Log.Config _ -> ()
           | Log.Data { client_id; seq; _ } -> (
               match Hashtbl.find_opt t.waiters (client_id, seq) with
               | Some k ->
@@ -129,7 +129,8 @@ let datagram_overflow t msg =
 
 let create ~fabric ~trace ?cpu ?(costs = Cost_model.zero) ?apply ?snapshot_of
     ?install_sm ?(flush_delay = Des.Time.ms 1)
-    ?(metrics = Telemetry.Metrics.noop) ~id:node_id ~peers ~config () =
+    ?(metrics = Telemetry.Metrics.noop) ?(joining = false) ~id:node_id ~peers
+    ~config () =
   let engine = Netsim.Fabric.engine fabric in
   let node_label = "n" ^ string_of_int (Node_id.to_int node_id) in
   let cpu =
@@ -140,7 +141,10 @@ let create ~fabric ~trace ?cpu ?(costs = Cost_model.zero) ?apply ?snapshot_of
       (Stats.Rng.split (Des.Engine.rng engine) "raft-node")
       (Node_id.to_int node_id)
   in
-  let server = Server.create ~id:node_id ~peers ~config ~rng:(Stats.Rng.copy rng) () in
+  let server =
+    Server.create ~joining ~id:node_id ~peers ~config ~rng:(Stats.Rng.copy rng)
+      ()
+  in
   Server.set_instrument server (Telemetry.Metrics.enabled metrics);
   let apply = match apply with Some f -> f | None -> fun _ -> () in
   let snapshot_of = match snapshot_of with Some f -> f | None -> fun () -> "" in
@@ -256,6 +260,16 @@ let transfer_leadership t target =
   else begin
     dispatch t (Server.Transfer_leadership target);
     `Ok
+  end
+
+let reconfigure t change =
+  if t.paused || not (Types.is_leader (Server.role t.server)) then `Not_leader
+  else begin
+    let actions, result =
+      Server.reconfigure t.server ~now:(Des.Engine.now t.engine) change
+    in
+    List.iter (interpret t) actions;
+    result
   end
 
 let pause t =

@@ -18,13 +18,16 @@ val create :
   ?install_sm:(string -> unit) ->
   ?flush_delay:Des.Time.span ->
   ?metrics:Telemetry.Metrics.t ->
+  ?joining:bool ->
   id:Netsim.Node_id.t ->
   peers:Netsim.Node_id.t list ->
   config:Config.t ->
   unit ->
   t
 (** Create a node and register it on the fabric (which must already know
-    the id).  [cpu] defaults to a passthrough CPU, [costs] to
+    the id).  With [joining] (default false) the node starts outside the
+    cluster configuration and becomes a member only when the leader's
+    [Add_learner] entry reaches it (see {!Server.create}).  [cpu] defaults to a passthrough CPU, [costs] to
     {!Cost_model.zero}, [flush_delay] to 1 ms.  [apply] is invoked for
     every committed entry, in log order.  When log compaction is enabled
     ({!Config.with_snapshots}), [snapshot_of] must serialize the current
@@ -74,9 +77,15 @@ val read :
 
 val transfer_leadership : t -> Netsim.Node_id.t -> [ `Ok | `Not_leader ]
 (** Ask the leader to hand leadership to [target] (etcd's MoveLeader):
-    the target campaigns immediately, bypassing pre-vote and leases, so
-    the hand-off completes in about one round trip with no
-    out-of-service window. *)
+    once the target is caught up it is told to campaign immediately,
+    bypassing pre-vote and leases, so the hand-off completes in about
+    one round trip with no out-of-service window.  Proposals are
+    rejected while the transfer is in flight. *)
+
+val reconfigure : t -> Log.change -> Server.reconfigure_result
+(** Submit a single-server membership change to this node (which must be
+    the leader).  The change takes effect as soon as it is appended;
+    [`Ok index] reports the config entry's log index. *)
 
 val pause : t -> unit
 (** Freeze the node: its timers stop acting and the fabric drops its

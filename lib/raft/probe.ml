@@ -1,4 +1,4 @@
-type decision_reason = Warmed | Retuned
+type decision_reason = Warmed | Retuned | Reconfigured
 
 type t =
   | Role_change of { id : Netsim.Node_id.t; role : Types.role; term : Types.term }
@@ -22,8 +22,24 @@ type t =
   | Election_started of { id : Netsim.Node_id.t; term : Types.term }
   | Node_paused of { id : Netsim.Node_id.t }
   | Node_resumed of { id : Netsim.Node_id.t }
+  | Config_change of {
+      id : Netsim.Node_id.t;
+      term : Types.term;
+      index : Types.index;
+      change : Log.change;
+      committed : bool;
+    }
+  | Transfer_started of {
+      id : Netsim.Node_id.t;
+      term : Types.term;
+      target : Netsim.Node_id.t;
+    }
+  | Transfer_aborted of { id : Netsim.Node_id.t; term : Types.term }
 
-let reason_name = function Warmed -> "warmed" | Retuned -> "retuned"
+let reason_name = function
+  | Warmed -> "warmed"
+  | Retuned -> "retuned"
+  | Reconfigured -> "reconfigured"
 
 let pp ppf = function
   | Role_change { id; role; term } ->
@@ -49,6 +65,17 @@ let pp ppf = function
       Format.fprintf ppf "%a paused" Netsim.Node_id.pp id
   | Node_resumed { id } ->
       Format.fprintf ppf "%a resumed" Netsim.Node_id.pp id
+  | Config_change { id; term; index; change; committed } ->
+      Format.fprintf ppf "%a config %s %a at index %d (term %d)"
+        Netsim.Node_id.pp id
+        (if committed then "committed" else "appended")
+        Log.pp_change change index term
+  | Transfer_started { id; term; target } ->
+      Format.fprintf ppf "%a transfer to %a (term %d)" Netsim.Node_id.pp id
+        Netsim.Node_id.pp target term
+  | Transfer_aborted { id; term } ->
+      Format.fprintf ppf "%a transfer aborted (term %d)" Netsim.Node_id.pp id
+        term
 
 let node = function
   | Role_change { id; _ }
@@ -58,5 +85,8 @@ let node = function
   | Tuner_decision { id; _ }
   | Election_started { id; _ }
   | Node_paused { id }
-  | Node_resumed { id } ->
+  | Node_resumed { id }
+  | Config_change { id; _ }
+  | Transfer_started { id; _ }
+  | Transfer_aborted { id; _ } ->
       id

@@ -8,6 +8,9 @@
 type decision_reason =
   | Warmed  (** first tuned values after leaving Step 0 (warming) *)
   | Retuned  (** a subsequent measurement window changed [Et]/[H]/[k] *)
+  | Reconfigured
+      (** first tuned values after a committed membership change forced
+          the tuner back into warm-up (stale link measurements) *)
 
 type t =
   | Role_change of { id : Netsim.Node_id.t; role : Types.role; term : Types.term }
@@ -38,9 +41,26 @@ type t =
   | Node_paused of { id : Netsim.Node_id.t }
       (** fault injection froze the node (container sleep) *)
   | Node_resumed of { id : Netsim.Node_id.t }
+  | Config_change of {
+      id : Netsim.Node_id.t;
+      term : Types.term;
+      index : Types.index;
+      change : Log.change;
+      committed : bool;
+          (** [false] when the leader appends the entry (the change is
+              already effective), [true] on every node whose commit index
+              passes it *)
+    }
+  | Transfer_started of {
+      id : Netsim.Node_id.t;
+      term : Types.term;
+      target : Netsim.Node_id.t;
+    }  (** the leader began a leadership transfer ([TimeoutNow] pending) *)
+  | Transfer_aborted of { id : Netsim.Node_id.t; term : Types.term }
+      (** the transfer window elapsed without the target taking over *)
 
 val reason_name : decision_reason -> string
-(** ["warmed"] / ["retuned"]. *)
+(** ["warmed"] / ["retuned"] / ["reconfigured"]. *)
 
 val pp : Format.formatter -> t -> unit
 val node : t -> Netsim.Node_id.t

@@ -41,6 +41,8 @@ type install_snapshot = {
   term : Types.term;
   last_index : Types.index;
   last_term : Types.term;
+  voters : Netsim.Node_id.t list;
+  learners : Netsim.Node_id.t list;
   data : string;
 }
 
@@ -94,8 +96,9 @@ let pp ppf = function
   | Heartbeat_response r ->
       Format.fprintf ppf "HeartbeatResp(term=%d id=%d)" r.term r.echo.hb_id
   | Install_snapshot r ->
-      Format.fprintf ppf "Snapshot(term=%d upto=%d/%d bytes=%d)" r.term
-        r.last_index r.last_term (String.length r.data)
+      Format.fprintf ppf "Snapshot(term=%d upto=%d/%d voters=%d bytes=%d)"
+        r.term r.last_index r.last_term (List.length r.voters)
+        (String.length r.data)
   | Install_snapshot_response r ->
       Format.fprintf ppf "SnapshotResp(term=%d match=%d)" r.term r.match_index
   | Timeout_now { term } -> Format.fprintf ppf "TimeoutNow(term=%d)" term

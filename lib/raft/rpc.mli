@@ -58,6 +58,11 @@ type install_snapshot = {
   term : Types.term;
   last_index : Types.index;  (** the snapshot covers entries up to here *)
   last_term : Types.term;
+  voters : Netsim.Node_id.t list;
+      (** the voting membership as of [last_index] — config entries at or
+          below the boundary are folded into the snapshot, so the wire
+          must carry the resulting configuration *)
+  learners : Netsim.Node_id.t list;
   data : string;  (** opaque serialized state-machine contents *)
 }
 

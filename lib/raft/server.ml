@@ -34,15 +34,47 @@ type persistent = {
   voted_for : Node_id.t option;
   entries : Log.entry list;
   snapshot : (Types.index * Types.term * string) option;
+  base_voters : Node_id.t list;
+  base_learners : Node_id.t list;
+}
+
+type reconfigure_result =
+  [ `Ok of Types.index | `Not_leader | `Pending | `Invalid of string ]
+
+(* The cluster configuration in force at some log position.  [m_order]
+   lists every member (voters and learners) in insertion order; iteration
+   over it is what replaces the frozen [peers] list, so for a cluster
+   that never reconfigures the traversal — and hence every PRNG draw —
+   is identical to the pre-reconfiguration code. *)
+type membership = {
+  m_voters : Node_id.Set.t;
+  m_learners : Node_id.Set.t;
+  m_order : Node_id.t list;
+}
+
+type transfer = {
+  tr_target : Node_id.t;
+  tr_deadline : Des.Time.t;
+  mutable tr_sent : bool;
 }
 
 type t = {
   id : Node_id.t;
-  peers : Node_id.t list;
   config : Config.t;
   rng : Stats.Rng.t;
-  quorum : int;
   log : Log.t;
+  mutable base : membership;
+      (* configuration at the snapshot boundary (initial config until the
+         first compaction folds config entries into it) *)
+  mutable current : membership;
+      (* live configuration: [base] plus every config entry in the log,
+         effective as soon as appended (dissertation §4.1) *)
+  mutable others : Node_id.t list;
+      (* [current.m_order] minus self, cached for the hot paths *)
+  mutable latest_config_index : Types.index;
+  mutable config_mutations : int;
+  mutable transfer : transfer option;
+  mutable rewarm_pending : bool;
   mutable term : Types.term;
   mutable voted_for : Node_id.t option;
   mutable role : Types.role;
@@ -70,13 +102,80 @@ and pending_read = {
   mutable confirmations : Node_id.Set.t;
 }
 
-let create ?restore ~id ~peers ~config ~rng () =
+(* {2 Membership} *)
+
+let member_of m n = Node_id.Set.mem n m.m_voters || Node_id.Set.mem n m.m_learners
+
+let apply_change m = function
+  | Log.Add_learner n ->
+      if member_of m n then m
+      else
+        {
+          m with
+          m_learners = Node_id.Set.add n m.m_learners;
+          m_order = m.m_order @ [ n ];
+        }
+  | Log.Promote n ->
+      if not (Node_id.Set.mem n m.m_learners) then m
+      else
+        {
+          m with
+          m_voters = Node_id.Set.add n m.m_voters;
+          m_learners = Node_id.Set.remove n m.m_learners;
+        }
+  | Log.Remove n ->
+      {
+        m_voters = Node_id.Set.remove n m.m_voters;
+        m_learners = Node_id.Set.remove n m.m_learners;
+        m_order = List.filter (fun x -> not (Node_id.equal x n)) m.m_order;
+      }
+
+let set_current t m =
+  t.current <- m;
+  t.others <- List.filter (fun n -> not (Node_id.equal n t.id)) m.m_order
+
+let quorum t = (Node_id.Set.cardinal t.current.m_voters / 2) + 1
+let is_voter_id t n = Node_id.Set.mem n t.current.m_voters
+let self_is_voter t = is_voter_id t t.id
+let self_weight t = if self_is_voter t then 1 else 0
+
+(* Quorum evidence (CheckQuorum, ReadIndex) only ever counts voters. *)
+let note_ack t from =
+  if is_voter_id t from then t.quorum_acks <- Node_id.Set.add from t.quorum_acks
+
+(* Re-derive the live configuration: the boundary config plus every
+   config entry still stored in the log (applied-on-append). *)
+let refresh_membership t =
+  let m = ref t.base and latest = ref 0 in
+  for i = Log.snapshot_index t.log + 1 to Log.last_index t.log do
+    match Log.entry_at t.log i with
+    | Some { Log.command = Log.Config c; Log.index; _ } ->
+        m := apply_change !m c;
+        latest := index
+    | Some _ | None -> ()
+  done;
+  set_current t !m;
+  t.latest_config_index <- latest.contents;
+  t.config_mutations <- Log.mutations t.log
+
+(* Fold the config entries at or below [upto] into the boundary config;
+   called just before the log compacts to [upto]. *)
+let fold_base t ~upto =
+  let m = ref t.base in
+  for i = Log.snapshot_index t.log + 1 to Stdlib.min upto (Log.last_index t.log)
+  do
+    match Log.entry_at t.log i with
+    | Some { Log.command = Log.Config c; _ } -> m := apply_change !m c
+    | Some _ | None -> ()
+  done;
+  t.base <- m.contents
+
+let create ?restore ?(joining = false) ~id ~peers ~config ~rng () =
   (match Config.validate config with
   | Ok _ -> ()
   | Error msg -> invalid_arg ("Server.create: " ^ msg));
   if List.exists (Node_id.equal id) peers then
     invalid_arg "Server.create: peers must not contain the server itself";
-  let n = 1 + List.length peers in
   let tuner =
     match config.Config.tuning with
     | Config.Static -> None
@@ -84,9 +183,27 @@ let create ?restore ~id ~peers ~config ~rng () =
         Some (Dynatune.Tuner.create cfg)
   in
   let log = Log.create () in
-  let term, voted_for, snapshot_data =
+  let term, voted_for, snapshot_data, base =
     match restore with
-    | None -> (0, None, None)
+    | None ->
+        let base =
+          if joining then
+            (* A joining server starts outside the configuration: it
+               learns of its own membership from the Add_learner entry
+               the leader replicates to it. *)
+            {
+              m_voters = Node_id.Set.of_list peers;
+              m_learners = Node_id.Set.empty;
+              m_order = peers;
+            }
+          else
+            {
+              m_voters = Node_id.Set.of_list (id :: peers);
+              m_learners = Node_id.Set.empty;
+              m_order = id :: peers;
+            }
+        in
+        (0, None, None, base)
     | Some p ->
         let snapshot_data =
           match p.snapshot with
@@ -100,34 +217,50 @@ let create ?restore ~id ~peers ~config ~rng () =
             let e' = Log.append_new log ~term:e.Log.term e.Log.command in
             assert (e'.Log.index = e.Log.index))
           p.entries;
-        (p.term, p.voted_for, snapshot_data)
+        let base =
+          {
+            m_voters = Node_id.Set.of_list p.base_voters;
+            m_learners = Node_id.Set.of_list p.base_learners;
+            m_order = p.base_voters @ p.base_learners;
+          }
+        in
+        (p.term, p.voted_for, snapshot_data, base)
   in
-  {
-    id;
-    peers;
-    config;
-    rng;
-    quorum = (n / 2) + 1;
-    log;
-    term;
-    voted_for;
-    role = Types.Follower;
-    leader = None;
-    commit_index = Log.snapshot_index log;
-    votes = Node_id.Set.empty;
-    quorum_acks = Node_id.Set.empty;
-    progress = Node_id.Table.create 8;
-    paths = Node_id.Table.create 8;
-    tuner;
-    randomized = 0;
-    last_leader_contact = Des.Time.zero;
-    flush_requested = false;
-    snapshot_data;
-    force_campaign = false;
-    pending_reads = [];
-    instrument = false;
-    last_decision = None;
-  }
+  let t =
+    {
+      id;
+      config;
+      rng;
+      log;
+      base;
+      current = base;
+      others = [];
+      latest_config_index = 0;
+      config_mutations = 0;
+      transfer = None;
+      rewarm_pending = false;
+      term;
+      voted_for;
+      role = Types.Follower;
+      leader = None;
+      commit_index = Log.snapshot_index log;
+      votes = Node_id.Set.empty;
+      quorum_acks = Node_id.Set.empty;
+      progress = Node_id.Table.create 8;
+      paths = Node_id.Table.create 8;
+      tuner;
+      randomized = 0;
+      last_leader_contact = Des.Time.zero;
+      flush_requested = false;
+      snapshot_data;
+      force_campaign = false;
+      pending_reads = [];
+      instrument = false;
+      last_decision = None;
+    }
+  in
+  refresh_membership t;
+  t
 
 (* {2 Introspection} *)
 
@@ -145,6 +278,12 @@ let persisted (srv : t) =
              Log.snapshot_term srv.log,
              Option.value ~default:"" srv.snapshot_data )
        else None);
+    base_voters =
+      List.filter (fun n -> Node_id.Set.mem n srv.base.m_voters)
+        srv.base.m_order;
+    base_learners =
+      List.filter (fun n -> Node_id.Set.mem n srv.base.m_learners)
+        srv.base.m_order;
   }
 
 let id t = t.id
@@ -165,6 +304,24 @@ let election_timeout_now t =
   | None -> t.config.Config.election_timeout
 
 let tuning_active t = t.tuner <> None
+
+let voters t =
+  List.filter (fun n -> Node_id.Set.mem n t.current.m_voters) t.current.m_order
+
+let learners t =
+  List.filter
+    (fun n -> Node_id.Set.mem n t.current.m_learners)
+    t.current.m_order
+
+let members t = t.current.m_order
+let is_voter t n = is_voter_id t n
+let is_learner t n = Node_id.Set.mem n t.current.m_learners
+let votes t = Node_id.Set.elements t.votes
+let transfer_pending t = Option.map (fun tr -> tr.tr_target) t.transfer
+
+let pending_config t =
+  if t.latest_config_index > t.commit_index then Some t.latest_config_index
+  else None
 
 let path t peer =
   match Node_id.Table.find_opt t.paths peer with
@@ -260,10 +417,13 @@ let note_tuner_decision t ctx =
             let k = Dynatune.Tuner.required_heartbeats tuner in
             if t.last_decision <> Some (et, h, k) then begin
               let reason =
-                match t.last_decision with
-                | None -> Probe.Warmed
-                | Some _ -> Probe.Retuned
+                if t.rewarm_pending then Probe.Reconfigured
+                else
+                  match t.last_decision with
+                  | None -> Probe.Warmed
+                  | Some _ -> Probe.Retuned
               in
+              t.rewarm_pending <- false;
               t.last_decision <- Some (et, h, k);
               emit ctx
                 (Probe
@@ -297,6 +457,9 @@ let become_follower t ctx ~term ~leader =
     t.pending_reads <- []
   end;
   t.votes <- Node_id.Set.empty;
+  (* A pending transfer ends with deposition — by the transferee on
+     success, by anyone else on failure.  Either way it is over. *)
+  t.transfer <- None;
   t.leader <- leader;
   set_role t ctx Types.Follower;
   arm_election t ctx
@@ -338,6 +501,14 @@ let send_install_snapshot t ctx peer ~data =
                term = t.term;
                last_index;
                last_term = Log.snapshot_term t.log;
+               voters =
+                 List.filter
+                   (fun n -> Node_id.Set.mem n t.base.m_voters)
+                   t.base.m_order;
+               learners =
+                 List.filter
+                   (fun n -> Node_id.Set.mem n t.base.m_learners)
+                   t.base.m_order;
                data;
              };
        })
@@ -404,12 +575,171 @@ let consolidated_interval t =
     (fun acc peer ->
       Des.Time.min_span acc (Dynatune.Leader_path.interval (path t peer)))
     (Config.heartbeat_interval_base t.config)
-    t.peers
+    t.others
 
 let broadcast_interval t =
   match t.config.Config.tuning with
   | Config.Static -> t.config.Config.heartbeat_interval
   | Config.Dynatune _ | Config.Fix_k _ -> consolidated_interval t
+
+(* {2 Leadership transfer} *)
+
+let maybe_send_timeout_now t ctx =
+  match t.transfer with
+  | Some tr
+    when Types.is_leader t.role
+         && (not tr.tr_sent)
+         && Progress.match_index (progress_of t tr.tr_target)
+            >= Log.last_index t.log ->
+      tr.tr_sent <- true;
+      emit ctx
+        (Send
+           {
+             dst = tr.tr_target;
+             kind = Netsim.Transport.Reliable;
+             msg = Rpc.Timeout_now { term = t.term };
+           })
+  | Some _ | None -> ()
+
+let begin_transfer t ctx ~now target =
+  match t.transfer with
+  | Some _ -> ()
+  | None ->
+      if not (Node_id.equal target t.id) then begin
+        t.transfer <-
+          Some
+            {
+              tr_target = target;
+              tr_deadline =
+                Des.Time.add now (Config.election_timeout_base t.config);
+              tr_sent = false;
+            };
+        emit ctx
+          (Probe (Probe.Transfer_started { id = t.id; term = t.term; target }));
+        maybe_send_timeout_now t ctx;
+        match t.transfer with
+        | Some { tr_sent = false; _ } ->
+            (* Nudge the target's catch-up rather than waiting for the
+               heartbeat path to notice it is behind. *)
+            if
+              Progress.needs_entries (progress_of t target)
+                ~last_index:(Log.last_index t.log)
+            then send_append t ctx target
+        | Some _ | None -> ()
+      end
+
+(* A transfer that outlives one (base) election timeout is abandoned and
+   the leader resumes accepting proposals; checked lazily from the leader
+   timer events. *)
+let check_transfer_deadline t ctx ~now =
+  match t.transfer with
+  | Some tr when now >= tr.tr_deadline ->
+      t.transfer <- None;
+      emit ctx (Probe (Probe.Transfer_aborted { id = t.id; term = t.term }))
+  | Some _ | None -> ()
+
+(* {2 Configuration changes} *)
+
+(* Leader-side config append: a single-server change takes effect as
+   soon as it is appended (dissertation §4.1); commitment only gates the
+   *next* change. *)
+let append_config t ctx change =
+  let e = Log.append_new t.log ~term:t.term (Log.Config change) in
+  set_current t (apply_change t.current change);
+  t.latest_config_index <- e.Log.index;
+  emit ctx
+    (Probe
+       (Probe.Config_change
+          {
+            id = t.id;
+            term = t.term;
+            index = e.Log.index;
+            change;
+            committed = false;
+          }));
+  (match change with
+  | Log.Add_learner n ->
+      (* Ship the new member its backlog right away (snapshot first if
+         its entries were compacted), and give it a heartbeat timer when
+         the leader drives per-peer timers. *)
+      let pr = progress_of t n in
+      Progress.record_conflict pr ~hint:(Log.first_available t.log);
+      send_append t ctx n;
+      (match t.config.Config.tuning with
+      | Config.Static -> ()
+      | Config.Dynatune _ | Config.Fix_k _ ->
+          if not t.config.Config.consolidated_timer then
+            emit ctx
+              (Arm_heartbeat
+                 { peer = n; after = Dynatune.Leader_path.interval (path t n) }))
+  | Log.Promote _ | Log.Remove _ -> ());
+  if not t.flush_requested then begin
+    t.flush_requested <- true;
+    emit ctx Request_flush
+  end;
+  e.Log.index
+
+let validate_change t change =
+  match change with
+  | Log.Add_learner n ->
+      if member_of t.current n then Error "already a member" else Ok ()
+  | Log.Promote n ->
+      if Node_id.Set.mem n t.current.m_learners then Ok ()
+      else Error "not a learner"
+  | Log.Remove n ->
+      if not (member_of t.current n) then Error "not a member"
+      else if
+        Node_id.Set.mem n t.current.m_voters
+        && Node_id.Set.cardinal t.current.m_voters <= 1
+      then Error "cannot remove the last voter"
+      else Ok ()
+
+(* React to freshly committed entries: probe committed config changes,
+   force the tuner back into warm-up (the measurements predate the new
+   topology), and hand leadership off when the leader itself was
+   removed. *)
+let note_committed t ctx newly =
+  List.iter
+    (fun (e : Log.entry) ->
+      match e.Log.command with
+      | Log.Noop | Log.Data _ -> ()
+      | Log.Config change -> (
+          emit ctx
+            (Probe
+               (Probe.Config_change
+                  {
+                    id = t.id;
+                    term = t.term;
+                    index = e.Log.index;
+                    change;
+                    committed = true;
+                  }));
+          (match t.tuner with
+          | Some _ ->
+              t.rewarm_pending <- true;
+              reset_tuner t ctx
+          | None -> ());
+          match change with
+          | Log.Remove n when Node_id.equal n t.id && Types.is_leader t.role
+            ->
+              (* A removed leader hands off to the most caught-up voter
+                 instead of lingering until CheckQuorum deposes it. *)
+              let best =
+                List.fold_left
+                  (fun acc peer ->
+                    if not (is_voter_id t peer) then acc
+                    else
+                      let m = Progress.match_index (progress_of t peer) in
+                      match acc with
+                      | Some (_, bm) when bm >= m -> acc
+                      | Some _ | None -> Some (peer, m))
+                  None t.others
+              in
+              (match best with
+              | Some (target, _) -> begin_transfer t ctx ~now:ctx.now target
+              | None -> ())
+          | Log.Remove _ | Log.Add_learner _ | Log.Promote _ -> ()))
+    newly
 
 (* ReadIndex (linearizable reads): a read registered at commit index C is
    servable once (a) a quorum has echoed a heartbeat *sent at or after
@@ -421,13 +751,13 @@ let note_read_confirmation t ctx ~from ~sent_at =
   if t.pending_reads <> [] then begin
     List.iter
       (fun r ->
-        if sent_at >= r.registered_at then
+        if sent_at >= r.registered_at && is_voter_id t from then
           r.confirmations <- Node_id.Set.add from r.confirmations)
       t.pending_reads;
     let ready, waiting =
       List.partition
         (fun r ->
-          1 + Node_id.Set.cardinal r.confirmations >= t.quorum
+          self_weight t + Node_id.Set.cardinal r.confirmations >= quorum t
           && t.commit_index >= r.read_index)
         t.pending_reads
     in
@@ -450,24 +780,33 @@ let maybe_take_snapshot t ctx =
 (* Advance the leader commit index to the highest N with a quorum of
    match indices >= N and log term N = current term. *)
 let maybe_advance_commit t ctx =
+  let q = quorum t in
   let matches =
-    Log.last_index t.log
-    :: List.map (fun p -> Progress.match_index (progress_of t p)) t.peers
+    let own = if self_is_voter t then [ Log.last_index t.log ] else [] in
+    own
+    @ List.filter_map
+        (fun p ->
+          if is_voter_id t p then Some (Progress.match_index (progress_of t p))
+          else None)
+        t.others
   in
-  let sorted = List.sort (fun a b -> compare b a) matches in
-  (* The quorum-th largest match index is replicated on a majority. *)
-  let candidate = List.nth sorted (t.quorum - 1) in
-  if
-    candidate > t.commit_index
-    && Log.term_at t.log candidate = Some t.term
-  then begin
-    let newly =
-      Log.slice t.log ~from:(t.commit_index + 1)
-        ~max:(candidate - t.commit_index)
-    in
-    t.commit_index <- candidate;
-    emit ctx (Commit newly);
-    maybe_take_snapshot t ctx
+  if List.length matches >= q then begin
+    let sorted = List.sort (fun a b -> compare b a) matches in
+    (* The quorum-th largest match index is replicated on a majority. *)
+    let candidate = List.nth sorted (q - 1) in
+    if
+      candidate > t.commit_index
+      && Log.term_at t.log candidate = Some t.term
+    then begin
+      let newly =
+        Log.slice t.log ~from:(t.commit_index + 1)
+          ~max:(candidate - t.commit_index)
+      in
+      t.commit_index <- candidate;
+      emit ctx (Commit newly);
+      note_committed t ctx newly;
+      maybe_take_snapshot t ctx
+    end
   end
 
 let follower_advance_commit t ctx ~leader_commit =
@@ -478,8 +817,22 @@ let follower_advance_commit t ctx ~leader_commit =
     in
     t.commit_index <- target;
     emit ctx (Commit newly);
+    note_committed t ctx newly;
     maybe_take_snapshot t ctx
   end
+
+(* The learner promotion rule: once a learner's match index is within
+   [learner_promotion_gap] entries of the leader's last index, the leader
+   grants it a vote — provided no other change is in flight. *)
+let maybe_promote_learner t ctx from =
+  if
+    Types.is_leader t.role
+    && Node_id.Set.mem from t.current.m_learners
+    && t.latest_config_index <= t.commit_index
+    && (not (Option.is_some t.transfer))
+    && Progress.match_index (progress_of t from)
+       >= Log.last_index t.log - t.config.Config.learner_promotion_gap
+  then ignore (append_config t ctx (Log.Promote from) : Types.index)
 
 (* {2 Leadership} *)
 
@@ -507,20 +860,21 @@ let arm_leader_heartbeats t ctx ~immediately =
                 1 + Stats.Rng.int t.rng (Stdlib.max 1 interval)
             in
             emit ctx (Arm_heartbeat { peer; after }))
-          t.peers
+          t.others
 
 let become_leader t ctx =
   t.leader <- Some t.id;
   t.quorum_acks <- Node_id.Set.empty;
+  t.transfer <- None;
   emit ctx Disarm_election;
   if t.config.Config.check_quorum then
     emit ctx (Arm_quorum_check (Config.election_timeout_base t.config));
   Node_id.Table.reset t.progress;
   Node_id.Table.iter (fun _ p -> Dynatune.Leader_path.reset p) t.paths;
-  List.iter (fun peer -> ignore (progress_of t peer : Progress.t)) t.peers;
+  List.iter (fun peer -> ignore (progress_of t peer : Progress.t)) t.others;
   ignore (Log.append_new t.log ~term:t.term Log.Noop : Log.entry);
   set_role t ctx Types.Leader;
-  List.iter (fun peer -> send_append t ctx peer) t.peers;
+  List.iter (fun peer -> send_append t ctx peer) t.others;
   arm_leader_heartbeats t ctx ~immediately:false;
   (* A single-server cluster commits by itself. *)
   maybe_advance_commit t ctx
@@ -540,14 +894,16 @@ let broadcast_vote_request t ctx ~pre ~force =
   in
   List.iter
     (fun peer ->
-      emit ctx (Send { dst = peer; kind = Netsim.Transport.Reliable; msg = req }))
-    t.peers
+      if is_voter_id t peer then
+        emit ctx
+          (Send { dst = peer; kind = Netsim.Transport.Reliable; msg = req }))
+    t.others
 
 let rec campaign t ctx ~pre ~force =
   t.votes <- Node_id.Set.singleton t.id;
   if pre then begin
     set_role t ctx Types.Pre_candidate;
-    if Node_id.Set.cardinal t.votes >= t.quorum then
+    if Node_id.Set.cardinal t.votes >= quorum t then
       campaign t ctx ~pre:false ~force
     else begin
       broadcast_vote_request t ctx ~pre:true ~force;
@@ -560,7 +916,7 @@ let rec campaign t ctx ~pre ~force =
     t.force_campaign <- force;
     set_role t ctx Types.Candidate;
     emit ctx (Probe (Probe.Election_started { id = t.id; term = t.term }));
-    if Node_id.Set.cardinal t.votes >= t.quorum then become_leader t ctx
+    if Node_id.Set.cardinal t.votes >= quorum t then become_leader t ctx
     else begin
       broadcast_vote_request t ctx ~pre:false ~force;
       arm_election t ctx
@@ -571,16 +927,26 @@ let on_election_timeout t ctx =
   match t.role with
   | Types.Leader -> ()
   | Types.Follower | Types.Pre_candidate | Types.Candidate ->
-      emit ctx
-        (Probe
-           (Probe.Timeout_expired
-              { id = t.id; term = t.term; randomized = t.randomized }));
-      (* Fall back to the default parameters: discard measurements
-         (Section III-B).  The lease is gone: we no longer trust the
-         leader. *)
-      t.leader <- None;
-      reset_tuner t ctx;
-      campaign t ctx ~pre:t.config.Config.pre_vote ~force:false
+      if not (self_is_voter t) then begin
+        (* Learners (and servers already removed from the config) never
+           campaign; their timer only marks lost leader contact, which
+           still discards the tuner's measurements. *)
+        t.leader <- None;
+        reset_tuner t ctx;
+        arm_election t ctx
+      end
+      else begin
+        emit ctx
+          (Probe
+             (Probe.Timeout_expired
+                { id = t.id; term = t.term; randomized = t.randomized }));
+        (* Fall back to the default parameters: discard measurements
+           (Section III-B).  The lease is gone: we no longer trust the
+           leader. *)
+        t.leader <- None;
+        reset_tuner t ctx;
+        campaign t ctx ~pre:t.config.Config.pre_vote ~force:false
+      end
 
 (* {2 Leader contact (heartbeats / appends)} *)
 
@@ -604,6 +970,24 @@ let note_leader_contact t ctx ~now ~from ~term =
 (* {2 Message handlers} *)
 
 let on_vote_request t ctx ~now ~from (req : Rpc.vote_request) =
+  if not (self_is_voter t) then begin
+    (* A learner (or removed server) has no vote to give.  Adopt newer
+       real terms so later messages are not mistaken for stale ones. *)
+    if (not req.pre_vote) && req.term > t.term then begin
+      t.term <- req.term;
+      t.voted_for <- None
+    end;
+    emit ctx
+      (Send
+         {
+           dst = from;
+           kind = Netsim.Transport.Reliable;
+           msg =
+             Rpc.Vote_response
+               { term = t.term; granted = false; pre_vote = req.pre_vote };
+         })
+  end
+  else begin
   let log_ok =
     Log.up_to_date t.log ~last_index:req.last_log_index
       ~last_term:req.last_log_term
@@ -666,6 +1050,7 @@ let on_vote_request t ctx ~now ~from (req : Rpc.vote_request) =
              Rpc.Vote_response { term = t.term; granted; pre_vote = false };
          })
   end
+  end
 
 let on_vote_response t ctx ~from (resp : Rpc.vote_response) =
   if resp.term > t.term && not resp.granted then
@@ -674,12 +1059,12 @@ let on_vote_response t ctx ~from (resp : Rpc.vote_response) =
     match (t.role, resp.pre_vote) with
     | Types.Pre_candidate, true
       when resp.granted && resp.term = t.term + 1 ->
-        t.votes <- Node_id.Set.add from t.votes;
-        if Node_id.Set.cardinal t.votes >= t.quorum then
+        if is_voter_id t from then t.votes <- Node_id.Set.add from t.votes;
+        if Node_id.Set.cardinal t.votes >= quorum t then
           campaign t ctx ~pre:false ~force:t.force_campaign
     | Types.Candidate, false when resp.granted && resp.term = t.term ->
-        t.votes <- Node_id.Set.add from t.votes;
-        if Node_id.Set.cardinal t.votes >= t.quorum then become_leader t ctx
+        if is_voter_id t from then t.votes <- Node_id.Set.add from t.votes;
+        if Node_id.Set.cardinal t.votes >= quorum t then become_leader t ctx
     | _ -> ()
 
 let on_append_request t ctx ~now ~from (req : Rpc.append_request) =
@@ -706,6 +1091,19 @@ let on_append_request t ctx ~now ~from (req : Rpc.append_request) =
           ~prev_term:req.prev_term ~entries:req.entries
       with
       | `Ok covered ->
+          (* Config entries are applied on append; a conflicting-suffix
+             truncation can also retract one (detected via the log's
+             mutation counter). *)
+          let has_config =
+            List.exists
+              (fun (e : Log.entry) ->
+                match e.Log.command with
+                | Log.Config _ -> true
+                | Log.Noop | Log.Data _ -> false)
+              req.entries
+          in
+          if has_config || Log.mutations t.log <> t.config_mutations then
+            refresh_membership t;
           follower_advance_commit t ctx ~leader_commit:req.commit;
           Rpc.Append_response
             {
@@ -730,12 +1128,14 @@ let on_append_request t ctx ~now ~from (req : Rpc.append_request) =
 let on_append_response t ctx ~now ~from (resp : Rpc.append_response) =
   if resp.term > t.term then become_follower t ctx ~term:resp.term ~leader:None
   else if Types.is_leader t.role && resp.term = t.term then begin
-    t.quorum_acks <- Node_id.Set.add from t.quorum_acks;
+    note_ack t from;
     let pr = progress_of t from in
     Progress.note_response pr ~at:now;
     if resp.success then begin
       Progress.record_success pr ~upto:resp.match_index;
       maybe_advance_commit t ctx;
+      maybe_send_timeout_now t ctx;
+      maybe_promote_learner t ctx from;
       if Progress.needs_entries pr ~last_index:(Log.last_index t.log) then
         send_append t ctx from
     end
@@ -810,8 +1210,10 @@ let on_heartbeat t ctx ~now ~from (hb : Rpc.heartbeat) =
 let on_heartbeat_response t ctx ~now ~from (resp : Rpc.heartbeat_response) =
   if resp.term > t.term then become_follower t ctx ~term:resp.term ~leader:None
   else if Types.is_leader t.role && resp.term = t.term then begin
-    t.quorum_acks <- Node_id.Set.add from t.quorum_acks;
+    note_ack t from;
     note_read_confirmation t ctx ~from ~sent_at:resp.echo.echo_sent_at;
+    maybe_send_timeout_now t ctx;
+    maybe_promote_learner t ctx from;
     Dynatune.Leader_path.on_response (path t from) ~now
       ~echo_sent_at:resp.echo.echo_sent_at ~tuned_h:resp.echo.tuned_h;
     (* Heartbeat responses double as replication nudges.  A follower can
@@ -848,6 +1250,15 @@ let on_install_snapshot t ctx ~now ~from (snap : Rpc.install_snapshot) =
     note_leader_contact t ctx ~now ~from ~term:snap.term;
     if snap.last_index > t.commit_index then begin
       Log.install_snapshot t.log ~index:snap.last_index ~term:snap.last_term;
+      (* The wire carries the configuration at the snapshot boundary;
+         with the log gone it becomes both base and live config. *)
+      t.base <-
+        {
+          m_voters = Node_id.Set.of_list snap.voters;
+          m_learners = Node_id.Set.of_list snap.learners;
+          m_order = snap.voters @ snap.learners;
+        };
+      refresh_membership t;
       t.commit_index <- snap.last_index;
       t.snapshot_data <- Some snap.data;
       emit ctx (Install_sm { data = snap.data; last_index = snap.last_index })
@@ -867,19 +1278,22 @@ let on_install_snapshot_response t ctx ~now ~from
     (resp : Rpc.install_snapshot_response) =
   if resp.term > t.term then become_follower t ctx ~term:resp.term ~leader:None
   else if Types.is_leader t.role && resp.term = t.term then begin
-    t.quorum_acks <- Node_id.Set.add from t.quorum_acks;
+    note_ack t from;
     let pr = progress_of t from in
     Progress.note_response pr ~at:now;
     Progress.record_success pr ~upto:resp.match_index;
     maybe_advance_commit t ctx;
+    maybe_send_timeout_now t ctx;
+    maybe_promote_learner t ctx from;
     if Progress.needs_entries pr ~last_index:(Log.last_index t.log) then
       send_append t ctx from
   end
 
 let on_timeout_now t ctx ~term =
   (* Leadership transfer: campaign immediately, bypassing the pre-vote
-     and the voters' leases (etcd's campaignTransfer). *)
-  if term >= t.term && not (Types.is_leader t.role) then
+     and the voters' leases (etcd's campaignTransfer).  Only voters may
+     take the leadership offered. *)
+  if term >= t.term && (not (Types.is_leader t.role)) && self_is_voter t then
     campaign t ctx ~pre:false ~force:true
 
 (* {2 Host-facing API} *)
@@ -907,24 +1321,35 @@ let handle t ~now event =
   | Election_timeout_fired -> on_election_timeout t ctx
   | Heartbeat_due peer ->
       if Types.is_leader t.role then begin
-        let interval = Dynatune.Leader_path.interval (path t peer) in
-        if not (heartbeat_suppressed t ctx peer ~interval) then
-          send_heartbeat t ctx ~now peer;
-        emit ctx (Arm_heartbeat { peer; after = interval })
+        check_transfer_deadline t ctx ~now;
+        if member_of t.current peer then begin
+          let interval = Dynatune.Leader_path.interval (path t peer) in
+          if not (heartbeat_suppressed t ctx peer ~interval) then
+            send_heartbeat t ctx ~now peer;
+          emit ctx (Arm_heartbeat { peer; after = interval })
+        end
+        (* A removed member's timer simply dies: no re-arm. *)
       end
   | Broadcast_due ->
       if Types.is_leader t.role then begin
+        check_transfer_deadline t ctx ~now;
         let interval = broadcast_interval t in
         List.iter
           (fun peer ->
             if not (heartbeat_suppressed t ctx peer ~interval) then
               send_heartbeat t ctx ~now peer)
-          t.peers;
+          t.others;
         emit ctx (Arm_broadcast interval)
       end
   | Quorum_check_due ->
       if Types.is_leader t.role && t.config.Config.check_quorum then begin
-        if 1 + Node_id.Set.cardinal t.quorum_acks >= t.quorum then begin
+        check_transfer_deadline t ctx ~now;
+        if
+          self_weight t
+          + Node_id.Set.cardinal
+              (Node_id.Set.inter t.quorum_acks t.current.m_voters)
+          >= quorum t
+        then begin
           t.quorum_acks <- Node_id.Set.empty;
           emit ctx (Arm_quorum_check (Config.election_timeout_base t.config))
         end
@@ -941,9 +1366,9 @@ let handle t ~now event =
             let pr = progress_of t peer in
             if Progress.needs_entries pr ~last_index:(Log.last_index t.log)
             then send_append t ctx peer)
-          t.peers
+          t.others
   | Propose { payload; client_id; seq } ->
-      if Types.is_leader t.role then begin
+      if Types.is_leader t.role && not (Option.is_some t.transfer) then begin
         ignore
           (Log.append_new t.log ~term:t.term
              (Log.Data { payload; client_id; seq })
@@ -953,12 +1378,15 @@ let handle t ~now event =
           emit ctx Request_flush
         end;
         (* A single-server cluster commits immediately. *)
-        if t.peers = [] then maybe_advance_commit t ctx
+        if t.others = [] then maybe_advance_commit t ctx
       end
-      else emit ctx (Reject_proposal { client_id; seq })
+      else
+        (* Not leader — or leadership is in transit (etcd rejects
+           proposals during a transfer rather than risk losing them). *)
+        emit ctx (Reject_proposal { client_id; seq })
   | Read { client_id; seq } ->
       if Types.is_leader t.role then
-        if t.peers = [] then
+        if t.others = [] then
           (* Single-server cluster: trivially confirmed. *)
           emit ctx
             (Serve_read { client_id; seq; read_index = t.commit_index })
@@ -974,23 +1402,18 @@ let handle t ~now event =
             :: t.pending_reads;
           (* Kick off the confirmation round immediately rather than
              waiting for the next scheduled heartbeat (as etcd does). *)
-          List.iter (fun peer -> send_heartbeat t ctx ~now peer) t.peers
+          List.iter (fun peer -> send_heartbeat t ctx ~now peer) t.others
         end
       else emit ctx (Reject_proposal { client_id; seq })
   | Transfer_leadership target ->
       if
         Types.is_leader t.role
-        && List.exists (Node_id.equal target) t.peers
-      then
-        emit ctx
-          (Send
-             {
-               dst = target;
-               kind = Netsim.Transport.Reliable;
-               msg = Rpc.Timeout_now { term = t.term };
-             })
+        && is_voter_id t target
+        && not (Node_id.equal target t.id)
+      then begin_transfer t ctx ~now target
   | Snapshot_ready { upto; data } ->
       if upto <= t.commit_index && upto > Log.snapshot_index t.log then begin
+        fold_base t ~upto;
         Log.compact t.log ~upto;
         t.snapshot_data <- Some data
       end
@@ -1006,3 +1429,23 @@ let handle t ~now event =
         arm_election t ctx
       end);
   finish ctx
+
+let reconfigure t ~now change =
+  let ctx = { acts = []; now } in
+  let result =
+    if not (Types.is_leader t.role) then `Not_leader
+    else if Option.is_some t.transfer then `Pending
+    else if t.latest_config_index > t.commit_index then
+      (* At most one change may be in flight (§4.1): the previous entry
+         must commit before the next one is accepted. *)
+      `Pending
+    else
+      match validate_change t change with
+      | Error msg -> `Invalid msg
+      | Ok () ->
+          let index = append_config t ctx change in
+          (* A cluster whose only voter is this leader commits alone. *)
+          if t.others = [] then maybe_advance_commit t ctx;
+          `Ok index
+  in
+  (finish ctx, result)

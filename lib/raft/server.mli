@@ -70,13 +70,28 @@ type persistent = {
   entries : Log.entry list;
   snapshot : (Types.index * Types.term * string) option;
       (** compaction boundary and the state-machine snapshot at it *)
+  base_voters : Netsim.Node_id.t list;
+      (** voting membership at the snapshot boundary (initial membership
+          until the first compaction); config entries in [entries] apply
+          on top of it *)
+  base_learners : Netsim.Node_id.t list;
 }
-(** What Raft requires on stable storage: current term, vote, the log
-    and the latest snapshot.  Everything else (role, commit index,
-    measurement windows) is volatile and rebuilt after a crash. *)
+(** What Raft requires on stable storage: current term, vote, the log,
+    the latest snapshot and the configuration at its boundary.
+    Everything else (role, commit index, measurement windows) is
+    volatile and rebuilt after a crash. *)
+
+type reconfigure_result =
+  [ `Ok of Types.index  (** the index of the appended config entry *)
+  | `Not_leader
+  | `Pending
+    (** a previous config change is not yet committed, or a leadership
+        transfer is in flight *)
+  | `Invalid of string ]
 
 val create :
   ?restore:persistent ->
+  ?joining:bool ->
   id:Netsim.Node_id.t ->
   peers:Netsim.Node_id.t list ->
   config:Config.t ->
@@ -85,8 +100,19 @@ val create :
   t
 (** A fresh follower at term 0, or — with [restore] — a follower
     recovering from a crash with its persisted state reloaded.  [peers]
-    excludes [id].  Raises [Invalid_argument] on an invalid
-    configuration. *)
+    excludes [id].  With [joining] (default false) the server starts
+    {e outside} the configuration — [peers] are the existing members —
+    and joins once it receives the [Add_learner] entry naming it; until
+    then it neither votes nor campaigns.  Raises [Invalid_argument] on
+    an invalid configuration. *)
+
+val reconfigure :
+  t -> now:Des.Time.t -> Log.change -> action list * reconfigure_result
+(** Leader-side single-server membership change.  The change is appended
+    to the log and takes effect immediately (applied-on-append); at most
+    one change may be uncommitted at a time, and changes are refused
+    while a leadership transfer is pending.  The host must carry out the
+    returned actions regardless of the result. *)
 
 val persisted : t -> persistent
 (** Snapshot of the server's durable state (what a WAL would hold). *)
@@ -137,3 +163,28 @@ val heartbeat_interval_to : t -> Netsim.Node_id.t -> Des.Time.span option
 val tuning_active : t -> bool
 (** Whether measurement/tuning work is being performed (for cost
     accounting). *)
+
+(** {2 Membership introspection} *)
+
+val voters : t -> Netsim.Node_id.t list
+(** Voting members of the live configuration, in membership order
+    (includes this server when it is a voter). *)
+
+val learners : t -> Netsim.Node_id.t list
+
+val members : t -> Netsim.Node_id.t list
+(** All members (voters then learners interleaved in insertion order). *)
+
+val is_voter : t -> Netsim.Node_id.t -> bool
+val is_learner : t -> Netsim.Node_id.t -> bool
+
+val votes : t -> Netsim.Node_id.t list
+(** The votes gathered in the current campaign (empty outside one).  The
+    invariant checker asserts none come from a learner. *)
+
+val transfer_pending : t -> Netsim.Node_id.t option
+(** The target of an in-flight leadership transfer, if any. *)
+
+val pending_config : t -> Types.index option
+(** The index of the latest config entry when it is not yet committed
+    ([None] once it commits — the gate for the next change). *)

@@ -21,7 +21,8 @@ let count_expiries cluster ~from ~until =
         | Raft.Probe.Role_change _ | Raft.Probe.Pre_vote_aborted _
         | Raft.Probe.Tuner_reset _ | Raft.Probe.Tuner_decision _
         | Raft.Probe.Election_started _ | Raft.Probe.Node_paused _
-        | Raft.Probe.Node_resumed _ ->
+        | Raft.Probe.Node_resumed _ | Raft.Probe.Config_change _
+        | Raft.Probe.Transfer_started _ | Raft.Probe.Transfer_aborted _ ->
             ());
   !n
 

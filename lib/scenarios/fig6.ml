@@ -86,7 +86,8 @@ let run ?(seed = 11L) ?(hold = Des.Time.sec 60)
         | Raft.Probe.Election_started _ -> incr elections
         | Raft.Probe.Role_change _ | Raft.Probe.Tuner_reset _
         | Raft.Probe.Tuner_decision _ | Raft.Probe.Node_paused _
-        | Raft.Probe.Node_resumed _ ->
+        | Raft.Probe.Node_resumed _ | Raft.Probe.Config_change _
+        | Raft.Probe.Transfer_started _ | Raft.Probe.Transfer_aborted _ ->
             ());
   let ots =
     Monitor.leaderless_intervals cluster ~from:measure_from

@@ -95,7 +95,9 @@ let run ?(seed = 19L) ?(hold = Des.Time.sec 180)
         | Raft.Probe.Timeout_expired _ -> incr expiries
         | Raft.Probe.Role_change _ | Raft.Probe.Pre_vote_aborted _
         | Raft.Probe.Tuner_reset _ | Raft.Probe.Tuner_decision _
-        | Raft.Probe.Node_paused _ | Raft.Probe.Node_resumed _ ->
+        | Raft.Probe.Node_paused _ | Raft.Probe.Node_resumed _
+        | Raft.Probe.Config_change _ | Raft.Probe.Transfer_started _
+        | Raft.Probe.Transfer_aborted _ ->
             ());
   {
     mode = Raft.Config.mode_name config;

@@ -21,6 +21,10 @@ let bucket x = Hashtbl.hash x
 let counter = ref 0
 let total : float ref = ref 0.
 
+(* stdlib-exit *)
+let bail () = exit 1
+let die code = Stdlib.exit code
+
 (* direct-print *)
 let show x = Printf.printf "%d\n" x
 let complain msg = Format.eprintf "%s@." msg

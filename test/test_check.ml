@@ -83,6 +83,11 @@ let view f : Check.node_view =
         if i = 0 then Some 0
         else Option.map (fun (e : Raft.Log.entry) -> e.Raft.Log.term) (entry_at i));
     entry_at;
+    (* Toy fixtures carry no configuration: the membership invariants
+       no-op on empty views. *)
+    voters = (fun () -> []);
+    learners = (fun () -> []);
+    votes = (fun () -> []);
   }
 
 let checker_for fakes =

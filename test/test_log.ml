@@ -124,6 +124,121 @@ let test_up_to_date () =
   Alcotest.(check bool) "lower term loses" false
     (Log.up_to_date l ~last_index:10 ~last_term:2)
 
+(* {2 Appends straddling the snapshot boundary}
+
+   After compaction the entries at or below [snapshot_index] exist only
+   as the boundary pair, yet a slow leader may still send appends whose
+   predecessor — or a whole prefix of whose batch — lies below it.
+   [try_append] must treat the compacted prefix as matching (it was
+   committed before it was compacted) and splice in only the live
+   suffix. *)
+
+module Q = QCheck
+
+let to_alcotest = QCheck_alcotest.to_alcotest
+
+(* A log holding [total] entries (terms non-decreasing, bumped at
+   [term_switch]) compacted at [boundary]. *)
+let build ~total ~term_switch ~boundary =
+  let l = Log.create () in
+  for i = 1 to total do
+    ignore (Log.append_new l ~term:(if i < term_switch then 1 else 2) Log.Noop)
+  done;
+  Log.compact l ~upto:boundary;
+  l
+
+let gen_straddle =
+  Q.make
+    ~print:(fun (total, term_switch, boundary, prev) ->
+      Printf.sprintf "total=%d term_switch=%d boundary=%d prev=%d" total
+        term_switch boundary prev)
+    Q.Gen.(
+      int_range 2 40 >>= fun total ->
+      int_range 1 total >>= fun term_switch ->
+      int_range 1 total >>= fun boundary ->
+      int_range 0 boundary >>= fun prev ->
+      return (total, term_switch, boundary, prev))
+
+let term_of ~term_switch i = if i < term_switch then 1 else 2
+
+let prop_append_below_boundary_matches =
+  Q.Test.make ~count:500
+    ~name:"try_append: predecessor below the boundary is matching"
+    gen_straddle
+    (fun (total, term_switch, boundary, prev) ->
+      let l = build ~total ~term_switch ~boundary in
+      (* Replay the true suffix starting below the boundary, exactly as
+         a leader that has not yet learned of our compaction would. *)
+      let entries =
+        List.init (total - prev) (fun k ->
+            let i = prev + 1 + k in
+            { Log.term = term_of ~term_switch i; index = i; command = Log.Noop })
+      in
+      match
+        Log.try_append l ~prev_index:prev
+          ~prev_term:(term_of ~term_switch prev) ~entries
+      with
+      | `Ok covered ->
+          covered = total
+          && Log.last_index l = total
+          && Log.snapshot_index l = boundary
+          && Log.first_available l = boundary + 1
+      | `Conflict _ -> false)
+
+let prop_append_conflict_truncates_at_boundary =
+  Q.Test.make ~count:500
+    ~name:"try_append: conflicting suffix truncates, never below boundary"
+    gen_straddle
+    (fun (total, term_switch, boundary, prev) ->
+      let l = build ~total ~term_switch ~boundary in
+      (* A newer leader (term 3) rewrites everything after [prev]; the
+         entries at or below the boundary are untouchable, and the tail
+         above [prev] must be replaced wholesale. *)
+      let entries =
+        List.init (total + 1 - prev) (fun k ->
+            { Log.term = 3; index = prev + 1 + k; command = Log.Noop })
+      in
+      match
+        Log.try_append l ~prev_index:prev
+          ~prev_term:(term_of ~term_switch prev) ~entries
+      with
+      | `Ok covered ->
+          covered = total + 1
+          && Log.last_index l = total + 1
+          && Log.snapshot_index l = boundary
+          && (* every surviving live entry above the boundary now
+                carries the new term *)
+          List.for_all
+            (fun i ->
+              match Log.term_at l i with Some 3 -> true | _ -> i <= boundary)
+            (List.init (total + 1) (fun i -> i + 1))
+      | `Conflict _ -> false)
+
+let prop_append_wholly_compacted_is_noop =
+  Q.Test.make ~count:500
+    ~name:"try_append: batch wholly below the boundary leaves the log alone"
+    gen_straddle
+    (fun (total, term_switch, boundary, prev) ->
+      let l = build ~total ~term_switch ~boundary in
+      let before_mut = Log.mutations l in
+      (* Entries covering only the compacted range: a stale
+         retransmission.  It must succeed (it matched once) without
+         touching the live tail. *)
+      let entries =
+        List.init (boundary - prev) (fun k ->
+            let i = prev + 1 + k in
+            { Log.term = term_of ~term_switch i; index = i; command = Log.Noop })
+      in
+      match
+        Log.try_append l ~prev_index:prev
+          ~prev_term:(term_of ~term_switch prev) ~entries
+      with
+      | `Ok covered ->
+          covered >= boundary
+          && Log.last_index l = total
+          && Log.mutations l = before_mut
+      | `Conflict _ -> false)
+
 let tests =
   [
     Alcotest.test_case "empty log" `Quick test_empty_log;
@@ -143,4 +258,7 @@ let tests =
       test_heartbeat_append_empty;
     Alcotest.test_case "slice" `Quick test_slice;
     Alcotest.test_case "up_to_date voting rule" `Quick test_up_to_date;
+    to_alcotest prop_append_below_boundary_matches;
+    to_alcotest prop_append_conflict_truncates_at_boundary;
+    to_alcotest prop_append_wholly_compacted_is_noop;
   ]

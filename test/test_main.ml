@@ -15,6 +15,7 @@ let () =
       ("faults", Test_faults.tests);
       ("snapshots", Test_snapshot.tests);
       ("reads-transfer", Test_reads_transfer.tests);
+      ("reconfig", Test_reconfig.tests);
       ("check", Test_check.tests);
       ("chaos", Test_chaos.tests);
       ("reproduction", Test_reproduction.tests);

@@ -283,7 +283,14 @@ let test_stale_install_snapshot_rejected () =
   let acts =
     recv s ~from:1
       (Rpc.Install_snapshot
-         { term = 2; last_index = 50; last_term = 2; data = "stale" })
+         {
+           term = 2;
+           last_index = 50;
+           last_term = 2;
+           voters = Node_id.range 5;
+           learners = [];
+           data = "stale";
+         })
       ~now:(Time.ms 1)
   in
   (match sends acts with
@@ -299,7 +306,14 @@ let test_install_snapshot_applies () =
   let acts =
     recv s ~from:3
       (Rpc.Install_snapshot
-         { term = 4; last_index = 30; last_term = 4; data = "payload" })
+         {
+           term = 4;
+           last_index = 30;
+           last_term = 4;
+           voters = Node_id.range 5;
+           learners = [];
+           data = "payload";
+         })
       ~now:Time.zero
   in
   Alcotest.(check int) "boundary adopted" 30
