@@ -27,17 +27,37 @@ type scale = { full : bool; jobs : int }
 
 let ppf = Format.std_formatter
 
-(* (figure, wall seconds, DES events processed), in run order — the
-   rows of the --json report. *)
-let records : (string * float * int) list ref = ref []
+(* One --json report row per figure, in run order.  GC words are the
+   coordinator domain's allocation deltas (campaign shards run in their
+   own domains under --jobs > 1, so compare allocation numbers at
+   --jobs 1 where everything allocates here). *)
+type record = {
+  name : string;
+  wall : float;
+  events : int;
+  minor_words : float;
+  major_words : float;
+}
+
+let records : record list ref = ref []
 
 let timed name f =
   let t0 = Unix.gettimeofday () in
   let e0 = Des.Engine.global_processed () in
+  let g0 = Gc.quick_stat () in
   f ();
   let wall = Unix.gettimeofday () -. t0 in
   let events = Des.Engine.global_processed () - e0 in
-  records := (name, wall, events) :: !records;
+  let g1 = Gc.quick_stat () in
+  records :=
+    {
+      name;
+      wall;
+      events;
+      minor_words = g1.Gc.minor_words -. g0.Gc.minor_words;
+      major_words = g1.Gc.major_words -. g0.Gc.major_words;
+    }
+    :: !records;
   Format.fprintf ppf "@.[%s done in %.1fs wall]@." name wall
 
 let run_fig4 { full; jobs } =
@@ -109,7 +129,7 @@ let figures =
 
 (* The report is flat and the values are numbers/strings, so the JSON is
    written by hand rather than pulling in a serialization library. *)
-let write_json path ~full ~jobs ~metrics =
+let write_json path ~full ~jobs ~metrics ~guard =
   match open_out path with
   | exception Sys_error msg ->
       (* The figures already went to stdout; don't let a bad report path
@@ -120,13 +140,19 @@ let write_json path ~full ~jobs ~metrics =
       Printf.fprintf oc
         "{\n  \"full\": %b,\n  \"jobs\": %d,\n  \"figures\": [\n" full jobs;
       List.iteri
-        (fun i (name, wall, events) ->
+        (fun i r ->
+          let eps =
+            if r.wall > 0. then float_of_int r.events /. r.wall else 0.
+          in
           Printf.fprintf oc
-            "    {\"name\": %S, \"wall_s\": %.3f, \"events\": %d}%s\n" name
-            wall events
+            "    {\"name\": %S, \"wall_s\": %.3f, \"events\": %d, \
+             \"events_per_s\": %.0f, \"minor_words\": %.0f, \
+             \"major_words\": %.0f}%s\n"
+            r.name r.wall r.events eps r.minor_words r.major_words
             (if i = List.length rows - 1 then "" else ","))
         rows;
-      Printf.fprintf oc "  ],\n  \"metrics\": %s\n}\n" metrics;
+      Printf.fprintf oc "  ],\n  \"perf_guard\": %s,\n  \"metrics\": %s\n}\n"
+        guard metrics;
       close_out oc;
       Format.fprintf ppf "[wrote %s]@." path
 
@@ -140,6 +166,25 @@ let metrics_json ~jobs =
       ~config:(Raft.Config.dynatune ()) ()
   in
   Telemetry.Metrics.to_json r.Fig4.metrics
+
+(* The perf_guard section: the pinned plan `selfcheck --perf` replays.
+   Always sequential (jobs = 1) so the recorded events/sec is comparable
+   across report generations regardless of the --jobs flag; the digest
+   is jobs-invariant by the determinism contract. *)
+let guard_json () =
+  let t0 = Unix.gettimeofday () in
+  let e0 = Des.Engine.global_processed () in
+  let r =
+    Fig4.run ~seed:42L ~failures:400 ~shards:4 ~jobs:1
+      ~config:(Raft.Config.dynatune ()) ()
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  let events = Des.Engine.global_processed () - e0 in
+  Printf.sprintf
+    "{\"plan\": \"fig4 seed=42 failures=400 shards=4 jobs=1\", \"digest\": \
+     \"%Lx\", \"wall_s\": %.3f, \"events\": %d, \"events_per_s\": %.0f}"
+    r.Fig4.digest wall events
+    (if wall > 0. then float_of_int events /. wall else 0.)
 
 let usage () =
   Format.eprintf
@@ -208,6 +253,8 @@ let () =
   let scale = { full = !full; jobs } in
   List.iter (fun name -> (List.assoc name figures) scale) wanted;
   Option.iter
-    (fun path -> write_json path ~full:!full ~jobs ~metrics:(metrics_json ~jobs))
+    (fun path ->
+      write_json path ~full:!full ~jobs ~metrics:(metrics_json ~jobs)
+        ~guard:(guard_json ()))
     !json;
   Format.pp_print_flush ppf ()

@@ -116,6 +116,78 @@ let test_engine_cancel_churn =
               : Des.Engine.handle);
           ignore (Des.Engine.step e : bool)))
 
+let test_wheel_churn =
+  (* Same shape as the heap churn test above, but through
+     [schedule_timer_after]: the far timer parks in the timing wheel and
+     its cancellation is an in-place drop — no tombstone, no sift, no
+     compaction debt. *)
+  Test.make ~name:"wheel.schedule+cancel+step churn"
+    (Staged.stage
+       (let e = Des.Engine.create () in
+        fun () ->
+          let h =
+            Des.Engine.schedule_timer_after e (Des.Time.ms 500) (fun () -> ())
+          in
+          Des.Engine.cancel h;
+          ignore
+            (Des.Engine.schedule_after e (Des.Time.us 1) (fun () -> ())
+              : Des.Engine.handle);
+          ignore (Des.Engine.step e : bool)))
+
+let test_wheel_fire =
+  (* The non-churn half: a near timer that parks in the wheel, is
+     flushed into the heap at its slot boundary, and actually fires. *)
+  Test.make ~name:"wheel.schedule+fire"
+    (Staged.stage
+       (let e = Des.Engine.create () in
+        fun () ->
+          ignore
+            (Des.Engine.schedule_timer_after e (Des.Time.ms 2) (fun () -> ())
+              : Des.Engine.handle);
+          ignore (Des.Engine.step e : bool)))
+
+let bench_log () =
+  let log = Raft.Log.create () in
+  for _ = 1 to 1000 do
+    ignore
+      (Raft.Log.append_new log ~term:1
+         (Raft.Log.Data
+            {
+              payload =
+                Kvsm.Command.to_payload
+                  (Kvsm.Command.Put { key = "bench-key"; value = "v" });
+              client_id = 1;
+              seq = 1;
+            })
+        : Raft.Log.entry)
+  done;
+  log
+
+let test_log_slice_array =
+  Test.make ~name:"log.slice 64 (array)"
+    (Staged.stage
+       (let log = bench_log () in
+        let i = ref 0 in
+        fun () ->
+          i := (!i mod 900) + 1;
+          ignore (Raft.Log.slice log ~from:!i ~max:64 : Raft.Log.entry array)))
+
+let test_log_slice_list =
+  (* The seed's slice path built a list via [List.init] + per-entry
+     [nth]-style lookups; keep it here as the comparison baseline. *)
+  Test.make ~name:"log.slice 64 (old list path)"
+    (Staged.stage
+       (let log = bench_log () in
+        let i = ref 0 in
+        fun () ->
+          i := (!i mod 900) + 1;
+          ignore
+            (List.init 64 (fun k ->
+                 match Raft.Log.entry_at log (!i + k) with
+                 | Some e -> e
+                 | None -> assert false)
+              : Raft.Log.entry list)))
+
 let make_heartbeat_loop () =
   let config = Raft.Config.dynatune () in
   let rng = Stats.Rng.create ~seed:1L () in
@@ -128,19 +200,20 @@ let make_heartbeat_loop () =
   let i = ref 0 in
   fun () ->
     incr i;
-    let meta =
-      {
-        Dynatune.Leader_path.hb_id = !i;
-        sent_at = Des.Time.ms !i;
-        measured_rtt = Some (Des.Time.ms 100);
-      }
-    in
     ignore
       (Raft.Server.handle follower ~now:(Des.Time.ms (!i + 50))
          (Raft.Server.Message
             {
               from = Netsim.Node_id.of_int 1;
-              msg = Raft.Rpc.Heartbeat { term = 1; commit = 0; meta };
+              msg =
+                Raft.Rpc.Heartbeat
+                  {
+                    term = 1;
+                    commit = 0;
+                    hb_id = !i;
+                    sent_at = Des.Time.ms !i;
+                    measured_rtt = Some (Des.Time.ms 100);
+                  };
             })
         : Raft.Server.action list)
 
@@ -168,9 +241,44 @@ let tests =
     test_heap_push_pop_int;
     test_event_heap_push_pop;
     test_engine_cancel_churn;
+    test_wheel_churn;
+    test_wheel_fire;
+    test_log_slice_array;
+    test_log_slice_list;
     test_server_heartbeat;
     test_codec;
   ]
+
+(* Minor-heap allocation per operation, by [Gc.minor_words] delta: the
+   number bechamel's timing tables can't show, and the one the
+   allocation-lean RPC work moves.  [Gc.minor_words] counts words
+   allocated on the minor heap since program start, so the delta over N
+   iterations divided by N is exact (modulo the loop's own constant). *)
+let words_per_op ppf name f =
+  for _ = 1 to 100 do
+    f ()
+  done;
+  let iters = 100_000 in
+  let w0 = Gc.minor_words () in
+  for _ = 1 to iters do
+    f ()
+  done;
+  let w1 = Gc.minor_words () in
+  Format.fprintf ppf "  %-40s %10.1f minor words/op@." name
+    ((w1 -. w0) /. float_of_int iters)
+
+let allocation_report ppf =
+  words_per_op ppf "server.handle heartbeat (dynatune)"
+    (make_heartbeat_loop ());
+  (let e = Des.Engine.create () in
+   words_per_op ppf "wheel timer schedule+cancel" (fun () ->
+       Des.Engine.cancel
+         (Des.Engine.schedule_timer_after e (Des.Time.ms 500) (fun () -> ()))));
+  let log = bench_log () in
+  let i = ref 0 in
+  words_per_op ppf "log.slice 64 (array)" (fun () ->
+      i := (!i mod 900) + 1;
+      ignore (Raft.Log.slice log ~from:!i ~max:64 : Raft.Log.entry array))
 
 
 (* Direct wall-clock comparison of the seed event queue (generic heap
@@ -242,6 +350,7 @@ let run ppf =
     Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None ()
   in
   heap_throughput_ratio ppf;
+  allocation_report ppf;
   Format.fprintf ppf "  %-40s %14s %8s@." "operation" "time/run" "r^2";
   List.iter
     (fun test ->

@@ -8,7 +8,14 @@
       reconfig campaigns) must produce bit-identical trace digests and
       metrics snapshots with one worker and with many;
    4. a deliberately broken fixture — two leaders sharing a term — that
-      the checker is required to catch. *)
+      the checker is required to catch.
+
+   `selfcheck --perf BASELINE.json` (the @perf alias) instead replays
+   the pinned perf-guard plan from the committed bench report: the trace
+   digest must match the baseline bit for bit, and events/sec must stay
+   within 30% of the recorded figure (the throughput half is skippable
+   with DYNATUNE_PERF_SKIP_THROUGHPUT=1 for hopelessly noisy hosts; the
+   digest half never is). *)
 
 module Cluster = Harness.Cluster
 
@@ -176,13 +183,113 @@ let broken_fixture () =
       if v.Check.invariant <> "election-safety" then
         fail "wrong invariant caught: %s" v.Check.invariant
 
-let () =
-  List.iter (fun seed -> mini_chaos ~seed) [ 11L; 12L; 13L ];
-  for i = 0 to 199 do
-    reconfig_chaos ~seed:(Int64.of_int (1000 + i))
+(* --perf mode ---------------------------------------------------------- *)
+
+(* The baseline report is flat hand-written JSON (bench/main.ml), so a
+   string scan is enough to pull two fields out of its perf_guard
+   section without a JSON dependency. *)
+let find_sub s sub from =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then None
+    else if String.equal (String.sub s i m) sub then Some (i + m)
+    else go (i + 1)
+  in
+  go from
+
+let guard_field json key =
+  let start =
+    match find_sub json "\"perf_guard\"" 0 with
+    | Some i -> i
+    | None -> fail "perf baseline has no \"perf_guard\" section"
+  in
+  let i =
+    match find_sub json (Printf.sprintf "%S:" key) start with
+    | Some i -> i
+    | None -> fail "perf baseline guard has no %S field" key
+  in
+  let n = String.length json in
+  let rec skip i =
+    if i < n && (json.[i] = ' ' || json.[i] = '"') then skip (i + 1) else i
+  in
+  let a = skip i in
+  let rec stop i =
+    if i >= n then i
+    else match json.[i] with '"' | ',' | '}' | ' ' | '\n' -> i | _ -> stop (i + 1)
+  in
+  String.sub json a (stop a - a)
+
+let run_perf ~baseline =
+  let json =
+    match In_channel.with_open_text baseline In_channel.input_all with
+    | s -> s
+    | exception Sys_error msg -> fail "cannot read perf baseline: %s" msg
+  in
+  let base_digest = guard_field json "digest" in
+  let base_eps =
+    match float_of_string_opt (guard_field json "events_per_s") with
+    | Some f when f > 0. -> f
+    | Some _ | None -> fail "perf baseline has no usable events_per_s"
+  in
+  let plan () =
+    Scenarios.Fig4.run ~seed:42L ~failures:400 ~shards:4 ~jobs:1
+      ~config:(Raft.Config.dynatune ()) ()
+  in
+  (* Digest first (and always): any drift is a determinism regression,
+     whatever the host's load. *)
+  let digest = Printf.sprintf "%Lx" (plan ()).Scenarios.Fig4.digest in
+  if not (String.equal digest base_digest) then
+    fail "perf guard digest drift: got %s, baseline %s — scheduling order \
+          changed"
+      digest base_digest;
+  (* Throughput second, best of three: a single reading on a busy host
+     swings far more than any plausible regression. *)
+  let best = ref 0. in
+  for _ = 1 to 3 do
+    let t0 = Unix.gettimeofday () in
+    let e0 = Des.Engine.global_processed () in
+    ignore (plan () : Scenarios.Fig4.result);
+    let wall = Unix.gettimeofday () -. t0 in
+    let events = Des.Engine.global_processed () - e0 in
+    if wall > 0. then best := Stdlib.max !best (float_of_int events /. wall)
   done;
-  broken_fixture ();
-  digest_determinism ();
-  reconfig_determinism ();
-  print_endline
-    "selfcheck: invariants hold, digests deterministic, broken fixture caught"
+  let floor_eps = 0.7 *. base_eps in
+  let skipped = Sys.getenv_opt "DYNATUNE_PERF_SKIP_THROUGHPUT" <> None in
+  if (not skipped) && !best < floor_eps then
+    fail
+      "perf guard throughput regression: best of 3 = %.0f events/s, >30%% \
+       below baseline %.0f (floor %.0f); set DYNATUNE_PERF_SKIP_THROUGHPUT=1 \
+       only if this host is known-noisy"
+      !best base_eps floor_eps;
+  Printf.printf
+    "selfcheck --perf: digest %s matches baseline; %.0f events/s vs baseline \
+     %.0f%s\n"
+    digest !best base_eps
+    (if skipped then " (throughput check skipped via env)" else "")
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: "--perf" :: rest ->
+      let baseline =
+        match rest with
+        | [] -> "BENCH_5.json"
+        | [ path ] -> path
+        | _ ->
+            prerr_endline "usage: selfcheck [--perf [BASELINE.json]]";
+            exit 2
+      in
+      run_perf ~baseline
+  | [ _ ] ->
+      List.iter (fun seed -> mini_chaos ~seed) [ 11L; 12L; 13L ];
+      for i = 0 to 199 do
+        reconfig_chaos ~seed:(Int64.of_int (1000 + i))
+      done;
+      broken_fixture ();
+      digest_determinism ();
+      reconfig_determinism ();
+      print_endline
+        "selfcheck: invariants hold, digests deterministic, broken fixture \
+         caught"
+  | _ ->
+      prerr_endline "usage: selfcheck [--perf [BASELINE.json]]";
+      exit 2

@@ -8,6 +8,9 @@ type t = {
   trace : Raft.Probe.t Des.Mtrace.t;
   members : member Node_id.Table.t;
   mutable ids : Node_id.t list;  (* live membership, in join order *)
+  mutable roster : member array;
+      (* [members] in join order, rebuilt on membership change: the
+         leader poll scans this without hashing *)
   checker : Check.t option;
   digest : Check.Digest.t;
   telemetry : Telemetry.Metrics.t;
@@ -22,6 +25,9 @@ type t = {
 }
 
 let node_label id = "n" ^ string_of_int (Node_id.to_int id)
+
+let roster_of ~members ~ids =
+  Array.of_list (List.map (fun id -> Node_id.Table.find members id) ids)
 
 (* Per-node protocol counters, filled through a live trace subscription
    so they survive the measurement loop's [Mtrace.clear]s. *)
@@ -157,6 +163,7 @@ let create ?seed ?costs ?(cores = 4.) ?conditions ?flush_delay
     trace;
     members;
     ids;
+    roster = roster_of ~members ~ids;
     checker;
     digest;
     telemetry;
@@ -195,6 +202,11 @@ let collect_metrics t =
     Telemetry.Metrics.Gauge.set_max
       (Telemetry.Metrics.gauge m ~scope:"des" ~name:"heap_high_water" ())
       (float_of_int es.Des.Engine.heap_high_water);
+    add "des" "wheel_cascades" es.Des.Engine.cascades;
+    add "des" "wheel_cancelled_in_place" es.Des.Engine.cancelled_in_place;
+    Telemetry.Metrics.Gauge.set_max
+      (Telemetry.Metrics.gauge m ~scope:"des" ~name:"wheel_high_water" ())
+      (float_of_int es.Des.Engine.wheel_high_water);
     let fc = Netsim.Fabric.counters t.fabric in
     add "net" "sent" fc.Netsim.Fabric.sent;
     add "net" "delivered" fc.Netsim.Fabric.delivered;
@@ -239,20 +251,28 @@ let nodes t = List.map (fun id -> node t id) t.ids
 
 let start t = List.iter Raft.Node.start (nodes t)
 
+(* The measurement harness polls this once per simulated millisecond
+   while awaiting elections, so it is a single scan rather than a
+   map/filter/sort chain: the common no-leader poll allocates nothing. *)
 let leader t =
-  let candidates =
-    List.filter
-      (fun n ->
-        (not (Raft.Node.is_paused n))
-        && Raft.Types.is_leader (Raft.Server.role (Raft.Node.server n)))
-      (nodes t)
-  in
-  let compare_terms a b =
-    compare
-      (Raft.Server.term (Raft.Node.server b))
-      (Raft.Server.term (Raft.Node.server a))
-  in
-  match List.sort compare_terms candidates with [] -> None | l :: _ -> Some l
+  let roster = t.roster in
+  let best = ref None and best_term = ref min_int in
+  for i = 0 to Array.length roster - 1 do
+    let n = roster.(i).node in
+    if
+      (not (Raft.Node.is_paused n))
+      && Raft.Types.is_leader (Raft.Server.role (Raft.Node.server n))
+    then begin
+      let term = Raft.Server.term (Raft.Node.server n) in
+      (* Strict [>] keeps the first max-term leader in join order, as the
+         stable descending sort did. *)
+      if term > !best_term then begin
+        best := Some n;
+        best_term := term
+      end
+    end
+  done;
+  !best
 
 let run_for t span = Des.Engine.run_for t.engine span
 let now t = Des.Engine.now t.engine
@@ -332,6 +352,7 @@ let spawn_joiner t =
   in
   Node_id.Table.add t.members id m;
   t.ids <- t.ids @ [ id ];
+  t.roster <- roster_of ~members:t.members ~ids:t.ids;
   (match t.checker with
   | Some c -> Check.add_view c (Check.view_of_node m.node)
   | None -> ());
@@ -348,7 +369,8 @@ let retire t id =
   let m = member t id in
   if not (Raft.Node.is_paused m.node) then Raft.Node.pause m.node;
   Netsim.Fabric.remove_node t.fabric id;
-  t.ids <- List.filter (fun i -> not (Node_id.equal i id)) t.ids
+  t.ids <- List.filter (fun i -> not (Node_id.equal i id)) t.ids;
+  t.roster <- roster_of ~members:t.members ~ids:t.ids
 
 let config_quiet t =
   match leader t with

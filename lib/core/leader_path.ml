@@ -1,9 +1,3 @@
-type meta = {
-  hb_id : int;
-  sent_at : Des.Time.t;
-  measured_rtt : Des.Time.span option;
-}
-
 type t = {
   config : Config.t;
   mutable next_id : int;
@@ -21,13 +15,17 @@ let create (config : Config.t) =
     interval = config.default_heartbeat_interval;
   }
 
-let next_meta t ~now =
-  let meta =
-    { hb_id = t.next_id; sent_at = now; measured_rtt = t.pending_rtt }
-  in
-  t.next_id <- t.next_id + 1;
+let next_id t =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  id
+
+(* Hands over the stored [Some rtt] box itself — the caller ships it in
+   the next heartbeat without re-boxing. *)
+let take_rtt t =
+  let rtt = t.pending_rtt in
   t.pending_rtt <- None;
-  meta
+  rtt
 
 let on_response t ~now ~echo_sent_at ~tuned_h =
   if echo_sent_at <= now then begin

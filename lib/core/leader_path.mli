@@ -12,20 +12,17 @@
     so it is robust to reordering, loss and clock skew (Section
     III-C1). *)
 
-type meta = {
-  hb_id : int;  (** sequential heartbeat id for loss measurement *)
-  sent_at : Des.Time.t;  (** leader local send time, echoed by follower *)
-  measured_rtt : Des.Time.span option;
-      (** most recent RTT measured on this path, not yet delivered *)
-}
-
 type t
 
 val create : Config.t -> t
 
-val next_meta : t -> now:Des.Time.t -> meta
-(** Metadata for the next heartbeat: allocates the id and consumes the
-    pending RTT measurement (each measurement is shipped once). *)
+val next_id : t -> int
+(** Allocate the sequential id for the next heartbeat on this path. *)
+
+val take_rtt : t -> Des.Time.span option
+(** Consume the pending RTT measurement (each measurement is shipped
+    exactly once, in the heartbeat after its echo arrived).  Returns the
+    stored option value itself, so shipping it allocates nothing. *)
 
 val on_response :
   t -> now:Des.Time.t -> echo_sent_at:Des.Time.t -> tuned_h:Des.Time.span option -> unit

@@ -8,6 +8,16 @@ type t = {
   config : Config.t;
   rtt : rtt_backend;
   loss : Loss_estimator.t;
+  (* Derived values are queried on every heartbeat (to arm the election
+     timer and pick the piggybacked h) but change only when a sample is
+     recorded, so they are cached behind a dirty flag.  The cached
+     numbers are exactly what the direct computation would produce —
+     recomputing them eagerly would give bit-identical traces, just three
+     O(window) statistics passes per heartbeat instead of one. *)
+  mutable dirty : bool;
+  mutable cached_et : Des.Time.span;
+  mutable cached_k : int;
+  mutable cached_h : Des.Time.span;
 }
 
 let create config =
@@ -29,6 +39,10 @@ let create config =
         loss =
           Loss_estimator.create ~min_size:config.min_list_size
             ~max_size:config.max_list_size;
+        dirty = true;
+        cached_et = config.default_election_timeout;
+        cached_k = 1;
+        cached_h = config.default_heartbeat_interval;
       }
 
 let config t = t.config
@@ -55,6 +69,7 @@ let observe_heartbeat t ~hb_id ~rtt =
   (match Loss_estimator.observe t.loss hb_id with
   | `Duplicate -> ()
   | `Recorded -> (
+      t.dirty <- true;
       match rtt with
       | Some sample -> rtt_observe t sample
       | None -> ()))
@@ -67,7 +82,7 @@ let required_heartbeats_for ~p ~x =
     let k = log (1. -. x) /. log p in
     Stdlib.max 1 (int_of_float (ceil k))
 
-let election_timeout t =
+let compute_election_timeout t =
   match (phase t, rtt_et t ~s:t.config.safety_factor) with
   | Tuned, Some et ->
       Des.Time.clamp et ~lo:t.config.min_election_timeout
@@ -76,7 +91,7 @@ let election_timeout t =
 
 let loss_rate t = Loss_estimator.loss_rate t.loss
 
-let required_heartbeats t =
+let compute_required_heartbeats t ~et =
   match phase t with
   | Warming -> 1
   | Tuned ->
@@ -84,18 +99,35 @@ let required_heartbeats t =
       let k = required_heartbeats_for ~p ~x:t.config.arrival_probability in
       (* K beyond Et / min_h cannot be honoured; clamp so h stays above
          its floor. *)
-      let cap =
-        Stdlib.max 1 (election_timeout t / t.config.min_heartbeat_interval)
-      in
+      let cap = Stdlib.max 1 (et / t.config.min_heartbeat_interval) in
       Stdlib.min k cap
 
-let heartbeat_interval t =
+let compute_heartbeat_interval t ~et ~k =
   match phase t with
   | Warming -> t.config.default_heartbeat_interval
-  | Tuned ->
-      let et = election_timeout t in
-      let k = required_heartbeats t in
-      Des.Time.max_span t.config.min_heartbeat_interval (et / k)
+  | Tuned -> Des.Time.max_span t.config.min_heartbeat_interval (et / k)
+
+let refresh t =
+  if t.dirty then begin
+    let et = compute_election_timeout t in
+    let k = compute_required_heartbeats t ~et in
+    t.cached_et <- et;
+    t.cached_k <- k;
+    t.cached_h <- compute_heartbeat_interval t ~et ~k;
+    t.dirty <- false
+  end
+
+let election_timeout t =
+  refresh t;
+  t.cached_et
+
+let required_heartbeats t =
+  refresh t;
+  t.cached_k
+
+let heartbeat_interval t =
+  refresh t;
+  t.cached_h
 
 let rtt_mean t =
   match t.rtt with
@@ -116,7 +148,8 @@ let reset t =
   (match t.rtt with
   | Window w -> Rtt_estimator.clear w
   | Smoothed e -> Ewma_estimator.clear e);
-  Loss_estimator.clear t.loss
+  Loss_estimator.clear t.loss;
+  t.dirty <- true
 
 let pp ppf t =
   let phase_str = match phase t with Warming -> "warming" | Tuned -> "tuned" in

@@ -25,11 +25,26 @@ val schedule_at : t -> Time.t -> (unit -> unit) -> handle
 val schedule_after : t -> Time.span -> (unit -> unit) -> handle
 (** Schedule after a relative delay (clamped to be non-negative). *)
 
+val schedule_timer_after : t -> Time.span -> (unit -> unit) -> handle
+(** Like {!schedule_after}, but for deadlines that are likely to be
+    cancelled before coming due (timer re-arm churn): the event parks in
+    the timing wheel, where cancellation drops it in place — no heap
+    push, sift, or tombstone.  Firing order and semantics are identical
+    to {!schedule_after}; one-shot work that nearly always fires should
+    keep using the plain entry points, which skip the wheel's flush
+    bookkeeping. *)
+
 val cancel : handle -> unit
 (** Cancel a scheduled event; cancelling a fired or already-cancelled
-    event is a no-op. *)
+    event is a no-op.  Events still parked in the timing wheel are
+    dropped in place without ever touching the heap. *)
 
 val is_pending : handle -> bool
+
+val never : handle
+(** A permanently-cancelled handle: a null object for handle-typed
+    fields, so holders (e.g. {!Timer}) need no [handle option].
+    [cancel] is a no-op on it and [is_pending] is [false]. *)
 
 val run : t -> unit
 (** Run until the event queue is empty. *)
@@ -63,13 +78,21 @@ type stats = {
   cancelled : int;  (** lifetime [cancel] marks on scheduled events *)
   compactions : int;  (** lazy-cancel heap sweeps performed *)
   heap_high_water : int;  (** deepest the event heap has ever been *)
+  cancelled_in_place : int;
+      (** cancels absorbed by the timing wheel: the event was dropped
+          from its slot without a heap push, sift, or tombstone *)
+  cascades : int;  (** wheel slot redistributions between levels *)
+  wheel_occupancy : int;  (** live events currently parked in the wheel *)
+  wheel_high_water : int;  (** peak live wheel occupancy *)
 }
 (** Engine self-instrumentation.  [cancelled] vs [processed] shows how
     much timer churn (heartbeat re-arming, election resets) the workload
-    generates relative to events that actually fire; [compactions] and
-    [heap_high_water] characterize the lazy-cancellation heap's
-    behaviour.  Maintained unconditionally — each is a plain field
-    mutation on a path that already mutates the heap. *)
+    generates relative to events that actually fire;
+    [cancelled_in_place] is the share of that churn the timing wheel
+    absorbed for free, while [compactions] and [heap_high_water]
+    characterize the residual load on the lazy-cancellation heap.
+    Maintained unconditionally — each is a plain field mutation on a
+    path that already mutates the structure. *)
 
 val stats : t -> stats
 (** Snapshot of the counters at this instant. *)

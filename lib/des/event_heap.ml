@@ -3,6 +3,10 @@ type stats = {
   mutable cancelled : int;
   mutable compactions : int;
   mutable high_water : int;
+  mutable cancelled_in_place : int;
+  mutable cascades : int;
+  mutable wheel_occupancy : int;
+  mutable wheel_high_water : int;
 }
 
 type event = {
@@ -11,17 +15,43 @@ type event = {
   action : unit -> unit;
   mutable cancelled : bool;
   mutable queued : bool;
+  mutable w_next : event;
   stats : stats;
 }
 
 type t = { mutable data : event array; mutable len : int; stats : stats }
 
-let create () =
+let fresh_stats () =
   {
-    data = [||];
-    len = 0;
-    stats = { dead = 0; cancelled = 0; compactions = 0; high_water = 0 };
+    dead = 0;
+    cancelled = 0;
+    compactions = 0;
+    high_water = 0;
+    cancelled_in_place = 0;
+    cascades = 0;
+    wheel_occupancy = 0;
+    wheel_high_water = 0;
   }
+
+let create () = { data = [||]; len = 0; stats = fresh_stats () }
+
+(* A permanently-cancelled placeholder: lets handle holders (timers) use
+   a plain [event] field instead of an [event option].  Cancelling it is
+   a no-op (already cancelled), and it is never queued or linked, so it
+   is safe to share — even across domains, since no code path writes it. *)
+let never =
+  let rec ev =
+    {
+      at = 0;
+      seq = -1;
+      action = ignore;
+      cancelled = true;
+      queued = false;
+      w_next = ev;
+      stats = fresh_stats ();
+    }
+  in
+  ev
 
 let length t = t.len
 let live_length t = t.len - t.stats.dead
@@ -97,12 +127,28 @@ let compact t =
     sift_down t i
   done
 
-let schedule t ~at ~seq action =
-  if t.stats.dead > compact_min_dead && 2 * t.stats.dead > t.len then compact t;
-  let ev =
-    { at; seq; action; cancelled = false; queued = true; stats = t.stats }
+let make t ~at ~seq action =
+  let rec ev =
+    {
+      at;
+      seq;
+      action;
+      cancelled = false;
+      queued = false;
+      w_next = ev;
+      stats = t.stats;
+    }
   in
-  push t ev;
+  ev
+
+let push_event t ev =
+  if t.stats.dead > compact_min_dead && 2 * t.stats.dead > t.len then compact t;
+  ev.queued <- true;
+  push t ev
+
+let schedule t ~at ~seq action =
+  let ev = make t ~at ~seq action in
+  push_event t ev;
   ev
 
 let cancel ev =
@@ -110,6 +156,13 @@ let cancel ev =
     ev.cancelled <- true;
     ev.stats.cancelled <- ev.stats.cancelled + 1;
     if ev.queued then ev.stats.dead <- ev.stats.dead + 1
+    else if ev.w_next != ev then begin
+      (* Parked in a timing-wheel slot: it never reaches the heap, so it
+         costs no sift or compaction work — the wheel drops it when its
+         slot is next visited. *)
+      ev.stats.cancelled_in_place <- ev.stats.cancelled_in_place + 1;
+      ev.stats.wheel_occupancy <- ev.stats.wheel_occupancy - 1
+    end
   end
 
 let is_pending ev = not ev.cancelled
@@ -134,6 +187,31 @@ let rec pop_live t =
       t.stats.dead <- t.stats.dead - 1;
       pop_live t
   | some -> some
+
+(* Allocation-free peek for the engine's hot loop: [never] means empty.
+   Like [peek_live], discards cancelled entries from the top. *)
+let rec top_live t =
+  if t.len = 0 then never
+  else begin
+    let top = t.data.(0) in
+    if top.cancelled then begin
+      ignore (pop t : event option);
+      t.stats.dead <- t.stats.dead - 1;
+      top_live t
+    end
+    else top
+  end
+
+(* Remove the top event; caller has just verified via [top_live] that it
+   is live. *)
+let drop_top t =
+  let top = t.data.(0) in
+  t.len <- t.len - 1;
+  if t.len > 0 then begin
+    t.data.(0) <- t.data.(t.len);
+    sift_down t 0
+  end;
+  top.queued <- false
 
 let rec peek_live t =
   if t.len = 0 then None

@@ -11,37 +11,74 @@
     counts its dead entries and compacts itself once they pass a
     threshold, so workloads that cancel and re-arm timers at a high rate
     (heartbeat churn over long holds) cannot grow the queue without
-    bound.  Not thread-safe: each simulation runs single-domain. *)
+    bound.
 
-type stats = private {
+    The heap is also the overflow store and final arbiter for {!Wheel}:
+    near-deadline events park in wheel slots and are pushed here (with
+    their original [at]/[seq]) just before they come due, so firing
+    order is decided by this heap alone whether or not an event took the
+    wheel shortcut.  Not thread-safe: each simulation runs
+    single-domain. *)
+
+type stats = {
   mutable dead : int;  (** cancelled-but-still-queued entries, right now *)
   mutable cancelled : int;  (** lifetime count of {!cancel} marks *)
   mutable compactions : int;  (** lifetime count of lazy-cancel sweeps *)
   mutable high_water : int;  (** deepest the heap has ever been *)
+  mutable cancelled_in_place : int;
+      (** cancels that hit a wheel slot — the event was dropped without
+          ever being pushed into the heap *)
+  mutable cascades : int;  (** wheel slot redistributions between levels *)
+  mutable wheel_occupancy : int;  (** live events parked in wheel slots *)
+  mutable wheel_high_water : int;  (** peak live wheel occupancy *)
 }
 (** Self-instrumentation counters, maintained unconditionally — they are
-    single field mutations on paths that already mutate the heap, too
-    cheap to be worth gating.  Read them via {!stats}. *)
+    single field mutations on paths that already mutate the structure,
+    too cheap to be worth gating.  Shared between a heap and the wheel
+    layered on top of it, because {!cancel} takes only the event and
+    must be able to account for both residencies.  Read them via
+    {!stats}. *)
 
-type event = private {
+type event = {
   at : Time.t;
   seq : int;  (** tie-break: strictly increasing scheduling order *)
   action : unit -> unit;
   mutable cancelled : bool;
   mutable queued : bool;  (** currently stored in the heap *)
+  mutable w_next : event;
+      (** intrusive wheel-slot chain; self-linked when not in a slot *)
   stats : stats;  (** owning heap's counters *)
 }
+(** The record is exposed (not private) so {!Wheel} can link events into
+    its slots without an indirection layer; outside [lib/des], treat it
+    as an abstract handle and only construct via {!make}/{!schedule}. *)
 
 type t
 
 val create : unit -> t
 
+val never : event
+(** A shared, permanently-cancelled event: a null object for handle
+    fields that would otherwise be [event option].  {!cancel} and
+    {!is_pending} treat it as already fired; it is never stored. *)
+
+val make : t -> at:Time.t -> seq:int -> (unit -> unit) -> event
+(** Allocate an event owned by this heap {e without} queueing it — the
+    caller either parks it in a wheel slot or hands it to
+    {!push_event}. *)
+
+val push_event : t -> event -> unit
+(** Push an event allocated by {!make} (or one the wheel is flushing
+    back).  May trigger compaction first. *)
+
 val schedule : t -> at:Time.t -> seq:int -> (unit -> unit) -> event
-(** Allocate an event and push it.  May trigger compaction first. *)
+(** [make] + [push_event]. *)
 
 val cancel : event -> unit
 (** Mark the event dead; it will be skipped and eventually reclaimed.
-    Cancelling a fired or already-cancelled event is a no-op. *)
+    Wheel-resident events are accounted as cancelled-in-place (their
+    slot drops them on its next visit).  Cancelling a fired or
+    already-cancelled event is a no-op. *)
 
 val is_pending : event -> bool
 (** [not cancelled] — mirrors the seed engine's handle semantics. *)
@@ -53,6 +90,14 @@ val pop_live : t -> event option
 val peek_live : t -> event option
 (** Earliest non-cancelled event without removing it; discards cancelled
     entries from the top as a side effect. *)
+
+val top_live : t -> event
+(** Allocation-free {!peek_live}: returns {!never} when empty.  The
+    engine's hot loop uses this to avoid boxing an option per event. *)
+
+val drop_top : t -> unit
+(** Remove the top event.  Only call immediately after {!top_live}
+    returned it (the top must be live). *)
 
 val length : t -> int
 (** Entries currently stored, including cancelled ones. *)

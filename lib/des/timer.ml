@@ -1,48 +1,54 @@
+(* One preallocated [fire] closure per timer, not one per arming: the
+   heartbeat/election workload re-arms timers on every message, and the
+   old per-arm closure + three option boxes dominated the arm path's
+   allocation.  The generation counter is gone with them — [cancel]
+   marks the underlying event, and the engine guarantees a cancelled
+   event never fires, which is the whole stale-fire guard. *)
+
 type t = {
   engine : Engine.t;
   callback : unit -> unit;
-  mutable generation : int;
-  mutable pending : Engine.handle option;
-  mutable deadline : Time.t option;
-  mutable last_span : Time.span option;
+  mutable fire : unit -> unit;
+  mutable pending : Engine.handle;  (* Engine.never when disarmed/fired *)
+  mutable deadline : Time.t;  (* meaningful while armed *)
+  mutable last_span : Time.span;  (* meaningful once ever_armed *)
+  mutable ever_armed : bool;
 }
 
 let create engine callback =
-  {
-    engine;
-    callback;
-    generation = 0;
-    pending = None;
-    deadline = None;
-    last_span = None;
-  }
+  let t =
+    {
+      engine;
+      callback;
+      fire = ignore;
+      pending = Engine.never;
+      deadline = Time.zero;
+      last_span = 0;
+      ever_armed = false;
+    }
+  in
+  t.fire <-
+    (fun () ->
+      t.pending <- Engine.never;
+      t.callback ());
+  t
 
 let disarm t =
-  (match t.pending with Some h -> Engine.cancel h | None -> ());
-  t.generation <- t.generation + 1;
-  t.pending <- None;
-  t.deadline <- None
+  Engine.cancel t.pending;
+  t.pending <- Engine.never
 
 let arm t span =
-  disarm t;
-  let generation = t.generation in
-  let fire () =
-    if generation = t.generation then begin
-      t.pending <- None;
-      t.deadline <- None;
-      t.callback ()
-    end
-  in
-  t.last_span <- Some span;
-  t.deadline <- Some (Time.add (Engine.now t.engine) span);
-  t.pending <- Some (Engine.schedule_after t.engine span fire)
+  Engine.cancel t.pending;
+  t.ever_armed <- true;
+  t.last_span <- span;
+  t.deadline <- Time.add (Engine.now t.engine) span;
+  t.pending <- Engine.schedule_timer_after t.engine span t.fire
 
-let is_armed t = t.pending <> None
-let deadline t = t.deadline
+let is_armed t = Engine.is_pending t.pending
+let deadline t = if is_armed t then Some t.deadline else None
 
 let remaining t =
-  match t.deadline with
-  | None -> None
-  | Some d -> Some (Time.diff d (Engine.now t.engine))
+  if is_armed t then Some (Time.diff t.deadline (Engine.now t.engine))
+  else None
 
-let armed_span t = t.last_span
+let armed_span t = if t.ever_armed then Some t.last_span else None

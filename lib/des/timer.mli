@@ -2,8 +2,10 @@
 
     The idiom Raft needs everywhere: a timer that is re-armed on every
     heartbeat, fires at most once per arming, and can be disarmed.
-    Re-arming cancels the previous deadline atomically (generation
-    counters guard against a stale engine event firing the callback). *)
+    Re-arming cancels the previous deadline's event (the engine never
+    fires a cancelled event, so no stale callback can slip through),
+    and the arm path allocates nothing beyond the engine's own event
+    record — the fire closure is built once per timer. *)
 
 type t
 

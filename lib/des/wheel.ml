@@ -1,0 +1,250 @@
+(* Hierarchical timing wheel (Varghese & Lauck) layered on Event_heap.
+
+   The wheel is a front-buffer, not an arbiter: events park in coarse
+   tick-granularity slots while far from due, and are pushed into the
+   heap — carrying their original (at, seq) — just before the engine
+   could need them.  The heap then decides firing order exactly as it
+   would have without the wheel, which is what keeps trace digests
+   bit-identical (see DESIGN.md, "Timer wheel and the determinism
+   contract").
+
+   What the wheel buys is the churn case: a timer armed far ahead and
+   cancelled before coming due (election resets, heartbeat re-arms) is
+   linked and dropped in O(1) without ever touching the heap — no
+   sift_up, no tombstone, no compaction debt.
+
+   Geometry: 3 levels x 256 slots, tick = 2^20 ns (~1.05 ms).  Level 0
+   spans ~268 ms at tick resolution, level 1 ~68.7 s, level 2 ~4.9 h;
+   deadlines beyond that overflow to the heap directly (insert returns
+   false).  Slots are intrusive LIFO chains through the events' [w_next]
+   field, terminated by the shared [Event_heap.never] sentinel; slot
+   order is irrelevant because the heap re-orders on flush.  Cancelled
+   events stay chained until their slot is visited, then are dropped.
+
+   Invariant: every linked event's tick is >= [cursor], and a slot is
+   non-empty iff its occupancy bit is set. *)
+
+let tick_bits = 20
+let slot_bits = 8
+let slots_per_level = 1 lsl slot_bits
+let span0 = slots_per_level (* ticks covered by level 0 *)
+
+type level = {
+  slots : Event_heap.event array; (* chain heads; Event_heap.never = empty *)
+  bitmap : int array; (* 8 words x 32 bits of slot occupancy *)
+}
+
+type t = {
+  heap : Event_heap.t;
+  l0 : level;
+  l1 : level;
+  l2 : level;
+  mutable cursor : int; (* tick; every linked event's tick is >= this *)
+  mutable linked : int; (* events chained in slots, incl. cancelled *)
+  mutable lb : int; (* cached due lower bound in ticks; -1 = recompute *)
+  stats : Event_heap.stats;
+}
+
+let make_level () =
+  {
+    slots = Array.make slots_per_level Event_heap.never;
+    bitmap = Array.make 8 0;
+  }
+
+let create heap =
+  {
+    heap;
+    l0 = make_level ();
+    l1 = make_level ();
+    l2 = make_level ();
+    cursor = 0;
+    linked = 0;
+    lb = -1;
+    stats = Event_heap.stats heap;
+  }
+
+let linked t = t.linked
+let cursor_tick t = t.cursor
+
+(* De Bruijn count-trailing-zeros over a non-zero 32-bit word. *)
+let ctz_table =
+  [|
+    0; 1; 28; 2; 29; 14; 24; 3; 30; 22; 20; 15; 25; 17; 4; 8; 31; 27; 13; 23;
+    21; 19; 16; 7; 26; 12; 18; 6; 11; 5; 10; 9;
+  |]
+
+let[@inline] ctz v = ctz_table.((((v land -v) * 0x077CB531) lsr 27) land 31)
+
+(* Distance (in slots, 0..255) from [pos] to the first occupied slot,
+   scanning circularly; -1 when the level is empty.  A top-level
+   recursive worker, not a nested one: nesting would capture the scan
+   state in a fresh closure on every call, and this runs per flush. *)
+let rec scan_from bm pos w0 b0 k =
+  if k > 8 then -1
+  else
+    let wi = (w0 + k) land 7 in
+    let v = bm.(wi) in
+    let v =
+      if k = 0 then v land lnot ((1 lsl b0) - 1)
+      else if k = 8 then v land ((1 lsl b0) - 1)
+      else v
+    in
+    if v = 0 then scan_from bm pos w0 b0 (k + 1)
+    else (((wi lsl 5) + ctz v) - pos) land 255
+
+let[@inline] first_set_from bm pos =
+  scan_from bm pos (pos lsr 5) (pos land 31) 0
+
+let[@inline] link t level idx ev =
+  ev.Event_heap.w_next <- level.slots.(idx);
+  level.slots.(idx) <- ev;
+  level.bitmap.(idx lsr 5) <- level.bitmap.(idx lsr 5) lor (1 lsl (idx land 31));
+  t.linked <- t.linked + 1
+
+let unlink_chain level idx =
+  let head = level.slots.(idx) in
+  level.slots.(idx) <- Event_heap.never;
+  level.bitmap.(idx lsr 5) <-
+    level.bitmap.(idx lsr 5) land lnot (1 lsl (idx land 31));
+  head
+
+(* Chain [ev] into the slot its deadline selects; false = out of range
+   (past the cursor, or beyond level 2) and the caller must heap it.
+
+   Levels are selected by slot-number distance, not raw tick delta: the
+   window [cursor, cursor + span1) covers 257 distinct values of
+   [tick lsr 8], so an event just under the span-1 horizon can share a
+   slot index with the cursor's own position one rotation ahead —
+   [cascade] would then re-file it into the very slot it is unlinking,
+   without moving the cursor, and the flush loop would never terminate.
+   Requiring the slot number itself to be within one rotation
+   ([dist1 < slots_per_level]) pushes those boundary events up a level
+   (or, at level 2, out to the heap), which guarantees every cascade
+   strictly demotes its events. *)
+let file t ev =
+  let tick = ev.Event_heap.at lsr tick_bits in
+  if tick < t.cursor then false
+  else if tick - t.cursor < span0 then begin
+    link t t.l0 (tick land 0xFF) ev;
+    true
+  end
+  else begin
+    let dist1 = (tick lsr slot_bits) - (t.cursor lsr slot_bits) in
+    if dist1 < slots_per_level then begin
+      link t t.l1 ((tick lsr slot_bits) land 0xFF) ev;
+      true
+    end
+    else begin
+      let dist2 = (tick lsr (2 * slot_bits)) - (t.cursor lsr (2 * slot_bits)) in
+      if dist2 < slots_per_level then begin
+        link t t.l2 ((tick lsr (2 * slot_bits)) land 0xFF) ev;
+        true
+      end
+      else false
+    end
+  end
+
+let insert t ev =
+  if file t ev then begin
+    let s = t.stats in
+    s.Event_heap.wheel_occupancy <- s.Event_heap.wheel_occupancy + 1;
+    if s.Event_heap.wheel_occupancy > s.Event_heap.wheel_high_water then
+      s.Event_heap.wheel_high_water <- s.Event_heap.wheel_occupancy;
+    if t.lb >= 0 then begin
+      let tick = ev.Event_heap.at lsr tick_bits in
+      if tick < t.lb then t.lb <- tick
+    end;
+    true
+  end
+  else false
+
+(* Candidate due lower bounds, in ticks.  Level 0's first occupied slot
+   pins an exact tick; levels 1/2 pin only their slot's range start,
+   clamped to the cursor (the d = 0 slot's range began in the past). *)
+let cand0 t =
+  let d = first_set_from t.l0.bitmap (t.cursor land 0xFF) in
+  if d < 0 then max_int else t.cursor + d
+
+let cand_hi t level shift =
+  let c = t.cursor lsr shift in
+  let d = first_set_from level.bitmap (c land 0xFF) in
+  if d < 0 then max_int else Stdlib.max t.cursor ((c + d) lsl shift)
+
+let next_due_tick t =
+  if t.linked = 0 then max_int
+  else begin
+    if t.lb < 0 then
+      t.lb <-
+        Stdlib.min (cand0 t)
+          (Stdlib.min
+             (cand_hi t t.l1 slot_bits)
+             (cand_hi t t.l2 (2 * slot_bits)));
+    t.lb
+  end
+
+(* Earliest instant any wheel event could be due, in ns; max_int when
+   the wheel is empty.  A lower bound: actual deadlines within the
+   boundary tick may be up to one tick later. *)
+let next_due_ns t =
+  let lb = next_due_tick t in
+  if lb = max_int then max_int else lb lsl tick_bits
+
+let rec cascade_chain t ev =
+  if ev != Event_heap.never then begin
+    let next = ev.Event_heap.w_next in
+    ev.Event_heap.w_next <- ev;
+    t.linked <- t.linked - 1;
+    (* Cancelled events were accounted at cancel time; drop them. *)
+    if not ev.Event_heap.cancelled then
+      if not (file t ev) then assert false;
+    cascade_chain t next
+  end
+
+(* Move one slot's events down a level (level 1/2 -> finer slots).  The
+   cursor first advances to the slot's range start, so every re-filed
+   event lands within the finer level's span. *)
+let cascade t level idx start =
+  t.cursor <- start;
+  t.stats.Event_heap.cascades <- t.stats.Event_heap.cascades + 1;
+  cascade_chain t (unlink_chain level idx)
+
+let rec drain_chain t ev =
+  if ev != Event_heap.never then begin
+    let next = ev.Event_heap.w_next in
+    ev.Event_heap.w_next <- ev;
+    t.linked <- t.linked - 1;
+    if not ev.Event_heap.cancelled then begin
+      t.stats.Event_heap.wheel_occupancy <-
+        t.stats.Event_heap.wheel_occupancy - 1;
+      Event_heap.push_event t.heap ev
+    end;
+    drain_chain t next
+  end
+
+(* Push one level-0 slot's live events into the heap. *)
+let drain t idx tick =
+  t.cursor <- tick + 1;
+  drain_chain t (unlink_chain t.l0 idx)
+
+(* Process exactly one slot: cascade the earliest-due level-1/2 slot, or
+   drain the earliest level-0 slot into the heap.  Ties go to the
+   coarser level — its range may contain deadlines earlier than the
+   level-0 candidate.  Caller guarantees [linked t > 0]. *)
+let flush_next t =
+  t.lb <- -1;
+  let a = cand0 t in
+  let c1 = t.cursor lsr slot_bits in
+  let d1 = first_set_from t.l1.bitmap (c1 land 0xFF) in
+  let b =
+    if d1 < 0 then max_int
+    else Stdlib.max t.cursor ((c1 + d1) lsl slot_bits)
+  in
+  let c2 = t.cursor lsr (2 * slot_bits) in
+  let d2 = first_set_from t.l2.bitmap (c2 land 0xFF) in
+  let c =
+    if d2 < 0 then max_int
+    else Stdlib.max t.cursor ((c2 + d2) lsl (2 * slot_bits))
+  in
+  if c <= a && c <= b then cascade t t.l2 ((c2 + d2) land 0xFF) c
+  else if b <= a then cascade t t.l1 ((c1 + d1) land 0xFF) b
+  else drain t (a land 0xFF) a

@@ -17,8 +17,14 @@ type 'msg t = {
   rng : Stats.Rng.t;
   nodes : 'msg node_state Node_id.Table.t;
   mutable node_order : Node_id.t list; (* registration order *)
-  links : (int * int, Link.t) Hashtbl.t;
-  channels : (int * int, Transport.Channel.t) Hashtbl.t;
+  (* Directed-pair tables are keyed by [key src dst], a single int:
+     a tuple key would be allocated afresh (and polymorphically hashed)
+     on every message send. *)
+  links : (int, Link.t) Hashtbl.t;
+  delivery : (int, 'msg -> unit) Hashtbl.t;
+      (* per-link pre-bound [deliver t ~src ~dst]: the per-message
+         delivery thunk then captures only this and the message *)
+  channels : (int, Transport.Channel.t) Hashtbl.t;
   mutable default_conditions : Conditions.t;
   mutable groups : int Node_id.Table.t option;  (* node -> partition group *)
   mutable sent : int;
@@ -35,6 +41,7 @@ let create engine =
     nodes = Node_id.Table.create 16;
     node_order = [];
     links = Hashtbl.create 64;
+    delivery = Hashtbl.create 64;
     channels = Hashtbl.create 64;
     default_conditions = Conditions.(constant (profile ~rtt_ms:0. ()));
     groups = None;
@@ -48,6 +55,8 @@ let create engine =
 let engine t = t.engine
 
 let add_node t id =
+  if Node_id.to_int id < 0 || Node_id.to_int id > 0xFFFFF then
+    invalid_arg "Fabric.add_node: node id out of range";
   if Node_id.Table.mem t.nodes id then
     invalid_arg "Fabric.add_node: duplicate node id";
   Node_id.Table.add t.nodes id
@@ -61,15 +70,16 @@ let remove_node t id =
     invalid_arg "Fabric.remove_node: unknown node id";
   Node_id.Table.remove t.nodes id;
   t.node_order <- List.filter (fun n -> not (Node_id.equal n id)) t.node_order;
-  let touches (a, b) =
+  let touches k =
     let i = Node_id.to_int id in
-    a = i || b = i
+    k lsr 20 = i || k land 0xFFFFF = i
   in
   let drop table =
     let keys = Hashtbl.fold (fun k _ acc -> k :: acc) table [] in
     List.iter (fun k -> if touches k then Hashtbl.remove table k) keys
   in
   drop t.links;
+  drop t.delivery;
   drop t.channels;
   match t.groups with
   | Some table -> Node_id.Table.remove table id
@@ -82,14 +92,16 @@ let state t id =
 
 let set_handler t id handler = (state t id).handler <- Some handler
 
-let key src dst = (Node_id.to_int src, Node_id.to_int dst)
+(* Node ids are small non-negative ints, so a directed pair packs into
+   one immediate int. *)
+let key src dst = (Node_id.to_int src lsl 20) lor Node_id.to_int dst
 
 let link t ~src ~dst =
   let k = key src dst in
   match Hashtbl.find_opt t.links k with
   | Some l -> l
   | None ->
-      let name = Printf.sprintf "link-%d-%d" (fst k) (snd k) in
+      let name = Printf.sprintf "link-%d-%d" (k lsr 20) (k land 0xFFFFF) in
       let l =
         Link.create t.engine
           ~rng:(Stats.Rng.split t.rng name)
@@ -140,10 +152,21 @@ let deliver t ~src ~dst msg =
             t.delivered <- t.delivered + 1;
             handler ~src msg)
 
-let schedule_delivery t ~src ~dst ~latency msg =
+(* The pre-bound delivery function for a directed link.  [deliver]
+   itself re-checks that [dst] still exists, so a thunk surviving
+   [remove_node] is harmless (the message counts as dropped). *)
+let deliver_fn t ~src ~dst =
+  let k = key src dst in
+  match Hashtbl.find_opt t.delivery k with
+  | Some f -> f
+  | None ->
+      let f msg = deliver t ~src ~dst msg in
+      Hashtbl.add t.delivery k f;
+      f
+
+let schedule_delivery t ~deliver1 ~latency msg =
   ignore
-    (Des.Engine.schedule_after t.engine latency (fun () ->
-         deliver t ~src ~dst msg)
+    (Des.Engine.schedule_after t.engine latency (fun () -> deliver1 msg)
       : Des.Engine.handle)
 
 let set_egress_congestion t id spec =
@@ -202,17 +225,18 @@ let send t kind ~src ~dst msg =
   else if not (reachable t src dst) then t.lost <- t.lost + 1
   else
     let l = link t ~src ~dst in
+    let deliver1 = deliver_fn t ~src ~dst in
     let extra = egress_extra t src in
     match kind with
     | Transport.Datagram -> (
         match Link.sample_datagram l with
         | Link.Lost -> t.lost <- t.lost + 1
         | Link.Delivered latency ->
-            schedule_delivery t ~src ~dst ~latency:(latency + extra) msg
+            schedule_delivery t ~deliver1 ~latency:(latency + extra) msg
         | Link.Duplicated (l1, l2) ->
             t.duplicated <- t.duplicated + 1;
-            schedule_delivery t ~src ~dst ~latency:(l1 + extra) msg;
-            schedule_delivery t ~src ~dst ~latency:(l2 + extra) msg)
+            schedule_delivery t ~deliver1 ~latency:(l1 + extra) msg;
+            schedule_delivery t ~deliver1 ~latency:(l2 + extra) msg)
     | Transport.Reliable ->
         let latency = Link.sample_reliable l + extra in
         let now = Des.Engine.now t.engine in
@@ -220,8 +244,7 @@ let send t kind ~src ~dst msg =
           Transport.Channel.delivery_time (channel t src dst) ~now ~latency
         in
         ignore
-          (Des.Engine.schedule_at t.engine at (fun () ->
-               deliver t ~src ~dst msg)
+          (Des.Engine.schedule_at t.engine at (fun () -> deliver1 msg)
             : Des.Engine.handle)
 
 let pause t id = (state t id).paused <- true
@@ -238,6 +261,8 @@ let counters t =
   }
 
 let link_counters t =
-  Hashtbl.fold (fun k l acc -> (k, Link.counters l) :: acc) t.links []
+  Hashtbl.fold
+    (fun k l acc -> ((k lsr 20, k land 0xFFFFF), Link.counters l) :: acc)
+    t.links []
   |> List.sort (fun ((a1, a2), _) ((b1, b2), _) ->
          match Int.compare a1 b1 with 0 -> Int.compare a2 b2 | c -> c)

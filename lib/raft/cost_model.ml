@@ -52,7 +52,7 @@ let message_recv_cost t ~tuning_active = function
   | Rpc.Heartbeat_response _ ->
       t.heartbeat_resp_recv + tuning_extra t ~tuning_active
   | Rpc.Append_request { entries; _ } ->
-      t.append_recv + (t.append_entry * List.length entries)
+      t.append_recv + (t.append_entry * Array.length entries)
   | Rpc.Append_response _ -> t.append_resp_recv
   | Rpc.Install_snapshot { data; _ } ->
       (* Snapshot transfer cost scales with the payload. *)
@@ -64,7 +64,7 @@ let message_send_cost t ~tuning_active = function
   | Rpc.Heartbeat _ -> t.heartbeat_send + tuning_extra t ~tuning_active
   | Rpc.Heartbeat_response _ -> 0
   | Rpc.Append_request { entries; _ } ->
-      t.append_send + (t.append_entry * List.length entries)
+      t.append_send + (t.append_entry * Array.length entries)
   | Rpc.Append_response _ -> 0
   | Rpc.Install_snapshot { data; _ } ->
       t.append_send + (t.append_entry * (1 + (String.length data / 256)))

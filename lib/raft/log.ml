@@ -71,11 +71,36 @@ let append_new t ~term command =
   push t entry;
   entry
 
+(* A placeholder for freed slots: without it, truncation and compaction
+   would leave the old entries (and their payloads) reachable through
+   the backing array indefinitely. *)
+let blank = { term = 0; index = 0; command = Noop }
+
+let capacity t = Array.length t.entries
+
+(* Clear slots [t.len, old_len) and shrink the backing array once
+   occupancy drops below a quarter, so a log that shrank (truncation,
+   compaction, snapshot install) cannot pin its high-water storage. *)
+let scrub t ~old_len =
+  for i = t.len to old_len - 1 do
+    t.entries.(i) <- blank
+  done;
+  let cap = Array.length t.entries in
+  if cap > 16 && 4 * t.len < cap then begin
+    let entries = Array.make (Stdlib.max 16 (2 * t.len)) blank in
+    Array.blit t.entries 0 entries 0 t.len;
+    t.entries <- entries
+  end
+
 let truncate_from t index =
   (* Drop entries at [index] and beyond. *)
   let len = Stdlib.max 0 (Stdlib.min t.len (index - t.snapshot_index - 1)) in
-  if len <> t.len then t.mutations <- t.mutations + 1;
-  t.len <- len
+  if len <> t.len then begin
+    t.mutations <- t.mutations + 1;
+    let old_len = t.len in
+    t.len <- len;
+    scrub t ~old_len
+  end
 
 let try_append t ~prev_index ~prev_term ~entries =
   let check =
@@ -110,9 +135,9 @@ let try_append t ~prev_index ~prev_term ~entries =
               assert (entry.index = last_index t + 1);
               push t entry
       in
-      List.iter apply entries;
+      Array.iter apply entries;
       let covered =
-        List.fold_left
+        Array.fold_left
           (fun acc (e : entry) -> Stdlib.max acc e.index)
           prev_index entries
       in
@@ -131,22 +156,28 @@ let compact t ~upto =
     for i = 0 to keep - 1 do
       t.entries.(i) <- t.entries.(from + i)
     done;
+    let old_len = t.len in
     t.len <- keep;
     t.snapshot_index <- upto;
-    t.snapshot_term <- term
+    t.snapshot_term <- term;
+    scrub t ~old_len
   end
 
 let install_snapshot t ~index ~term =
+  let old_len = t.len in
   t.len <- 0;
   t.snapshot_index <- index;
   t.snapshot_term <- term;
-  t.mutations <- t.mutations + 1
+  t.mutations <- t.mutations + 1;
+  scrub t ~old_len
 
+(* Entries are stored contiguously, so a slice is a single [Array.sub]
+   (and the empty case is the static atom [| |] — no allocation). *)
 let slice t ~from ~max =
   let from = Stdlib.max (first_available t) from in
   let stop = Stdlib.min (last_index t) (from + max - 1) in
-  if from > stop then []
-  else List.init (stop - from + 1) (fun i -> nth t (from + i))
+  if from > stop then [||]
+  else Array.sub t.entries (from - t.snapshot_index - 1) (stop - from + 1)
 
 let up_to_date t ~last_index:cand_index ~last_term:cand_term =
   let mine = last_term t in

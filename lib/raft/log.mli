@@ -65,7 +65,7 @@ val try_append :
   t ->
   prev_index:Types.index ->
   prev_term:Types.term ->
-  entries:entry list ->
+  entries:entry array ->
   [ `Ok of Types.index  (** new last index covered by this append *)
   | `Conflict of Types.index  (** hint: retry from at most this index *) ]
 (** Follower-side append with the AppendEntries consistency check.
@@ -85,10 +85,18 @@ val install_snapshot : t -> index:Types.index -> term:Types.term -> unit
     follower-side effect of InstallSnapshot): all entries are dropped
     and the boundary set to [(index, term)]. *)
 
-val slice : t -> from:Types.index -> max:int -> entry list
-(** Up to [max] entries starting at [from] (inclusive).  Entries below
-    [first_available] cannot be served and are silently skipped — use
-    {!snapshot_index} to detect that a snapshot is needed instead. *)
+val slice : t -> from:Types.index -> max:int -> entry array
+(** Up to [max] entries starting at [from] (inclusive), as a fresh array
+    copied straight out of contiguous storage (a single [Array.sub]; the
+    empty slice allocates nothing).  Entries below [first_available]
+    cannot be served and are silently skipped — use {!snapshot_index} to
+    detect that a snapshot is needed instead. *)
+
+val capacity : t -> int
+(** Size of the backing array.  Exposed so tests can observe that
+    truncation and compaction release storage: capacity shrinks once
+    occupancy falls below a quarter, and freed slots no longer pin their
+    old entries. *)
 
 val up_to_date : t -> last_index:Types.index -> last_term:Types.term -> bool
 (** Raft's voting rule: is a candidate log described by

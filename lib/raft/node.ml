@@ -63,7 +63,7 @@ and interpret t = function
       if not (Des.Timer.is_armed t.flush_timer) then
         Des.Timer.arm t.flush_timer t.flush_delay
   | Server.Commit entries ->
-      List.iter
+      Array.iter
         (fun (entry : Log.entry) ->
           Netsim.Cpu.charge t.cpu ~cost:t.costs.Cost_model.apply;
           t.apply entry;
@@ -211,11 +211,10 @@ let create ~fabric ~trace ?cpu ?(costs = Cost_model.zero) ?apply ?snapshot_of
             (* Heartbeat echoes carry their send instant, so the leader
                observes the full heartbeat round-trip at delivery. *)
             match msg with
-            | Rpc.Heartbeat_response { Rpc.echo; _ } ->
+            | Rpc.Heartbeat_response { echo_sent_at; _ } ->
                 Telemetry.Metrics.Timer.observe_ms t.m_hb_rtt
                   (Des.Time.to_ms_f
-                     (Des.Time.diff (Des.Engine.now t.engine)
-                        echo.Rpc.echo_sent_at))
+                     (Des.Time.diff (Des.Engine.now t.engine) echo_sent_at))
             | Rpc.Heartbeat _ | Rpc.Vote_request _ | Rpc.Vote_response _
             | Rpc.Append_request _ | Rpc.Append_response _
             | Rpc.Install_snapshot _ | Rpc.Install_snapshot_response _

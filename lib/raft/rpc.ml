@@ -12,7 +12,7 @@ type append_request = {
   term : Types.term;
   prev_index : Types.index;
   prev_term : Types.term;
-  entries : Log.entry list;
+  entries : Log.entry array;
   commit : Types.index;
 }
 
@@ -22,20 +22,6 @@ type append_response = {
   match_index : Types.index;
   conflict_hint : Types.index;
 }
-
-type heartbeat = {
-  term : Types.term;
-  commit : Types.index;
-  meta : Dynatune.Leader_path.meta;
-}
-
-type heartbeat_echo = {
-  hb_id : int;
-  echo_sent_at : Des.Time.t;
-  tuned_h : Des.Time.span option;
-}
-
-type heartbeat_response = { term : Types.term; echo : heartbeat_echo }
 
 type install_snapshot = {
   term : Types.term;
@@ -56,8 +42,19 @@ type message =
   | Vote_response of vote_response
   | Append_request of append_request
   | Append_response of append_response
-  | Heartbeat of heartbeat
-  | Heartbeat_response of heartbeat_response
+  | Heartbeat of {
+      term : Types.term;
+      commit : Types.index;
+      hb_id : int;
+      sent_at : Des.Time.t;
+      measured_rtt : Des.Time.span option;
+    }
+  | Heartbeat_response of {
+      term : Types.term;
+      hb_id : int;
+      echo_sent_at : Des.Time.t;
+      tuned_h : Des.Time.span option;
+    }
   | Install_snapshot of install_snapshot
   | Install_snapshot_response of install_snapshot_response
   | Timeout_now of { term : Types.term }
@@ -86,15 +83,14 @@ let pp ppf = function
         r.term r.granted
   | Append_request r ->
       Format.fprintf ppf "Append(term=%d prev=%d/%d n=%d commit=%d)" r.term
-        r.prev_index r.prev_term (List.length r.entries) r.commit
+        r.prev_index r.prev_term (Array.length r.entries) r.commit
   | Append_response r ->
       Format.fprintf ppf "AppendResp(term=%d ok=%b match=%d hint=%d)" r.term
         r.success r.match_index r.conflict_hint
-  | Heartbeat r ->
-      Format.fprintf ppf "Heartbeat(term=%d commit=%d id=%d)" r.term r.commit
-        r.meta.Dynatune.Leader_path.hb_id
-  | Heartbeat_response r ->
-      Format.fprintf ppf "HeartbeatResp(term=%d id=%d)" r.term r.echo.hb_id
+  | Heartbeat { term; commit; hb_id; _ } ->
+      Format.fprintf ppf "Heartbeat(term=%d commit=%d id=%d)" term commit hb_id
+  | Heartbeat_response { term; hb_id; _ } ->
+      Format.fprintf ppf "HeartbeatResp(term=%d id=%d)" term hb_id
   | Install_snapshot r ->
       Format.fprintf ppf "Snapshot(term=%d upto=%d/%d voters=%d bytes=%d)"
         r.term r.last_index r.last_term (List.length r.voters)

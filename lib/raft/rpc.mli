@@ -28,7 +28,9 @@ type append_request = {
   term : Types.term;
   prev_index : Types.index;
   prev_term : Types.term;
-  entries : Log.entry list;
+  entries : Log.entry array;
+      (** a zero-copy-sliced window of the leader's log; receivers must
+          not mutate it *)
   commit : Types.index;
 }
 
@@ -38,21 +40,6 @@ type append_response = {
   match_index : Types.index;  (** meaningful when [success] *)
   conflict_hint : Types.index;  (** meaningful when not [success] *)
 }
-
-type heartbeat = {
-  term : Types.term;
-  commit : Types.index;
-  meta : Dynatune.Leader_path.meta;
-}
-
-type heartbeat_echo = {
-  hb_id : int;
-  echo_sent_at : Des.Time.t;  (** the leader timestamp, echoed verbatim *)
-  tuned_h : Des.Time.span option;
-      (** the follower's piggybacked heartbeat interval (Step 3) *)
-}
-
-type heartbeat_response = { term : Types.term; echo : heartbeat_echo }
 
 type install_snapshot = {
   term : Types.term;
@@ -76,8 +63,24 @@ type message =
   | Vote_response of vote_response
   | Append_request of append_request
   | Append_response of append_response
-  | Heartbeat of heartbeat
-  | Heartbeat_response of heartbeat_response
+  | Heartbeat of {
+      term : Types.term;
+      commit : Types.index;
+      hb_id : int;  (** sequential per-path id for loss measurement *)
+      sent_at : Des.Time.t;  (** leader local send time, echoed back *)
+      measured_rtt : Des.Time.span option;
+          (** the most recent RTT the leader measured on this path *)
+    }
+  | Heartbeat_response of {
+      term : Types.term;
+      hb_id : int;
+      echo_sent_at : Des.Time.t;  (** the leader timestamp, verbatim *)
+      tuned_h : Des.Time.span option;
+          (** the follower's piggybacked heartbeat interval (Step 3) *)
+    }
+      (** Heartbeat and its echo use inline records: the whole message is
+          one flat block (no nested meta/echo records), which matters
+          because these two dominate message volume in steady state. *)
   | Install_snapshot of install_snapshot
   | Install_snapshot_response of install_snapshot_response
   | Timeout_now of { term : Types.term }

@@ -22,7 +22,7 @@ type action =
   | Arm_quorum_check of Des.Time.span
   | Disarm_heartbeats
   | Request_flush
-  | Commit of Log.entry list
+  | Commit of Log.entry array
   | Take_snapshot of { upto : Types.index }
   | Install_sm of { data : string; last_index : Types.index }
   | Serve_read of { client_id : int; seq : int; read_index : Types.index }
@@ -32,7 +32,7 @@ type action =
 type persistent = {
   term : Types.term;
   voted_for : Node_id.t option;
-  entries : Log.entry list;
+  entries : Log.entry array;
   snapshot : (Types.index * Types.term * string) option;
   base_voters : Node_id.t list;
   base_learners : Node_id.t list;
@@ -93,6 +93,10 @@ type t = {
   mutable pending_reads : pending_read list;
   mutable instrument : bool;
   mutable last_decision : (Des.Time.span * Des.Time.span * int) option;
+  mutable pb_h : Des.Time.span option;
+      (* cache of the last piggybacked [Some h]: the tuned interval
+         changes rarely relative to heartbeat volume, so the same box is
+         shipped in nearly every response instead of a fresh [Some] *)
 }
 and pending_read = {
   r_client : int;
@@ -212,7 +216,7 @@ let create ?restore ?(joining = false) ~id ~peers ~config ~rng () =
               Some data
           | None -> None
         in
-        List.iter
+        Array.iter
           (fun (e : Log.entry) ->
             let e' = Log.append_new log ~term:e.Log.term e.Log.command in
             assert (e'.Log.index = e.Log.index))
@@ -257,6 +261,7 @@ let create ?restore ?(joining = false) ~id ~peers ~config ~rng () =
       pending_reads = [];
       instrument = false;
       last_decision = None;
+      pb_h = None;
     }
   in
   refresh_membership t;
@@ -348,24 +353,34 @@ let heartbeat_interval_to t peer =
     Some (Dynatune.Leader_path.interval (path t peer))
   else None
 
-(* The h a follower piggybacks to the leader (Step 3).  [None] while
-   warming: the leader then keeps its current (default) interval. *)
-let piggyback_h t =
+(* The h a follower piggybacks to the leader (Step 3); -1 while warming
+   or untuned: the leader then keeps its current (default) interval. *)
+let piggyback_h_value t =
   match (t.config.Config.tuning, t.tuner) with
-  | Config.Static, _ | _, None -> None
+  | Config.Static, _ | _, None -> -1
   | Config.Dynatune _, Some tuner -> (
       match Dynatune.Tuner.phase tuner with
-      | Dynatune.Tuner.Warming -> None
-      | Dynatune.Tuner.Tuned ->
-          Some (Dynatune.Tuner.heartbeat_interval tuner))
+      | Dynatune.Tuner.Warming -> -1
+      | Dynatune.Tuner.Tuned -> Dynatune.Tuner.heartbeat_interval tuner)
   | Config.Fix_k { cfg; k }, Some tuner -> (
       match Dynatune.Tuner.phase tuner with
-      | Dynatune.Tuner.Warming -> None
+      | Dynatune.Tuner.Warming -> -1
       | Dynatune.Tuner.Tuned ->
           let et = Dynatune.Tuner.election_timeout tuner in
-          Some
-            (Des.Time.max_span cfg.Dynatune.Config.min_heartbeat_interval
-               (et / k)))
+          Des.Time.max_span cfg.Dynatune.Config.min_heartbeat_interval (et / k))
+
+(* Boxed via the per-server cache: a heartbeat response carries the same
+   h as the previous one except just after a tuner decision. *)
+let piggyback_h t =
+  let v = piggyback_h_value t in
+  if v < 0 then None
+  else
+    match t.pb_h with
+    | Some h when h = v -> t.pb_h
+    | Some _ | None ->
+        let boxed = Some v in
+        t.pb_h <- boxed;
+        boxed
 
 (* {2 Action accumulation} *)
 
@@ -531,9 +546,9 @@ let rec send_append t ctx peer =
 and send_append_entries t ctx peer =
   let msg = append_request_for t peer in
   (match msg with
-  | Rpc.Append_request { entries = _ :: _ as entries; _ } ->
+  | Rpc.Append_request { entries; _ } when Array.length entries > 0 ->
       let upto =
-        List.fold_left
+        Array.fold_left
           (fun acc (e : Log.entry) -> Stdlib.max acc e.index)
           0 entries
       in
@@ -548,7 +563,9 @@ and send_append_entries t ctx peer =
   emit ctx (Send { dst = peer; kind = Netsim.Transport.Reliable; msg })
 
 let send_heartbeat t ctx ~now peer =
-  let meta = Dynatune.Leader_path.next_meta (path t peer) ~now in
+  let p = path t peer in
+  let hb_id = Dynatune.Leader_path.next_id p in
+  let measured_rtt = Dynatune.Leader_path.take_rtt p in
   let commit =
     Stdlib.min t.commit_index (Progress.match_index (progress_of t peer))
   in
@@ -557,7 +574,9 @@ let send_heartbeat t ctx ~now peer =
        {
          dst = peer;
          kind = t.config.Config.heartbeat_transport;
-         msg = Rpc.Heartbeat { term = t.term; commit; meta };
+         msg =
+           Rpc.Heartbeat
+             { term = t.term; commit; hb_id; sent_at = now; measured_rtt };
        })
 
 (* Section IV-E extension 1: a follower that just received entries has
@@ -699,7 +718,7 @@ let validate_change t change =
    topology), and hand leadership off when the leader itself was
    removed. *)
 let note_committed t ctx newly =
-  List.iter
+  Array.iter
     (fun (e : Log.entry) ->
       match e.Log.command with
       | Log.Noop | Log.Data _ -> ()
@@ -1095,7 +1114,7 @@ let on_append_request t ctx ~now ~from (req : Rpc.append_request) =
              truncation can also retract one (detected via the log's
              mutation counter). *)
           let has_config =
-            List.exists
+            Array.exists
               (fun (e : Log.entry) ->
                 match e.Log.command with
                 | Log.Config _ -> true
@@ -1145,8 +1164,11 @@ let on_append_response t ctx ~now ~from (resp : Rpc.append_response) =
     end
   end
 
-let on_heartbeat t ctx ~now ~from (hb : Rpc.heartbeat) =
-  if hb.term < t.term then
+(* Inline-record messages cannot escape their match, so the dispatch in
+   [handle] passes the heartbeat fields as arguments. *)
+let on_heartbeat t ctx ~now ~from ~term:hb_term ~commit ~hb_id ~sent_at
+    ~measured_rtt =
+  if hb_term < t.term then
     emit ctx
       (Send
          {
@@ -1154,15 +1176,7 @@ let on_heartbeat t ctx ~now ~from (hb : Rpc.heartbeat) =
            kind = t.config.Config.heartbeat_transport;
            msg =
              Rpc.Heartbeat_response
-               {
-                 term = t.term;
-                 echo =
-                   {
-                     hb_id = hb.meta.Dynatune.Leader_path.hb_id;
-                     echo_sent_at = hb.meta.Dynatune.Leader_path.sent_at;
-                     tuned_h = None;
-                   };
-               };
+               { term = t.term; hb_id; echo_sent_at = sent_at; tuned_h = None };
          })
   else begin
     (* Leader contact: abort any pre-campaign, adopt the term/leader,
@@ -1173,20 +1187,18 @@ let on_heartbeat t ctx ~now ~from (hb : Rpc.heartbeat) =
     | Types.Follower | Types.Candidate | Types.Leader -> ());
     let new_leader = t.leader <> Some from in
     t.last_leader_contact <- now;
-    if hb.term > t.term || not (Types.equal_role t.role Types.Follower) then
-      become_follower t ctx ~term:hb.term ~leader:(Some from)
+    if hb_term > t.term || not (Types.equal_role t.role Types.Follower) then
+      become_follower t ctx ~term:hb_term ~leader:(Some from)
     else t.leader <- Some from;
     if new_leader then reset_tuner t ctx;
     (* Record the measurement sample before re-arming so the timer uses
        the freshest tuned Et. *)
     (match t.tuner with
     | Some tuner ->
-        Dynatune.Tuner.observe_heartbeat tuner
-          ~hb_id:hb.meta.Dynatune.Leader_path.hb_id
-          ~rtt:hb.meta.Dynatune.Leader_path.measured_rtt
+        Dynatune.Tuner.observe_heartbeat tuner ~hb_id ~rtt:measured_rtt
     | None -> ());
     note_tuner_decision t ctx;
-    follower_advance_commit t ctx ~leader_commit:hb.commit;
+    follower_advance_commit t ctx ~leader_commit:commit;
     emit ctx
       (Send
          {
@@ -1196,26 +1208,23 @@ let on_heartbeat t ctx ~now ~from (hb : Rpc.heartbeat) =
              Rpc.Heartbeat_response
                {
                  term = t.term;
-                 echo =
-                   {
-                     hb_id = hb.meta.Dynatune.Leader_path.hb_id;
-                     echo_sent_at = hb.meta.Dynatune.Leader_path.sent_at;
-                     tuned_h = piggyback_h t;
-                   };
+                 hb_id;
+                 echo_sent_at = sent_at;
+                 tuned_h = piggyback_h t;
                };
          });
     arm_election t ctx
   end
 
-let on_heartbeat_response t ctx ~now ~from (resp : Rpc.heartbeat_response) =
-  if resp.term > t.term then become_follower t ctx ~term:resp.term ~leader:None
-  else if Types.is_leader t.role && resp.term = t.term then begin
+let on_heartbeat_response t ctx ~now ~from ~term:resp_term ~echo_sent_at
+    ~tuned_h =
+  if resp_term > t.term then become_follower t ctx ~term:resp_term ~leader:None
+  else if Types.is_leader t.role && resp_term = t.term then begin
     note_ack t from;
-    note_read_confirmation t ctx ~from ~sent_at:resp.echo.echo_sent_at;
+    note_read_confirmation t ctx ~from ~sent_at:echo_sent_at;
     maybe_send_timeout_now t ctx;
     maybe_promote_learner t ctx from;
-    Dynatune.Leader_path.on_response (path t from) ~now
-      ~echo_sent_at:resp.echo.echo_sent_at ~tuned_h:resp.echo.tuned_h;
+    Dynatune.Leader_path.on_response (path t from) ~now ~echo_sent_at ~tuned_h;
     (* Heartbeat responses double as replication nudges.  A follower can
        be behind in two ways: entries never handed to the transport
        ([needs_entries]), or entries sent optimistically while it was
@@ -1312,8 +1321,11 @@ let handle t ~now event =
       | Rpc.Vote_response resp -> on_vote_response t ctx ~from resp
       | Rpc.Append_request req -> on_append_request t ctx ~now ~from req
       | Rpc.Append_response resp -> on_append_response t ctx ~now ~from resp
-      | Rpc.Heartbeat hb -> on_heartbeat t ctx ~now ~from hb
-      | Rpc.Heartbeat_response resp -> on_heartbeat_response t ctx ~now ~from resp
+      | Rpc.Heartbeat { term; commit; hb_id; sent_at; measured_rtt } ->
+          on_heartbeat t ctx ~now ~from ~term ~commit ~hb_id ~sent_at
+            ~measured_rtt
+      | Rpc.Heartbeat_response { term; hb_id = _; echo_sent_at; tuned_h } ->
+          on_heartbeat_response t ctx ~now ~from ~term ~echo_sent_at ~tuned_h
       | Rpc.Install_snapshot snap -> on_install_snapshot t ctx ~now ~from snap
       | Rpc.Install_snapshot_response resp ->
           on_install_snapshot_response t ctx ~now ~from resp

@@ -48,8 +48,9 @@ type action =
   | Disarm_heartbeats
   | Request_flush
       (** ask the host to deliver [Flush_due] shortly (batching) *)
-  | Commit of Log.entry list
-      (** newly committed entries, in order, to apply to the SM *)
+  | Commit of Log.entry array
+      (** newly committed entries, in order, to apply to the SM (a log
+          slice — do not mutate) *)
   | Take_snapshot of { upto : Types.index }
       (** capture the state machine (which reflects exactly the entries
           up to [upto]) and reply with [Snapshot_ready] *)
@@ -67,7 +68,7 @@ type t
 type persistent = {
   term : Types.term;
   voted_for : Netsim.Node_id.t option;
-  entries : Log.entry list;
+  entries : Log.entry array;
   snapshot : (Types.index * Types.term * string) option;
       (** compaction boundary and the state-machine snapshot at it *)
   base_voters : Netsim.Node_id.t list;

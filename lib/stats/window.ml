@@ -35,12 +35,22 @@ let get t i =
   if i < 0 || i >= t.len then invalid_arg "Window.get: index out of bounds";
   t.buf.((t.head + i) mod Array.length t.buf)
 
+(* The accumulation loops below run over a one-element float array
+   rather than a [float ref]: stores into a float array are unboxed,
+   where every store to a ref (and every float argument to a non-inlined
+   recursive call) allocates a fresh box.  [std] runs on the tuner's
+   per-heartbeat path, so the accumulator is the difference between a
+   constant-size scratch cell and two words of garbage per sample. *)
 let rebuild t =
-  let sum = ref 0. in
+  (* [get] is not inlined, and a non-inlined float return is a fresh box
+     per sample; indexing the buffer directly keeps the loop
+     allocation-free. *)
+  let buf = t.buf and cap = Array.length t.buf and head = t.head in
+  let acc = [| 0. |] in
   for i = 0 to t.len - 1 do
-    sum := !sum +. get t i
+    acc.(0) <- acc.(0) +. buf.((head + i) mod cap)
   done;
-  t.sum <- !sum;
+  t.sum <- acc.(0);
   t.pushes_since_rebuild <- 0
 
 let push t x =
@@ -69,12 +79,13 @@ let std t =
   else begin
     let n = float_of_int t.len in
     let m = t.sum /. n in
-    let acc = ref 0. in
+    let buf = t.buf and cap = Array.length t.buf and head = t.head in
+    let acc = [| 0. |] in
     for i = 0 to t.len - 1 do
-      let d = get t i -. m in
-      acc := !acc +. (d *. d)
+      let d = buf.((head + i) mod cap) -. m in
+      acc.(0) <- acc.(0) +. (d *. d)
     done;
-    sqrt (!acc /. n)
+    sqrt (acc.(0) /. n)
   end
 
 let fold t ~init ~f =

@@ -27,7 +27,7 @@ let test_try_append_success () =
   let l = Log.create () in
   (match
      Log.try_append l ~prev_index:0 ~prev_term:0
-       ~entries:[ entry 1 1; entry 1 2 ]
+       ~entries:[| entry 1 1; entry 1 2 |]
    with
   | `Ok covered -> Alcotest.(check int) "covered" 2 covered
   | `Conflict _ -> Alcotest.fail "append at origin must succeed");
@@ -35,7 +35,7 @@ let test_try_append_success () =
 
 let test_try_append_missing_prev () =
   let l = Log.create () in
-  match Log.try_append l ~prev_index:5 ~prev_term:1 ~entries:[ entry 1 6 ] with
+  match Log.try_append l ~prev_index:5 ~prev_term:1 ~entries:[| entry 1 6 |] with
   | `Conflict hint -> Alcotest.(check int) "hint = log end + 1" 1 hint
   | `Ok _ -> Alcotest.fail "must conflict when predecessor is missing"
 
@@ -43,7 +43,7 @@ let test_try_append_term_mismatch () =
   let l = Log.create () in
   ignore (Log.append_new l ~term:1 Log.Noop);
   ignore (Log.append_new l ~term:1 Log.Noop);
-  match Log.try_append l ~prev_index:2 ~prev_term:9 ~entries:[] with
+  match Log.try_append l ~prev_index:2 ~prev_term:9 ~entries:[||] with
   | `Conflict hint -> Alcotest.(check int) "hint points at conflict" 2 hint
   | `Ok _ -> Alcotest.fail "must conflict on term mismatch"
 
@@ -55,7 +55,7 @@ let test_try_append_truncates_conflicts () =
   (* New leader at term 2 overwrites index 2 onward. *)
   (match
      Log.try_append l ~prev_index:1 ~prev_term:1
-       ~entries:[ data 2 2 "new" ]
+       ~entries:[| data 2 2 "new" |]
    with
   | `Ok covered -> Alcotest.(check int) "covered" 2 covered
   | `Conflict _ -> Alcotest.fail "expected success");
@@ -66,7 +66,7 @@ let test_try_append_truncates_conflicts () =
 
 let test_try_append_idempotent () =
   let l = Log.create () in
-  let es = [ entry 1 1; entry 1 2; entry 1 3 ] in
+  let es = [| entry 1 1; entry 1 2; entry 1 3 |] in
   ignore (Log.try_append l ~prev_index:0 ~prev_term:0 ~entries:es);
   (* A duplicate append (retransmission) must not truncate or duplicate. *)
   (match Log.try_append l ~prev_index:0 ~prev_term:0 ~entries:es with
@@ -78,10 +78,10 @@ let test_try_append_partial_overlap () =
   let l = Log.create () in
   ignore
     (Log.try_append l ~prev_index:0 ~prev_term:0
-       ~entries:[ entry 1 1; entry 1 2 ]);
+       ~entries:[| entry 1 1; entry 1 2 |]);
   (match
      Log.try_append l ~prev_index:1 ~prev_term:1
-       ~entries:[ entry 1 2; entry 1 3; entry 1 4 ]
+       ~entries:[| entry 1 2; entry 1 3; entry 1 4 |]
    with
   | `Ok covered -> Alcotest.(check int) "covered" 4 covered
   | `Conflict _ -> Alcotest.fail "overlap must succeed");
@@ -90,7 +90,7 @@ let test_try_append_partial_overlap () =
 let test_heartbeat_append_empty () =
   let l = Log.create () in
   ignore (Log.append_new l ~term:1 Log.Noop);
-  match Log.try_append l ~prev_index:1 ~prev_term:1 ~entries:[] with
+  match Log.try_append l ~prev_index:1 ~prev_term:1 ~entries:[||] with
   | `Ok covered -> Alcotest.(check int) "covered = prev" 1 covered
   | `Conflict _ -> Alcotest.fail "empty append with matching prev succeeds"
 
@@ -100,12 +100,15 @@ let test_slice () =
     ignore (Log.append_new l ~term:1 Log.Noop)
   done;
   Alcotest.(check int) "middle slice" 2
-    (List.length (Log.slice l ~from:2 ~max:2));
+    (Array.length (Log.slice l ~from:2 ~max:2));
   Alcotest.(check int) "tail slice clipped" 2
-    (List.length (Log.slice l ~from:4 ~max:10));
+    (Array.length (Log.slice l ~from:4 ~max:10));
   Alcotest.(check int) "empty beyond end" 0
-    (List.length (Log.slice l ~from:6 ~max:10));
-  let indices = List.map (fun (e : Log.entry) -> e.Log.index) (Log.slice l ~from:2 ~max:3) in
+    (Array.length (Log.slice l ~from:6 ~max:10));
+  let indices =
+    Array.to_list
+      (Array.map (fun (e : Log.entry) -> e.Log.index) (Log.slice l ~from:2 ~max:3))
+  in
   Alcotest.(check (list int)) "contiguous" [ 2; 3; 4 ] indices
 
 let test_up_to_date () =
@@ -170,7 +173,7 @@ let prop_append_below_boundary_matches =
       (* Replay the true suffix starting below the boundary, exactly as
          a leader that has not yet learned of our compaction would. *)
       let entries =
-        List.init (total - prev) (fun k ->
+        Array.init (total - prev) (fun k ->
             let i = prev + 1 + k in
             { Log.term = term_of ~term_switch i; index = i; command = Log.Noop })
       in
@@ -195,7 +198,7 @@ let prop_append_conflict_truncates_at_boundary =
          entries at or below the boundary are untouchable, and the tail
          above [prev] must be replaced wholesale. *)
       let entries =
-        List.init (total + 1 - prev) (fun k ->
+        Array.init (total + 1 - prev) (fun k ->
             { Log.term = 3; index = prev + 1 + k; command = Log.Noop })
       in
       match
@@ -225,7 +228,7 @@ let prop_append_wholly_compacted_is_noop =
          retransmission.  It must succeed (it matched once) without
          touching the live tail. *)
       let entries =
-        List.init (boundary - prev) (fun k ->
+        Array.init (boundary - prev) (fun k ->
             let i = prev + 1 + k in
             { Log.term = term_of ~term_switch i; index = i; command = Log.Noop })
       in

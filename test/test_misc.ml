@@ -16,8 +16,6 @@ let test_role_helpers () =
   Alcotest.(check string) "names" "pre-candidate"
     (Raft.Types.role_name Raft.Types.Pre_candidate)
 
-let meta = { Dynatune.Leader_path.hb_id = 3; sent_at = 0; measured_rtt = None }
-
 let all_messages : Raft.Rpc.message list =
   [
     Raft.Rpc.Vote_request
@@ -27,12 +25,13 @@ let all_messages : Raft.Rpc.message list =
     Raft.Rpc.Vote_response { term = 1; granted = true; pre_vote = true };
     Raft.Rpc.Vote_response { term = 1; granted = false; pre_vote = false };
     Raft.Rpc.Append_request
-      { term = 1; prev_index = 0; prev_term = 0; entries = []; commit = 0 };
+      { term = 1; prev_index = 0; prev_term = 0; entries = [||]; commit = 0 };
     Raft.Rpc.Append_response
       { term = 1; success = true; match_index = 4; conflict_hint = 0 };
-    Raft.Rpc.Heartbeat { term = 1; commit = 0; meta };
+    Raft.Rpc.Heartbeat
+      { term = 1; commit = 0; hb_id = 3; sent_at = 0; measured_rtt = None };
     Raft.Rpc.Heartbeat_response
-      { term = 1; echo = { Raft.Rpc.hb_id = 3; echo_sent_at = 0; tuned_h = None } };
+      { term = 1; hb_id = 3; echo_sent_at = 0; tuned_h = None };
   ]
 
 let test_rpc_kind_names () =
@@ -94,7 +93,10 @@ let test_cost_model_zero_is_free () =
 
 let test_cost_model_tuning_surcharge () =
   let c = Raft.Cost_model.etcd_like in
-  let hb = Raft.Rpc.Heartbeat { term = 1; commit = 0; meta } in
+  let hb =
+    Raft.Rpc.Heartbeat
+      { term = 1; commit = 0; hb_id = 3; sent_at = 0; measured_rtt = None }
+  in
   let base = Raft.Cost_model.message_recv_cost c ~tuning_active:false hb in
   let tuned = Raft.Cost_model.message_recv_cost c ~tuning_active:true hb in
   Alcotest.(check int) "tuning surcharge"
@@ -102,7 +104,7 @@ let test_cost_model_tuning_surcharge () =
   (* Appends are not surcharged: tuning works on heartbeats only. *)
   let ap =
     Raft.Rpc.Append_request
-      { term = 1; prev_index = 0; prev_term = 0; entries = []; commit = 0 }
+      { term = 1; prev_index = 0; prev_term = 0; entries = [||]; commit = 0 }
   in
   Alcotest.(check int) "append unaffected"
     (Raft.Cost_model.message_recv_cost c ~tuning_active:false ap)
@@ -117,7 +119,7 @@ let test_cost_model_per_entry () =
         term = 1;
         prev_index = 0;
         prev_term = 0;
-        entries = List.init n (fun i -> entry (i + 1));
+        entries = Array.init n (fun i -> entry (i + 1));
         commit = 0;
       }
   in
@@ -302,7 +304,9 @@ let test_single_node_cluster_self_elects () =
   in
   let committed =
     List.exists
-      (function Raft.Server.Commit (_ :: _) -> true | _ -> false)
+      (function
+        | Raft.Server.Commit es -> Array.length es > 0
+        | _ -> false)
       acts
   in
   Alcotest.(check bool) "commits alone" true committed

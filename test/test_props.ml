@@ -361,9 +361,135 @@ let prop_conditions_piecewise_lookup =
       (Netsim.Conditions.at c query).Netsim.Conditions.rtt_ms
       = List.nth rtts expected_idx)
 
+(* {2 Timing wheel vs. event heap}
+
+   The wheel is a scheduling shortcut, not a semantics change: any
+   interleaving of schedule / cancel / advance must fire the same events
+   in the same (at, seq) order whether timers park in wheel slots or go
+   straight onto the heap.  The offset generator deliberately lands on
+   same-tick bursts, level-0/1 and level-1/2 cascade boundaries, and
+   past-horizon deadlines (which overflow to the heap). *)
+
+type wheel_op = W_schedule of int | W_cancel of int | W_advance of int
+
+let wheel_op_gen =
+  let tick = 1 lsl Des.Wheel.tick_bits in
+  let offset =
+    Q.Gen.oneof
+      [
+        (* same-deadline / same-tick bursts *)
+        Q.Gen.int_range 0 (4 * tick);
+        (* around the level-0/1 cascade boundary (256 ticks) *)
+        Q.Gen.map (fun k -> k * tick) (Q.Gen.int_range 250 262);
+        (* anywhere in level 0/1 *)
+        Q.Gen.int_range 0 (300 * tick);
+        (* around the level-1/2 boundary (65536 ticks) *)
+        Q.Gen.map (fun k -> k * tick) (Q.Gen.int_range 65_530 65_545);
+        (* beyond the wheel's horizon: must overflow into the heap *)
+        Q.Gen.map (fun k -> k * tick) (Q.Gen.int_range 16_000_000 17_000_000);
+      ]
+  in
+  Q.Gen.frequency
+    [
+      (5, Q.Gen.map (fun o -> W_schedule o) offset);
+      (3, Q.Gen.map (fun k -> W_cancel k) (Q.Gen.int_range 0 100));
+      (2, Q.Gen.map (fun n -> W_advance n) (Q.Gen.int_range 1 20));
+    ]
+
+let wheel_op_print = function
+  | W_schedule o -> Printf.sprintf "schedule(+%d)" o
+  | W_cancel k -> Printf.sprintf "cancel(%d)" k
+  | W_advance n -> Printf.sprintf "advance(%d)" n
+
+let prop_wheel_matches_heap =
+  Q.Test.make ~count:200 ~name:"wheel and heap fire identically"
+    (Q.make
+       ~print:Q.Print.(list wheel_op_print)
+       (Q.Gen.list_size (Q.Gen.int_range 0 120) wheel_op_gen))
+    (fun ops ->
+      let module H = Des.Event_heap in
+      (* Reference: every event straight onto a heap. *)
+      let ref_heap = H.create () in
+      (* Subject: heap + wheel, drained in merged order like the engine. *)
+      let sub_heap = H.create () in
+      let wheel = Des.Wheel.create sub_heap in
+      let ref_fired = ref [] and sub_fired = ref [] in
+      let handles = ref [] (* (ref_ev, sub_ev), newest first *) in
+      let seq = ref 0 and now = ref 0 in
+      let ok = ref true in
+      (* The engine's merged drain: pop the heap only while its top is
+         strictly before everything the wheel could still owe. *)
+      let fuel = ref 10_000_000 in
+      let rec sub_next_live () =
+        decr fuel;
+        if !fuel <= 0 then begin
+          let top = H.top_live sub_heap in
+          failwith
+            (Printf.sprintf
+               "wheel prop: flush fuel exhausted: cursor=%d linked=%d lb=%d                 top_at=%s now=%d"
+               (Des.Wheel.cursor_tick wheel)
+               (Des.Wheel.linked wheel)
+               (Des.Wheel.next_due_ns wheel)
+               (if top == H.never then "none" else string_of_int top.H.at)
+               !now)
+        end;
+        let top = H.top_live sub_heap in
+        let lb = Des.Wheel.next_due_ns wheel in
+        if lb = max_int || (top != H.never && top.H.at < lb) then top
+        else begin
+          Des.Wheel.flush_next wheel;
+          sub_next_live ()
+        end
+      in
+      let fire_one () =
+        let sub = sub_next_live () in
+        (match H.pop_live ref_heap with
+        | Some r -> r.H.action ()
+        | None -> if sub != H.never then ok := false);
+        if sub != H.never then begin
+          H.drop_top sub_heap;
+          now := sub.H.at;
+          sub.H.action ()
+        end
+      in
+      let step = function
+        | W_schedule offset ->
+            let at = !now + offset and s = !seq in
+            incr seq;
+            let r = H.schedule ref_heap ~at ~seq:s (fun () ->
+                ref_fired := s :: !ref_fired)
+            in
+            let e = H.make sub_heap ~at ~seq:s (fun () ->
+                sub_fired := s :: !sub_fired)
+            in
+            if not (Des.Wheel.insert wheel e) then H.push_event sub_heap e;
+            handles := (r, e) :: !handles
+        | W_cancel k -> (
+            match !handles with
+            | [] -> ()
+            | hs ->
+                let r, e = List.nth hs (k mod List.length hs) in
+                H.cancel r;
+                H.cancel e;
+                if H.is_pending r <> H.is_pending e then ok := false)
+        | W_advance n ->
+            for _ = 1 to n do
+              fire_one ()
+            done
+      in
+      List.iter step ops;
+      (* Drain whatever is left on both sides. *)
+      while H.live_length ref_heap > 0 || H.live_length sub_heap > 0
+            || Des.Wheel.linked wheel > 0
+      do
+        fire_one ()
+      done;
+      !ok && !ref_fired = !sub_fired)
+
 let tests =
   List.map to_alcotest
     [
+      prop_wheel_matches_heap;
       prop_window_matches_batch;
       prop_window_keeps_newest;
       prop_heap_sorts;

@@ -30,11 +30,11 @@ let armed_election actions =
 
 let commits actions =
   List.concat_map
-    (function Server.Commit es -> es | _ -> [])
+    (function Server.Commit es -> Array.to_list es | _ -> [])
     actions
 
-let heartbeat_meta ?(id = 0) ?(sent_at = Time.zero) ?rtt () =
-  { Dynatune.Leader_path.hb_id = id; sent_at; measured_rtt = rtt }
+let heartbeat ?(id = 0) ?(sent_at = Time.zero) ?rtt ~term ~commit () =
+  Rpc.Heartbeat { term; commit; hb_id = id; sent_at; measured_rtt = rtt }
 
 let recv server ~from msg ~now =
   Server.handle server ~now (Server.Message { from = nid from; msg })
@@ -206,7 +206,7 @@ let test_vote_rejected_for_stale_log () =
             term = 2;
             prev_index = 0;
             prev_term = 0;
-            entries = [ { Raft.Log.term = 2; index = 1; command = Raft.Log.Noop } ];
+            entries = [| { Raft.Log.term = 2; index = 1; command = Raft.Log.Noop } |];
             commit = 0;
           })
        ~now:Time.zero);
@@ -236,7 +236,7 @@ let test_leader_stickiness_rejects_votes () =
   (* Heartbeat installs a leader (and the lease). *)
   ignore
     (recv s ~from:3
-       (Rpc.Heartbeat { term = 1; commit = 0; meta = heartbeat_meta () })
+       (heartbeat ~term:1 ~commit:0 ())
        ~now:Time.zero);
   let acts =
     recv s ~from:1
@@ -267,7 +267,7 @@ let test_heartbeat_rearms_election_timer () =
   ignore (Server.start s);
   let acts =
     recv s ~from:3
-      (Rpc.Heartbeat { term = 1; commit = 0; meta = heartbeat_meta () })
+      (heartbeat ~term:1 ~commit:0 ())
       ~now:Time.zero
   in
   Alcotest.(check bool) "timer re-armed" true (armed_election acts <> []);
@@ -279,24 +279,22 @@ let test_heartbeat_response_echoes_timestamp () =
   ignore (Server.start s);
   let acts =
     recv s ~from:3
-      (Rpc.Heartbeat
-         {
-           term = 1;
-           commit = 0;
-           meta = heartbeat_meta ~id:7 ~sent_at:(Time.ms 123) ();
-         })
+      (heartbeat ~id:7 ~sent_at:(Time.ms 123) ~term:1 ~commit:0 ())
       ~now:(Time.ms 150)
   in
   match
     List.filter_map
       (fun (_, m) ->
-        match m with Rpc.Heartbeat_response r -> Some r | _ -> None)
+        match m with
+        | Rpc.Heartbeat_response { hb_id; echo_sent_at; _ } ->
+            Some (hb_id, echo_sent_at)
+        | _ -> None)
       (sends acts)
   with
-  | [ r ] ->
-      Alcotest.(check int) "id echoed" 7 r.Rpc.echo.Rpc.hb_id;
+  | [ (hb_id, echo_sent_at) ] ->
+      Alcotest.(check int) "id echoed" 7 hb_id;
       Alcotest.(check int) "timestamp echoed verbatim" (Time.ms 123)
-        r.Rpc.echo.Rpc.echo_sent_at
+        echo_sent_at
   | _ -> Alcotest.fail "expected one heartbeat response"
 
 let test_pre_candidate_aborts_on_heartbeat () =
@@ -307,7 +305,7 @@ let test_pre_candidate_aborts_on_heartbeat () =
     (Server.role s = Types.Pre_candidate);
   let acts =
     recv s ~from:3
-      (Rpc.Heartbeat { term = 0; commit = 0; meta = heartbeat_meta () })
+      (heartbeat ~term:0 ~commit:0 ())
       ~now:(Time.ms 1)
   in
   Alcotest.(check bool) "reverted to follower" true
@@ -328,10 +326,7 @@ let test_step_down_on_higher_term_response () =
   ignore
     (recv s ~from:1
        (Rpc.Heartbeat_response
-          {
-            term = 99;
-            echo = { Rpc.hb_id = 0; echo_sent_at = Time.zero; tuned_h = None };
-          })
+          { term = 99; hb_id = 0; echo_sent_at = Time.zero; tuned_h = None })
        ~now:(Time.ms 1));
   Alcotest.(check bool) "stepped down" true (Server.role s = Types.Follower);
   Alcotest.(check int) "adopted term" 99 (Server.term s)
@@ -380,7 +375,7 @@ let test_leader_propose_and_flush () =
     sends acts
     |> List.filter_map (fun (_, m) ->
            match m with
-           | Rpc.Append_request { entries; _ } -> Some (List.length entries)
+           | Rpc.Append_request { entries; _ } -> Some (Array.length entries)
            | _ -> None)
   in
   Alcotest.(check (list int)) "entry shipped to all followers" [ 1; 1; 1; 1 ]
@@ -391,12 +386,12 @@ let test_follower_rejects_stale_append () =
   ignore (Server.start s);
   ignore
     (recv s ~from:3
-       (Rpc.Heartbeat { term = 5; commit = 0; meta = heartbeat_meta () })
+       (heartbeat ~term:5 ~commit:0 ())
        ~now:Time.zero);
   let acts =
     recv s ~from:1
       (Rpc.Append_request
-         { term = 2; prev_index = 0; prev_term = 0; entries = []; commit = 0 })
+         { term = 2; prev_index = 0; prev_term = 0; entries = [||]; commit = 0 })
       ~now:(Time.ms 1)
   in
   match sends acts with
@@ -415,14 +410,14 @@ let test_follower_commit_via_heartbeat () =
             term = 1;
             prev_index = 0;
             prev_term = 0;
-            entries = [ { Raft.Log.term = 1; index = 1; command = Raft.Log.Noop } ];
+            entries = [| { Raft.Log.term = 1; index = 1; command = Raft.Log.Noop } |];
             commit = 0;
           })
        ~now:Time.zero);
   Alcotest.(check int) "not committed yet" 0 (Server.commit_index s);
   let acts =
     recv s ~from:3
-      (Rpc.Heartbeat { term = 1; commit = 1; meta = heartbeat_meta ~id:1 () })
+      (heartbeat ~id:1 ~term:1 ~commit:1 ())
       ~now:(Time.ms 10)
   in
   Alcotest.(check int) "committed via heartbeat" 1 (Server.commit_index s);
@@ -462,14 +457,7 @@ let test_dynatune_follower_piggybacks_h () =
   let s = make ~config:cfg ~self:0 () in
   ignore (Server.start s);
   let hb i rtt now =
-    recv s ~from:3
-      (Rpc.Heartbeat
-         {
-           term = 1;
-           commit = 0;
-           meta = heartbeat_meta ~id:i ~sent_at:now ?rtt ();
-         })
-      ~now
+    recv s ~from:3 (heartbeat ~id:i ~sent_at:now ?rtt ~term:1 ~commit:0 ()) ~now
   in
   (* While warming, no h is piggybacked. *)
   let acts = hb 0 None Time.zero in
@@ -477,7 +465,7 @@ let test_dynatune_follower_piggybacks_h () =
      List.filter_map
        (fun (_, m) ->
          match m with
-         | Rpc.Heartbeat_response r -> Some r.Rpc.echo.Rpc.tuned_h
+         | Rpc.Heartbeat_response { tuned_h; _ } -> Some tuned_h
          | _ -> None)
        (sends acts)
    with
@@ -490,7 +478,7 @@ let test_dynatune_follower_piggybacks_h () =
     List.filter_map
       (fun (_, m) ->
         match m with
-        | Rpc.Heartbeat_response r -> Some r.Rpc.echo.Rpc.tuned_h
+        | Rpc.Heartbeat_response { tuned_h; _ } -> Some tuned_h
         | _ -> None)
       (sends acts)
   with
@@ -510,12 +498,7 @@ let test_dynatune_timeout_resets_tuner () =
   let hb i rtt now =
     ignore
       (recv s ~from:3
-         (Rpc.Heartbeat
-            {
-              term = 1;
-              commit = 0;
-              meta = heartbeat_meta ~id:i ~sent_at:now ?rtt ();
-            })
+         (heartbeat ~id:i ~sent_at:now ?rtt ~term:1 ~commit:0 ())
          ~now)
   in
   hb 0 None Time.zero;
@@ -545,12 +528,9 @@ let test_leader_applies_piggybacked_h () =
        (Rpc.Heartbeat_response
           {
             term = Server.term s;
-            echo =
-              {
-                Rpc.hb_id = 0;
-                echo_sent_at = Time.zero;
-                tuned_h = Some (Time.ms 33);
-              };
+            hb_id = 0;
+            echo_sent_at = Time.zero;
+            tuned_h = Some (Time.ms 33);
           })
        ~now:(Time.ms 10));
   Alcotest.(check (option int)) "interval applied toward that follower"

@@ -85,8 +85,9 @@ let test_checkquorum_survives_with_acks () =
            (Rpc.Heartbeat_response
               {
                 term = Server.term s;
-                echo =
-                  { Rpc.hb_id = 0; echo_sent_at = Time.zero; tuned_h = None };
+                hb_id = 0;
+                echo_sent_at = Time.zero;
+                tuned_h = None;
               })
            ~now:(Time.ms 500)))
     [ 1; 2 ];
@@ -109,8 +110,9 @@ let test_checkquorum_window_resets () =
            (Rpc.Heartbeat_response
               {
                 term = Server.term s;
-                echo =
-                  { Rpc.hb_id = 0; echo_sent_at = Time.zero; tuned_h = None };
+                hb_id = 0;
+                echo_sent_at = Time.zero;
+                tuned_h = None;
               })
            ~now:(Time.ms 100)))
     [ 1; 2; 3; 4 ];
@@ -145,8 +147,9 @@ let test_lease_expires_after_base_timeout () =
           {
             term = 1;
             commit = 0;
-            meta =
-              { Dynatune.Leader_path.hb_id = 0; sent_at = Time.zero; measured_rtt = None };
+            hb_id = 0;
+            sent_at = Time.zero;
+            measured_rtt = None;
           })
        ~now:Time.zero);
   (* 1.2s later (> Et = 1s), a pre-vote must be granted. *)
@@ -246,12 +249,9 @@ let test_consolidated_interval_is_minimum () =
            (Rpc.Heartbeat_response
               {
                 term = Server.term s;
-                echo =
-                  {
-                    Rpc.hb_id = 0;
-                    echo_sent_at = Time.zero;
-                    tuned_h = Some h;
-                  };
+                hb_id = 0;
+                echo_sent_at = Time.zero;
+                tuned_h = Some h;
               })
            ~now:(Time.ms 50)))
     [ (1, Time.ms 80); (2, Time.ms 30); (3, Time.ms 120) ];
@@ -276,8 +276,9 @@ let test_stale_install_snapshot_rejected () =
           {
             term = 5;
             commit = 0;
-            meta =
-              { Dynatune.Leader_path.hb_id = 0; sent_at = Time.zero; measured_rtt = None };
+            hb_id = 0;
+            sent_at = Time.zero;
+            measured_rtt = None;
           })
        ~now:Time.zero);
   let acts =
@@ -362,7 +363,9 @@ let test_read_confirmation_requires_fresh_echo () =
       (Rpc.Heartbeat_response
          {
            term = Server.term s;
-           echo = { Rpc.hb_id = 0; echo_sent_at = Time.ms 50; tuned_h = None };
+           hb_id = 0;
+           echo_sent_at = Time.ms 50;
+           tuned_h = None;
          })
       ~now:(Time.ms 150)
   in
@@ -379,7 +382,9 @@ let test_read_confirmation_requires_fresh_echo () =
       (Rpc.Heartbeat_response
          {
            term = Server.term s;
-           echo = { Rpc.hb_id = 1; echo_sent_at = Time.ms 100; tuned_h = None };
+           hb_id = 1;
+           echo_sent_at = Time.ms 100;
+           tuned_h = None;
          })
       ~now:(Time.ms 200)
   in
@@ -396,8 +401,9 @@ let test_timeout_now_triggers_forced_election () =
           {
             term = 2;
             commit = 0;
-            meta =
-              { Dynatune.Leader_path.hb_id = 0; sent_at = Time.zero; measured_rtt = None };
+            hb_id = 0;
+            sent_at = Time.zero;
+            measured_rtt = None;
           })
        ~now:Time.zero);
   let acts = recv s ~from:3 (Rpc.Timeout_now { term = 2 }) ~now:(Time.ms 1) in
@@ -423,8 +429,9 @@ let test_forced_vote_bypasses_lease () =
           {
             term = 1;
             commit = 0;
-            meta =
-              { Dynatune.Leader_path.hb_id = 0; sent_at = Time.zero; measured_rtt = None };
+            hb_id = 0;
+            sent_at = Time.zero;
+            measured_rtt = None;
           })
        ~now:Time.zero);
   (* Within the lease, a normal campaign is ignored but a forced one is

@@ -329,25 +329,17 @@ let test_tuner_with_ewma_backend () =
 
 let test_leader_path_meta_sequence () =
   let p = Leader_path.create Config.default in
-  let m0 = Leader_path.next_meta p ~now:(Time.ms 1) in
-  let m1 = Leader_path.next_meta p ~now:(Time.ms 2) in
-  Alcotest.(check int) "ids sequential" 0 m0.Leader_path.hb_id;
-  Alcotest.(check int) "ids sequential" 1 m1.Leader_path.hb_id;
-  Alcotest.(check int) "timestamps recorded" (Time.ms 2) m1.Leader_path.sent_at
+  Alcotest.(check int) "ids sequential" 0 (Leader_path.next_id p);
+  Alcotest.(check int) "ids sequential" 1 (Leader_path.next_id p)
 
 let test_leader_path_rtt_shipped_once () =
   let p = Leader_path.create Config.default in
-  let m0 = Leader_path.next_meta p ~now:Time.zero in
-  Alcotest.(check (option int)) "no measurement yet" None
-    m0.Leader_path.measured_rtt;
+  Alcotest.(check (option int)) "no measurement yet" None (Leader_path.take_rtt p);
   Leader_path.on_response p ~now:(Time.ms 30) ~echo_sent_at:Time.zero
     ~tuned_h:None;
-  let m1 = Leader_path.next_meta p ~now:(Time.ms 100) in
   Alcotest.(check (option int)) "rtt piggybacked" (Some (Time.ms 30))
-    m1.Leader_path.measured_rtt;
-  let m2 = Leader_path.next_meta p ~now:(Time.ms 200) in
-  Alcotest.(check (option int)) "shipped only once" None
-    m2.Leader_path.measured_rtt
+    (Leader_path.take_rtt p);
+  Alcotest.(check (option int)) "shipped only once" None (Leader_path.take_rtt p)
 
 let test_leader_path_applies_h () =
   let p = Leader_path.create Config.default in
@@ -373,7 +365,7 @@ let test_leader_path_future_echo_ignored () =
 
 let test_leader_path_reset () =
   let p = Leader_path.create Config.default in
-  ignore (Leader_path.next_meta p ~now:Time.zero);
+  ignore (Leader_path.next_id p : int);
   Leader_path.on_response p ~now:(Time.ms 5) ~echo_sent_at:Time.zero
     ~tuned_h:(Some (Time.ms 7));
   Leader_path.reset p;
