@@ -70,6 +70,11 @@ let run_fig5 { full; jobs } =
       let hold = Des.Time.sec (if full then 10 else 3) in
       Fig5.print ppf (Fig5.compare_modes ~hold ~jobs ()))
 
+let run_fig5sat { full; jobs } =
+  timed "fig5sat" (fun () ->
+      let hold = Des.Time.sec (if full then 10 else 3) in
+      Fig5.print_saturation ppf (Fig5.saturation ~hold ~jobs ()))
+
 let run_fig6 pattern { full; jobs } =
   let name = match pattern with Fig6.Gradual -> "fig6a" | Fig6.Radical -> "fig6b" in
   timed name (fun () ->
@@ -117,6 +122,7 @@ let figures =
   [
     ("fig4", run_fig4);
     ("fig5", run_fig5);
+    ("fig5sat", run_fig5sat);
     ("fig6a", run_fig6 Fig6.Gradual);
     ("fig6b", run_fig6 Fig6.Radical);
     ("fig7", run_fig7);

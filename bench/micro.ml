@@ -221,6 +221,124 @@ let test_server_heartbeat =
   Test.make ~name:"server.handle heartbeat (dynatune)"
     (Staged.stage (make_heartbeat_loop ()))
 
+(* The replication engine's entry path, both ends, as standalone servers
+   (no fabric, no engine).  The leader is brought to power by feeding the
+   vote flow by hand; each iteration then replays a conflict nack that
+   rewinds to index 1, so [handle] re-builds and re-sends the same
+   64-entry batch — in steady state a batch-cache hit, which is the
+   number the allocation-lean work moves.  The follower replays one
+   prebuilt duplicate append: the [try_append] prefix-scan hot path. *)
+let make_leader_append_loop () =
+  let config =
+    Raft.Config.with_replication ~max_entries_per_append:64
+      (Raft.Config.static ())
+  in
+  let rng = Stats.Rng.create ~seed:2L () in
+  let leader =
+    Raft.Server.create ~id:(Netsim.Node_id.of_int 0)
+      ~peers:(List.tl (Netsim.Node_id.range 5))
+      ~config ~rng ()
+  in
+  let now = Des.Time.ms 1000 in
+  let from_peer p m =
+    Raft.Server.Message { from = Netsim.Node_id.of_int p; msg = m }
+  in
+  ignore (Raft.Server.start leader);
+  ignore (Raft.Server.handle leader ~now Raft.Server.Election_timeout_fired);
+  List.iter
+    (fun pre ->
+      List.iter
+        (fun p ->
+          ignore
+            (Raft.Server.handle leader ~now
+               (from_peer p
+                  (Raft.Rpc.Vote_response
+                     { term = 1; granted = true; pre_vote = pre }))))
+        [ 1; 2 ])
+    [ true; false ];
+  assert (Raft.Types.is_leader (Raft.Server.role leader));
+  for seq = 1 to 500 do
+    ignore
+      (Raft.Server.handle leader ~now
+         (Raft.Server.Propose
+            {
+              payload =
+                Kvsm.Command.to_payload
+                  (Kvsm.Command.Put { key = "bench-key"; value = "v" });
+              client_id = 1;
+              seq;
+            }))
+  done;
+  let nack =
+    from_peer 1
+      (Raft.Rpc.Append_response
+         {
+           term = 1;
+           success = false;
+           match_index = 0;
+           conflict_hint = 1;
+           req_prev = 0;
+         })
+  in
+  fun () ->
+    ignore (Raft.Server.handle leader ~now nack : Raft.Server.action list)
+
+let make_follower_append_loop () =
+  let config =
+    Raft.Config.with_replication ~max_entries_per_append:64
+      (Raft.Config.static ())
+  in
+  let rng = Stats.Rng.create ~seed:3L () in
+  let follower =
+    Raft.Server.create ~id:(Netsim.Node_id.of_int 0)
+      ~peers:(List.tl (Netsim.Node_id.range 5))
+      ~config ~rng ()
+  in
+  ignore (Raft.Server.start follower);
+  let scratch = Raft.Log.create () in
+  for _ = 1 to 64 do
+    ignore
+      (Raft.Log.append_new scratch ~term:1
+         (Raft.Log.Data
+            {
+              payload =
+                Kvsm.Command.to_payload
+                  (Kvsm.Command.Put { key = "bench-key"; value = "v" });
+              client_id = 1;
+              seq = 1;
+            })
+        : Raft.Log.entry)
+  done;
+  let append =
+    Raft.Server.Message
+      {
+        from = Netsim.Node_id.of_int 1;
+        msg =
+          Raft.Rpc.Append_request
+            {
+              term = 1;
+              prev_index = 0;
+              prev_term = 0;
+              entries = Raft.Log.slice scratch ~from:1 ~max:64;
+              commit = 0;
+            };
+      }
+  in
+  let i = ref 0 in
+  fun () ->
+    incr i;
+    ignore
+      (Raft.Server.handle follower ~now:(Des.Time.ms (!i + 50)) append
+        : Raft.Server.action list)
+
+let test_leader_append =
+  Test.make ~name:"server.handle append nack+rebatch 64"
+    (Staged.stage (make_leader_append_loop ()))
+
+let test_follower_append =
+  Test.make ~name:"server.handle duplicate append 64"
+    (Staged.stage (make_follower_append_loop ()))
+
 let test_codec =
   Test.make ~name:"kv command codec roundtrip"
     (Staged.stage (fun () ->
@@ -246,6 +364,8 @@ let tests =
     test_log_slice_array;
     test_log_slice_list;
     test_server_heartbeat;
+    test_leader_append;
+    test_follower_append;
     test_codec;
   ]
 
@@ -270,6 +390,10 @@ let words_per_op ppf name f =
 let allocation_report ppf =
   words_per_op ppf "server.handle heartbeat (dynatune)"
     (make_heartbeat_loop ());
+  words_per_op ppf "server.handle append nack+rebatch 64"
+    (make_leader_append_loop ());
+  words_per_op ppf "server.handle duplicate append 64"
+    (make_follower_append_loop ());
   (let e = Des.Engine.create () in
    words_per_op ppf "wheel timer schedule+cancel" (fun () ->
        Des.Engine.cancel

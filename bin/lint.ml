@@ -196,6 +196,22 @@ let rules =
       scope = (fun path -> contains_sub ~sub:"lib/raft/" path);
       fires = toplevel_ref;
     };
+    {
+      id = "raw-fabric-send";
+      doc =
+        "direct Fabric.send from lib/raft (every RPC leaves through \
+         Replication.transmit so bulk appends cannot bypass the \
+         lane/backpressure policy)";
+      scope =
+        (fun path ->
+          contains_sub ~sub:"lib/raft/" path
+          (* the seam itself (.ml, .mli, and their .pp.* forms, where a
+             doc-comment survives as an attribute payload) *)
+          && not (contains_sub ~sub:"/replication." path));
+      (* both spellings: [has_token] rejects a preceding '.', so the
+         qualified form needs its own token *)
+      fires = any_token [ "Fabric.send"; "Netsim.Fabric.send" ];
+    };
   ]
 
 type hit = { path : string; lineno : int; rule : rule; line : string }

@@ -3,7 +3,10 @@
    1. short hostile runs under [Check.Always] — leader pauses and
       crash-restarts across several seeds must violate no invariant;
    2. a 200-seed reconfiguration sweep — random membership changes and
-      leader failures mid-campaign, also under [Check.Always];
+      leader failures mid-campaign, also under [Check.Always] — plus a
+      200-seed pipelined-replication sweep: small windows and batches
+      over a lossy, duplicating, serializing wire with nodes sleeping
+      through write bursts, ending in store convergence;
    3. the determinism sanitizer — pinned shard plans (failover and
       reconfig campaigns) must produce bit-identical trace digests and
       metrics snapshots with one worker and with many;
@@ -122,6 +125,76 @@ let reconfig_chaos ~seed =
       if Check.checks_run c = 0 then
         fail "reconfig chaos: checker never ran (seed %Ld)" seed
   | None -> fail "reconfig chaos: checker missing despite Check.Always"
+
+(* Replication engine v2 under fire: a small pipelining window and tiny
+   batches over a lossy, duplicating, serializing wire, with followers
+   sleeping through bursts of writes.  Every delivered event runs the
+   full invariant suite ([Check.Always]); at the end the replicas must
+   also have converged on one store — the stale-nack rule and the
+   stalled-window nudge both sit on this path. *)
+let pipelined_chaos ~seed =
+  let config =
+    Raft.Config.with_replication ~max_inflight_appends:4 ~append_backpressure:8
+      ~max_entries_per_append:8
+      (Raft.Config.dynatune ())
+  in
+  let conditions =
+    Netsim.Conditions.(
+      constant (profile ~rtt_ms:20. ~jitter:0.3 ~loss:0.08 ~duplicate:0.04 ()))
+  in
+  let cluster =
+    Cluster.create ~seed ~n:5 ~config ~conditions ~check:Check.Always ()
+  in
+  Netsim.Fabric.set_uniform_serialization (Cluster.fabric cluster)
+    (Des.Time.us 50);
+  Cluster.start cluster;
+  (match Cluster.await_leader cluster ~timeout:(Des.Time.sec 30) with
+  | Some _ -> ()
+  | None -> fail "pipelined chaos: no initial leader (seed %Ld)" seed);
+  Cluster.run_for cluster (Des.Time.sec 2);
+  let rng =
+    Stats.Rng.split (Des.Engine.rng (Cluster.engine cluster)) "selfcheck-pipe"
+  in
+  let target = Cluster.submit_target cluster in
+  let seq = ref 0 in
+  for _round = 1 to 2 do
+    (* A follower (or, one time in four, the leader) sleeps through the
+       middle of the burst. *)
+    let ids = Cluster.node_ids cluster in
+    let victim = List.nth ids (Stats.Rng.int rng (List.length ids)) in
+    for i = 1 to 15 do
+      if i = 5 then Raft.Node.pause (Cluster.node cluster victim);
+      if i = 12 then Raft.Node.resume (Cluster.node cluster victim);
+      incr seq;
+      ignore
+        (target
+           ~payload:
+             (Kvsm.Command.to_payload
+                (Kvsm.Command.Put
+                   { key = Printf.sprintf "pipe:%d" !seq; value = "v" }))
+           ~client_id:7 ~seq:!seq
+           ~on_result:(fun ~committed:_ -> ()));
+      Cluster.run_for cluster (Des.Time.ms 20)
+    done;
+    Cluster.run_for cluster (Des.Time.sec 3)
+  done;
+  Cluster.run_for cluster (Des.Time.sec 8);
+  Cluster.check_now cluster;
+  (match Cluster.checker cluster with
+  | Some c ->
+      if Check.checks_run c = 0 then
+        fail "pipelined chaos: checker never ran (seed %Ld)" seed
+  | None -> fail "pipelined chaos: checker missing despite Check.Always");
+  match
+    List.map
+      (fun id -> Kvsm.Store.state_digest (Cluster.store cluster id))
+      (Cluster.node_ids cluster)
+  with
+  | [] -> fail "pipelined chaos: no stores (seed %Ld)" seed
+  | d :: rest ->
+      if not (List.for_all (String.equal d) rest) then
+        fail "pipelined chaos: replicas diverged after quiet period (seed %Ld)"
+          seed
 
 let digest_determinism () =
   let run jobs =
@@ -272,7 +345,7 @@ let () =
   | _ :: "--perf" :: rest ->
       let baseline =
         match rest with
-        | [] -> "BENCH_5.json"
+        | [] -> "BENCH_6.json"
         | [ path ] -> path
         | _ ->
             prerr_endline "usage: selfcheck [--perf [BASELINE.json]]";
@@ -283,6 +356,9 @@ let () =
       List.iter (fun seed -> mini_chaos ~seed) [ 11L; 12L; 13L ];
       for i = 0 to 199 do
         reconfig_chaos ~seed:(Int64.of_int (1000 + i))
+      done;
+      for i = 0 to 199 do
+        pipelined_chaos ~seed:(Int64.of_int (2000 + i))
       done;
       broken_fixture ();
       digest_determinism ();

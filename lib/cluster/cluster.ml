@@ -226,7 +226,17 @@ let collect_metrics t =
         add "lost" lc.Netsim.Link.lost;
         add "duplicated" lc.Netsim.Link.duplicated;
         add "retransmissions" lc.Netsim.Link.retransmissions)
-      (Netsim.Fabric.link_counters t.fabric)
+      (Netsim.Fabric.link_counters t.fabric);
+    (* High-water egress depth per directed link; only links that ever
+       queued (a serialization delay was configured) appear. *)
+    List.iter
+      (fun ((src, dst), depth) ->
+        let node = Printf.sprintf "n%d->n%d" src dst in
+        Telemetry.Metrics.Gauge.set_max
+          (Telemetry.Metrics.gauge m ~scope:"fabric" ~name:"queue_depth"
+             ~node ())
+          (float_of_int depth))
+      (Netsim.Fabric.link_queue_depths t.fabric)
   end
 let trace_digest t = Check.Digest.value t.digest
 

@@ -199,5 +199,26 @@ let finish t =
               ("retransmissions", float_of_int lc.Netsim.Link.retransmissions);
             ]
           ())
-      (Netsim.Fabric.link_counters (Cluster.fabric t.cluster))
+      (Netsim.Fabric.link_counters (Cluster.fabric t.cluster));
+    (* Replication-engine tallies: the high-water egress queue depth per
+       link (only links that ever queued appear) and each node's
+       append window occupancy at trace end. *)
+    List.iter
+      (fun ((src, dst), depth) ->
+        Chrome.counter t.sink
+          ~name:(Printf.sprintf "egress n%d->n%d" src dst)
+          ~pid:t.pid ~tid:0 ~at
+          ~values:[ ("queue_depth_hw", float_of_int depth) ]
+          ())
+      (Netsim.Fabric.link_queue_depths (Cluster.fabric t.cluster));
+    Chrome.counter t.sink ~name:"appends_inflight" ~pid:t.pid ~tid:0 ~at
+      ~values:
+        (List.map
+           (fun id ->
+             ( Printf.sprintf "n%d" (Node_id.to_int id),
+               float_of_int
+                 (Raft.Server.appends_inflight
+                    (Raft.Node.server (Cluster.node t.cluster id))) ))
+           (Cluster.node_ids t.cluster))
+      ()
   end

@@ -4,6 +4,7 @@ type level_report = {
   completed : int;
   throughput_rps : float;
   mean_latency_ms : float;
+  p50_latency_ms : float;
   p99_latency_ms : float;
 }
 
@@ -23,6 +24,7 @@ let run_level ~engine ~target ~rate ~hold ~client_rtt ~client_id =
     completed = Client.completed client;
     throughput_rps = float_of_int (Client.completed client) /. window;
     mean_latency_ms = Stats.Summary.mean latencies;
+    p50_latency_ms = Stats.Summary.percentile latencies 50.;
     p99_latency_ms = Stats.Summary.percentile latencies 99.;
   }
 
@@ -44,5 +46,7 @@ let saturation_rate reports =
 
 let pp_report ppf r =
   Format.fprintf ppf
-    "offered=%8.0f rps achieved=%8.1f rps latency mean=%7.2fms p99=%7.2fms"
-    r.offered_rps r.throughput_rps r.mean_latency_ms r.p99_latency_ms
+    "offered=%8.0f rps achieved=%8.1f rps latency mean=%7.2fms p50=%7.2fms \
+     p99=%7.2fms"
+    r.offered_rps r.throughput_rps r.mean_latency_ms r.p50_latency_ms
+    r.p99_latency_ms

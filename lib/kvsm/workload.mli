@@ -11,6 +11,7 @@ type level_report = {
   completed : int;  (** commits during the window *)
   throughput_rps : float;  (** completed / window *)
   mean_latency_ms : float;  (** nan when nothing completed *)
+  p50_latency_ms : float;
   p99_latency_ms : float;
 }
 

@@ -12,6 +12,18 @@ type 'msg node_state = {
   mutable congestion : Congestion.t option;
 }
 
+(* Egress scheduling state for one directed link, allocated only when a
+   serialization delay is configured.  Two FIFO lanes: urgent messages
+   depart before anything queued in the bulk lane; within a lane, send
+   order (the engine's sequence order) breaks ties, so the schedule is a
+   pure function of the send sequence. *)
+type 'msg egress = {
+  mutable busy : bool;  (* a message currently occupies the wire *)
+  eg_urgent : (Transport.kind * int * 'msg) Queue.t;
+  eg_bulk : (Transport.kind * int * 'msg) Queue.t;
+  mutable depth_high_water : int;
+}
+
 type 'msg t = {
   engine : Des.Engine.t;
   rng : Stats.Rng.t;
@@ -25,6 +37,9 @@ type 'msg t = {
       (* per-link pre-bound [deliver t ~src ~dst]: the per-message
          delivery thunk then captures only this and the message *)
   channels : (int, Transport.Channel.t) Hashtbl.t;
+  egresses : (int, 'msg egress) Hashtbl.t;
+  serialization : (int, Des.Time.span) Hashtbl.t;
+  mutable default_serialization : Des.Time.span;  (* 0 = wire never busy *)
   mutable default_conditions : Conditions.t;
   mutable groups : int Node_id.Table.t option;  (* node -> partition group *)
   mutable sent : int;
@@ -43,6 +58,9 @@ let create engine =
     links = Hashtbl.create 64;
     delivery = Hashtbl.create 64;
     channels = Hashtbl.create 64;
+    egresses = Hashtbl.create 64;
+    serialization = Hashtbl.create 64;
+    default_serialization = 0;
     default_conditions = Conditions.(constant (profile ~rtt_ms:0. ()));
     groups = None;
     sent = 0;
@@ -81,6 +99,8 @@ let remove_node t id =
   drop t.links;
   drop t.delivery;
   drop t.channels;
+  drop t.egresses;
+  drop t.serialization;
   match t.groups with
   | Some table -> Node_id.Table.remove table id
   | None -> ()
@@ -215,7 +235,95 @@ let reachable t src dst =
       Node_id.equal src dst
       || Node_id.Table.find_opt table src = Node_id.Table.find_opt table dst
 
-let send t kind ~src ~dst msg =
+(* Put one message on the (now free) wire: sample the link model and
+   schedule the delivery.  This is the entire send path when no
+   serialization delay is configured, and the wire-free continuation
+   when one is. *)
+let transmit t kind ~src ~dst msg =
+  let l = link t ~src ~dst in
+  let deliver1 = deliver_fn t ~src ~dst in
+  let extra = egress_extra t src in
+  match kind with
+  | Transport.Datagram -> (
+      match Link.sample_datagram l with
+      | Link.Lost -> t.lost <- t.lost + 1
+      | Link.Delivered latency ->
+          schedule_delivery t ~deliver1 ~latency:(latency + extra) msg
+      | Link.Duplicated (l1, l2) ->
+          t.duplicated <- t.duplicated + 1;
+          schedule_delivery t ~deliver1 ~latency:(l1 + extra) msg;
+          schedule_delivery t ~deliver1 ~latency:(l2 + extra) msg)
+  | Transport.Reliable ->
+      let latency = Link.sample_reliable l + extra in
+      let now = Des.Engine.now t.engine in
+      let at =
+        Transport.Channel.delivery_time (channel t src dst) ~now ~latency
+      in
+      ignore
+        (Des.Engine.schedule_at t.engine at (fun () -> deliver1 msg)
+          : Des.Engine.handle)
+
+let serialization_of t k =
+  match Hashtbl.find_opt t.serialization k with
+  | Some s -> s
+  | None -> t.default_serialization
+
+let set_serialization t ~src ~dst span =
+  if span < 0 then invalid_arg "Fabric.set_serialization: negative span";
+  Hashtbl.replace t.serialization (key src dst) span
+
+let set_uniform_serialization t span =
+  if span < 0 then invalid_arg "Fabric.set_uniform_serialization: negative span";
+  t.default_serialization <- span;
+  List.iter
+    (fun src ->
+      List.iter
+        (fun dst ->
+          if not (Node_id.equal src dst) then set_serialization t ~src ~dst span)
+        t.node_order)
+    t.node_order
+
+let egress_of t k =
+  match Hashtbl.find_opt t.egresses k with
+  | Some eg -> eg
+  | None ->
+      let eg =
+        {
+          busy = false;
+          eg_urgent = Queue.create ();
+          eg_bulk = Queue.create ();
+          depth_high_water = 0;
+        }
+      in
+      Hashtbl.add t.egresses k eg;
+      eg
+
+let egress_depth eg =
+  Queue.length eg.eg_urgent + Queue.length eg.eg_bulk
+  + if eg.busy then 1 else 0
+
+(* Drain the egress: urgent lane first, then bulk, FIFO within each —
+   deterministic because sends on one link happen in engine sequence
+   order.  Each message occupies the wire for [units x serialization]
+   before the link's propagation model takes over. *)
+let rec pump t ~src ~dst eg =
+  let next =
+    if not (Queue.is_empty eg.eg_urgent) then Some (Queue.pop eg.eg_urgent)
+    else if not (Queue.is_empty eg.eg_bulk) then Some (Queue.pop eg.eg_bulk)
+    else None
+  in
+  match next with
+  | None -> eg.busy <- false
+  | Some (kind, units, msg) ->
+      eg.busy <- true;
+      let wire = units * serialization_of t (key src dst) in
+      ignore
+        (Des.Engine.schedule_after t.engine wire (fun () ->
+             transmit t kind ~src ~dst msg;
+             pump t ~src ~dst eg)
+          : Des.Engine.handle)
+
+let send t kind ?(lane = Transport.Urgent) ?(units = 1) ~src ~dst msg =
   t.sent <- t.sent + 1;
   if Node_id.equal src dst then deliver t ~src ~dst msg
   else if not (Node_id.Table.mem t.nodes dst) then
@@ -224,28 +332,30 @@ let send t kind ~src ~dst msg =
     t.lost <- t.lost + 1
   else if not (reachable t src dst) then t.lost <- t.lost + 1
   else
-    let l = link t ~src ~dst in
-    let deliver1 = deliver_fn t ~src ~dst in
-    let extra = egress_extra t src in
-    match kind with
-    | Transport.Datagram -> (
-        match Link.sample_datagram l with
-        | Link.Lost -> t.lost <- t.lost + 1
-        | Link.Delivered latency ->
-            schedule_delivery t ~deliver1 ~latency:(latency + extra) msg
-        | Link.Duplicated (l1, l2) ->
-            t.duplicated <- t.duplicated + 1;
-            schedule_delivery t ~deliver1 ~latency:(l1 + extra) msg;
-            schedule_delivery t ~deliver1 ~latency:(l2 + extra) msg)
-    | Transport.Reliable ->
-        let latency = Link.sample_reliable l + extra in
-        let now = Des.Engine.now t.engine in
-        let at =
-          Transport.Channel.delivery_time (channel t src dst) ~now ~latency
-        in
-        ignore
-          (Des.Engine.schedule_at t.engine at (fun () -> deliver1 msg)
-            : Des.Engine.handle)
+    let k = key src dst in
+    if serialization_of t k <= 0 then transmit t kind ~src ~dst msg
+    else begin
+      let eg = egress_of t k in
+      (match lane with
+      | Transport.Urgent -> Queue.push (kind, units, msg) eg.eg_urgent
+      | Transport.Bulk -> Queue.push (kind, units, msg) eg.eg_bulk);
+      let depth = egress_depth eg in
+      if depth > eg.depth_high_water then eg.depth_high_water <- depth;
+      if not eg.busy then pump t ~src ~dst eg
+    end
+
+let pending t ~src ~dst =
+  match Hashtbl.find_opt t.egresses (key src dst) with
+  | None -> 0
+  | Some eg -> egress_depth eg
+
+let link_queue_depths t =
+  Hashtbl.fold
+    (fun k eg acc ->
+      ((k lsr 20, k land 0xFFFFF), eg.depth_high_water) :: acc)
+    t.egresses []
+  |> List.sort (fun ((a1, a2), _) ((b1, b2), _) ->
+         match Int.compare a1 b1 with 0 -> Int.compare a2 b2 | c -> c)
 
 let pause t id = (state t id).paused <- true
 let resume t id = (state t id).paused <- false

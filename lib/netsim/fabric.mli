@@ -41,8 +41,42 @@ val link : 'msg t -> src:Node_id.t -> dst:Node_id.t -> Link.t
 (** The directed link (created on demand). *)
 
 val send :
-  'msg t -> Transport.kind -> src:Node_id.t -> dst:Node_id.t -> 'msg -> unit
-(** Transmit a message.  Self-sends are delivered immediately. *)
+  'msg t ->
+  Transport.kind ->
+  ?lane:Transport.lane ->
+  ?units:int ->
+  src:Node_id.t ->
+  dst:Node_id.t ->
+  'msg ->
+  unit
+(** Transmit a message.  Self-sends are delivered immediately.
+
+    When the link has a serialization delay configured
+    ({!set_serialization}), the message first queues at the sender's
+    egress and occupies the wire for [units x serialization] (default
+    [units = 1]) before the link's propagation model applies; [lane]
+    (default [Urgent]) picks the egress class — urgent messages depart
+    before anything waiting in the bulk lane.  Without a serialization
+    delay the egress queue does not exist, [lane]/[units] are ignored,
+    and the send path is identical to the pre-lane fabric. *)
+
+val set_serialization :
+  'msg t -> src:Node_id.t -> dst:Node_id.t -> Des.Time.span -> unit
+(** Per-message wire time (per {!send} unit) on the directed link.
+    [0] (the default) disables the egress queue entirely. *)
+
+val set_uniform_serialization : 'msg t -> Des.Time.span -> unit
+(** Serialization delay for every directed link (including future ones). *)
+
+val pending : 'msg t -> src:Node_id.t -> dst:Node_id.t -> int
+(** Messages queued at (or occupying) the [src -> dst] egress right now:
+    the per-destination congestion signal a sender throttles bulk
+    traffic on.  Always [0] on a link without serialization. *)
+
+val link_queue_depths : _ t -> ((int * int) * int) list
+(** High-water egress queue depth per directed link, keyed by
+    [(src, dst)] node ints and sorted by that key.  Links that never
+    queued (no serialization delay) are absent. *)
 
 val set_egress_congestion : 'msg t -> Node_id.t -> Congestion.spec -> unit
 (** Attach a sender-side congestion process to a node: during an episode,

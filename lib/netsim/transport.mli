@@ -14,6 +14,19 @@ type kind =
 
 val pp_kind : Format.formatter -> kind -> unit
 
+type lane =
+  | Urgent
+      (** protocol-critical traffic (heartbeats, votes, TimeoutNow):
+          jumps ahead of any queued bulk messages at the egress *)
+  | Bulk
+      (** entry-carrying replication traffic: queues behind urgent
+          messages when the sender's NIC is busy *)
+(** Egress scheduling class.  Lanes only matter on a {!Fabric} link with
+    a configured serialization delay; without one every message departs
+    immediately and the lane is ignored. *)
+
+val pp_lane : Format.formatter -> lane -> unit
+
 module Channel : sig
   (** Per-(src,dst) reliable-channel ordering state. *)
 

@@ -16,7 +16,21 @@ type t = {
   consolidated_timer : bool;
   snapshot_threshold : int;
   learner_promotion_gap : int;
+  max_inflight_appends : int;
+  append_backpressure : int;
+  priority_lanes : bool;
 }
+
+let with_replication ?max_inflight_appends ?append_backpressure
+    ?max_entries_per_append ?priority_lanes t =
+  let pick v = function Some v' -> v' | None -> v in
+  {
+    t with
+    max_inflight_appends = pick t.max_inflight_appends max_inflight_appends;
+    append_backpressure = pick t.append_backpressure append_backpressure;
+    max_entries_per_append = pick t.max_entries_per_append max_entries_per_append;
+    priority_lanes = pick t.priority_lanes priority_lanes;
+  }
 
 let with_learner_promotion_gap ~gap t =
   if gap < 0 then invalid_arg "Config.with_learner_promotion_gap: negative gap";
@@ -45,6 +59,9 @@ let static ?(election_timeout = Des.Time.ms 1000)
     consolidated_timer = false;
     snapshot_threshold = 0;
     learner_promotion_gap = 64;
+    max_inflight_appends = 1024;
+    append_backpressure = 64;
+    priority_lanes = true;
   }
 
 let raft_low () =
@@ -65,6 +82,9 @@ let dynatune ?(cfg = Dynatune.Config.default) () =
     consolidated_timer = false;
     snapshot_threshold = 0;
     learner_promotion_gap = 64;
+    max_inflight_appends = 1024;
+    append_backpressure = 64;
+    priority_lanes = true;
   }
 
 let fix_k ?(cfg = Dynatune.Config.default) ~k () =
@@ -85,6 +105,10 @@ let validate t =
     err "snapshot_threshold must be non-negative"
   else if t.learner_promotion_gap < 0 then
     err "learner_promotion_gap must be non-negative"
+  else if t.max_inflight_appends <= 0 then
+    err "max_inflight_appends must be positive"
+  else if t.append_backpressure <= 0 then
+    err "append_backpressure must be positive"
   else
     match t.tuning with
     | Static -> Ok t

@@ -59,7 +59,30 @@ type t = {
       (** A learner is considered caught up — and auto-promoted by the
           leader — once its match index is within this many entries of
           the leader's last index.  [0] requires an exact match. *)
+  max_inflight_appends : int;
+      (** Pipelining window: how many entry-carrying AppendEntries (or
+          snapshots) the leader keeps unacknowledged per follower before
+          it stops streaming.  [1] recovers strict request/response
+          replication. *)
+  append_backpressure : int;
+      (** Egress-queue depth (per destination, from the fabric's
+          congestion signal) above which the leader stops handing new
+          bulk appends to the transport.  Only engages on links with a
+          serialization delay — queues cannot form otherwise. *)
+  priority_lanes : bool;
+      (** Send control traffic (heartbeats, votes, TimeoutNow, ...) on
+          the fabric's urgent lane so it overtakes queued bulk appends.
+          Off, everything shares one FIFO lane. *)
 }
+
+val with_replication :
+  ?max_inflight_appends:int ->
+  ?append_backpressure:int ->
+  ?max_entries_per_append:int ->
+  ?priority_lanes:bool ->
+  t ->
+  t
+(** Override the replication-engine knobs on a configuration. *)
 
 val with_extensions :
   ?suppress_heartbeats_under_load:bool -> ?consolidated_timer:bool -> t -> t

@@ -123,7 +123,11 @@ let try_append t ~prev_index ~prev_term ~entries =
       (* Predecessor conflicts; everything from it onward is suspect. *)
       `Conflict prev_index
   | `Prefix_ok ->
-      let apply entry =
+      (* Plain counted loop (no closure, no fold): this is the follower
+         hot path, executed once per replicated batch. *)
+      let n = Array.length entries in
+      for i = 0 to n - 1 do
+        let entry = entries.(i) in
         assert (entry.index >= 1);
         if entry.index > t.snapshot_index then
           match term_at t entry.index with
@@ -134,13 +138,10 @@ let try_append t ~prev_index ~prev_term ~entries =
           | None ->
               assert (entry.index = last_index t + 1);
               push t entry
-      in
-      Array.iter apply entries;
-      let covered =
-        Array.fold_left
-          (fun acc (e : entry) -> Stdlib.max acc e.index)
-          prev_index entries
-      in
+      done;
+      (* Batches are contiguous and ascending: the last entry carries
+         the highest index. *)
+      let covered = if n = 0 then prev_index else entries.(n - 1).index in
       `Ok (Stdlib.max covered t.snapshot_index)
 
 let compact t ~upto =

@@ -24,6 +24,8 @@ type t = {
   m_sent : Telemetry.Metrics.Counter.t;
   m_recv : Telemetry.Metrics.Counter.t;
   m_hb_rtt : Telemetry.Metrics.Timer.t;
+  m_inflight : Telemetry.Metrics.Gauge.t;
+  m_batch : Telemetry.Metrics.Timer.t;
   mutable paused : bool;
   mutable incarnation : int;
       (* bumped on every crash-recovery: volatile server state does not
@@ -44,12 +46,27 @@ let rec dispatch t event =
 and interpret t = function
   | Server.Send { dst; kind; msg } ->
       Telemetry.Metrics.Counter.incr t.m_sent;
+      if t.instrumented then begin
+        match msg with
+        | Rpc.Append_request { entries; _ } when Array.length entries > 0 ->
+            Telemetry.Metrics.Timer.observe_ms t.m_batch
+              (float_of_int (Array.length entries));
+            Telemetry.Metrics.Gauge.set_max t.m_inflight
+              (float_of_int (Server.appends_inflight t.server))
+        | Rpc.Append_request _ | Rpc.Vote_request _ | Rpc.Vote_response _
+        | Rpc.Append_response _ | Rpc.Heartbeat _ | Rpc.Heartbeat_response _
+        | Rpc.Install_snapshot _ | Rpc.Install_snapshot_response _
+        | Rpc.Timeout_now _ ->
+            ()
+      end;
       Netsim.Cpu.charge t.cpu
         ~cost:
           (Cost_model.message_send_cost t.costs
              ~tuning_active:(Server.tuning_active t.server)
              msg);
-      Netsim.Fabric.send t.fabric kind ~src:(id t) ~dst msg
+      Replication.transmit t.fabric
+        ~lanes:t.config.Config.priority_lanes
+        ~src:(id t) ~dst kind msg
   | Server.Arm_election span -> Des.Timer.arm t.election_timer span
   | Server.Disarm_election -> Des.Timer.disarm t.election_timer
   | Server.Arm_heartbeat { peer; after } ->
@@ -146,6 +163,8 @@ let create ~fabric ~trace ?cpu ?(costs = Cost_model.zero) ?apply ?snapshot_of
       ()
   in
   Server.set_instrument server (Telemetry.Metrics.enabled metrics);
+  Server.set_congestion_probe server (fun dst ->
+      Netsim.Fabric.pending fabric ~src:node_id ~dst);
   let apply = match apply with Some f -> f | None -> fun _ -> () in
   let snapshot_of = match snapshot_of with Some f -> f | None -> fun () -> "" in
   let install_sm = match install_sm with Some f -> f | None -> fun _ -> () in
@@ -193,6 +212,14 @@ let create ~fabric ~trace ?cpu ?(costs = Cost_model.zero) ?apply ?snapshot_of
         m_hb_rtt =
           Telemetry.Metrics.timer metrics ~scope:"rpc" ~name:"hb_rtt_ms"
             ~node:node_label ~lo:0. ~hi:1000. ~bins:100 ();
+        m_inflight =
+          Telemetry.Metrics.gauge metrics ~scope:"raft"
+            ~name:"appends_inflight" ~node:node_label ();
+        m_batch =
+          (* bins are batch sizes, not milliseconds *)
+          Telemetry.Metrics.timer metrics ~scope:"raft"
+            ~name:"append_batch_size" ~node:node_label ~lo:0. ~hi:1024.
+            ~bins:64 ();
         apply;
         snapshot_of;
         install_sm;
@@ -307,6 +334,8 @@ let restart t =
   t.server <-
     Server.create ~restore ~id:(id t) ~peers:t.peers ~config:t.config ~rng ();
   Server.set_instrument t.server t.instrumented;
+  Server.set_congestion_probe t.server (fun dst ->
+      Netsim.Fabric.pending t.fabric ~src:(id t) ~dst);
   t.incarnation <- t.incarnation + 1;
   (* Seed the state machine from the persisted snapshot; entries above
      the boundary are replayed as the leader re-teaches the commit

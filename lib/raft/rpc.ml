@@ -21,6 +21,10 @@ type append_response = {
   success : bool;
   match_index : Types.index;
   conflict_hint : Types.index;
+  req_prev : Types.index;
+      (* the request's [prev_index], echoed back: with pipelined appends
+         the leader must tell a conflict for the probe it has in flight
+         from a conflict for a send it already rewound past *)
 }
 
 type install_snapshot = {

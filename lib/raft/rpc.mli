@@ -39,6 +39,11 @@ type append_response = {
   success : bool;
   match_index : Types.index;  (** meaningful when [success] *)
   conflict_hint : Types.index;  (** meaningful when not [success] *)
+  req_prev : Types.index;
+      (** The request's [prev_index], echoed back.  With pipelined
+          appends the leader uses it to tell a conflict for the probe it
+          has in flight from a stale nack answering a send it already
+          rewound past (which must not trigger another resend). *)
 }
 
 type install_snapshot = {

@@ -83,6 +83,12 @@ type t = {
   mutable votes : Node_id.Set.t;
   mutable quorum_acks : Node_id.Set.t;
   progress : Progress.t Node_id.Table.t;
+  batches : batch_cache Node_id.Table.t;
+      (* per-peer reuse of the last sliced entry window: retransmits and
+         probes of an unchanged log region ship the same (immutable)
+         array instead of re-slicing *)
+  mutable congestion : Node_id.t -> int;
+      (* host-installed egress-depth probe; [fun _ -> 0] until set *)
   paths : Dynatune.Leader_path.t Node_id.Table.t;
   tuner : Dynatune.Tuner.t option;
   mutable randomized : Des.Time.span;
@@ -98,6 +104,12 @@ type t = {
          changes rarely relative to heartbeat volume, so the same box is
          shipped in nearly every response instead of a fresh [Some] *)
 }
+and batch_cache = {
+  mutable bc_from : Types.index;
+  mutable bc_mutations : int;
+  mutable bc_entries : Log.entry array;
+}
+
 and pending_read = {
   r_client : int;
   r_seq : int;
@@ -251,6 +263,8 @@ let create ?restore ?(joining = false) ~id ~peers ~config ~rng () =
       votes = Node_id.Set.empty;
       quorum_acks = Node_id.Set.empty;
       progress = Node_id.Table.create 8;
+      batches = Node_id.Table.create 8;
+      congestion = (fun _ -> 0);
       paths = Node_id.Table.create 8;
       tuner;
       randomized = 0;
@@ -302,6 +316,10 @@ let config t = t.config
 let randomized_timeout t = t.randomized
 let tuner t = t.tuner
 let set_instrument t on = t.instrument <- on
+let set_congestion_probe t f = t.congestion <- f
+
+let appends_inflight t =
+  Node_id.Table.fold (fun _ p acc -> acc + Progress.inflight p) t.progress 0
 
 let election_timeout_now t =
   match t.tuner with
@@ -489,14 +507,46 @@ let progress_of t peer =
       Node_id.Table.add t.progress peer p;
       p
 
+(* The sliced windows are immutable once built (receivers must not
+   mutate them, and the log only ever truncates/extends whole entries),
+   so a window already shipped may be shipped again by reference.  Probes
+   and retransmits of an unchanged log region therefore reuse the cached
+   array; the cache is invalidated by the log's mutation counter. *)
+let batch_for t peer ~from =
+  let slice () =
+    Log.slice t.log ~from ~max:t.config.Config.max_entries_per_append
+  in
+  match Node_id.Table.find_opt t.batches peer with
+  | Some bc ->
+      let muts = Log.mutations t.log in
+      let len = Array.length bc.bc_entries in
+      let still_valid =
+        bc.bc_from = from && bc.bc_mutations = muts
+        && (* a window short of the batch limit grows as the log does *)
+        (len >= t.config.Config.max_entries_per_append
+        || from + len > Log.last_index t.log)
+      in
+      if still_valid then bc.bc_entries
+      else begin
+        let entries = slice () in
+        bc.bc_from <- from;
+        bc.bc_mutations <- muts;
+        bc.bc_entries <- entries;
+        entries
+      end
+  | None ->
+      let entries = slice () in
+      Node_id.Table.add t.batches peer
+        { bc_from = from; bc_mutations = Log.mutations t.log;
+          bc_entries = entries };
+      entries
+
 let append_request_for t peer =
   let pr = progress_of t peer in
   let next = Progress.next_index pr in
   let prev_index = next - 1 in
   let prev_term = Option.value ~default:0 (Log.term_at t.log prev_index) in
-  let entries =
-    Log.slice t.log ~from:next ~max:t.config.Config.max_entries_per_append
-  in
+  let entries = batch_for t peer ~from:next in
   Rpc.Append_request
     { term = t.term; prev_index; prev_term; entries; commit = t.commit_index }
 
@@ -547,11 +597,9 @@ and send_append_entries t ctx peer =
   let msg = append_request_for t peer in
   (match msg with
   | Rpc.Append_request { entries; _ } when Array.length entries > 0 ->
-      let upto =
-        Array.fold_left
-          (fun acc (e : Log.entry) -> Stdlib.max acc e.index)
-          0 entries
-      in
+      (* Slices are contiguous and ascending: the last element is the
+         highest index (no fold over the batch). *)
+      let upto = entries.(Array.length entries - 1).Log.index in
       let pr = progress_of t peer in
       Progress.record_sent pr ~upto;
       Progress.note_append_sent pr ~at:ctx.now
@@ -561,6 +609,30 @@ and send_append_entries t ctx peer =
   | Rpc.Timeout_now _ ->
       ());
   emit ctx (Send { dst = peer; kind = Netsim.Transport.Reliable; msg })
+
+(* The pipelined replication driver: stream batches to [peer] while it
+   is behind, its in-flight window has room, and its egress queue is not
+   congested.  With the default window this degenerates to at most one
+   extra send over the old one-batch-per-trigger flow (a second batch
+   only exists when more than [max_entries_per_append] entries are
+   pending), which is what keeps the figure digests stable. *)
+and replicate t ctx peer =
+  let pr = progress_of t peer in
+  let window = t.config.Config.max_inflight_appends in
+  let limit = t.config.Config.append_backpressure in
+  let continue = ref true in
+  while
+    !continue
+    && Progress.needs_entries pr ~last_index:(Log.last_index t.log)
+    && Progress.may_send pr ~window
+    && t.congestion peer < limit
+  do
+    let before = Progress.next_index pr in
+    send_append t ctx peer;
+    (* A send that does not advance [next] (probe resend, snapshot
+       fallback) must not spin. *)
+    if Progress.next_index pr <= before then continue := false
+  done
 
 let send_heartbeat t ctx ~now peer =
   let p = path t peer in
@@ -640,10 +712,7 @@ let begin_transfer t ctx ~now target =
         | Some { tr_sent = false; _ } ->
             (* Nudge the target's catch-up rather than waiting for the
                heartbeat path to notice it is behind. *)
-            if
-              Progress.needs_entries (progress_of t target)
-                ~last_index:(Log.last_index t.log)
-            then send_append t ctx target
+            replicate t ctx target
         | Some _ | None -> ()
       end
 
@@ -889,11 +958,12 @@ let become_leader t ctx =
   if t.config.Config.check_quorum then
     emit ctx (Arm_quorum_check (Config.election_timeout_base t.config));
   Node_id.Table.reset t.progress;
+  Node_id.Table.reset t.batches;
   Node_id.Table.iter (fun _ p -> Dynatune.Leader_path.reset p) t.paths;
   List.iter (fun peer -> ignore (progress_of t peer : Progress.t)) t.others;
   ignore (Log.append_new t.log ~term:t.term Log.Noop : Log.entry);
   set_role t ctx Types.Leader;
-  List.iter (fun peer -> send_append t ctx peer) t.others;
+  List.iter (fun peer -> replicate t ctx peer) t.others;
   arm_leader_heartbeats t ctx ~immediately:false;
   (* A single-server cluster commits by itself. *)
   maybe_advance_commit t ctx
@@ -1100,6 +1170,7 @@ let on_append_request t ctx ~now ~from (req : Rpc.append_request) =
                  success = false;
                  match_index = 0;
                  conflict_hint = 0;
+                 req_prev = req.prev_index;
                };
          })
   else begin
@@ -1130,6 +1201,7 @@ let on_append_request t ctx ~now ~from (req : Rpc.append_request) =
               success = true;
               match_index = covered;
               conflict_hint = 0;
+              req_prev = req.prev_index;
             }
       | `Conflict hint ->
           Rpc.Append_response
@@ -1138,6 +1210,7 @@ let on_append_request t ctx ~now ~from (req : Rpc.append_request) =
               success = false;
               match_index = 0;
               conflict_hint = hint;
+              req_prev = req.prev_index;
             }
     in
     emit ctx
@@ -1155,13 +1228,18 @@ let on_append_response t ctx ~now ~from (resp : Rpc.append_response) =
       maybe_advance_commit t ctx;
       maybe_send_timeout_now t ctx;
       maybe_promote_learner t ctx from;
-      if Progress.needs_entries pr ~last_index:(Log.last_index t.log) then
-        send_append t ctx from
+      replicate t ctx from
     end
-    else begin
-      Progress.record_conflict pr ~hint:resp.conflict_hint;
-      send_append t ctx from
-    end
+    else
+      (* Only a conflict for the probe currently in flight rewinds; a
+         nack answering a send from before an earlier rewind is dropped,
+         or every stale nack would re-append the same entries. *)
+      match
+        Progress.record_conflict_response pr ~req_prev:resp.req_prev
+          ~hint:resp.conflict_hint
+      with
+      | `Rewound -> send_append t ctx from
+      | `Stale -> ()
   end
 
 (* Inline-record messages cannot escape their match, so the dispatch in
@@ -1232,12 +1310,22 @@ let on_heartbeat_response t ctx ~now ~from ~term:resp_term ~echo_sent_at
        clock, in which case [next] is rewound to just past its match. *)
     let pr = progress_of t from in
     let last_index = Log.last_index t.log in
-    if Progress.needs_entries pr ~last_index then send_append t ctx from
-    else if
-      Progress.match_index pr < last_index
-      && Des.Time.diff now (Progress.last_response_at pr)
-         > Config.election_timeout_base t.config
-    then begin
+    let stale_clock () =
+      Des.Time.diff now (Progress.last_response_at pr)
+      > Config.election_timeout_base t.config
+    in
+    if Progress.needs_entries pr ~last_index then begin
+      if Progress.inflight pr > 0 && stale_clock () then begin
+        (* The window is full of sends that never drew a response: they
+           were dropped while the follower was unreachable, and no nack
+           will ever drain them.  Rewind to re-probe from its match. *)
+        Progress.record_conflict pr ~hint:(Progress.match_index pr + 1);
+        Progress.note_response pr ~at:now;
+        send_append t ctx from
+      end
+      else replicate t ctx from
+    end
+    else if Progress.match_index pr < last_index && stale_clock () then begin
       Progress.record_conflict pr ~hint:(Progress.match_index pr + 1);
       Progress.note_response pr ~at:now;
       send_append t ctx from
@@ -1294,8 +1382,7 @@ let on_install_snapshot_response t ctx ~now ~from
     maybe_advance_commit t ctx;
     maybe_send_timeout_now t ctx;
     maybe_promote_learner t ctx from;
-    if Progress.needs_entries pr ~last_index:(Log.last_index t.log) then
-      send_append t ctx from
+    replicate t ctx from
   end
 
 let on_timeout_now t ctx ~term =
@@ -1373,12 +1460,7 @@ let handle t ~now event =
   | Flush_due ->
       t.flush_requested <- false;
       if Types.is_leader t.role then
-        List.iter
-          (fun peer ->
-            let pr = progress_of t peer in
-            if Progress.needs_entries pr ~last_index:(Log.last_index t.log)
-            then send_append t ctx peer)
-          t.others
+        List.iter (fun peer -> replicate t ctx peer) t.others
   | Propose { payload; client_id; seq } ->
       if Types.is_leader t.role && not (Option.is_some t.transfer) then begin
         ignore

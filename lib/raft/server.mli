@@ -157,6 +157,16 @@ val set_instrument : t -> bool -> unit
     turns it on, and must turn it on again after a restart (a restart
     builds a fresh server). *)
 
+val set_congestion_probe : t -> (Netsim.Node_id.t -> int) -> unit
+(** Install the per-destination egress-depth probe the replication
+    driver throttles bulk appends on (typically the fabric's
+    [pending] count).  Defaults to [fun _ -> 0] — no backpressure —
+    and, like {!set_instrument}, must be reinstalled after a restart. *)
+
+val appends_inflight : t -> int
+(** Entry-carrying appends (and snapshots) sent but not yet
+    acknowledged, summed over all followers.  [0] on non-leaders. *)
+
 val heartbeat_interval_to : t -> Netsim.Node_id.t -> Des.Time.span option
 (** Leader only: the interval currently applied toward a follower (the
     quantity Fig 7a plots). *)

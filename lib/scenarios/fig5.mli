@@ -34,3 +34,42 @@ val compare_modes :
     are identical at any [jobs] — only the wall-clock changes. *)
 
 val print : Format.formatter -> result list -> unit
+
+(** {2 Saturation sweep — replication engine v2}
+
+    The fig5 extension: the same open-loop ramp, but with a wire model
+    (per-message serialization delay) on every link and no CPU costs, so
+    the bottleneck is the leader's egress.  Four variants cross the
+    pipelining window ([1] = strict request/response, one batch per RTT)
+    with the priority lanes (off = heartbeats queue FIFO behind the
+    replication burst, inflating the tuner's RTT estimate). *)
+
+type sat_result = {
+  sat_label : string;  (** e.g. ["window=16 lanes=on"] *)
+  sat_window : int;  (** [max_inflight_appends] of the variant *)
+  sat_lanes : bool;
+  sat_levels : Kvsm.Workload.level_report list;
+  sat_peak_rps : float;
+  sat_saturation_rps : float option;
+  sat_rtt_err : float;
+      (** Mean relative error of the followers' tuned RTT estimate
+          against the configured base RTT, sampled after the last
+          (saturating) level.  [nan] if no follower had samples. *)
+}
+
+val saturation :
+  ?seed:int64 ->
+  ?n:int ->
+  ?rates:float list ->
+  ?hold:Des.Time.span ->
+  ?rtt_ms:float ->
+  ?serialization:Des.Time.span ->
+  ?jobs:int ->
+  unit ->
+  sat_result list
+(** Defaults: 5 servers, 50 ms RTT, 100 us/unit serialization, levels
+    250..8000 rps held 3 s each; variants (window, lanes) in
+    [(1,off); (1,on); (16,off); (16,on)].  Each variant is its own
+    deterministic simulation, so results are identical at any [jobs]. *)
+
+val print_saturation : Format.formatter -> sat_result list -> unit

@@ -25,6 +25,10 @@ let total : float ref = ref 0.
 let bail () = exit 1
 let die code = Stdlib.exit code
 
+(* raw-fabric-send *)
+let ship fabric kind ~src ~dst msg = Netsim.Fabric.send fabric kind ~src ~dst msg
+let ship_aliased fabric kind ~src ~dst msg = Fabric.send fabric kind ~src ~dst msg
+
 (* direct-print *)
 let show x = Printf.printf "%d\n" x
 let complain msg = Format.eprintf "%s@." msg

@@ -24,3 +24,10 @@ let bump () =
 let render x = Printf.sprintf "%d" x
 let pp ppf x = Format.fprintf ppf "%d" x
 let pp_name ppf = Format.pp_print_string ppf "name"
+
+(* Routing through the replication seam is the sanctioned way to reach
+   the fabric, and other Fabric entry points (Fabric.send is banned from
+   lib/raft, but only that one) stay available. *)
+let transmit = Replication.transmit
+let queue_depth fabric ~src ~dst = Netsim.Fabric.pending fabric ~src ~dst
+let sender = "Fabric.sender is a name, not a call to the banned entry point"

@@ -255,6 +255,68 @@ let test_full_cluster_crash_recovery () =
       (Kvsm.Store.find reference (Printf.sprintf "stable:%d" i))
   done
 
+(* {2 Pipelined replication under faults}
+
+   Regression for the replication engine v2: a follower that sleeps
+   through a burst of writes wakes behind a pipeline of in-flight
+   appends whose nacks are mostly stale (they answer superseded sends),
+   on a link that also loses and duplicates datagrams.  The old
+   nack-resends-everything behaviour re-appended the same window per
+   stale nack; the stale rule plus the stalled-window nudge must still
+   converge every replica. *)
+
+let test_pipelined_laggard_catchup () =
+  let config =
+    Raft.Config.with_replication ~max_inflight_appends:4 ~append_backpressure:8
+      ~max_entries_per_append:4
+      (Raft.Config.static ())
+  in
+  let conditions =
+    Netsim.Conditions.(
+      constant (profile ~rtt_ms:20. ~jitter:0.3 ~loss:0.1 ~duplicate:0.05 ()))
+  in
+  let c =
+    Cluster.create ~seed:31L ~n:5 ~config ~conditions ~check:Check.Always ()
+  in
+  (* A wire model so the bulk lanes and the egress queues engage. *)
+  Netsim.Fabric.set_uniform_serialization (Cluster.fabric c) (Time.us 50);
+  Cluster.start c;
+  ignore (Cluster.await_leader c ~timeout:(Time.sec 20));
+  let leader = leader_id c in
+  let laggard =
+    List.find (fun id -> not (Node_id.equal id leader)) (Cluster.node_ids c)
+  in
+  Fault.pause c laggard;
+  let committed = ref 0 in
+  for i = 1 to 30 do
+    (match
+       put c ~seq:i
+         (Printf.sprintf "lag:%d" i)
+         "v"
+         ~on_result:(fun ~committed:ok -> if ok then incr committed)
+     with
+    | `Accepted -> ()
+    | `Not_leader _ -> ());
+    Cluster.run_for c (Time.ms 20)
+  done;
+  Cluster.run_for c (Time.sec 2);
+  Alcotest.(check int) "quorum committed while the laggard slept" 30 !committed;
+  Fault.recover c laggard;
+  Cluster.run_for c (Time.sec 15);
+  let digests =
+    List.map
+      (fun id -> Kvsm.Store.state_digest (Cluster.store c id))
+      (Cluster.node_ids c)
+  in
+  (match digests with
+  | d :: rest -> List.iter (Alcotest.(check string) "laggard caught up" d) rest
+  | [] -> Alcotest.fail "no stores");
+  (* The catch-up must not have re-appended entries it already sent:
+     the laggard's log is exactly the leader's. *)
+  Alcotest.(check int) "log lengths equal"
+    (Raft.Log.last_index (Raft.Server.log (Raft.Node.server (Cluster.node c leader))))
+    (Raft.Log.last_index (Raft.Server.log (Raft.Node.server (Cluster.node c laggard))))
+
 let tests =
   [
     Alcotest.test_case "partition: reachability" `Quick
@@ -273,4 +335,6 @@ let tests =
       test_crash_rejects_pending_waiters;
     Alcotest.test_case "crash: rolling full-cluster recovery" `Slow
       test_full_cluster_crash_recovery;
+    Alcotest.test_case "pipelined laggard catches up under loss" `Quick
+      test_pipelined_laggard_catchup;
   ]

@@ -27,7 +27,7 @@ let all_messages : Raft.Rpc.message list =
     Raft.Rpc.Append_request
       { term = 1; prev_index = 0; prev_term = 0; entries = [||]; commit = 0 };
     Raft.Rpc.Append_response
-      { term = 1; success = true; match_index = 4; conflict_hint = 0 };
+      { term = 1; success = true; match_index = 4; conflict_hint = 0; req_prev = 0 };
     Raft.Rpc.Heartbeat
       { term = 1; commit = 0; hb_id = 3; sent_at = 0; measured_rtt = None };
     Raft.Rpc.Heartbeat_response

@@ -486,6 +486,75 @@ let prop_wheel_matches_heap =
       done;
       !ok && !ref_fired = !sub_fired)
 
+(* {2 Pipelined replication}
+
+   End-to-end convergence of the replication engine v2 under a hostile
+   link: random loss and duplication (the datagram heartbeats the tuner
+   and the stalled-window nudge ride on), jitter-induced reordering, and
+   a random follower sleeping through part of the write burst.  Whatever
+   interleaving of stale nacks, rewinds and retransmissions results, a
+   quiet period must leave every replica with the same store. *)
+
+let prop_pipelined_replication_converges =
+  Q.Test.make ~count:10
+    ~name:"pipelined replication converges under loss/dup/reorder"
+    Q.(
+      quad (int_range 1 10_000)
+        (float_range 0. 0.12)
+        (float_range 0. 0.08)
+        (int_range 0 3))
+    (fun (seed, loss, duplicate, victim_pick) ->
+      let config =
+        Raft.Config.with_replication ~max_inflight_appends:4
+          ~append_backpressure:8 ~max_entries_per_append:4
+          (Raft.Config.dynatune ())
+      in
+      let conditions =
+        Netsim.Conditions.(
+          constant (profile ~rtt_ms:20. ~jitter:0.3 ~loss ~duplicate ()))
+      in
+      let c =
+        Harness.Cluster.create ~seed:(Int64.of_int seed) ~n:5 ~config
+          ~conditions ~check:Check.Always ()
+      in
+      Netsim.Fabric.set_uniform_serialization (Harness.Cluster.fabric c)
+        (Des.Time.us 50);
+      Harness.Cluster.start c;
+      match Harness.Cluster.await_leader c ~timeout:(Des.Time.sec 30) with
+      | None -> false
+      | Some leader ->
+          let leader = Raft.Node.id leader in
+          let victim =
+            List.nth
+              (List.filter
+                 (fun id -> not (Netsim.Node_id.equal id leader))
+                 (Harness.Cluster.node_ids c))
+              victim_pick
+          in
+          let target = Harness.Cluster.submit_target c in
+          for i = 1 to 30 do
+            if i = 8 then Harness.Fault.pause c victim;
+            if i = 22 then Harness.Fault.recover c victim;
+            ignore
+              (target
+                 ~payload:
+                   (Kvsm.Command.to_payload
+                      (Kvsm.Command.Put
+                         { key = Printf.sprintf "p:%d" i; value = "v" }))
+                 ~client_id:1 ~seq:i
+                 ~on_result:(fun ~committed:_ -> ()));
+            Harness.Cluster.run_for c (Des.Time.ms 25)
+          done;
+          Harness.Cluster.run_for c (Des.Time.sec 15);
+          let digests =
+            List.map
+              (fun id -> Kvsm.Store.state_digest (Harness.Cluster.store c id))
+              (Harness.Cluster.node_ids c)
+          in
+          (match digests with
+          | d :: rest -> List.for_all (String.equal d) rest
+          | [] -> false))
+
 let tests =
   List.map to_alcotest
     [
@@ -512,4 +581,5 @@ let tests =
       prop_ewma_constant_input_converges;
       prop_partition_reachability_is_equivalence;
       prop_conditions_piecewise_lookup;
+      prop_pipelined_replication_converges;
     ]

@@ -339,7 +339,13 @@ let test_leader_replicates_and_commits () =
   let ack from =
     recv s ~from
       (Rpc.Append_response
-         { term = Server.term s; success = true; match_index = 1; conflict_hint = 0 })
+         {
+                term = Server.term s;
+                success = true;
+                match_index = 1;
+                conflict_hint = 0;
+                req_prev = 0;
+              })
       ~now:(Time.ms 1)
   in
   let acts1 = ack 1 in
@@ -361,7 +367,13 @@ let test_leader_propose_and_flush () =
       ignore
         (recv s ~from
            (Rpc.Append_response
-              { term = Server.term s; success = true; match_index = 1; conflict_hint = 0 })
+              {
+                term = Server.term s;
+                success = true;
+                match_index = 1;
+                conflict_hint = 0;
+                req_prev = 0;
+              })
            ~now:(Time.ms 1)))
     [ 1; 2; 3; 4 ];
   let acts =
@@ -433,7 +445,7 @@ let test_conflict_backoff () =
   let acts =
     recv s ~from:1
       (Rpc.Append_response
-         { term; success = false; match_index = 0; conflict_hint = 1 })
+         { term; success = false; match_index = 0; conflict_hint = 1; req_prev = 0 })
       ~now:(Time.ms 1)
   in
   let retries =
@@ -570,6 +582,129 @@ let test_dynatune_leader_uses_per_peer_timers () =
   Alcotest.(check (list int)) "one timer per follower" [ 1; 2; 3; 4 ]
     (List.sort compare armed)
 
+(* {2 Replication engine v2: pipelining window and stale nacks} *)
+
+let test_progress_window () =
+  let module P = Raft.Progress in
+  let pr = P.create ~last_index:0 in
+  (* Probing: strictly one append at a time, whatever the window. *)
+  Alcotest.(check bool) "probe allowed" true (P.may_send pr ~window:4);
+  P.record_sent pr ~upto:2;
+  Alcotest.(check int) "next advanced optimistically" 3 (P.next_index pr);
+  Alcotest.(check bool) "probing serializes" false (P.may_send pr ~window:4);
+  (* The first success opens the pipeline. *)
+  P.record_success pr ~upto:2;
+  Alcotest.(check int) "ack retires the send" 0 (P.inflight pr);
+  P.record_sent pr ~upto:4;
+  P.record_sent pr ~upto:6;
+  P.record_sent pr ~upto:8;
+  Alcotest.(check int) "three in flight" 3 (P.inflight pr);
+  Alcotest.(check bool) "window open" true (P.may_send pr ~window:4);
+  P.record_sent pr ~upto:10;
+  Alcotest.(check bool) "window full" false (P.may_send pr ~window:4);
+  (* A current conflict rewinds and forgets the whole window. *)
+  (match P.record_conflict_response pr ~req_prev:2 ~hint:3 with
+  | `Rewound -> ()
+  | `Stale -> Alcotest.fail "current nack must rewind");
+  Alcotest.(check int) "next rewound to hint" 3 (P.next_index pr);
+  Alcotest.(check int) "window forgotten" 0 (P.inflight pr);
+  (* A nack answering a send from before the rewind is stale: its
+     position lies beyond the rewound [next]. *)
+  P.record_sent pr ~upto:4;
+  (match P.record_conflict_response pr ~req_prev:6 ~hint:1 with
+  | `Stale -> ()
+  | `Rewound -> Alcotest.fail "superseded nack must be dropped");
+  Alcotest.(check int) "stale nack leaves next alone" 5 (P.next_index pr)
+
+let appends_to actions ~dst =
+  List.filter_map
+    (function
+      | Server.Send { dst = d; msg = Rpc.Append_request r; _ }
+        when Node_id.equal d (nid dst) ->
+          Some r
+      | _ -> None)
+    actions
+
+let test_stale_nack_no_duplicate_resend () =
+  (* One-entry batches keep every send's position distinct, so the
+     rewound probe's [next] sits below the stale nack's position. *)
+  let config =
+    Config.with_replication ~max_entries_per_append:1 (Config.static ())
+  in
+  let s = make ~self:0 ~config () in
+  ignore (Server.start s);
+  let now = Time.ms 100 in
+  let acts = elect s ~now in
+  (match appends_to acts ~dst:1 with
+  | [ probe ] -> Alcotest.(check int) "initial probe at 0" 0 probe.Rpc.prev_index
+  | _ -> Alcotest.fail "leader must probe each follower once");
+  (* Peer 1 acks the noop: replicating, caught up. *)
+  let ack =
+    Rpc.Append_response
+      { term = 1; success = true; match_index = 1; conflict_hint = 0;
+        req_prev = 0 }
+  in
+  ignore (recv s ~from:1 ack ~now);
+  (* Two proposals stream out as two pipelined one-entry appends. *)
+  ignore
+    (Server.handle s ~now (Server.Propose { payload = "a"; client_id = 9; seq = 1 }));
+  ignore
+    (Server.handle s ~now (Server.Propose { payload = "b"; client_id = 9; seq = 2 }));
+  let acts = Server.handle s ~now Server.Flush_due in
+  Alcotest.(check int) "two appends in flight" 2
+    (List.length (appends_to acts ~dst:1));
+  (* The first nack is current: exactly one resend (the rewound probe),
+     not one per outstanding send. *)
+  let nack ~req_prev =
+    Rpc.Append_response
+      { term = 1; success = false; match_index = 0; conflict_hint = 1;
+        req_prev }
+  in
+  let acts = recv s ~from:1 (nack ~req_prev:1) ~now in
+  (match appends_to acts ~dst:1 with
+  | [ probe ] -> Alcotest.(check int) "rewound probe at 0" 0 probe.Rpc.prev_index
+  | l ->
+      Alcotest.failf "conflict must resend exactly one probe, got %d"
+        (List.length l));
+  (* The second outstanding send's nack is now stale: no resend at all
+     (or the leader would re-append the same entries forever). *)
+  let acts = recv s ~from:1 (nack ~req_prev:2) ~now in
+  Alcotest.(check int) "stale nack resends nothing" 0
+    (List.length (appends_to acts ~dst:1));
+  (* The surviving probe's ack reopens the stream where it left off. *)
+  let acts = recv s ~from:1 ack ~now in
+  Alcotest.(check int) "pipeline resumes after ack" 2
+    (List.length (appends_to acts ~dst:1))
+
+let test_backpressure_throttles_stream () =
+  (* With a congested egress the leader sends nothing in bulk; when the
+     queue drains below the limit the stream resumes. *)
+  let config =
+    Config.with_replication ~max_entries_per_append:1 ~append_backpressure:2
+      (Config.static ())
+  in
+  let s = make ~self:0 ~config () in
+  ignore (Server.start s);
+  let now = Time.ms 100 in
+  ignore (elect s ~now);
+  let depth = ref 10 in
+  Server.set_congestion_probe s (fun _ -> !depth);
+  let ack =
+    Rpc.Append_response
+      { term = 1; success = true; match_index = 1; conflict_hint = 0;
+        req_prev = 0 }
+  in
+  ignore (recv s ~from:1 ack ~now);
+  ignore
+    (Server.handle s ~now (Server.Propose { payload = "a"; client_id = 9; seq = 1 }));
+  let acts = Server.handle s ~now Server.Flush_due in
+  Alcotest.(check int) "congested egress sends nothing" 0
+    (List.length (appends_to acts ~dst:1));
+  depth := 0;
+  let acts = Server.handle s ~now Server.Flush_due in
+  Alcotest.(check int) "drained egress resumes" 1
+    (List.length (appends_to acts ~dst:1))
+
 let tests =
   [
     Alcotest.test_case "start arms election" `Quick test_start_arms_election;
@@ -615,4 +750,9 @@ let tests =
       test_static_leader_uses_broadcast_timer;
     Alcotest.test_case "dynatune per-peer timers" `Quick
       test_dynatune_leader_uses_per_peer_timers;
+    Alcotest.test_case "progress window semantics" `Quick test_progress_window;
+    Alcotest.test_case "stale nack is not resent" `Quick
+      test_stale_nack_no_duplicate_resend;
+    Alcotest.test_case "backpressure throttles the stream" `Quick
+      test_backpressure_throttles_stream;
   ]
