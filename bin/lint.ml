@@ -125,6 +125,65 @@ let contains_sub ~sub s =
   let rec go i = i + sn <= n && (String.sub s i sn = sub || go (i + 1)) in
   go 0
 
+(* The [stdlib-exit] rule used to fire on every standalone [exit]
+   token, which also hit record fields, field puns, labelled/optional
+   arguments and bindings merely *named* [exit].  [Stdlib.exit] stays
+   unconditional; a bare [exit] fires only when its surroundings can't
+   prove it is a declaration form:
+
+     ~exit / ?exit          labelled or optional argument
+     let/and/val/method/external exit
+                            a binding or signature item of that name
+     exit = / exit :        field definition or assignment, binding
+                            name, type annotation ([exit ::] — a list
+                            holding the function — still fires)
+     { exit } / ; exit ;    a field pun *)
+let exit_usage line =
+  has_token line "Stdlib.exit"
+  ||
+  let n = String.length line in
+  let is_space c = c = ' ' || c = '\t' in
+  let rec prev j =
+    if j < 0 then None else if is_space line.[j] then prev (j - 1) else Some j
+  in
+  let rec next j =
+    if j >= n then None else if is_space line.[j] then next (j + 1) else Some j
+  in
+  let declaration i =
+    (i > 0 && (line.[i - 1] = '~' || line.[i - 1] = '?'))
+    || (match prev (i - 1) with
+       | Some j when ident_char line.[j] ->
+           let rec start k =
+             if k >= 0 && ident_char line.[k] then start (k - 1) else k + 1
+           in
+           let s = start j in
+           List.mem
+             (String.sub line s (j - s + 1))
+             [ "let"; "and"; "val"; "method"; "external" ]
+       | _ -> false)
+    || (match next (i + 4) with
+       | Some j ->
+           (line.[j] = '=' && (j + 1 >= n || line.[j + 1] <> '='))
+           || (line.[j] = ':' && (j + 1 >= n || line.[j + 1] <> ':'))
+       | None -> false)
+    || (match (prev (i - 1), next (i + 4)) with
+       | Some p, Some q ->
+           (line.[p] = '{' || line.[p] = ';')
+           && (line.[q] = '}' || line.[q] = ';')
+       | _ -> false)
+  in
+  let rec go i =
+    if i + 4 > n then false
+    else if
+      String.sub line i 4 = "exit"
+      && (i = 0 || ((not (ident_char line.[i - 1])) && line.[i - 1] <> '.'))
+      && (i + 4 = n || not (ident_char line.[i + 4]))
+      && not (declaration i)
+    then true
+    else go (i + 1)
+  in
+  go 0
+
 type rule = {
   id : string;
   doc : string;
@@ -188,7 +247,7 @@ let rules =
         "exit from lib/ (raise or return a result; only bin/ may end \
          the process)";
       scope = (fun path -> contains_sub ~sub:"lib/" path);
-      fires = any_token [ "exit"; "Stdlib.exit" ];
+      fires = exit_usage;
     };
     {
       id = "mutable-global";

@@ -1,0 +1,16 @@
+(* Root module of the [analysis] library — the AST-level determinism
+   analyzer (see DESIGN.md §12).  Re-exports the passes and the driver
+   entry point. *)
+
+module Finding = Finding
+module Source = Source
+module Callgraph = Callgraph
+module Effects = Effects
+module Shared_state = Shared_state
+module Exhaustive = Exhaustive
+module Driver = Driver
+
+type file = Driver.file = { path : string; content : string }
+
+let analyze = Driver.analyze
+let rules = Driver.rules

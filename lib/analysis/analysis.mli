@@ -1,0 +1,23 @@
+(** AST-level determinism analyzer (DESIGN.md §12).
+
+    Parses every [.ml]/[.mli] into a Parsetree ([compiler-libs.common])
+    and runs semantics-aware rules the token lint cannot express:
+    interprocedural effect taint from DES/raft/parallel entry points,
+    cross-domain shared-state detection, and protocol-match
+    exhaustiveness over [[@@protocol]]-marked variants.
+
+    The library is pure: callers ([bin/analyze.ml], selfcheck, tests)
+    own file loading, printing and process exit. *)
+
+module Finding = Finding
+module Source = Source
+module Callgraph = Callgraph
+module Effects = Effects
+module Shared_state = Shared_state
+module Exhaustive = Exhaustive
+module Driver = Driver
+
+type file = Driver.file = { path : string; content : string }
+
+val analyze : ?config:Driver.config -> file list -> Finding.t list
+val rules : (string * string) list

@@ -1,0 +1,96 @@
+(* The analyzer driver: parse every file, run the rule passes, apply
+   the allowlist, and return sorted findings.  Pure — the caller
+   (bin/analyze.ml, selfcheck, tests) owns printing and process exit. *)
+
+type file = { path : string; content : string }
+
+type config = {
+  entry_dirs : string list;
+      (* directories whose values are taint entry points *)
+  libraries : (string * string) list;
+      (* directory prefix -> wrapper module name *)
+  allow : Finding.allow;
+}
+
+let default_libraries =
+  [
+    ("lib/core", "Dynatune");
+    ("lib/cluster", "Harness");
+    ("lib/des", "Des");
+    ("lib/netsim", "Netsim");
+    ("lib/raft", "Raft");
+    ("lib/kvsm", "Kvsm");
+    ("lib/stats", "Stats");
+    ("lib/check", "Check");
+    ("lib/parallel", "Parallel");
+    ("lib/scenarios", "Scenarios");
+    ("lib/telemetry", "Telemetry");
+    ("lib/analysis", "Analysis");
+  ]
+
+let default_entry_dirs = [ "lib/des/"; "lib/raft/"; "lib/parallel/" ]
+
+let default_config ?(allow = []) () =
+  { entry_dirs = default_entry_dirs; libraries = default_libraries; allow }
+
+let rules =
+  [
+    ("parse-error", "the file does not parse, so nothing in it can be checked");
+    ( "effect-taint",
+      "call path from a DES/raft/parallel entry point to a banned ambient \
+       effect (wall clock, global Random, Sys, I/O), through any number of \
+       wrappers" );
+    ( "shared-state",
+      "top-level mutable value in a module reachable from closures handed \
+       to Parallel.Pool/Campaign or Domain.spawn (campaign domains would \
+       share it)" );
+    ( "protocol-wildcard",
+      "catch-all arm in a match over [@@protocol] variant constructors \
+       (growing the protocol would be silently swallowed)" );
+  ]
+
+let contains path dir =
+  let n = String.length path and m = String.length dir in
+  let rec go i =
+    i + m <= n && (String.equal (String.sub path i m) dir || go (i + 1))
+  in
+  go 0
+
+let library_of config path =
+  match
+    List.find_opt (fun (dir, _) -> contains path (dir ^ "/")) config.libraries
+  with
+  | Some (_, wrapper) -> wrapper
+  | None -> ""
+
+let parse_findings (s : Source.t) =
+  match s.kind with
+  | Source.Broken { line; error } ->
+      [ Finding.v ~path:s.path ~line ~rule:"parse-error" error ]
+  | Source.Impl _ | Source.Intf _ -> []
+
+let analyze ?config files =
+  let config =
+    match config with Some c -> c | None -> default_config ()
+  in
+  let sources =
+    List.map
+      (fun f ->
+        Source.parse ~library:(library_of config f.path) ~path:f.path
+          f.content)
+      files
+  in
+  let cg = Callgraph.build sources in
+  let exempt_taint path =
+    Finding.allowed config.allow ~path ~rule:Effects.rule
+  in
+  let findings =
+    List.concat_map parse_findings sources
+    @ Effects.findings ~entry_dirs:config.entry_dirs ~exempt:exempt_taint cg
+    @ Shared_state.findings cg sources
+    @ Exhaustive.findings sources
+  in
+  findings
+  |> List.filter (fun (f : Finding.t) ->
+         not (Finding.allowed config.allow ~path:f.path ~rule:f.rule))
+  |> List.sort_uniq Finding.compare

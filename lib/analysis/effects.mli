@@ -1,0 +1,19 @@
+(** Interprocedural effect-taint rule ([effect-taint]).
+
+    Walks the call graph forward from every value defined under the
+    entry directories and reports each reached value that directly
+    references a banned ambient effect — wall clock, global [Random],
+    ambient [Sys], ambient I/O — with the full call chain as evidence. *)
+
+val rule : string
+
+val classify : string list -> string option
+(** [Some category] when the flattened identifier is a banned effect. *)
+
+val findings :
+  entry_dirs:string list ->
+  exempt:(string -> bool) ->
+  Callgraph.t ->
+  Finding.t list
+(** [exempt path] cuts taint at allowlisted files: their direct effect
+    references are neither reported nor propagated. *)

@@ -1,0 +1,143 @@
+(* Protocol-match exhaustiveness.
+
+   Variant types carrying protocol payloads — RPC messages, log
+   commands, membership changes — are marked at their declaration with
+   a [[@@protocol]] (or [[@@dynatune.protocol]]) attribute.  A [match]
+   (or [function]) that names any of their constructors and also has an
+   unguarded catch-all arm ([_] or a variable) would silently swallow
+   every variant added later: growing the protocol could drop messages
+   with no compiler diagnostic, because the wildcard keeps the match
+   exhaustive.  This rule flags that catch-all arm; the fix is to
+   enumerate the remaining constructors (warning 8, already an error
+   for lib/, then polices future additions).
+
+   Constructor names that are also declared by some unmarked variant
+   type are dropped from the trigger set: without type information a
+   shared name cannot be attributed to the protocol, and a false fire
+   on an unrelated match would teach people to sprinkle allowlist
+   entries. *)
+
+let rule = "protocol-wildcard"
+
+let protocol_attr (attr : Parsetree.attribute) =
+  match attr.attr_name.Asttypes.txt with
+  | "protocol" | "dynatune.protocol" -> true
+  | _ -> false
+
+(* (constructor, declared-in-protocol-type) over every variant
+   declaration in the tree, implementations and interfaces alike. *)
+let constructors (sources : Source.t list) =
+  let acc = ref [] in
+  let type_declaration self (td : Parsetree.type_declaration) =
+    (match td.ptype_kind with
+    | Parsetree.Ptype_variant ctors ->
+        let marked = List.exists protocol_attr td.ptype_attributes in
+        List.iter
+          (fun (c : Parsetree.constructor_declaration) ->
+            acc := (c.pcd_name.Asttypes.txt, marked) :: !acc)
+          ctors
+    | _ -> ());
+    Ast_iterator.default_iterator.type_declaration self td
+  in
+  let it = { Ast_iterator.default_iterator with type_declaration } in
+  List.iter
+    (fun (s : Source.t) ->
+      match s.kind with
+      | Source.Impl str -> it.Ast_iterator.structure it str
+      | Source.Intf sg -> it.Ast_iterator.signature it sg
+      | Source.Broken _ -> ())
+    sources;
+  !acc
+
+(* Protocol constructors whose name no unmarked variant also declares. *)
+let protocol_constructors sources =
+  let all = constructors sources in
+  List.filter_map
+    (fun (name, marked) ->
+      if
+        marked
+        && not
+             (List.exists
+                (fun (n, m) -> (not m) && String.equal n name)
+                all)
+      then Some name
+      else None)
+    all
+  |> List.sort_uniq String.compare
+
+let rec unguarded_catch_all (p : Parsetree.pattern) =
+  match p.ppat_desc with
+  | Parsetree.Ppat_any | Parsetree.Ppat_var _ -> true
+  | Parsetree.Ppat_alias (p, _) | Parsetree.Ppat_constraint (p, _) ->
+      unguarded_catch_all p
+  | Parsetree.Ppat_or (a, b) -> unguarded_catch_all a || unguarded_catch_all b
+  | _ -> false
+
+let constructors_in_pattern pat =
+  let acc = ref [] in
+  let pat_it self (p : Parsetree.pattern) =
+    (match p.ppat_desc with
+    | Parsetree.Ppat_construct (lid, _) -> (
+        match Source.flatten_longident lid.Asttypes.txt with
+        | Some parts -> (
+            match List.rev parts with
+            | c :: _ -> acc := c :: !acc
+            | [] -> ())
+        | None -> ())
+    | _ -> ());
+    Ast_iterator.default_iterator.pat self p
+  in
+  let it = { Ast_iterator.default_iterator with pat = pat_it } in
+  it.Ast_iterator.pat it pat;
+  List.sort_uniq String.compare !acc
+
+let check_cases ~protocol ~path (cases : Parsetree.case list) =
+  let mentioned =
+    List.concat_map
+      (fun (c : Parsetree.case) -> constructors_in_pattern c.pc_lhs)
+      cases
+    |> List.sort_uniq String.compare
+    |> List.filter (fun c -> List.mem c protocol)
+  in
+  if mentioned = [] then []
+  else
+    List.filter_map
+      (fun (c : Parsetree.case) ->
+        if Option.is_none c.pc_guard && unguarded_catch_all c.pc_lhs then
+          Some
+            (Finding.v ~path
+               ~line:(Source.line_of_loc c.pc_lhs.ppat_loc)
+               ~rule
+               (Printf.sprintf
+                  "catch-all arm in a match over protocol constructors (%s) \
+                   — a variant added later is silently swallowed; enumerate \
+                   the remaining constructors instead"
+                  (String.concat ", " mentioned)))
+        else None)
+      cases
+
+let findings (sources : Source.t list) =
+  let protocol = protocol_constructors sources in
+  if protocol = [] then []
+  else begin
+    let acc = ref [] in
+    let scan path =
+      let expr self (e : Parsetree.expression) =
+        (match e.pexp_desc with
+        | Parsetree.Pexp_match (_, cases) | Parsetree.Pexp_function cases ->
+            acc := check_cases ~protocol ~path cases @ !acc
+        | _ -> ());
+        Ast_iterator.default_iterator.expr self e
+      in
+      { Ast_iterator.default_iterator with expr }
+    in
+    List.iter
+      (fun (s : Source.t) ->
+        match s.kind with
+        | Source.Impl str ->
+            let it = scan s.path in
+            it.Ast_iterator.structure it str
+        | Source.Intf _ | Source.Broken _ -> ())
+      sources;
+    List.rev !acc
+  end

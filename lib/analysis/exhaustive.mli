@@ -1,0 +1,16 @@
+(** Protocol-match exhaustiveness rule ([protocol-wildcard]).
+
+    Variant types marked [[@@protocol]] (or [[@@dynatune.protocol]]) at
+    their declaration are protocol surfaces: RPC messages, log
+    commands, membership changes.  A [match]/[function] that names any
+    of their constructors and also has an unguarded catch-all arm is
+    flagged — the wildcard would silently swallow every variant added
+    later. *)
+
+val rule : string
+
+val protocol_constructors : Source.t list -> string list
+(** Constructors of marked variant types, minus any name an unmarked
+    variant also declares (those cannot be attributed without types). *)
+
+val findings : Source.t list -> Finding.t list

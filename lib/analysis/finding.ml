@@ -1,0 +1,55 @@
+(* A structured finding from the AST analyzer, plus the allowlist that
+   suppresses sanctioned hits.  The allowlist shares its format with
+   [bin/lint.ml]: one [path-suffix:rule-id] per line, [#] comments and
+   blanks ignored; a finding is suppressed when its path ends with the
+   suffix and the rule id matches. *)
+
+type t = {
+  path : string;  (** path of the file the finding points at *)
+  line : int;  (** 1-based line of the offending construct *)
+  rule : string;  (** rule id, e.g. ["effect-taint"] *)
+  message : string;  (** human-readable explanation, incl. call chains *)
+}
+
+let v ~path ~line ~rule message = { path; line; rule; message }
+
+let render t = Printf.sprintf "%s:%d: [%s] %s" t.path t.line t.rule t.message
+
+let compare a b =
+  let c = String.compare a.path b.path in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = String.compare a.rule b.rule in
+      if c <> 0 then c else String.compare a.message b.message
+
+(* {1 Allowlist} *)
+
+type allow = (string * string) list
+(* [(path-suffix, rule-id)] pairs *)
+
+let parse_allow source =
+  String.split_on_char '\n' source
+  |> List.map String.trim
+  |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+  |> List.map (fun l ->
+         match String.rindex_opt l ':' with
+         | Some c ->
+             Ok (String.sub l 0 c, String.sub l (c + 1) (String.length l - c - 1))
+         | None -> Error l)
+  |> List.fold_left
+       (fun acc entry ->
+         match (acc, entry) with
+         | Error e, _ -> Error e
+         | Ok _, Error l -> Error l
+         | Ok entries, Ok e -> Ok (e :: entries))
+       (Ok [])
+  |> Result.map List.rev
+
+let allowed (allow : allow) ~path ~rule =
+  List.exists
+    (fun (suffix, rule_id) ->
+      String.equal rule_id rule && Filename.check_suffix path suffix)
+    allow

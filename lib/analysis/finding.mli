@@ -1,0 +1,28 @@
+(** Structured analyzer findings and the [suffix:rule] allowlist.
+
+    The allowlist format is shared with [bin/lint.ml]'s [lint.allow]: one
+    [path-suffix:rule-id] per line, [#] comments and blank lines ignored.
+    A finding is suppressed when its path ends with the suffix and the
+    rule id matches exactly. *)
+
+type t = {
+  path : string;  (** path of the file the finding points at *)
+  line : int;  (** 1-based line of the offending construct *)
+  rule : string;  (** rule id, e.g. ["effect-taint"] *)
+  message : string;  (** human-readable explanation, incl. call chains *)
+}
+
+val v : path:string -> line:int -> rule:string -> string -> t
+val render : t -> string
+(** ["path:line: [rule] message"], the same shape [bin/lint.ml] prints. *)
+
+val compare : t -> t -> int
+(** Path, then line, then rule, then message. *)
+
+type allow = (string * string) list
+(** [(path-suffix, rule-id)] pairs. *)
+
+val parse_allow : string -> (allow, string) result
+(** Parse allowlist file contents; [Error line] on a malformed entry. *)
+
+val allowed : allow -> path:string -> rule:string -> bool

@@ -1,0 +1,18 @@
+(** Cross-domain shared-state rule ([shared-state]).
+
+    Flags top-level mutable values (refs, arrays, hash tables, queues,
+    buffers, atomics, bytes, records with mutable fields) in any module
+    reachable from closures handed to [Parallel.Pool] /
+    [Parallel.Campaign] / [Domain.spawn] — those run on other domains,
+    and module-level state is process-global. *)
+
+val rule : string
+
+val spawn_function : string list -> bool
+(** Is this identifier one of the domain-spawning entry points? *)
+
+val mutable_ctor : string list -> bool
+(** Does this identifier allocate mutable state ([ref],
+    [Hashtbl.create], [Array.make], [Atomic.make], ...)? *)
+
+val findings : Callgraph.t -> Source.t list -> Finding.t list

@@ -1,0 +1,61 @@
+(* One parsed source file.  Parsing uses the vendored compiler frontend
+   ([compiler-libs.common]); a file that fails to parse is kept as
+   [Broken] so the driver can surface it as a finding instead of
+   silently skipping it. *)
+
+type kind =
+  | Impl of Parsetree.structure
+  | Intf of Parsetree.signature
+  | Broken of { line : int; error : string }
+
+type t = {
+  path : string;  (* as given, e.g. "lib/raft/rpc.ml" *)
+  library : string;  (* wrapper module of the owning library, "" if none *)
+  modname : string;  (* capitalized basename, e.g. "Rpc" *)
+  kind : kind;
+}
+
+let modname_of_path path =
+  String.capitalize_ascii Filename.(remove_extension (basename path))
+
+let error_location exn =
+  match exn with
+  | Syntaxerr.Error err -> Some (Syntaxerr.location_of_error err)
+  | Lexer.Error (_, loc) -> Some loc
+  | _ -> None
+
+let parse ~library ~path content =
+  let lexbuf = Lexing.from_string content in
+  Location.init lexbuf path;
+  let kind =
+    match
+      if Filename.check_suffix path ".mli" then Intf (Parse.interface lexbuf)
+      else Impl (Parse.implementation lexbuf)
+    with
+    | parsed -> parsed
+    | exception exn ->
+        let line =
+          match error_location exn with
+          | Some loc -> loc.Location.loc_start.Lexing.pos_lnum
+          | None -> 1
+        in
+        let error =
+          match exn with
+          | Syntaxerr.Error _ -> "syntax error"
+          | Lexer.Error _ -> "lexing error"
+          | exn -> Printexc.to_string exn
+        in
+        Broken { line; error }
+  in
+  { path; library; modname = modname_of_path path; kind }
+
+let line_of_loc (loc : Location.t) = loc.Location.loc_start.Lexing.pos_lnum
+
+(* [Longident.flatten] raises on [Lapply]; the analyzer treats those
+   (functor applications in paths) as unresolvable instead. *)
+let rec flatten_longident (lid : Longident.t) =
+  match lid with
+  | Longident.Lident s -> Some [ s ]
+  | Longident.Ldot (p, s) ->
+      Option.map (fun ps -> ps @ [ s ]) (flatten_longident p)
+  | Longident.Lapply _ -> None

@@ -1,0 +1,27 @@
+(** Parsed source files, via the compiler frontend. *)
+
+type kind =
+  | Impl of Parsetree.structure
+  | Intf of Parsetree.signature
+  | Broken of { line : int; error : string }
+      (** the file failed to parse; reported as a finding, never skipped *)
+
+type t = {
+  path : string;  (** as given, e.g. ["lib/raft/rpc.ml"] *)
+  library : string;  (** wrapper module of the owning library, [""] if none *)
+  modname : string;  (** capitalized basename, e.g. ["Rpc"] *)
+  kind : kind;
+}
+
+val modname_of_path : string -> string
+
+val parse : library:string -> path:string -> string -> t
+(** Parse [.ml] as a structure, [.mli] as a signature.  Never raises on
+    bad input: syntax and lexing failures yield [Broken]. *)
+
+val line_of_loc : Location.t -> int
+(** 1-based start line. *)
+
+val flatten_longident : Longident.t -> string list option
+(** Like [Longident.flatten], but [None] on functor-application paths
+    instead of raising. *)

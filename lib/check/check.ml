@@ -488,7 +488,9 @@ let config_history t =
     let changes =
       Hashtbl.fold
         (fun i (tm, cmd) acc ->
-          match cmd with Log.Config c -> (i, tm, c) :: acc | _ -> acc)
+          match cmd with
+          | Log.Config c -> (i, tm, c) :: acc
+          | Log.Noop | Log.Data _ -> acc)
         t.committed []
       |> List.sort (fun (a, _, _) (b, _, _) -> Int.compare a b)
     in

@@ -62,6 +62,10 @@ type message =
   | Install_snapshot of install_snapshot
   | Install_snapshot_response of install_snapshot_response
   | Timeout_now of { term : Types.term }
+[@@protocol]
+(* The [@@protocol] mark feeds bin/analyze.exe's protocol-wildcard rule:
+   a match naming these constructors may not have a catch-all arm, so a
+   message kind added later cannot be silently dropped. *)
 
 let kind_name = function
   | Vote_request { pre_vote = true; _ } -> "prevote_req"

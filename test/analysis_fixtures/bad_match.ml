@@ -1,0 +1,11 @@
+(* Analyzer self-test fixture: protocol-match exhaustiveness.  [msg]
+   is marked [@@protocol]; any match naming its constructors with a
+   catch-all arm must be flagged, including a catch-all over a wrapped
+   scrutinee. *)
+
+type msg = Ping | Pong | Payload of int [@@protocol]
+
+let to_int = function Ping -> 0 | Pong -> 1 | Payload n -> n
+let swallow = function Ping -> 0 | _ -> 1
+
+let nested m = match Some m with Some Pong -> 1 | _ -> 0

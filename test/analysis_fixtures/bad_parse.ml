@@ -1,0 +1,4 @@
+(* Analyzer self-test fixture: a file the frontend cannot parse must
+   surface as a parse-error finding, never be skipped silently. *)
+
+let = let in (

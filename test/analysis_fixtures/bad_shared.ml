@@ -1,0 +1,18 @@
+(* Analyzer self-test fixture: cross-domain shared state.  The
+   [Pool.map] call site below hands [work] to other domains, which
+   makes this whole module domain-reachable — so its top-level mutable
+   values (a hash table, a ref, a mutable-field record, an array) must
+   all be flagged. *)
+
+let table : (string, int) Hashtbl.t = Hashtbl.create 16
+let hits = ref 0
+
+type cell = { mutable count : int; tag : string }
+
+let shared_cell = { count = 0; tag = "shared" }
+let scratch = Array.make 8 0
+
+let work shard =
+  Hashtbl.length table + !hits + shared_cell.count + scratch.(0) + shard
+
+let run pool shards = Pool.map pool work shards

@@ -23,4 +23,5 @@ let () =
       ("properties", Test_props.tests);
       ("misc", Test_misc.tests);
       ("telemetry", Test_telemetry.tests);
+      ("analysis", Test_analysis.tests);
     ]
