@@ -135,7 +135,7 @@ let figures =
 
 (* The report is flat and the values are numbers/strings, so the JSON is
    written by hand rather than pulling in a serialization library. *)
-let write_json path ~full ~jobs ~metrics ~guard =
+let write_json path ~full ~jobs ~metrics ~recorder ~guard =
   match open_out path with
   | exception Sys_error msg ->
       (* The figures already went to stdout; don't let a bad report path
@@ -157,8 +157,9 @@ let write_json path ~full ~jobs ~metrics ~guard =
             r.name r.wall r.events eps r.minor_words r.major_words
             (if i = List.length rows - 1 then "" else ","))
         rows;
-      Printf.fprintf oc "  ],\n  \"perf_guard\": %s,\n  \"metrics\": %s\n}\n"
-        guard metrics;
+      Printf.fprintf oc
+        "  ],\n  \"perf_guard\": %s,\n  \"recorder\": %s,\n  \"metrics\": %s\n}\n"
+        guard recorder metrics;
       close_out oc;
       Format.fprintf ppf "[wrote %s]@." path
 
@@ -172,6 +173,29 @@ let metrics_json ~jobs =
       ~config:(Raft.Config.dynatune ()) ()
   in
   Telemetry.Metrics.to_json r.Fig4.metrics
+
+(* The recorder section: the same pinned instrumented plan with the
+   time-series recorder sampling every 500 ms of virtual time.  Like the
+   metrics section it is a determinism witness — series count, total
+   samples and the CSV byte count are functions of (seed, shard plan)
+   alone — and it documents what a recorded run costs relative to the
+   bare instrumented one. *)
+let recorder_json ~jobs =
+  let r =
+    Fig4.run ~seed:42L ~failures:40 ~shards:4 ~jobs ~instrument:true
+      ~record:(Des.Time.ms 500)
+      ~config:(Raft.Config.dynatune ()) ()
+  in
+  let dump = r.Fig4.recorder in
+  let samples =
+    List.fold_left (fun n (_, s) -> n + Array.length s) 0 dump
+  in
+  Printf.sprintf
+    "{\"every_ms\": 500, \"series\": %d, \"samples\": %d, \"csv_bytes\": %d, \
+     \"openmetrics_bytes\": %d}"
+    (List.length dump) samples
+    (String.length (Telemetry.Recorder.to_csv dump))
+    (String.length (Telemetry.Recorder.to_openmetrics dump))
 
 (* The perf_guard section: the pinned plan `selfcheck --perf` replays.
    Always sequential (jobs = 1) so the recorded events/sec is comparable
@@ -261,6 +285,6 @@ let () =
   Option.iter
     (fun path ->
       write_json path ~full:!full ~jobs ~metrics:(metrics_json ~jobs)
-        ~guard:(guard_json ()))
+        ~recorder:(recorder_json ~jobs) ~guard:(guard_json ()))
     !json;
   Format.pp_print_flush ppf ()

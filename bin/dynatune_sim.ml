@@ -6,7 +6,9 @@
      watch       live election-parameter adaptation under RTT/loss schedules
      throughput  open-loop RPS ramp with the CPU cost model
      calc        the tuning formulas as a calculator (K, h, Et)
-     figure      regenerate one of the paper's figures *)
+     figure      regenerate one of the paper's figures
+     explain     causal forensics of every leadership change in a pinned
+                 geo-WAN failover run *)
 
 open Cmdliner
 
@@ -76,43 +78,87 @@ let failover_cmd =
              Perfetto or chrome://tracing): election spans per node, tuner \
              decisions, per-link counters.  Implies full instrumentation.")
   in
-  let run config n failures rtt_ms jitter seed trace_out =
-    match trace_out with
-    | None ->
-        let result =
-          Scenarios.Fig4.run ~seed ~n ~failures ~rtt_ms ~jitter ~config ()
-        in
-        Scenarios.Fig4.print ppf [ result ]
+  let record_every =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "record" ] ~docv:"MS"
+          ~doc:
+            "Sample every counter and gauge each MS of virtual time \
+             (implies instrumentation).  Export the series with \
+             --record-csv and/or --record-openmetrics; defaults to 1000 \
+             when either export flag is given without --record.")
+  in
+  let record_csv =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "record-csv" ] ~docv:"FILE"
+          ~doc:"Write the recorded time series as wide CSV.")
+  in
+  let record_om =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "record-openmetrics" ] ~docv:"FILE"
+          ~doc:"Write the recorded time series as OpenMetrics text.")
+  in
+  let run config n failures rtt_ms jitter seed trace_out record_every
+      record_csv record_om =
+    let record =
+      match (record_every, record_csv, record_om) with
+      | Some ms, _, _ -> Some (Des.Time.of_ms_f ms)
+      | None, None, None -> None
+      | None, _, _ -> Some (Des.Time.sec 1)
+    in
+    let instrument = trace_out <> None || record <> None in
+    let sink = Telemetry.Chrome_trace.create () in
+    let bridges = ref [] in
+    let on_cluster ~shard cluster =
+      (* Shard s becomes Chrome process s+1 (pid 0 is reserved).
+         With the default jobs=1 there is exactly one. *)
+      let b =
+        Harness.Tracing.attach ~pid:(shard + 1)
+          ~name:(Printf.sprintf "shard %d" shard)
+          cluster sink
+      in
+      bridges := b :: !bridges
+    in
+    let result =
+      Scenarios.Fig4.run ~seed ~n ~failures ~rtt_ms ~jitter ~config
+        ~instrument ?record
+        ?on_cluster:(if trace_out = None then None else Some on_cluster)
+        ()
+    in
+    Scenarios.Fig4.print ppf [ result ];
+    if instrument then
+      Format.fprintf ppf "@.telemetry:@.%a" Telemetry.Metrics.pp
+        result.Scenarios.Fig4.metrics;
+    (match trace_out with
+    | None -> ()
     | Some path ->
-        let sink = Telemetry.Chrome_trace.create () in
-        let bridges = ref [] in
-        let result =
-          Scenarios.Fig4.run ~seed ~n ~failures ~rtt_ms ~jitter ~config
-            ~instrument:true
-            ~on_cluster:(fun ~shard cluster ->
-              (* Shard s becomes Chrome process s+1 (pid 0 is reserved).
-                 With the default jobs=1 there is exactly one. *)
-              let b =
-                Harness.Tracing.attach ~pid:(shard + 1)
-                  ~name:(Printf.sprintf "shard %d" shard)
-                  cluster sink
-              in
-              bridges := b :: !bridges)
-            ()
-        in
         List.iter Harness.Tracing.finish !bridges;
         Telemetry.Chrome_trace.write sink path;
-        Scenarios.Fig4.print ppf [ result ];
-        Format.fprintf ppf "@.telemetry:@.%a"
-          Telemetry.Metrics.pp result.Scenarios.Fig4.metrics;
         Format.fprintf ppf "@.wrote %d trace events to %s@."
           (Telemetry.Chrome_trace.event_count sink)
-          path
+          path);
+    let dump = result.Scenarios.Fig4.recorder in
+    let export label render path =
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc (render dump));
+      Format.fprintf ppf "@.wrote %d recorded series (%s) to %s@."
+        (List.length dump) label path
+    in
+    Option.iter (export "CSV" Telemetry.Recorder.to_csv) record_csv;
+    Option.iter
+      (export "OpenMetrics" Telemetry.Recorder.to_openmetrics)
+      record_om
   in
   Cmd.v
     (Cmd.info "failover" ~doc:"Leader-failure campaign (Fig 4 style)")
     Term.(
-      const run $ mode $ servers $ failures $ rtt $ jitter $ seed $ trace_out)
+      const run $ mode $ servers $ failures $ rtt $ jitter $ seed $ trace_out
+      $ record_every $ record_csv $ record_om)
 
 (* {2 reconfig} *)
 
@@ -314,6 +360,49 @@ let calc_cmd =
     (Cmd.info "calc" ~doc:"Evaluate the tuning formulas (Section III-D)")
     Term.(const run $ rtt $ sigma $ s $ x $ loss)
 
+(* {2 explain} *)
+
+let explain_cmd =
+  let failures =
+    Arg.(
+      value & opt int 3
+      & info [ "failures" ] ~docv:"K"
+          ~doc:"Leader kills (each recovered before the next).")
+  in
+  let raw =
+    Arg.(
+      value & flag
+      & info [ "raw" ]
+          ~doc:"Also dump every retained forensics record, unanalyzed.")
+  in
+  let run config seed failures raw =
+    let records = Scenarios.Explain.run ~seed ~failures ~config () in
+    Scenarios.Explain.print ppf (Scenarios.Explain.analyze records);
+    if raw then begin
+      Format.fprintf ppf "@.forensics ring (%d records):@."
+        (List.length records);
+      List.iter
+        (fun r ->
+          Format.fprintf ppf "  %s@."
+            (Telemetry.Forensics.render_record r))
+        records
+    end
+  in
+  let seed =
+    Arg.(
+      value & opt int64 23L
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"PRNG seed (runs are deterministic).")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Explain every leadership change of a pinned geo-WAN failover \
+          run: the causal chain from network measurement through tuner \
+          decision, timeout, campaign and votes to the new leader, each \
+          election classified justified or spurious")
+    Term.(const run $ mode $ seed $ failures $ raw)
+
 (* {2 figure} *)
 
 let figure_cmd =
@@ -389,4 +478,5 @@ let () =
             throughput_cmd;
             calc_cmd;
             figure_cmd;
+            explain_cmd;
           ]))

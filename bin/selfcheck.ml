@@ -322,6 +322,39 @@ let guard_field json key =
   in
   String.sub json a (stop a - a)
 
+(* The forensics disabled-path gate: a steady-state cluster event loop
+   (the follower heartbeat path end to end) must allocate identically
+   with no ring at all and with a present-but-disabled ring — the
+   [fo_on] guards in [Raft.Node] keep the disabled path allocation-free.
+   A DES run's allocation is deterministic for a pinned seed, so the
+   comparison is exact: one extra word per event would fail it. *)
+let forensics_off_allocation_gate () =
+  let minor_words forensics =
+    let cluster =
+      Harness.Cluster.create ~seed:5L ~n:3
+        ~config:(Raft.Config.dynatune ())
+        ?forensics ()
+    in
+    Cluster.start cluster;
+    (match Cluster.await_leader cluster ~timeout:(Des.Time.sec 30) with
+    | Some _ -> ()
+    | None -> fail "forensics gate: steady-state cluster elected no leader");
+    Cluster.run_for cluster (Des.Time.sec 10);
+    let w0 = Gc.minor_words () in
+    Cluster.run_for cluster (Des.Time.sec 120);
+    Gc.minor_words () -. w0
+  in
+  (* One throwaway run first: lazy state (format strings, registries)
+     initialized on the first pass would otherwise bias the baseline. *)
+  ignore (minor_words None : float);
+  let base = minor_words None in
+  let off = minor_words (Some (Telemetry.Forensics.create ~enabled:false ())) in
+  if base <> off then
+    fail
+      "forensics disabled path allocates: %.0f minor words with no ring vs \
+       %.0f with a disabled ring over the same pinned run"
+      base off
+
 let run_perf ~baseline =
   let json =
     match In_channel.with_open_text baseline In_channel.input_all with
@@ -345,6 +378,8 @@ let run_perf ~baseline =
     fail "perf guard digest drift: got %s, baseline %s — scheduling order \
           changed"
       digest base_digest;
+  (* Allocation identity of the forensics-off path, also load-independent. *)
+  forensics_off_allocation_gate ();
   (* Throughput second, best of three: a single reading on a busy host
      swings far more than any plausible regression. *)
   let best = ref 0. in

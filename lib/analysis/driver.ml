@@ -28,7 +28,20 @@ let default_libraries =
     ("lib/analysis", "Analysis");
   ]
 
-let default_entry_dirs = [ "lib/des/"; "lib/raft/"; "lib/parallel/" ]
+(* The forensics layer (cause allocation, ring appends, recorder
+   sampling) rides the hot paths it observes, so its entry points are
+   taint roots like the DES/raft ones.  File-level prefixes, not the
+   whole directory: the exporters (chrome_trace) legitimately write
+   files when asked. *)
+let default_entry_dirs =
+  [
+    "lib/des/";
+    "lib/raft/";
+    "lib/parallel/";
+    "lib/telemetry/cause";
+    "lib/telemetry/forensics";
+    "lib/telemetry/recorder";
+  ]
 
 let default_config ?(allow = []) () =
   { entry_dirs = default_entry_dirs; libraries = default_libraries; allow }
@@ -37,9 +50,9 @@ let rules =
   [
     ("parse-error", "the file does not parse, so nothing in it can be checked");
     ( "effect-taint",
-      "call path from a DES/raft/parallel entry point to a banned ambient \
-       effect (wall clock, global Random, Sys, I/O), through any number of \
-       wrappers" );
+      "call path from a DES/raft/parallel/forensics entry point to a banned \
+       ambient effect (wall clock, global Random, Sys, I/O), through any \
+       number of wrappers" );
     ( "shared-state",
       "top-level mutable value in a module reachable from closures handed \
        to Parallel.Pool/Campaign or Domain.spawn (campaign domains would \

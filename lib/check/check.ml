@@ -87,6 +87,7 @@ type violation = {
   term : Types.term;
   detail : string;
   recent : string list;
+  flight : string list;
 }
 
 exception Violation of violation
@@ -100,6 +101,10 @@ let pp_violation ppf v =
   if v.recent <> [] then begin
     Format.fprintf ppf "@,last %d trace events:" (List.length v.recent);
     List.iter (fun line -> Format.fprintf ppf "@,  %s" line) v.recent
+  end;
+  if v.flight <> [] then begin
+    Format.fprintf ppf "@,flight recorder (%d lines):" (List.length v.flight);
+    List.iter (fun line -> Format.fprintf ppf "@,  %s" line) v.flight
   end;
   Format.fprintf ppf "@]"
 
@@ -140,6 +145,9 @@ type t = {
   mutable ring_next : int;
   mutable events : int;
   mutable checks : int;
+  mutable flight_fn : unit -> string list;
+      (* snapshots the forensics ring / recorder window at the instant a
+         violation is raised; defaults to nothing *)
 }
 
 let cheap_every = function Off -> 0 | Sample -> 64 | Always -> 1
@@ -170,10 +178,13 @@ let create ~mode ~nodes () =
     ring_next = 0;
     events = 0;
     checks = 0;
+    flight_fn = (fun () -> []);
   }
 
 let add_view t view =
   t.nodes <- Array.append t.nodes [| tracked_of_view view |]
+
+let set_flight_recorder t fn = t.flight_fn <- fn
 
 let events_seen t = t.events
 let checks_run t = t.checks
@@ -190,7 +201,16 @@ let ring_contents t =
 let fail t ~invariant ?node ~term fmt =
   Format.kasprintf
     (fun detail ->
-      raise (Violation { invariant; node; term; detail; recent = ring_contents t }))
+      raise
+        (Violation
+           {
+             invariant;
+             node;
+             term;
+             detail;
+             recent = ring_contents t;
+             flight = t.flight_fn ();
+           }))
     fmt
 
 (* {2 Election safety (historical, probe-driven)} *)

@@ -99,6 +99,10 @@ type violation = {
   recent : string list;
       (** the last [<= 50] trace events (oldest first) before the
           violation, rendered — the context needed to diagnose it *)
+  flight : string list;
+      (** the flight-recorder dump ({!set_flight_recorder}) captured at
+          the instant of the violation: rendered forensics records and
+          recorder window, empty when no recorder is installed *)
 }
 
 exception Violation of violation
@@ -118,6 +122,12 @@ val create : mode:mode -> nodes:node_view list -> unit -> t
 val add_view : t -> node_view -> unit
 (** Track one more server (a node added to the cluster at runtime).
     Subsequent checks cover it like any other. *)
+
+val set_flight_recorder : t -> (unit -> string list) -> unit
+(** Install the flight-recorder dump: called (lazily, only when a
+    violation is actually raised) to capture the forensics ring tail and
+    the recorder window into {!violation.flight}.  Defaults to
+    [fun () -> []]. *)
 
 val observe_trace : t -> Raft.Probe.t Des.Mtrace.t -> unit
 (** Subscribe to a cluster trace: every probe is recorded into the

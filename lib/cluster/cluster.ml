@@ -14,6 +14,8 @@ type t = {
   checker : Check.t option;
   digest : Check.Digest.t;
   telemetry : Telemetry.Metrics.t;
+  forensics : Telemetry.Forensics.t;
+  recorder : Telemetry.Recorder.t;
   (* Creation parameters, kept so [add_server] can build members later. *)
   costs : Raft.Cost_model.t option;
   cores : float;
@@ -89,7 +91,7 @@ let attach_probe_counters telemetry trace =
    store through it: a crash-restart swaps in a fresh replica and the
    replayed log rebuilds it. *)
 let make_member ~engine ~fabric ~trace ~costs ~cores ~flush_delay ~telemetry
-    ~config ~joining ~id ~peers =
+    ~forensics ~config ~joining ~id ~peers =
   let cpu =
     match costs with
     | Some _ -> Some (Netsim.Cpu.create engine ~cores)
@@ -111,14 +113,17 @@ let make_member ~engine ~fabric ~trace ~costs ~cores ~flush_delay ~telemetry
               match Kvsm.Store.of_serialized data with
               | Ok store -> m.store <- store
               | Error _ -> m.store <- Kvsm.Store.create ())
-            ?flush_delay ~metrics:telemetry ~joining ~id ~peers ~config ();
+            ?flush_delay ~metrics:telemetry ~forensics ~joining ~id ~peers
+            ~config ();
         store = Kvsm.Store.create ();
       }
   in
   Lazy.force member
 
 let create ?seed ?costs ?(cores = 4.) ?conditions ?flush_delay
-    ?(check = Check.Off) ?(telemetry = Telemetry.Metrics.noop) ~n ~config () =
+    ?(check = Check.Off) ?(telemetry = Telemetry.Metrics.noop)
+    ?(forensics = Telemetry.Forensics.noop)
+    ?(recorder = Telemetry.Recorder.noop) ~n ~config () =
   if n <= 0 then invalid_arg "Cluster.create: n must be positive";
   let engine = Des.Engine.create ?seed () in
   let fabric = Netsim.Fabric.create engine in
@@ -134,7 +139,7 @@ let create ?seed ?costs ?(cores = 4.) ?conditions ?flush_delay
       let peers = List.filter (fun p -> not (Node_id.equal p id)) ids in
       Node_id.Table.add members id
         (make_member ~engine ~fabric ~trace ~costs ~cores ~flush_delay
-           ~telemetry ~config ~joining:false ~id ~peers))
+           ~telemetry ~forensics ~config ~joining:false ~id ~peers))
     ids;
   (* The digest accumulates online through a subscription, so it survives
      the trace clears the measurement loop performs between failures. *)
@@ -153,9 +158,21 @@ let create ?seed ?costs ?(cores = 4.) ?conditions ?flush_delay
         in
         let c = Check.create ~mode ~nodes:views () in
         Check.observe_trace c trace;
+        (* The flight recorder: when a violation fires, its report carries
+           the tail of the forensics ring and the recorder's last ticks —
+           captured lazily, only on an actual failure. *)
+        if
+          Telemetry.Forensics.enabled forensics
+          || Telemetry.Recorder.enabled recorder
+        then
+          Check.set_flight_recorder c (fun () ->
+              Telemetry.Forensics.tail forensics 32
+              @ Telemetry.Recorder.window recorder 8);
         Des.Engine.set_post_hook engine (Some (fun () -> Check.step c));
         Some c
   in
+  Telemetry.Recorder.attach recorder engine (fun () ->
+      Telemetry.Metrics.snapshot telemetry);
   attach_probe_counters telemetry trace;
   {
     engine;
@@ -167,6 +184,8 @@ let create ?seed ?costs ?(cores = 4.) ?conditions ?flush_delay
     checker;
     digest;
     telemetry;
+    forensics;
+    recorder;
     costs;
     cores;
     flush_delay;
@@ -181,6 +200,8 @@ let fabric t = t.fabric
 let trace t = t.trace
 let checker t = t.checker
 let telemetry t = t.telemetry
+let forensics t = t.forensics
+let recorder t = t.recorder
 
 (* Fold the pull-style sources (engine, fabric, links) into the registry.
    Idempotent: the counters are cumulative and registered fresh here, so
@@ -358,7 +379,8 @@ let spawn_joiner t =
   let m =
     make_member ~engine:t.engine ~fabric:t.fabric ~trace:t.trace
       ~costs:t.costs ~cores:t.cores ~flush_delay:t.flush_delay
-      ~telemetry:t.telemetry ~config:t.config ~joining:true ~id ~peers:t.ids
+      ~telemetry:t.telemetry ~forensics:t.forensics ~config:t.config
+      ~joining:true ~id ~peers:t.ids
   in
   Node_id.Table.add t.members id m;
   t.ids <- t.ids @ [ id ];

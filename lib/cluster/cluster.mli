@@ -14,6 +14,8 @@ val create :
   ?flush_delay:Des.Time.span ->
   ?check:Check.mode ->
   ?telemetry:Telemetry.Metrics.t ->
+  ?forensics:Telemetry.Forensics.t ->
+  ?recorder:Telemetry.Recorder.t ->
   n:int ->
   config:Raft.Config.t ->
   unit ->
@@ -33,7 +35,15 @@ val create :
     node (per-node RPC metrics, tuner-decision probes) and fed per-node
     protocol counters through a live trace subscription; finish with
     {!collect_metrics} to fold in the pull-style engine/fabric/link
-    statistics before taking the snapshot. *)
+    statistics before taking the snapshot.
+
+    [forensics] (default {!Telemetry.Forensics.noop}) is handed to every
+    node: causally stamped transition records accumulate in the shared
+    ring (see {!Raft.Node.create}).  [recorder] (default
+    {!Telemetry.Recorder.noop}) samples the telemetry registry on the
+    DES clock.  When either is enabled and checking is on, invariant
+    violations carry a flight-recorder dump (ring tail + last recorder
+    ticks) in {!Check.violation.flight}. *)
 
 val engine : t -> Des.Engine.t
 val fabric : t -> Raft.Rpc.message Netsim.Fabric.t
@@ -46,6 +56,14 @@ val checker : t -> Check.t option
 val telemetry : t -> Telemetry.Metrics.t
 (** The registry passed at creation ({!Telemetry.Metrics.noop} when none
     was). *)
+
+val forensics : t -> Telemetry.Forensics.t
+(** The forensics ring passed at creation ({!Telemetry.Forensics.noop}
+    when none was). *)
+
+val recorder : t -> Telemetry.Recorder.t
+(** The time-series recorder passed at creation
+    ({!Telemetry.Recorder.noop} when none was). *)
 
 val collect_metrics : t -> unit
 (** Fold the cumulative engine, fabric and per-link statistics into the

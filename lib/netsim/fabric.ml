@@ -19,8 +19,9 @@ type 'msg node_state = {
    pure function of the send sequence. *)
 type 'msg egress = {
   mutable busy : bool;  (* a message currently occupies the wire *)
-  eg_urgent : (Transport.kind * int * 'msg) Queue.t;
-  eg_bulk : (Transport.kind * int * 'msg) Queue.t;
+  eg_urgent : (Transport.kind * int * int * 'msg) Queue.t;
+      (* (kind, units, cause, msg); cause is 0 unless tracking is on *)
+  eg_bulk : (Transport.kind * int * int * 'msg) Queue.t;
   mutable depth_high_water : int;
 }
 
@@ -47,6 +48,16 @@ type 'msg t = {
   mutable lost : int;
   mutable dropped_paused : int;
   mutable duplicated : int;
+  (* Causal piggyback channel (the forensics layer).  Causes are opaque
+     int tokens: a sender stages one just before [send], the fabric
+     carries it alongside the message, and the receiver reads the token
+     back during its delivery handler.  All three fields are immediate
+     ints and every use is branch-guarded on [track_causes], so the
+     default path allocates and behaves byte-identically to a fabric
+     without the channel. *)
+  mutable track_causes : bool;
+  mutable staged_cause : int;  (* consumed by the next [send] *)
+  mutable last_cause : int;  (* cause of the delivery in progress *)
 }
 
 let create engine =
@@ -68,9 +79,18 @@ let create engine =
     lost = 0;
     dropped_paused = 0;
     duplicated = 0;
+    track_causes = false;
+    staged_cause = 0;
+    last_cause = 0;
   }
 
 let engine t = t.engine
+let enable_cause_tracking t = t.track_causes <- true
+
+let stage_cause t cause =
+  if t.track_causes then t.staged_cause <- cause
+
+let delivery_cause t = t.last_cause
 
 let add_node t id =
   if Node_id.to_int id < 0 || Node_id.to_int id > 0xFFFFF then
@@ -184,10 +204,23 @@ let deliver_fn t ~src ~dst =
       Hashtbl.add t.delivery k f;
       f
 
-let schedule_delivery t ~deliver1 ~latency msg =
-  ignore
-    (Des.Engine.schedule_after t.engine latency (fun () -> deliver1 msg)
-      : Des.Engine.handle)
+(* [cause = 0] (the untracked case) builds exactly the closure the
+   pre-forensics fabric built, so the disabled path's allocation profile
+   is unchanged; a tracked delivery re-stamps [last_cause] just before
+   the handler runs, which is what lets receivers read their causal
+   parent without the message type carrying it. *)
+let schedule_delivery t ~deliver1 ~latency ~cause msg =
+  if cause = 0 then
+    ignore
+      (Des.Engine.schedule_after t.engine latency (fun () -> deliver1 msg)
+        : Des.Engine.handle)
+  else
+    ignore
+      (Des.Engine.schedule_after t.engine latency (fun () ->
+           t.last_cause <- cause;
+           deliver1 msg;
+           t.last_cause <- 0)
+        : Des.Engine.handle)
 
 let set_egress_congestion t id spec =
   let rng =
@@ -239,7 +272,7 @@ let reachable t src dst =
    schedule the delivery.  This is the entire send path when no
    serialization delay is configured, and the wire-free continuation
    when one is. *)
-let transmit t kind ~src ~dst msg =
+let transmit t kind ~src ~dst ~cause msg =
   let l = link t ~src ~dst in
   let deliver1 = deliver_fn t ~src ~dst in
   let extra = egress_extra t src in
@@ -248,20 +281,28 @@ let transmit t kind ~src ~dst msg =
       match Link.sample_datagram l with
       | Link.Lost -> t.lost <- t.lost + 1
       | Link.Delivered latency ->
-          schedule_delivery t ~deliver1 ~latency:(latency + extra) msg
+          schedule_delivery t ~deliver1 ~latency:(latency + extra) ~cause msg
       | Link.Duplicated (l1, l2) ->
           t.duplicated <- t.duplicated + 1;
-          schedule_delivery t ~deliver1 ~latency:(l1 + extra) msg;
-          schedule_delivery t ~deliver1 ~latency:(l2 + extra) msg)
-  | Transport.Reliable ->
+          schedule_delivery t ~deliver1 ~latency:(l1 + extra) ~cause msg;
+          schedule_delivery t ~deliver1 ~latency:(l2 + extra) ~cause msg)
+  | Transport.Reliable -> (
       let latency = Link.sample_reliable l + extra in
       let now = Des.Engine.now t.engine in
       let at =
         Transport.Channel.delivery_time (channel t src dst) ~now ~latency
       in
-      ignore
-        (Des.Engine.schedule_at t.engine at (fun () -> deliver1 msg)
-          : Des.Engine.handle)
+      if cause = 0 then
+        ignore
+          (Des.Engine.schedule_at t.engine at (fun () -> deliver1 msg)
+            : Des.Engine.handle)
+      else
+        ignore
+          (Des.Engine.schedule_at t.engine at (fun () ->
+               t.last_cause <- cause;
+               deliver1 msg;
+               t.last_cause <- 0)
+            : Des.Engine.handle))
 
 let serialization_of t k =
   match Hashtbl.find_opt t.serialization k with
@@ -314,18 +355,28 @@ let rec pump t ~src ~dst eg =
   in
   match next with
   | None -> eg.busy <- false
-  | Some (kind, units, msg) ->
+  | Some (kind, units, cause, msg) ->
       eg.busy <- true;
       let wire = units * serialization_of t (key src dst) in
       ignore
         (Des.Engine.schedule_after t.engine wire (fun () ->
-             transmit t kind ~src ~dst msg;
+             transmit t kind ~src ~dst ~cause msg;
              pump t ~src ~dst eg)
           : Des.Engine.handle)
 
 let send t kind ?(lane = Transport.Urgent) ?(units = 1) ~src ~dst msg =
   t.sent <- t.sent + 1;
-  if Node_id.equal src dst then deliver t ~src ~dst msg
+  (* The staged cause is one-shot: whatever happens to this message
+     (delivered, lost, queued), the next send starts clean. *)
+  let cause = t.staged_cause in
+  if cause <> 0 then t.staged_cause <- 0;
+  if Node_id.equal src dst then
+    if cause = 0 then deliver t ~src ~dst msg
+    else begin
+      t.last_cause <- cause;
+      deliver t ~src ~dst msg;
+      t.last_cause <- 0
+    end
   else if not (Node_id.Table.mem t.nodes dst) then
     (* Destination left the fabric: the message vanishes into a closed
        port. *)
@@ -333,12 +384,12 @@ let send t kind ?(lane = Transport.Urgent) ?(units = 1) ~src ~dst msg =
   else if not (reachable t src dst) then t.lost <- t.lost + 1
   else
     let k = key src dst in
-    if serialization_of t k <= 0 then transmit t kind ~src ~dst msg
+    if serialization_of t k <= 0 then transmit t kind ~src ~dst ~cause msg
     else begin
       let eg = egress_of t k in
       (match lane with
-      | Transport.Urgent -> Queue.push (kind, units, msg) eg.eg_urgent
-      | Transport.Bulk -> Queue.push (kind, units, msg) eg.eg_bulk);
+      | Transport.Urgent -> Queue.push (kind, units, cause, msg) eg.eg_urgent
+      | Transport.Bulk -> Queue.push (kind, units, cause, msg) eg.eg_bulk);
       let depth = egress_depth eg in
       if depth > eg.depth_high_water then eg.depth_high_water <- depth;
       if not eg.busy then pump t ~src ~dst eg

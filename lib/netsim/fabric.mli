@@ -78,6 +78,29 @@ val link_queue_depths : _ t -> ((int * int) * int) list
     [(src, dst)] node ints and sorted by that key.  Links that never
     queued (no serialization delay) are absent. *)
 
+(** {2 Causal piggyback}
+
+    The forensics layer threads an opaque cause token alongside each
+    message: the sender stages it immediately before {!send}, the fabric
+    carries it through egress queues and link delays, and the receiver
+    reads it back with {!delivery_cause} from inside its delivery
+    handler.  Tokens are plain nonzero ints (packed by the telemetry
+    layer, which this library cannot depend on); [0] means "no cause".
+    Until {!enable_cause_tracking} is called, {!stage_cause} is a no-op
+    and the send path is byte-identical to a fabric without the
+    channel. *)
+
+val enable_cause_tracking : _ t -> unit
+
+val stage_cause : _ t -> int -> unit
+(** Attach a cause to the next {!send} on this fabric (one-shot).  No-op
+    unless tracking is enabled. *)
+
+val delivery_cause : _ t -> int
+(** The cause of the delivery currently in progress ([0] outside a
+    tracked delivery).  Only meaningful when called synchronously from a
+    handler installed with {!set_handler}. *)
+
 val set_egress_congestion : 'msg t -> Node_id.t -> Congestion.spec -> unit
 (** Attach a sender-side congestion process to a node: during an episode,
     everything the node sends (all links, both transports) incurs the

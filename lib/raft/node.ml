@@ -21,6 +21,15 @@ type t = {
   install_sm : string -> unit;
   flush_delay : Des.Time.span;
   instrumented : bool;
+  fo : Telemetry.Forensics.t;
+  fo_on : bool;
+  mutable cur_cause : int;
+      (* the causal token of the event being processed: stamped at every
+         timer fire / message delivery, read by every forensics record
+         and piggybacked on every send *)
+  mutable election_arm_cause : int;
+      (* [cur_cause] when the election timer was last armed — the parent
+         of the timeout that fires from it *)
   m_sent : Telemetry.Metrics.Counter.t;
   m_recv : Telemetry.Metrics.Counter.t;
   m_hb_rtt : Telemetry.Metrics.Timer.t;
@@ -42,6 +51,14 @@ let incarnation t = t.incarnation
 let rec dispatch t event =
   let actions = Server.handle t.server ~now:(Des.Engine.now t.engine) event in
   List.iter (interpret t) actions
+
+(* A fresh cause for a locally originated event (timer fire, client
+   request, fault), stamped as the current causal context. *)
+and new_cause t kind =
+  t.cur_cause <-
+    Telemetry.Forensics.new_cause t.fo ~kind
+      ~node:(Netsim.Node_id.to_int (Server.id t.server))
+      ~term:(Server.term t.server)
 
 and interpret t = function
   | Server.Send { dst; kind; msg } ->
@@ -66,8 +83,11 @@ and interpret t = function
              msg);
       Replication.transmit t.fabric
         ~lanes:t.config.Config.priority_lanes
+        ~cause:(if t.fo_on then t.cur_cause else 0)
         ~src:(id t) ~dst kind msg
-  | Server.Arm_election span -> Des.Timer.arm t.election_timer span
+  | Server.Arm_election span ->
+      if t.fo_on then t.election_arm_cause <- t.cur_cause;
+      Des.Timer.arm t.election_timer span
   | Server.Disarm_election -> Des.Timer.disarm t.election_timer
   | Server.Arm_heartbeat { peer; after } ->
       Des.Timer.arm (hb_timer t peer) after
@@ -109,7 +129,51 @@ and interpret t = function
           Hashtbl.remove t.waiters (client_id, seq);
           k ~committed:false
       | None -> ())
-  | Server.Probe p -> Des.Mtrace.emit t.trace p
+  | Server.Probe p ->
+      if t.fo_on then forensics_probe t p;
+      Des.Mtrace.emit t.trace p
+
+(* Mirror the probe into the forensics ring, stamped with the causal
+   context of the event being processed.  Terms come from the probe
+   where it carries one: by the time actions are interpreted the server
+   may already have moved on (a timeout increments the term before its
+   probe is seen here). *)
+and forensics_probe t p =
+  let at = Des.Engine.now t.engine in
+  let node = Node_id.to_int (Server.id t.server) in
+  let record ?(parent = Telemetry.Cause.none) ~term ev =
+    Telemetry.Forensics.record t.fo ~at ~node ~term ~cause:t.cur_cause ~parent
+      ev
+  in
+  match p with
+  | Probe.Timeout_expired { term; randomized; _ } ->
+      let et, h, k = Server.tuning_snapshot t.server in
+      record ~parent:t.election_arm_cause ~term
+        (Telemetry.Forensics.Timeout { randomized; et; h; k })
+  | Probe.Election_started { term; _ } ->
+      record ~parent:t.election_arm_cause ~term
+        (Telemetry.Forensics.Campaign { pre = false })
+  | Probe.Role_change { role; term; _ } ->
+      record ~term (Telemetry.Forensics.Role { role = Types.role_name role })
+  | Probe.Pre_vote_aborted { term; _ } ->
+      record ~term Telemetry.Forensics.Prevote_abort
+  | Probe.Tuner_reset _ ->
+      record ~term:(Server.term t.server) Telemetry.Forensics.Tuner_reset
+  | Probe.Tuner_decision { rtt_ms; loss; k; et; h; reason; _ } ->
+      record ~term:(Server.term t.server)
+        (Telemetry.Forensics.Tuner
+           { rtt_ms; loss; et; h; k; reason = Probe.reason_name reason })
+  | Probe.Config_change { term; change; committed; _ } ->
+      record ~term
+        (Telemetry.Forensics.Config
+           { change = Format.asprintf "%a" Log.pp_change change; committed })
+  | Probe.Transfer_started { term; target; _ } ->
+      record ~term
+        (Telemetry.Forensics.Transfer { target = Node_id.to_int target })
+  | Probe.Node_paused _ | Probe.Node_resumed _ | Probe.Transfer_aborted _ ->
+      (* pause/resume are recorded at the fault-injection site, where the
+         fault cause is minted; transfer expiry adds nothing causal *)
+      ()
 
 and hb_timer t peer =
   match Node_id.Table.find_opt t.hb_timers peer with
@@ -119,6 +183,7 @@ and hb_timer t peer =
         Des.Timer.create t.engine (fun () ->
             if not t.paused then begin
               Netsim.Cpu.charge t.cpu ~cost:t.costs.Cost_model.timer_fire;
+              if t.fo_on then new_cause t Telemetry.Cause.Heartbeat_timer;
               dispatch t (Server.Heartbeat_due peer)
             end)
       in
@@ -146,8 +211,9 @@ let datagram_overflow t msg =
 
 let create ~fabric ~trace ?cpu ?(costs = Cost_model.zero) ?apply ?snapshot_of
     ?install_sm ?(flush_delay = Des.Time.ms 1)
-    ?(metrics = Telemetry.Metrics.noop) ?(joining = false) ~id:node_id ~peers
-    ~config () =
+    ?(metrics = Telemetry.Metrics.noop)
+    ?(forensics = Telemetry.Forensics.noop) ?(joining = false) ~id:node_id
+    ~peers ~config () =
   let engine = Netsim.Fabric.engine fabric in
   let node_label = "n" ^ string_of_int (Node_id.to_int node_id) in
   let cpu =
@@ -182,27 +248,41 @@ let create ~fabric ~trace ?cpu ?(costs = Cost_model.zero) ?apply ?snapshot_of
         costs;
         election_timer =
           Des.Timer.create engine (fun () ->
-              if not (Lazy.force t).paused then begin
+              let t = Lazy.force t in
+              if not t.paused then begin
                 Netsim.Cpu.charge cpu ~cost:costs.Cost_model.timer_fire;
-                dispatch (Lazy.force t) Server.Election_timeout_fired
+                if t.fo_on then new_cause t Telemetry.Cause.Election_timer;
+                dispatch t Server.Election_timeout_fired
               end);
         broadcast_timer =
           Des.Timer.create engine (fun () ->
-              if not (Lazy.force t).paused then begin
+              let t = Lazy.force t in
+              if not t.paused then begin
                 Netsim.Cpu.charge cpu ~cost:costs.Cost_model.timer_fire;
-                dispatch (Lazy.force t) Server.Broadcast_due
+                if t.fo_on then new_cause t Telemetry.Cause.Heartbeat_timer;
+                dispatch t Server.Broadcast_due
               end);
         quorum_timer =
           Des.Timer.create engine (fun () ->
-              if not (Lazy.force t).paused then
-                dispatch (Lazy.force t) Server.Quorum_check_due);
+              let t = Lazy.force t in
+              if not t.paused then begin
+                if t.fo_on then new_cause t Telemetry.Cause.Internal;
+                dispatch t Server.Quorum_check_due
+              end);
         flush_timer =
           Des.Timer.create engine (fun () ->
-              if not (Lazy.force t).paused then
-                dispatch (Lazy.force t) Server.Flush_due);
+              let t = Lazy.force t in
+              if not t.paused then begin
+                if t.fo_on then new_cause t Telemetry.Cause.Internal;
+                dispatch t Server.Flush_due
+              end);
         hb_timers = Node_id.Table.create 8;
         waiters = Hashtbl.create 64;
         instrumented = Telemetry.Metrics.enabled metrics;
+        fo = forensics;
+        fo_on = Telemetry.Forensics.enabled forensics;
+        cur_cause = 0;
+        election_arm_cause = 0;
         m_sent =
           Telemetry.Metrics.counter metrics ~scope:"rpc" ~name:"sent"
             ~node:node_label ();
@@ -248,6 +328,27 @@ let create ~fabric ~trace ?cpu ?(costs = Cost_model.zero) ?apply ?snapshot_of
             | Rpc.Timeout_now _ ->
                 ()
           end;
+          if t.fo_on then begin
+            (* The sender's staged cause, surfaced by the fabric for the
+               duration of this delivery: adopt it as our causal context
+               (under a CPU cost model [execute] may defer the dispatch,
+               in which case a later delivery can overwrite it — the
+               forensics scenarios run without a cost model). *)
+            t.cur_cause <- Netsim.Fabric.delivery_cause t.fabric;
+            match msg with
+            | Rpc.Vote_response { granted; pre_vote; _ } ->
+                Telemetry.Forensics.record t.fo
+                  ~at:(Des.Engine.now t.engine)
+                  ~node:(Node_id.to_int node_id) ~term:(Server.term t.server)
+                  ~cause:t.cur_cause ~parent:Telemetry.Cause.none
+                  (Telemetry.Forensics.Vote
+                     { from = Node_id.to_int src; granted; pre = pre_vote })
+            | Rpc.Heartbeat _ | Rpc.Heartbeat_response _ | Rpc.Vote_request _
+            | Rpc.Append_request _ | Rpc.Append_response _
+            | Rpc.Install_snapshot _ | Rpc.Install_snapshot_response _
+            | Rpc.Timeout_now _ ->
+                ()
+          end;
           Netsim.Cpu.execute t.cpu
             ~cost:
               (Cost_model.message_recv_cost t.costs
@@ -257,15 +358,32 @@ let create ~fabric ~trace ?cpu ?(costs = Cost_model.zero) ?apply ?snapshot_of
               if not t.paused then
                 dispatch t (Server.Message { from = src; msg }))
         end);
+  if t.fo_on then Netsim.Fabric.enable_cause_tracking fabric;
   t
 
-let start t = List.iter (interpret t) (Server.start t.server)
+let start t =
+  if t.fo_on then new_cause t Telemetry.Cause.Internal;
+  List.iter (interpret t) (Server.start t.server)
+
+(* Fault-injection transitions root fresh causal chains: whatever the
+   cluster does next — elections after a leader pause, catch-up after a
+   resume — traces back to this record. *)
+let forensics_fault t ev =
+  if t.fo_on then begin
+    new_cause t Telemetry.Cause.Fault;
+    Telemetry.Forensics.record t.fo
+      ~at:(Des.Engine.now t.engine)
+      ~node:(Node_id.to_int (id t))
+      ~term:(Server.term t.server)
+      ~cause:t.cur_cause ~parent:Telemetry.Cause.none ev
+  end
 
 let submit t ~payload ~client_id ~seq ~on_result () =
   if t.paused || not (Types.is_leader (Server.role t.server)) then
     `Not_leader (Server.leader t.server)
   else begin
     Hashtbl.replace t.waiters (client_id, seq) on_result;
+    if t.fo_on then new_cause t Telemetry.Cause.Client;
     Netsim.Cpu.execute t.cpu ~cost:t.costs.Cost_model.propose (fun () ->
         dispatch t (Server.Propose { payload; client_id; seq }));
     `Accepted
@@ -276,6 +394,7 @@ let read t ~client_id ~seq ~on_result () =
     `Not_leader (Server.leader t.server)
   else begin
     Hashtbl.replace t.waiters (client_id, seq) on_result;
+    if t.fo_on then new_cause t Telemetry.Cause.Client;
     Netsim.Cpu.execute t.cpu ~cost:t.costs.Cost_model.apply (fun () ->
         dispatch t (Server.Read { client_id; seq }));
     `Accepted
@@ -284,6 +403,7 @@ let read t ~client_id ~seq ~on_result () =
 let transfer_leadership t target =
   if t.paused || not (Types.is_leader (Server.role t.server)) then `Not_leader
   else begin
+    if t.fo_on then new_cause t Telemetry.Cause.Internal;
     dispatch t (Server.Transfer_leadership target);
     `Ok
   end
@@ -291,6 +411,7 @@ let transfer_leadership t target =
 let reconfigure t change =
   if t.paused || not (Types.is_leader (Server.role t.server)) then `Not_leader
   else begin
+    if t.fo_on then new_cause t Telemetry.Cause.Internal;
     let actions, result =
       Server.reconfigure t.server ~now:(Des.Engine.now t.engine) change
     in
@@ -301,11 +422,13 @@ let reconfigure t change =
 let pause t =
   t.paused <- true;
   Netsim.Fabric.pause t.fabric (id t);
+  forensics_fault t Telemetry.Forensics.Paused;
   Des.Mtrace.emit t.trace (Probe.Node_paused { id = id t })
 
 let resume t =
   t.paused <- false;
   Netsim.Fabric.resume t.fabric (id t);
+  forensics_fault t Telemetry.Forensics.Resumed;
   Des.Mtrace.emit t.trace (Probe.Node_resumed { id = id t });
   dispatch t Server.Restarted
 
@@ -324,6 +447,7 @@ let crash t =
   let pending = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.waiters [] in
   Hashtbl.reset t.waiters;
   List.iter (fun (_, k) -> k ~committed:false) pending;
+  forensics_fault t Telemetry.Forensics.Paused;
   Des.Mtrace.emit t.trace (Probe.Node_paused { id = id t })
 
 let restart t =
@@ -345,5 +469,6 @@ let restart t =
   | None -> ());
   t.paused <- false;
   Netsim.Fabric.resume t.fabric (id t);
+  forensics_fault t Telemetry.Forensics.Resumed;
   Des.Mtrace.emit t.trace (Probe.Node_resumed { id = id t });
   List.iter (interpret t) (Server.start t.server)

@@ -18,6 +18,7 @@ val create :
   ?install_sm:(string -> unit) ->
   ?flush_delay:Des.Time.span ->
   ?metrics:Telemetry.Metrics.t ->
+  ?forensics:Telemetry.Forensics.t ->
   ?joining:bool ->
   id:Netsim.Node_id.t ->
   peers:Netsim.Node_id.t list ->
@@ -38,7 +39,15 @@ val create :
     counters ([rpc/sent], [rpc/recv]) and the heartbeat round-trip
     histogram ([rpc/hb_rtt_ms]); when it is enabled the node also turns
     on [Server.set_instrument] (and keeps it on across {!restart}), so
-    tuner decisions reach the trace. *)
+    tuner decisions reach the trace.
+
+    [forensics] (default {!Telemetry.Forensics.noop}) receives causally
+    stamped transition records: every timer fire, client request and
+    injected fault mints a fresh {!Telemetry.Cause.t}, sends piggyback
+    the current cause across the fabric, and probes are mirrored into
+    the ring with it.  When enabled the node turns on the fabric's
+    cause tracking; when disabled every added branch is on a cached
+    [bool] and the node allocates exactly what it did before. *)
 
 val start : t -> unit
 (** Arm the initial election timer.  Call once, on every node, before

@@ -31,6 +31,12 @@ let wire_units (msg : Rpc.message) =
   | Rpc.Install_snapshot_response _ | Rpc.Timeout_now _ ->
       1
 
-let transmit fabric ~lanes ~src ~dst kind msg =
+(* [cause] piggybacks the sender's causal token on the message (0 = no
+   cause, the common case): the fabric carries it next to the frame and
+   re-surfaces it at the receiver's delivery handler, so causal chains
+   cross the network without the RPC variants growing a field every
+   send would have to fill. *)
+let transmit fabric ~lanes ~cause ~src ~dst kind msg =
+  if cause <> 0 then Netsim.Fabric.stage_cause fabric cause;
   let lane = if lanes then lane_of msg else Netsim.Transport.Urgent in
   Netsim.Fabric.send fabric kind ~lane ~units:(wire_units msg) ~src ~dst msg

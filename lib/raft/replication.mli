@@ -18,10 +18,14 @@ val wire_units : Rpc.message -> int
 val transmit :
   Rpc.message Netsim.Fabric.t ->
   lanes:bool ->
+  cause:int ->
   src:Netsim.Node_id.t ->
   dst:Netsim.Node_id.t ->
   Netsim.Transport.kind ->
   Rpc.message ->
   unit
 (** Send one RPC.  With [lanes:false] everything departs urgent — one
-    FIFO, the priority-lane ablation. *)
+    FIFO, the priority-lane ablation.  [cause] (a {!Telemetry.Cause.t}
+    token; [0] = none) is staged on the fabric so the receiver's
+    delivery handler can read its causal parent — see
+    {!Netsim.Fabric.stage_cause}. *)

@@ -400,6 +400,22 @@ let piggyback_h t =
         t.pb_h <- boxed;
         boxed
 
+(* The tuning parameters in force at this instant, for forensics
+   records: (Et, h, K).  h falls back to the configured interval while
+   warming (or in static mode); K is 0 when no tuner exists. *)
+let tuning_snapshot t =
+  let et = election_timeout_now t in
+  let h =
+    let v = piggyback_h_value t in
+    if v >= 0 then v else t.config.Config.heartbeat_interval
+  in
+  let k =
+    match t.tuner with
+    | Some tuner -> Dynatune.Tuner.required_heartbeats tuner
+    | None -> 0
+  in
+  (et, h, k)
+
 (* {2 Action accumulation} *)
 
 type ctx = { mutable acts : action list; now : Des.Time.t }

@@ -14,13 +14,16 @@ type result = {
       (* order-sensitive digest of every shard's probe trace, in shard
          order: the determinism sanitizer's witness *)
   metrics : Telemetry.Metrics.snapshot;
+  recorder : Telemetry.Recorder.dump;
 }
 
-let result_of_raw ~mode ~digest ?(metrics = []) (raw : Measure.raw) =
+let result_of_raw ~mode ~digest ?(metrics = []) ?(recorder = [])
+    (raw : Measure.raw) =
   {
     mode;
     digest;
     metrics;
+    recorder;
     failures = raw.Measure.measured;
     detection = Stats.Summary.of_list raw.Measure.detection;
     majority_detection = Stats.Summary.of_list raw.Measure.majority;
@@ -35,7 +38,7 @@ let result_of_raw ~mode ~digest ?(metrics = []) (raw : Measure.raw) =
 
 let run ?(seed = 42L) ?(n = 5) ?(failures = 1000) ?(rtt_ms = 100.)
     ?(jitter = 0.02) ?(warmup = Des.Time.sec 30) ?(jobs = 1) ?shards
-    ?(check = Check.Off) ?(instrument = false) ?on_cluster ~config () =
+    ?(check = Check.Off) ?(instrument = false) ?record ?on_cluster ~config () =
   let shard (s : Parallel.Campaign.shard) =
     let conditions =
       Netsim.Conditions.(constant (profile ~rtt_ms ~jitter ()))
@@ -44,8 +47,14 @@ let run ?(seed = 42L) ?(n = 5) ?(failures = 1000) ?(rtt_ms = 100.)
        order below, so the aggregate is independent of the worker
        count. *)
     let telemetry = Telemetry.Metrics.create ~enabled:instrument () in
+    let recorder =
+      match record with
+      | Some every -> Telemetry.Recorder.create ~every ()
+      | None -> Telemetry.Recorder.noop
+    in
     let cluster =
-      Cluster.create ~seed:s.seed ~n ~config ~conditions ~check ~telemetry ()
+      Cluster.create ~seed:s.seed ~n ~config ~conditions ~check ~telemetry
+        ~recorder ()
     in
     (match on_cluster with Some f -> f ~shard:s.index cluster | None -> ());
     Cluster.start cluster;
@@ -56,19 +65,26 @@ let run ?(seed = 42L) ?(n = 5) ?(failures = 1000) ?(rtt_ms = 100.)
     let raw = Measure.failures ~metrics:telemetry cluster ~quota:s.quota in
     Cluster.check_now cluster;
     Cluster.collect_metrics cluster;
-    (raw, Cluster.trace_digest cluster, Telemetry.Metrics.snapshot telemetry)
+    ( raw,
+      Cluster.trace_digest cluster,
+      Telemetry.Metrics.snapshot telemetry,
+      Telemetry.Recorder.dump recorder )
   in
   let outcomes =
     Parallel.Campaign.sharded ?shards ~jobs ~seed ~total:failures ~f:shard ()
   in
   let digest =
-    Check.Digest.combine (List.map (fun (_, d, _) -> d) outcomes)
+    Check.Digest.combine (List.map (fun (_, d, _, _) -> d) outcomes)
   in
   let metrics =
-    Telemetry.Metrics.merge (List.map (fun (_, _, m) -> m) outcomes)
+    Telemetry.Metrics.merge (List.map (fun (_, _, m, _) -> m) outcomes)
+  in
+  let recorder =
+    Telemetry.Recorder.merge (List.map (fun (_, _, _, r) -> r) outcomes)
   in
   result_of_raw ~mode:(Raft.Config.mode_name config) ~digest ~metrics
-    (Measure.merge (List.map (fun (r, _, _) -> r) outcomes))
+    ~recorder
+    (Measure.merge (List.map (fun (r, _, _, _) -> r) outcomes))
 
 let compare_modes ?(failures = 1000) ?(seed = 42L) ?(jobs = 1) () =
   [

@@ -26,12 +26,17 @@ type result = {
           Merged in shard order, so — like [digest] — it is a function of
           [(seed, shard plan)] alone: [--jobs 1] and [--jobs n] runs of a
           pinned plan agree bit-for-bit. *)
+  recorder : Telemetry.Recorder.dump;
+      (** Merged per-shard time series ({!Telemetry.Recorder.merge},
+          keys prefixed by shard), empty unless [run ~record].  Same
+          shard-plan determinism as [metrics]. *)
 }
 
 val result_of_raw :
   mode:string ->
   digest:int64 ->
   ?metrics:Telemetry.Metrics.snapshot ->
+  ?recorder:Telemetry.Recorder.dump ->
   Measure.raw ->
   result
 (** Summarize the raw samples of a (possibly merged) failure campaign.
@@ -48,6 +53,7 @@ val run :
   ?shards:int ->
   ?check:Check.mode ->
   ?instrument:bool ->
+  ?record:Des.Time.span ->
   ?on_cluster:(shard:int -> Harness.Cluster.t -> unit) ->
   config:Raft.Config.t ->
   unit ->
@@ -77,7 +83,11 @@ val run :
 
     [instrument] (default false) gives every shard an enabled telemetry
     registry — filling [result.metrics] — and turns on tuner-decision
-    probes.  [on_cluster] is invoked with each shard's cluster right
+    probes.  [record] attaches a per-shard {!Telemetry.Recorder} with
+    the given sampling period (use with [instrument], which populates
+    the registry it samples) — filling [result.recorder]; the sampling
+    events draw no randomness, so [digest] is unchanged by it.
+    [on_cluster] is invoked with each shard's cluster right
     after creation (before [start]); the [--trace-out] exporter uses it
     to attach a {!Harness.Tracing} bridge per shard. *)
 

@@ -1,11 +1,16 @@
 module Cluster = Harness.Cluster
 
 let run ?(seed = 23L) ?(failures = 300) ?jitter ?loss ?(jobs = 1) ?shards
-    ?(check = Check.Off) ?(instrument = false) ~config () =
+    ?(check = Check.Off) ?(instrument = false) ?record ~config () =
   let shard (s : Parallel.Campaign.shard) =
     let telemetry = Telemetry.Metrics.create ~enabled:instrument () in
+    let recorder =
+      match record with
+      | Some every -> Telemetry.Recorder.create ~every ()
+      | None -> Telemetry.Recorder.noop
+    in
     let cluster =
-      Cluster.create ~seed:s.seed ~n:5 ~config ~check ~telemetry ()
+      Cluster.create ~seed:s.seed ~n:5 ~config ~check ~telemetry ~recorder ()
     in
     Geo.apply cluster ?jitter ?loss ();
     Cluster.start cluster;
@@ -16,16 +21,21 @@ let run ?(seed = 23L) ?(failures = 300) ?jitter ?loss ?(jobs = 1) ?shards
     let raw = Measure.failures ~metrics:telemetry cluster ~quota:s.quota in
     Cluster.check_now cluster;
     Cluster.collect_metrics cluster;
-    (raw, Cluster.trace_digest cluster, Telemetry.Metrics.snapshot telemetry)
+    ( raw,
+      Cluster.trace_digest cluster,
+      Telemetry.Metrics.snapshot telemetry,
+      Telemetry.Recorder.dump recorder )
   in
   let outcomes =
     Parallel.Campaign.sharded ?shards ~jobs ~seed ~total:failures ~f:shard ()
   in
   Fig4.result_of_raw ~mode:(Raft.Config.mode_name config)
-    ~digest:(Check.Digest.combine (List.map (fun (_, d, _) -> d) outcomes))
+    ~digest:(Check.Digest.combine (List.map (fun (_, d, _, _) -> d) outcomes))
     ~metrics:
-      (Telemetry.Metrics.merge (List.map (fun (_, _, m) -> m) outcomes))
-    (Measure.merge (List.map (fun (r, _, _) -> r) outcomes))
+      (Telemetry.Metrics.merge (List.map (fun (_, _, m, _) -> m) outcomes))
+    ~recorder:
+      (Telemetry.Recorder.merge (List.map (fun (_, _, _, r) -> r) outcomes))
+    (Measure.merge (List.map (fun (r, _, _, _) -> r) outcomes))
 
 let compare_modes ?(failures = 300) ?(seed = 23L) ?(jobs = 1) () =
   [

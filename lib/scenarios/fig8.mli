@@ -16,14 +16,16 @@ val run :
   ?shards:int ->
   ?check:Check.mode ->
   ?instrument:bool ->
+  ?record:Des.Time.span ->
   config:Raft.Config.t ->
   unit ->
   Fig4.result
 (** [jobs] shards the campaign exactly as in {!Fig4.run}: [1] (the
     default) is the sequential run, bit for bit; [> 1] fans the quota
     out over that many independently seeded clusters on parallel
-    domains.  [shards] pins the shard plan and [check] enables the
-    online invariant checker, as in {!Fig4.run}. *)
+    domains.  [shards] pins the shard plan, [check] enables the
+    online invariant checker, and [record] attaches a per-shard
+    time-series recorder, as in {!Fig4.run}. *)
 
 val compare_modes :
   ?failures:int -> ?seed:int64 -> ?jobs:int -> unit -> Fig4.result list

@@ -1,0 +1,51 @@
+type t = int
+
+type kind =
+  | Election_timer
+  | Heartbeat_timer
+  | Client
+  | Fault
+  | Internal
+
+let none = 0
+let is_none c = c = 0
+
+(* 1-based kind codes keep every packed cause nonzero even when node,
+   term and seq are all 0. *)
+let kind_code = function
+  | Election_timer -> 1
+  | Heartbeat_timer -> 2
+  | Client -> 3
+  | Fault -> 4
+  | Internal -> 5
+
+let kind_of_code = function
+  | 1 -> Election_timer
+  | 2 -> Heartbeat_timer
+  | 3 -> Client
+  | 4 -> Fault
+  | _ -> Internal
+
+let make ~kind ~node ~term ~seq =
+  (kind_code kind lsl 59)
+  lor ((node land 0xFFF) lsl 47)
+  lor ((term land 0x7FFF) lsl 32)
+  lor (seq land 0xFFFFFFFF)
+
+let kind c = kind_of_code ((c lsr 59) land 0x7)
+let node c = (c lsr 47) land 0xFFF
+let term c = (c lsr 32) land 0x7FFF
+let seq c = c land 0xFFFFFFFF
+
+let kind_name = function
+  | Election_timer -> "et"
+  | Heartbeat_timer -> "hb"
+  | Client -> "cl"
+  | Fault -> "ft"
+  | Internal -> "in"
+
+let to_string c =
+  if c = 0 then "-"
+  else
+    Printf.sprintf "%s:n%d/t%d#%d" (kind_name (kind c)) (node c) (term c)
+      (seq c)

@@ -14,20 +14,80 @@ type t = { buf : Buffer.t; mutable count : int }
 let create () = { buf = Buffer.create 4096; count = 0 }
 let event_count t = t.count
 
+(* Multi-byte UTF-8 passes through verbatim (JSON is UTF-8), but only
+   when well-formed: a stray 0x80..0xFF byte — a Latin-1 span name, a
+   truncated sequence — would make the whole file invalid JSON, so
+   malformed bytes are replaced with U+FFFD.  The validation follows the
+   Unicode table: no overlongs, no surrogates, nothing above U+10FFFF. *)
+let utf8_seq_len s i =
+  let n = String.length s in
+  let cont j lo hi =
+    j < n
+    &&
+    let c = Char.code s.[j] in
+    c >= lo && c <= hi
+  in
+  match Char.code s.[i] with
+  | c when c < 0x80 -> 1
+  | c when c >= 0xC2 && c <= 0xDF -> if cont (i + 1) 0x80 0xBF then 2 else 0
+  | 0xE0 -> if cont (i + 1) 0xA0 0xBF && cont (i + 2) 0x80 0xBF then 3 else 0
+  | c when c >= 0xE1 && c <= 0xEC ->
+      if cont (i + 1) 0x80 0xBF && cont (i + 2) 0x80 0xBF then 3 else 0
+  | 0xED ->
+      (* 0xED 0xA0.. would encode a UTF-16 surrogate *)
+      if cont (i + 1) 0x80 0x9F && cont (i + 2) 0x80 0xBF then 3 else 0
+  | c when c >= 0xEE && c <= 0xEF ->
+      if cont (i + 1) 0x80 0xBF && cont (i + 2) 0x80 0xBF then 3 else 0
+  | 0xF0 ->
+      if cont (i + 1) 0x90 0xBF && cont (i + 2) 0x80 0xBF && cont (i + 3) 0x80 0xBF
+      then 4
+      else 0
+  | c when c >= 0xF1 && c <= 0xF3 ->
+      if cont (i + 1) 0x80 0xBF && cont (i + 2) 0x80 0xBF && cont (i + 3) 0x80 0xBF
+      then 4
+      else 0
+  | 0xF4 ->
+      if cont (i + 1) 0x80 0x8F && cont (i + 2) 0x80 0xBF && cont (i + 3) 0x80 0xBF
+      then 4
+      else 0
+  | _ -> 0 (* 0x80..0xC1, 0xF5..0xFF: never a lead byte *)
+
 let escape s =
   let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\t' -> Buffer.add_string b "\\t"
-      | '\r' -> Buffer.add_string b "\\r"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    (match s.[!i] with
+    | '"' ->
+        Buffer.add_string b "\\\"";
+        incr i
+    | '\\' ->
+        Buffer.add_string b "\\\\";
+        incr i
+    | '\n' ->
+        Buffer.add_string b "\\n";
+        incr i
+    | '\t' ->
+        Buffer.add_string b "\\t";
+        incr i
+    | '\r' ->
+        Buffer.add_string b "\\r";
+        incr i
+    | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c));
+        incr i
+    | c when Char.code c < 0x80 ->
+        Buffer.add_char b c;
+        incr i
+    | _ -> (
+        match utf8_seq_len s !i with
+        | 0 ->
+            Buffer.add_string b "\\ufffd";
+            incr i
+        | len ->
+            Buffer.add_string b (String.sub s !i len);
+            i := !i + len))
+  done;
   Buffer.contents b
 
 let arg_to_json = function

@@ -91,6 +91,36 @@ let test_taint_requires_entry_reachability () =
   in
   Alcotest.(check int) "no findings" 0 (List.length (with_rule "effect-taint" fs))
 
+let test_taint_forensics_entry () =
+  (* The forensics modules are taint roots themselves: an ambient
+     effect reachable from one fires without any lib/raft caller... *)
+  let fs =
+    analyze
+      [
+        file "lib/telemetry/forensics.ml"
+          "let stamp () = Unix.gettimeofday ()";
+      ]
+  in
+  Alcotest.(check int) "forensics is an entry dir" 1
+    (List.length (with_rule "effect-taint" fs));
+  let fs =
+    analyze
+      [ file "lib/telemetry/recorder.ml" "let jitter () = Random.float 1." ]
+  in
+  Alcotest.(check int) "recorder is an entry dir" 1
+    (List.length (with_rule "effect-taint" fs));
+  (* ...but the exporters are not: chrome_trace writing a file when
+     asked stays legitimate. *)
+  let fs =
+    analyze
+      [
+        file "lib/telemetry/chrome_trace.ml"
+          "let write path = open_out path";
+      ]
+  in
+  Alcotest.(check int) "chrome_trace stays exempt" 0
+    (List.length (with_rule "effect-taint" fs))
+
 let test_taint_allowlist () =
   let config =
     A.Driver.default_config ~allow:[ ("util.ml", "effect-taint") ] ()
@@ -180,6 +210,8 @@ let tests =
     Alcotest.test_case "taint-two-hops" `Quick test_taint_two_hops;
     Alcotest.test_case "taint-needs-entry" `Quick
       test_taint_requires_entry_reachability;
+    Alcotest.test_case "taint-forensics-entry" `Quick
+      test_taint_forensics_entry;
     Alcotest.test_case "taint-allowlist" `Quick test_taint_allowlist;
     Alcotest.test_case "shared-state-fires" `Quick test_shared_state_fires;
     Alcotest.test_case "shared-state-needs-spawn" `Quick

@@ -24,4 +24,5 @@ let () =
       ("misc", Test_misc.tests);
       ("telemetry", Test_telemetry.tests);
       ("analysis", Test_analysis.tests);
+      ("forensics", Test_forensics.tests);
     ]

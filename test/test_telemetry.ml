@@ -212,6 +212,43 @@ let test_chrome_shape () =
       {|"displayTimeUnit": "ms"|};
     ]
 
+(* The UTF-8 audit: well-formed multi-byte sequences pass through
+   verbatim (JSON is UTF-8), malformed bytes — stray continuations,
+   truncated sequences, overlongs, surrogate encodings, out-of-range
+   leads — each become one U+FFFD escape instead of corrupting the
+   file. *)
+let escaped name =
+  let s = Chrome.create () in
+  Chrome.instant s ~name ~pid:1 ~tid:0 ~at:(Time.ms 1) ();
+  Chrome.to_string s
+
+let test_chrome_utf8 () =
+  let check_escape label input expected =
+    Alcotest.(check bool) label true (contains ~needle:expected (escaped input))
+  in
+  (* valid sequences pass through byte-for-byte *)
+  check_escape "2-byte (é)" "caf\xC3\xA9" "caf\xC3\xA9";
+  check_escape "3-byte (東)" "\xE6\x9D\xB1" "\xE6\x9D\xB1";
+  check_escape "4-byte (𝄞)" "\xF0\x9D\x84\x9E" "\xF0\x9D\x84\x9E";
+  check_escape "control char inside UTF-8" "\xC3\xA9\x01" "\xC3\xA9\\u0001";
+  (* malformed bytes each degrade to a replacement escape *)
+  check_escape "stray continuation" "a\x80b" "a\\ufffdb";
+  check_escape "truncated 2-byte lead" "a\xC3" "a\\ufffd";
+  check_escape "truncated 3-byte" "\xE6\x9D" "\\ufffd\\ufffd";
+  check_escape "overlong lead 0xC0" "\xC0\xAF" "\\ufffd\\ufffd";
+  check_escape "overlong 3-byte" "\xE0\x80\xA0" "\\ufffd\\ufffd\\ufffd";
+  check_escape "UTF-16 surrogate (ED A0 80)" "\xED\xA0\x80"
+    "\\ufffd\\ufffd\\ufffd";
+  check_escape "above U+10FFFF (F4 90)" "\xF4\x90\x80\x80"
+    "\\ufffd\\ufffd\\ufffd\\ufffd";
+  check_escape "never-a-lead 0xF5" "\xF5" "\\ufffd";
+  check_escape "never-a-lead 0xFF" "\xFF" "\\ufffd";
+  (* the result is parseable JSON-ish: every quote in it is escaped or
+     structural — cheap sanity via an even quote count *)
+  let out = escaped "\xC3\xA9 \x80 \"q\"" in
+  let quotes = String.fold_left (fun n c -> if c = '"' then n + 1 else n) 0 out in
+  Alcotest.(check int) "balanced quotes" 0 (quotes mod 2)
+
 let test_chrome_write () =
   let path = Filename.temp_file "chrome_trace" ".json" in
   Fun.protect
@@ -243,5 +280,6 @@ let tests =
       test_fig4_uninstrumented_is_empty;
     Alcotest.test_case "chrome: golden file" `Quick test_chrome_golden;
     Alcotest.test_case "chrome: JSON shape" `Quick test_chrome_shape;
+    Alcotest.test_case "chrome: UTF-8 escaping" `Quick test_chrome_utf8;
     Alcotest.test_case "chrome: write" `Quick test_chrome_write;
   ]
