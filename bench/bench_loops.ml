@@ -1,0 +1,183 @@
+(* The hot-path loop builders shared between the bechamel
+   microbenchmarks (bench/micro.ml) and the perf-regression guard
+   (`selfcheck --perf`): both must price exactly the same code, or the
+   guard would ratchet numbers the benchmark never reported.
+
+   Each builder returns a closure whose per-call minor-heap allocation
+   is a constant of the code path alone (no GC- or time-dependent
+   branching), so [words_per_op] is exact and host-independent — the
+   committed baseline can be compared with a tight margin. *)
+
+let bench_payload =
+  Kvsm.Command.to_payload (Kvsm.Command.Put { key = "bench-key"; value = "v" })
+
+let bench_log () =
+  let log = Raft.Log.create () in
+  for _ = 1 to 1000 do
+    ignore
+      (Raft.Log.append_new log ~term:1
+         (Raft.Log.Data { payload = bench_payload; client_id = 1; seq = 1 })
+        : Raft.Log.entry)
+  done;
+  log
+
+let make_heartbeat_loop () =
+  let config = Raft.Config.dynatune () in
+  let rng = Stats.Rng.create ~seed:1L () in
+  let follower =
+    Raft.Server.create ~id:(Netsim.Node_id.of_int 0)
+      ~peers:(List.tl (Netsim.Node_id.range 5))
+      ~config ~rng ()
+  in
+  ignore (Raft.Server.start follower);
+  let i = ref 0 in
+  fun () ->
+    incr i;
+    ignore
+      (Raft.Server.handle follower ~now:(Des.Time.ms (!i + 50))
+         (Raft.Server.Message
+            {
+              from = Netsim.Node_id.of_int 1;
+              msg =
+                Raft.Rpc.Heartbeat
+                  {
+                    term = 1;
+                    commit = 0;
+                    hb_id = !i;
+                    sent_at = Des.Time.ms !i;
+                    measured_rtt = Some (Des.Time.ms 100);
+                  };
+            })
+        : Raft.Server.action list)
+
+(* The replication engine's entry path, both ends, as standalone servers
+   (no fabric, no engine).  The leader is brought to power by feeding the
+   vote flow by hand; each iteration then replays a conflict nack that
+   rewinds to index 1, so [handle] re-builds and re-sends the same
+   64-entry batch — in steady state a batch-cache hit, which is the
+   number the allocation-lean work moves.  The follower replays one
+   prebuilt duplicate append: the [try_append] prefix-scan hot path. *)
+let make_leader_append_loop () =
+  let config =
+    Raft.Config.with_replication ~max_entries_per_append:64
+      (Raft.Config.static ())
+  in
+  let rng = Stats.Rng.create ~seed:2L () in
+  let leader =
+    Raft.Server.create ~id:(Netsim.Node_id.of_int 0)
+      ~peers:(List.tl (Netsim.Node_id.range 5))
+      ~config ~rng ()
+  in
+  let now = Des.Time.ms 1000 in
+  let from_peer p m =
+    Raft.Server.Message { from = Netsim.Node_id.of_int p; msg = m }
+  in
+  ignore (Raft.Server.start leader);
+  ignore (Raft.Server.handle leader ~now Raft.Server.Election_timeout_fired);
+  List.iter
+    (fun pre ->
+      List.iter
+        (fun p ->
+          ignore
+            (Raft.Server.handle leader ~now
+               (from_peer p
+                  (Raft.Rpc.Vote_response
+                     { term = 1; granted = true; pre_vote = pre }))))
+        [ 1; 2 ])
+    [ true; false ];
+  assert (Raft.Types.is_leader (Raft.Server.role leader));
+  for seq = 1 to 500 do
+    ignore
+      (Raft.Server.handle leader ~now
+         (Raft.Server.Propose
+            { payload = bench_payload; client_id = 1; seq }))
+  done;
+  let nack =
+    from_peer 1
+      (Raft.Rpc.Append_response
+         {
+           term = 1;
+           success = false;
+           match_index = 0;
+           conflict_hint = 1;
+           req_prev = 0;
+         })
+  in
+  fun () ->
+    ignore (Raft.Server.handle leader ~now nack : Raft.Server.action list)
+
+(* A 64-entry batch as the wire would carry it, built once. *)
+let batch_64 () =
+  let scratch = Raft.Log.create () in
+  for _ = 1 to 64 do
+    ignore
+      (Raft.Log.append_new scratch ~term:1
+         (Raft.Log.Data { payload = bench_payload; client_id = 1; seq = 1 })
+        : Raft.Log.entry)
+  done;
+  Raft.Log.slice scratch ~from:1 ~max:64
+
+let make_follower_append_loop () =
+  let config =
+    Raft.Config.with_replication ~max_entries_per_append:64
+      (Raft.Config.static ())
+  in
+  let rng = Stats.Rng.create ~seed:3L () in
+  let follower =
+    Raft.Server.create ~id:(Netsim.Node_id.of_int 0)
+      ~peers:(List.tl (Netsim.Node_id.range 5))
+      ~config ~rng ()
+  in
+  ignore (Raft.Server.start follower);
+  let append =
+    Raft.Server.Message
+      {
+        from = Netsim.Node_id.of_int 1;
+        msg =
+          Raft.Rpc.Append_request
+            {
+              term = 1;
+              prev_index = 0;
+              prev_term = 0;
+              entries = batch_64 ();
+              commit = 0;
+            };
+      }
+  in
+  let i = ref 0 in
+  fun () ->
+    incr i;
+    ignore
+      (Raft.Server.handle follower ~now:(Des.Time.ms (!i + 50)) append
+        : Raft.Server.action list)
+
+(* The same duplicate 64-entry append, but straight into [Log.try_append]
+   with no server around it: the log-matching prefix scan alone, the
+   floor under the follower figure above. *)
+let make_try_append_loop () =
+  let log = Raft.Log.create () in
+  let entries = batch_64 () in
+  (match Raft.Log.try_append log ~prev_index:0 ~prev_term:0 ~entries with
+  | `Ok _ -> ()
+  | `Conflict _ -> assert false);
+  fun () ->
+    ignore
+      (Raft.Log.try_append log ~prev_index:0 ~prev_term:0 ~entries
+        : [ `Ok of Raft.Types.index | `Conflict of Raft.Types.index ])
+
+(* Minor-heap allocation per operation, by [Gc.minor_words] delta: the
+   number bechamel's timing tables can't show.  [Gc.minor_words] counts
+   words allocated on the minor heap since program start, so the delta
+   over N iterations divided by N is exact (modulo the loop's own
+   constant). *)
+let words_per_op f =
+  for _ = 1 to 100 do
+    f ()
+  done;
+  let iters = 100_000 in
+  let w0 = Gc.minor_words () in
+  for _ = 1 to iters do
+    f ()
+  done;
+  let w1 = Gc.minor_words () in
+  (w1 -. w0) /. float_of_int iters

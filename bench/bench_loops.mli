@@ -1,0 +1,31 @@
+(** Hot-path loop builders shared by the bechamel microbenchmarks and
+    the perf-regression guard (`selfcheck --perf`).
+
+    Every [make_*] builder returns a closure that replays one pinned
+    operation; its minor-heap allocation per call is a constant of the
+    code path (no GC- or time-dependent branching), so {!words_per_op}
+    figures are exact and comparable across hosts. *)
+
+val bench_log : unit -> Raft.Log.t
+(** A 1000-entry log of identical KV [Put] commands. *)
+
+val make_heartbeat_loop : unit -> unit -> unit
+(** Follower handling one dynatune heartbeat (tuner observation
+    included). *)
+
+val make_leader_append_loop : unit -> unit -> unit
+(** Leader handling a conflict nack that forces a 64-entry rebatch — a
+    batch-cache hit in steady state. *)
+
+val make_follower_append_loop : unit -> unit -> unit
+(** Follower handling a duplicate 64-entry append through
+    [Server.handle]: the full RPC path over the prefix scan. *)
+
+val make_try_append_loop : unit -> unit -> unit
+(** The same duplicate 64-entry append straight into
+    [Raft.Log.try_append]: the log-matching prefix scan alone, the floor
+    under the follower figure. *)
+
+val words_per_op : (unit -> unit) -> float
+(** Minor words allocated per call of [f], measured over 100k iterations
+    after a 100-call warmup. *)

@@ -113,6 +113,13 @@ let run_extensions { full; jobs } =
       let hold = Des.Time.sec (if full then 10 else 3) in
       Scenarios.Extensions.print ppf (Scenarios.Extensions.run ~hold ~jobs ()))
 
+let run_multiraft { full; jobs } =
+  timed "multiraft" (fun () ->
+      let group_counts = if full then [ 16; 64 ] else [ 4; 16 ] in
+      let hold = Des.Time.sec (if full then 5 else 2) in
+      Scenarios.Multiraft.print ppf
+        (Scenarios.Multiraft.sweep ~group_counts ~hold ~jobs ()))
+
 let run_micro _ =
   timed "micro" (fun () ->
       Report.banner ppf "Microbenchmarks (bechamel)";
@@ -130,12 +137,13 @@ let figures =
     ("ablation", run_ablation);
     ("reconfig", run_reconfig);
     ("extensions", run_extensions);
+    ("multiraft", run_multiraft);
     ("micro", run_micro);
   ]
 
 (* The report is flat and the values are numbers/strings, so the JSON is
    written by hand rather than pulling in a serialization library. *)
-let write_json path ~full ~jobs ~metrics ~recorder ~guard =
+let write_json path ~full ~jobs ~metrics ~recorder ~multiraft ~guard =
   match open_out path with
   | exception Sys_error msg ->
       (* The figures already went to stdout; don't let a bad report path
@@ -158,8 +166,9 @@ let write_json path ~full ~jobs ~metrics ~recorder ~guard =
             (if i = List.length rows - 1 then "" else ","))
         rows;
       Printf.fprintf oc
-        "  ],\n  \"perf_guard\": %s,\n  \"recorder\": %s,\n  \"metrics\": %s\n}\n"
-        guard recorder metrics;
+        "  ],\n  \"perf_guard\": %s,\n  \"multiraft\": %s,\n  \"recorder\": \
+         %s,\n  \"metrics\": %s\n}\n"
+        guard multiraft recorder metrics;
       close_out oc;
       Format.fprintf ppf "[wrote %s]@." path
 
@@ -197,10 +206,64 @@ let recorder_json ~jobs =
     (String.length (Telemetry.Recorder.to_csv dump))
     (String.length (Telemetry.Recorder.to_openmetrics dump))
 
-(* The perf_guard section: the pinned plan `selfcheck --perf` replays.
+(* The multiraft section: the scale-out evidence.  One group behind the
+   shard router (the fig5-saturation wire model and replication config)
+   sets the baseline knee and its p99; the 64-group sweep's sustainable
+   throughput is the highest level it serves at >= 95% of the offer
+   without exceeding that single-group p99 — "5x at equal p99" is a
+   claim about this ratio. *)
+let multiraft_json () =
+  let module M = Scenarios.Multiraft in
+  let sustained ?p99_cap (levels : Kvsm.Workload.level_report list) =
+    List.fold_left
+      (fun acc (l : Kvsm.Workload.level_report) ->
+        let sustained_offer = l.throughput_rps >= 0.95 *. l.offered_rps in
+        let under_cap =
+          match p99_cap with
+          | None -> true
+          | Some cap -> l.p99_latency_ms <= cap
+        in
+        if sustained_offer && under_cap then
+          match acc with
+          | Some (best, _) when best >= l.throughput_rps -> acc
+          | Some _ | None -> Some (l.throughput_rps, l.p99_latency_ms)
+        else acc)
+      None levels
+  in
+  let single =
+    M.run_one ~seed:11L ~groups:1
+      ~rates:[ 500.; 1000.; 2000.; 4000.; 8000. ]
+      ()
+  in
+  let single_rps, single_p99 =
+    match sustained single.M.levels with
+    | Some v -> v
+    | None -> failwith "multiraft report: single group sustained no level"
+  in
+  let multi = M.run_one ~seed:11L ~groups:64 () in
+  let multi_rps, multi_p99 =
+    match sustained ~p99_cap:single_p99 multi.M.levels with
+    | Some v -> v
+    | None ->
+        failwith
+          "multiraft report: 64 groups sustained no level at the \
+           single-group p99"
+  in
+  Printf.sprintf
+    "{\"single\": {\"groups\": 1, \"sustainable_rps\": %.0f, \"p99_ms\": \
+     %.2f}, \"scaled\": {\"groups\": %d, \"replicas\": %d, \
+     \"sustainable_rps\": %.0f, \"p99_ms\": %.2f, \"peak_rps\": %.0f, \
+     \"events\": %d}, \"speedup\": %.2f}"
+    single_rps single_p99 multi.M.groups multi.M.replicas multi_rps multi_p99
+    multi.M.peak_rps multi.M.events
+    (multi_rps /. single_rps)
+
+(* The perf_guard section: the pinned plans `selfcheck --perf` replays.
    Always sequential (jobs = 1) so the recorded events/sec is comparable
-   across report generations regardless of the --jobs flag; the digest
-   is jobs-invariant by the determinism contract. *)
+   across report generations regardless of the --jobs flag; the digests
+   are jobs-invariant by the determinism contract.  The words/op rows
+   are exact allocation constants of the hot-path loops (Bench_loops),
+   ratcheted by the guard with a small headroom. *)
 let guard_json () =
   let t0 = Unix.gettimeofday () in
   let e0 = Des.Engine.global_processed () in
@@ -210,11 +273,25 @@ let guard_json () =
   in
   let wall = Unix.gettimeofday () -. t0 in
   let events = Des.Engine.global_processed () - e0 in
+  let mr =
+    Scenarios.Multiraft.sweep ~seed:11L ~group_counts:[ 4 ] ~replicas:3
+      ~rates:[ 500.; 1000. ] ~jobs:1 ()
+  in
+  let words f = Bench_loops.words_per_op (f ()) in
   Printf.sprintf
     "{\"plan\": \"fig4 seed=42 failures=400 shards=4 jobs=1\", \"digest\": \
-     \"%Lx\", \"wall_s\": %.3f, \"events\": %d, \"events_per_s\": %.0f}"
+     \"%Lx\", \"wall_s\": %.3f, \"events\": %d, \"events_per_s\": %.0f, \
+     \"multiraft_plan\": \"multiraft seed=11 groups=4 replicas=3 \
+     rates=500,1000 jobs=1\", \"multiraft_digest\": \"%Lx\", \"hb_words\": \
+     %.1f, \"rebatch_words\": %.1f, \"follower_append_words\": %.1f, \
+     \"try_append_words\": %.1f}"
     r.Fig4.digest wall events
     (if wall > 0. then float_of_int events /. wall else 0.)
+    mr.Scenarios.Multiraft.digest
+    (words Bench_loops.make_heartbeat_loop)
+    (words Bench_loops.make_leader_append_loop)
+    (words Bench_loops.make_follower_append_loop)
+    (words Bench_loops.make_try_append_loop)
 
 let usage () =
   Format.eprintf
@@ -285,6 +362,7 @@ let () =
   Option.iter
     (fun path ->
       write_json path ~full:!full ~jobs ~metrics:(metrics_json ~jobs)
-        ~recorder:(recorder_json ~jobs) ~guard:(guard_json ()))
+        ~recorder:(recorder_json ~jobs) ~multiraft:(multiraft_json ())
+        ~guard:(guard_json ()))
     !json;
   Format.pp_print_flush ppf ()

@@ -146,22 +146,9 @@ let test_wheel_fire =
               : Des.Engine.handle);
           ignore (Des.Engine.step e : bool)))
 
-let bench_log () =
-  let log = Raft.Log.create () in
-  for _ = 1 to 1000 do
-    ignore
-      (Raft.Log.append_new log ~term:1
-         (Raft.Log.Data
-            {
-              payload =
-                Kvsm.Command.to_payload
-                  (Kvsm.Command.Put { key = "bench-key"; value = "v" });
-              client_id = 1;
-              seq = 1;
-            })
-        : Raft.Log.entry)
-  done;
-  log
+(* The hot-path loops live in Bench_loops so `selfcheck --perf` can gate
+   words/op against the exact code benchmarked here. *)
+let bench_log = Bench_loops.bench_log
 
 let test_log_slice_array =
   Test.make ~name:"log.slice 64 (array)"
@@ -188,156 +175,21 @@ let test_log_slice_list =
                  | None -> assert false)
               : Raft.Log.entry list)))
 
-let make_heartbeat_loop () =
-  let config = Raft.Config.dynatune () in
-  let rng = Stats.Rng.create ~seed:1L () in
-  let follower =
-    Raft.Server.create ~id:(Netsim.Node_id.of_int 0)
-      ~peers:(List.tl (Netsim.Node_id.range 5))
-      ~config ~rng ()
-  in
-  ignore (Raft.Server.start follower);
-  let i = ref 0 in
-  fun () ->
-    incr i;
-    ignore
-      (Raft.Server.handle follower ~now:(Des.Time.ms (!i + 50))
-         (Raft.Server.Message
-            {
-              from = Netsim.Node_id.of_int 1;
-              msg =
-                Raft.Rpc.Heartbeat
-                  {
-                    term = 1;
-                    commit = 0;
-                    hb_id = !i;
-                    sent_at = Des.Time.ms !i;
-                    measured_rtt = Some (Des.Time.ms 100);
-                  };
-            })
-        : Raft.Server.action list)
-
 let test_server_heartbeat =
   Test.make ~name:"server.handle heartbeat (dynatune)"
-    (Staged.stage (make_heartbeat_loop ()))
-
-(* The replication engine's entry path, both ends, as standalone servers
-   (no fabric, no engine).  The leader is brought to power by feeding the
-   vote flow by hand; each iteration then replays a conflict nack that
-   rewinds to index 1, so [handle] re-builds and re-sends the same
-   64-entry batch — in steady state a batch-cache hit, which is the
-   number the allocation-lean work moves.  The follower replays one
-   prebuilt duplicate append: the [try_append] prefix-scan hot path. *)
-let make_leader_append_loop () =
-  let config =
-    Raft.Config.with_replication ~max_entries_per_append:64
-      (Raft.Config.static ())
-  in
-  let rng = Stats.Rng.create ~seed:2L () in
-  let leader =
-    Raft.Server.create ~id:(Netsim.Node_id.of_int 0)
-      ~peers:(List.tl (Netsim.Node_id.range 5))
-      ~config ~rng ()
-  in
-  let now = Des.Time.ms 1000 in
-  let from_peer p m =
-    Raft.Server.Message { from = Netsim.Node_id.of_int p; msg = m }
-  in
-  ignore (Raft.Server.start leader);
-  ignore (Raft.Server.handle leader ~now Raft.Server.Election_timeout_fired);
-  List.iter
-    (fun pre ->
-      List.iter
-        (fun p ->
-          ignore
-            (Raft.Server.handle leader ~now
-               (from_peer p
-                  (Raft.Rpc.Vote_response
-                     { term = 1; granted = true; pre_vote = pre }))))
-        [ 1; 2 ])
-    [ true; false ];
-  assert (Raft.Types.is_leader (Raft.Server.role leader));
-  for seq = 1 to 500 do
-    ignore
-      (Raft.Server.handle leader ~now
-         (Raft.Server.Propose
-            {
-              payload =
-                Kvsm.Command.to_payload
-                  (Kvsm.Command.Put { key = "bench-key"; value = "v" });
-              client_id = 1;
-              seq;
-            }))
-  done;
-  let nack =
-    from_peer 1
-      (Raft.Rpc.Append_response
-         {
-           term = 1;
-           success = false;
-           match_index = 0;
-           conflict_hint = 1;
-           req_prev = 0;
-         })
-  in
-  fun () ->
-    ignore (Raft.Server.handle leader ~now nack : Raft.Server.action list)
-
-let make_follower_append_loop () =
-  let config =
-    Raft.Config.with_replication ~max_entries_per_append:64
-      (Raft.Config.static ())
-  in
-  let rng = Stats.Rng.create ~seed:3L () in
-  let follower =
-    Raft.Server.create ~id:(Netsim.Node_id.of_int 0)
-      ~peers:(List.tl (Netsim.Node_id.range 5))
-      ~config ~rng ()
-  in
-  ignore (Raft.Server.start follower);
-  let scratch = Raft.Log.create () in
-  for _ = 1 to 64 do
-    ignore
-      (Raft.Log.append_new scratch ~term:1
-         (Raft.Log.Data
-            {
-              payload =
-                Kvsm.Command.to_payload
-                  (Kvsm.Command.Put { key = "bench-key"; value = "v" });
-              client_id = 1;
-              seq = 1;
-            })
-        : Raft.Log.entry)
-  done;
-  let append =
-    Raft.Server.Message
-      {
-        from = Netsim.Node_id.of_int 1;
-        msg =
-          Raft.Rpc.Append_request
-            {
-              term = 1;
-              prev_index = 0;
-              prev_term = 0;
-              entries = Raft.Log.slice scratch ~from:1 ~max:64;
-              commit = 0;
-            };
-      }
-  in
-  let i = ref 0 in
-  fun () ->
-    incr i;
-    ignore
-      (Raft.Server.handle follower ~now:(Des.Time.ms (!i + 50)) append
-        : Raft.Server.action list)
+    (Staged.stage (Bench_loops.make_heartbeat_loop ()))
 
 let test_leader_append =
   Test.make ~name:"server.handle append nack+rebatch 64"
-    (Staged.stage (make_leader_append_loop ()))
+    (Staged.stage (Bench_loops.make_leader_append_loop ()))
 
 let test_follower_append =
   Test.make ~name:"server.handle duplicate append 64"
-    (Staged.stage (make_follower_append_loop ()))
+    (Staged.stage (Bench_loops.make_follower_append_loop ()))
+
+let test_try_append =
+  Test.make ~name:"log.try_append duplicate 64"
+    (Staged.stage (Bench_loops.make_try_append_loop ()))
 
 let test_codec =
   Test.make ~name:"kv command codec roundtrip"
@@ -366,26 +218,17 @@ let tests =
     test_server_heartbeat;
     test_leader_append;
     test_follower_append;
+    test_try_append;
     test_codec;
   ]
 
-(* Minor-heap allocation per operation, by [Gc.minor_words] delta: the
+(* Minor-heap allocation per operation (Bench_loops.words_per_op): the
    number bechamel's timing tables can't show, and the one the
-   allocation-lean RPC work moves.  [Gc.minor_words] counts words
-   allocated on the minor heap since program start, so the delta over N
-   iterations divided by N is exact (modulo the loop's own constant). *)
+   allocation-lean RPC work moves.  `selfcheck --perf` ratchets the four
+   server/log rows against the committed baseline. *)
 let words_per_op ppf name f =
-  for _ = 1 to 100 do
-    f ()
-  done;
-  let iters = 100_000 in
-  let w0 = Gc.minor_words () in
-  for _ = 1 to iters do
-    f ()
-  done;
-  let w1 = Gc.minor_words () in
   Format.fprintf ppf "  %-40s %10.1f minor words/op@." name
-    ((w1 -. w0) /. float_of_int iters)
+    (Bench_loops.words_per_op f)
 
 (* The forensics contract, measured: a steady-state 3-node cluster —
    the follower heartbeat path end to end, timers through fabric to
@@ -425,11 +268,13 @@ let forensics_pair ppf =
 
 let allocation_report ppf =
   words_per_op ppf "server.handle heartbeat (dynatune)"
-    (make_heartbeat_loop ());
+    (Bench_loops.make_heartbeat_loop ());
   words_per_op ppf "server.handle append nack+rebatch 64"
-    (make_leader_append_loop ());
+    (Bench_loops.make_leader_append_loop ());
   words_per_op ppf "server.handle duplicate append 64"
-    (make_follower_append_loop ());
+    (Bench_loops.make_follower_append_loop ());
+  words_per_op ppf "log.try_append duplicate 64"
+    (Bench_loops.make_try_append_loop ());
   (let e = Des.Engine.create () in
    words_per_op ppf "wheel timer schedule+cancel" (fun () ->
        Des.Engine.cancel

@@ -403,6 +403,106 @@ let explain_cmd =
           election classified justified or spurious")
     Term.(const run $ mode $ seed $ failures $ raw)
 
+(* {2 multiraft} *)
+
+let multiraft_cmd =
+  let group_counts =
+    Arg.(
+      value
+      & opt (list int) [ 64 ]
+      & info [ "groups" ] ~docv:"N,N,..."
+          ~doc:"Raft group counts to sweep (one cell each).")
+  in
+  let replicas =
+    Arg.(
+      value & opt int 3
+      & info [ "replicas" ] ~docv:"R" ~doc:"Servers per group.")
+  in
+  let rates =
+    Arg.(
+      value
+      & opt (list float) Scenarios.Multiraft.default_rates
+      & info [ "rates" ] ~docv:"RPS,RPS,..."
+          ~doc:"Aggregate offered rates (spread over the groups by the \
+                shard router).")
+  in
+  let hold =
+    Arg.(
+      value & opt int 2
+      & info [ "hold" ] ~docv:"SEC" ~doc:"Seconds per load level.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"J"
+          ~doc:
+            "Campaign workers (one cell per worker; results are \
+             bit-identical whatever J).")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace-event JSON file of the first group \
+             count's run: one Perfetto track group (process) per Raft \
+             group, election spans per node.  Implies full \
+             instrumentation.")
+  in
+  let seed =
+    Arg.(
+      value & opt int64 11L
+      & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed (runs are deterministic).")
+  in
+  let run group_counts replicas rates hold jobs seed trace_out =
+    let hold = Des.Time.sec hold in
+    match trace_out with
+    | None ->
+        let result =
+          Scenarios.Multiraft.sweep ~seed ~replicas ~group_counts ~rates ~hold
+            ~jobs ()
+        in
+        Scenarios.Multiraft.print ppf result;
+        Format.fprintf ppf "@.sweep digest: %016Lx@."
+          result.Scenarios.Multiraft.digest
+    | Some path ->
+        let groups =
+          match group_counts with g :: _ -> g | [] -> 64
+        in
+        let sink = Telemetry.Chrome_trace.create () in
+        let bridges = ref [] in
+        let cell =
+          Scenarios.Multiraft.run_one ~seed ~replicas ~rates ~hold ~groups
+            ~telemetry:(Telemetry.Metrics.create ())
+            ~on_manager:(fun m ->
+              (* One Chrome process per Raft group (pid 0 is reserved),
+                 so Perfetto shows one collapsible track group each. *)
+              Multiraft.Group_manager.iter_groups m (fun g cluster ->
+                  let b =
+                    Harness.Tracing.attach ~pid:(g + 1)
+                      ~name:(Printf.sprintf "group %d" g)
+                      cluster sink
+                  in
+                  bridges := b :: !bridges))
+            ()
+        in
+        Scenarios.Multiraft.print_cell ppf cell;
+        List.iter Harness.Tracing.finish !bridges;
+        Telemetry.Chrome_trace.write sink path;
+        Format.fprintf ppf "@.wrote %d trace events to %s@."
+          (Telemetry.Chrome_trace.event_count sink)
+          path
+  in
+  Cmd.v
+    (Cmd.info "multiraft"
+       ~doc:
+         "Multi-Raft sharding sweep: N consensus groups on one fabric \
+          behind a shard-routed KV front door")
+    Term.(
+      const run $ group_counts $ replicas $ rates $ hold $ jobs $ seed
+      $ trace_out)
+
 (* {2 figure} *)
 
 let figure_cmd =
@@ -476,6 +576,7 @@ let () =
             reconfig_cmd;
             watch_cmd;
             throughput_cmd;
+            multiraft_cmd;
             calc_cmd;
             figure_cmd;
             explain_cmd;

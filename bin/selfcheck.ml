@@ -6,10 +6,14 @@
       leader failures mid-campaign, also under [Check.Always] — plus a
       200-seed pipelined-replication sweep: small windows and batches
       over a lossy, duplicating, serializing wire with nodes sleeping
-      through write bursts, ending in store convergence;
-   3. the determinism sanitizer — pinned shard plans (failover and
-      reconfig campaigns) must produce bit-identical trace digests and
-      metrics snapshots with one worker and with many;
+      through write bursts, ending in store convergence — plus a
+      200-seed multi-group sweep: several Raft groups on one shared
+      fabric behind the shard router, group leaders pausing and
+      crashing mid-burst, ending in per-group store convergence;
+   3. the determinism sanitizer — pinned shard plans (failover,
+      reconfig and multiraft campaigns) must produce bit-identical
+      trace digests and metrics snapshots with one worker and with
+      many;
    4. a deliberately broken fixture — two leaders sharing a term — that
       the checker is required to catch;
    5. an AST-analyzer smoke: each of the three semantic rules
@@ -18,11 +22,13 @@
       @analysis gate can actually bite.
 
    `selfcheck --perf BASELINE.json` (the @perf alias) instead replays
-   the pinned perf-guard plan from the committed bench report: the trace
-   digest must match the baseline bit for bit, and events/sec must stay
-   within 30% of the recorded figure (the throughput half is skippable
-   with DYNATUNE_PERF_SKIP_THROUGHPUT=1 for hopelessly noisy hosts; the
-   digest half never is). *)
+   the pinned perf-guard plans from the committed bench report: the
+   fig4 and multiraft trace digests must match the baseline bit for
+   bit, the hot-path words/op figures (Bench_loops) must stay within a
+   small headroom of the recorded ones, and events/sec must stay within
+   30% of the recorded figure (the throughput gate is skippable with
+   DYNATUNE_PERF_SKIP_THROUGHPUT=1 for hopelessly noisy hosts; the
+   digest and allocation gates never are). *)
 
 module Cluster = Harness.Cluster
 
@@ -200,6 +206,80 @@ let pipelined_chaos ~seed =
         fail "pipelined chaos: replicas diverged after quiet period (seed %Ld)"
           seed
 
+(* Several consensus groups on one shared fabric/clock behind the shard
+   router, every delivered event running the full invariant suite in
+   every group's checker.  Random group leaders sleep or crash through
+   write bursts; after the quiet period each group's replicas must
+   agree on that group's store — per-group convergence is also the
+   cross-group isolation witness (a misrouted or cross-applied entry
+   would diverge some group's digest). *)
+let multiraft_chaos ~seed =
+  let module Gm = Multiraft.Group_manager in
+  let module Router = Multiraft.Router in
+  let conditions =
+    Netsim.Conditions.(constant (profile ~rtt_ms:20. ~jitter:0.1 ()))
+  in
+  let m =
+    Gm.create ~seed ~conditions ~check:Check.Always ~groups:3 ~replicas:3
+      ~config:(Raft.Config.dynatune ())
+      ()
+  in
+  Gm.start m;
+  if not (Gm.await_leaders m ~timeout:(Des.Time.sec 30)) then
+    fail "multiraft chaos: initial elections incomplete (seed %Ld)" seed;
+  Gm.run_for m (Des.Time.sec 2);
+  let router = Router.create m in
+  let rng = Stats.Rng.split (Des.Engine.rng (Gm.engine m)) "selfcheck-mr" in
+  let seq = ref 0 in
+  for _round = 1 to 2 do
+    (* A random group's leader drops out mid-burst; one time in two it
+       crashes (losing volatile state) rather than just sleeping. *)
+    let g = Stats.Rng.int rng (Gm.group_count m) in
+    let victim = Harness.Cluster.leader (Gm.group m g) in
+    let crash = Stats.Rng.int rng 2 = 0 in
+    for i = 1 to 12 do
+      (match victim with
+      | Some l when i = 4 ->
+          if crash then Raft.Node.crash l else Raft.Node.pause l
+      | Some l when i = 10 ->
+          if crash then Raft.Node.restart l else Raft.Node.resume l
+      | Some _ | None -> ());
+      incr seq;
+      ignore
+        (Router.dispatch router
+           (Router.Write { key = Printf.sprintf "mr:%d" !seq; value = "v" })
+           ~client_id:9 ~seq:!seq
+           ~on_result:(fun (_ : Router.response) -> ())
+          : Kvsm.Client.submit_result);
+      Gm.run_for m (Des.Time.ms 50)
+    done;
+    Gm.run_for m (Des.Time.sec 3)
+  done;
+  Gm.run_for m (Des.Time.sec 5);
+  Gm.check_now m;
+  Gm.iter_groups m (fun g cluster ->
+      (match Cluster.checker cluster with
+      | Some c ->
+          if Check.checks_run c = 0 then
+            fail "multiraft chaos: group %d checker never ran (seed %Ld)" g
+              seed
+      | None ->
+          fail "multiraft chaos: group %d checker missing despite \
+                Check.Always (seed %Ld)"
+            g seed);
+      match
+        List.map
+          (fun id -> Kvsm.Store.state_digest (Cluster.store cluster id))
+          (Cluster.node_ids cluster)
+      with
+      | [] -> fail "multiraft chaos: group %d has no stores (seed %Ld)" g seed
+      | d :: rest ->
+          if not (List.for_all (String.equal d) rest) then
+            fail
+              "multiraft chaos: group %d replicas diverged after quiet \
+               period (seed %Ld)"
+              g seed)
+
 let digest_determinism () =
   let run jobs =
     Scenarios.Fig4.run ~failures:4 ~jobs ~shards:2 ~check:Check.Sample
@@ -229,6 +309,26 @@ let reconfig_determinism () =
   let jb = Telemetry.Metrics.to_json b.Scenarios.Reconfig.metrics in
   if not (String.equal ja jb) then
     fail "reconfig metrics snapshots differ between jobs=1 and jobs=2"
+
+(* The multiraft sweep on a pinned two-cell plan: same merged trace
+   digest and byte-identical merged (group-prefixed) metrics snapshot
+   whether one worker runs both cells or two run one each. *)
+let multiraft_determinism () =
+  let run jobs =
+    Scenarios.Multiraft.sweep ~seed:7L ~group_counts:[ 2; 3 ] ~replicas:3
+      ~rates:[ 300.; 600. ] ~hold:(Des.Time.sec 1) ~check:Check.Sample
+      ~instrument:true ~jobs ()
+  in
+  let a = run 1 and b = run 2 in
+  if
+    not (Int64.equal a.Scenarios.Multiraft.digest b.Scenarios.Multiraft.digest)
+  then
+    fail "multiraft digests differ: jobs=1 %Lx vs jobs=2 %Lx"
+      a.Scenarios.Multiraft.digest b.Scenarios.Multiraft.digest;
+  let ja = Telemetry.Metrics.to_json a.Scenarios.Multiraft.metrics in
+  let jb = Telemetry.Metrics.to_json b.Scenarios.Multiraft.metrics in
+  if not (String.equal ja jb) then
+    fail "multiraft metrics snapshots differ between jobs=1 and jobs=2"
 
 let broken_fixture () =
   let fake id : Check.node_view =
@@ -371,13 +471,48 @@ let run_perf ~baseline =
     Scenarios.Fig4.run ~seed:42L ~failures:400 ~shards:4 ~jobs:1
       ~config:(Raft.Config.dynatune ()) ()
   in
-  (* Digest first (and always): any drift is a determinism regression,
+  (* Digests first (and always): any drift is a determinism regression,
      whatever the host's load. *)
   let digest = Printf.sprintf "%Lx" (plan ()).Scenarios.Fig4.digest in
   if not (String.equal digest base_digest) then
     fail "perf guard digest drift: got %s, baseline %s — scheduling order \
           changed"
       digest base_digest;
+  let base_mr_digest = guard_field json "multiraft_digest" in
+  let mr =
+    Scenarios.Multiraft.sweep ~seed:11L ~group_counts:[ 4 ] ~replicas:3
+      ~rates:[ 500.; 1000. ] ~jobs:1 ()
+  in
+  let mr_digest = Printf.sprintf "%Lx" mr.Scenarios.Multiraft.digest in
+  if not (String.equal mr_digest base_mr_digest) then
+    fail
+      "perf guard multiraft digest drift: got %s, baseline %s — shared-fabric \
+       scheduling order changed"
+      mr_digest base_mr_digest;
+  (* Allocation ratchets, load-independent: words/op of the hot-path
+     loops is a constant of the code path (Bench_loops), so anything
+     beyond a small headroom over the committed baseline is a real
+     allocation regression. *)
+  List.iter
+    (fun (key, make) ->
+      let base =
+        match float_of_string_opt (guard_field json key) with
+        | Some f when f >= 0. -> f
+        | Some _ | None -> fail "perf baseline has no usable %s" key
+      in
+      let now = Bench_loops.words_per_op (make ()) in
+      if now > (base *. 1.15) +. 8. then
+        fail
+          "perf guard allocation regression: %s = %.1f words/op vs baseline \
+           %.1f (allowed %.1f)"
+          key now base
+          ((base *. 1.15) +. 8.))
+    [
+      ("hb_words", Bench_loops.make_heartbeat_loop);
+      ("rebatch_words", Bench_loops.make_leader_append_loop);
+      ("follower_append_words", Bench_loops.make_follower_append_loop);
+      ("try_append_words", Bench_loops.make_try_append_loop);
+    ];
   (* Allocation identity of the forensics-off path, also load-independent. *)
   forensics_off_allocation_gate ();
   (* Throughput second, best of three: a single reading on a busy host
@@ -400,9 +535,9 @@ let run_perf ~baseline =
        only if this host is known-noisy"
       !best base_eps floor_eps;
   Printf.printf
-    "selfcheck --perf: digest %s matches baseline; %.0f events/s vs baseline \
-     %.0f%s\n"
-    digest !best base_eps
+    "selfcheck --perf: digests %s and %s (multiraft) match baseline; \
+     allocation ratchets hold; %.0f events/s vs baseline %.0f%s\n"
+    digest mr_digest !best base_eps
     (if skipped then " (throughput check skipped via env)" else "")
 
 let () =
@@ -410,7 +545,7 @@ let () =
   | _ :: "--perf" :: rest ->
       let baseline =
         match rest with
-        | [] -> "BENCH_6.json"
+        | [] -> "BENCH_9.json"
         | [ path ] -> path
         | _ ->
             prerr_endline "usage: selfcheck [--perf [BASELINE.json]]";
@@ -425,10 +560,14 @@ let () =
       for i = 0 to 199 do
         pipelined_chaos ~seed:(Int64.of_int (2000 + i))
       done;
+      for i = 0 to 199 do
+        multiraft_chaos ~seed:(Int64.of_int (3000 + i))
+      done;
       broken_fixture ();
       analyzer_smoke ();
       digest_determinism ();
       reconfig_determinism ();
+      multiraft_determinism ();
       print_endline
         "selfcheck: invariants hold, digests deterministic, broken fixture \
          caught, analyzer rules fire"

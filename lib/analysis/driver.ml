@@ -23,6 +23,7 @@ let default_libraries =
     ("lib/stats", "Stats");
     ("lib/check", "Check");
     ("lib/parallel", "Parallel");
+    ("lib/multiraft", "Multiraft");
     ("lib/scenarios", "Scenarios");
     ("lib/telemetry", "Telemetry");
     ("lib/analysis", "Analysis");
@@ -38,6 +39,7 @@ let default_entry_dirs =
     "lib/des/";
     "lib/raft/";
     "lib/parallel/";
+    "lib/multiraft/";
     "lib/telemetry/cause";
     "lib/telemetry/forensics";
     "lib/telemetry/recorder";

@@ -2,6 +2,12 @@ module Node_id = Netsim.Node_id
 
 type member = { node : Raft.Node.t; mutable store : Kvsm.Store.t }
 
+type shared = {
+  sh_engine : Des.Engine.t;
+  sh_fabric : Raft.Rpc.message Netsim.Fabric.t;
+  sh_first_id : int;
+}
+
 type t = {
   engine : Des.Engine.t;
   fabric : Raft.Rpc.message Netsim.Fabric.t;
@@ -21,6 +27,11 @@ type t = {
   cores : float;
   flush_delay : Des.Time.span option;
   config : Raft.Config.t;
+  scope : string;  (* metrics-scope prefix, e.g. "g3/" under multiraft *)
+  owns_infra : bool;
+      (* false when engine/fabric are shared with other clusters: the
+         host (the multiraft manager) owns the post hook, the recorder
+         attachment and the infra metrics collection *)
   mutable next_id : int;  (* next fresh id for [add_server] *)
   mutable collected : bool;  (* [collect_metrics] already ran *)
   mutable read_seq : int;  (* sequence numbers for internal read clients *)
@@ -42,8 +53,15 @@ type probe_counters = {
   c_leader_wins : Telemetry.Metrics.Counter.t;
 }
 
-let attach_probe_counters telemetry trace =
+let attach_probe_counters ~scope telemetry trace =
   if Telemetry.Metrics.enabled telemetry then begin
+    let raft_scope = scope ^ "raft" in
+    (* Group-level churn counter: one per cluster, not per node, so a
+       multiraft host can read leader stability per group at a glance. *)
+    let c_leader_changes =
+      Telemetry.Metrics.counter telemetry ~scope:raft_scope
+        ~name:"leader_changes" ()
+    in
     let tbl = Node_id.Table.create 8 in
     let handles id =
       match Node_id.Table.find_opt tbl id with
@@ -51,7 +69,8 @@ let attach_probe_counters telemetry trace =
       | None ->
           let node = node_label id in
           let counter name =
-            Telemetry.Metrics.counter telemetry ~scope:"raft" ~name ~node ()
+            Telemetry.Metrics.counter telemetry ~scope:raft_scope ~name ~node
+              ()
           in
           let h =
             {
@@ -80,7 +99,8 @@ let attach_probe_counters telemetry trace =
         | Raft.Probe.Tuner_decision _ ->
             Telemetry.Metrics.Counter.incr h.c_tuner_decisions
         | Raft.Probe.Role_change { role = Raft.Types.Leader; _ } ->
-            Telemetry.Metrics.Counter.incr h.c_leader_wins
+            Telemetry.Metrics.Counter.incr h.c_leader_wins;
+            Telemetry.Metrics.Counter.incr c_leader_changes
         | Raft.Probe.Role_change _ | Raft.Probe.Node_paused _
         | Raft.Probe.Node_resumed _ | Raft.Probe.Config_change _
         | Raft.Probe.Transfer_started _ | Raft.Probe.Transfer_aborted _ ->
@@ -123,15 +143,36 @@ let make_member ~engine ~fabric ~trace ~costs ~cores ~flush_delay ~telemetry
 let create ?seed ?costs ?(cores = 4.) ?conditions ?flush_delay
     ?(check = Check.Off) ?(telemetry = Telemetry.Metrics.noop)
     ?(forensics = Telemetry.Forensics.noop)
-    ?(recorder = Telemetry.Recorder.noop) ~n ~config () =
+    ?(recorder = Telemetry.Recorder.noop) ?(scope = "") ?shared ~n ~config ()
+    =
   if n <= 0 then invalid_arg "Cluster.create: n must be positive";
-  let engine = Des.Engine.create ?seed () in
-  let fabric = Netsim.Fabric.create engine in
+  let owns_infra = match shared with None -> true | Some _ -> false in
+  let engine, fabric, first_id =
+    match shared with
+    | None ->
+        let engine = Des.Engine.create ?seed () in
+        (engine, Netsim.Fabric.create engine, 0)
+    | Some s -> (s.sh_engine, s.sh_fabric, s.sh_first_id)
+  in
   let trace = Des.Mtrace.create engine in
-  let ids = Node_id.range n in
+  let ids = List.init n (fun i -> Node_id.of_int (first_id + i)) in
   List.iter (Netsim.Fabric.add_node fabric) ids;
   (match conditions with
-  | Some c -> Netsim.Fabric.set_uniform_conditions fabric c
+  | Some c -> (
+      match shared with
+      | None -> Netsim.Fabric.set_uniform_conditions fabric c
+      | Some _ ->
+          (* Uniform conditions would eagerly touch every registered
+             pair on the shared fabric (other groups' links included);
+             restrict them to this group's own directed pairs. *)
+          List.iter
+            (fun a ->
+              List.iter
+                (fun b ->
+                  if not (Node_id.equal a b) then
+                    Netsim.Fabric.set_pair_conditions fabric a b c)
+                ids)
+            ids)
   | None -> ());
   let members = Node_id.Table.create n in
   List.iter
@@ -168,12 +209,17 @@ let create ?seed ?costs ?(cores = 4.) ?conditions ?flush_delay
           Check.set_flight_recorder c (fun () ->
               Telemetry.Forensics.tail forensics 32
               @ Telemetry.Recorder.window recorder 8);
-        Des.Engine.set_post_hook engine (Some (fun () -> Check.step c));
+        (* The engine supports a single post hook.  A shared-infra host
+           (multiraft) owns it and steps every group's checker from one
+           combined hook; a standalone cluster installs its own. *)
+        if owns_infra then
+          Des.Engine.set_post_hook engine (Some (fun () -> Check.step c));
         Some c
   in
-  Telemetry.Recorder.attach recorder engine (fun () ->
-      Telemetry.Metrics.snapshot telemetry);
-  attach_probe_counters telemetry trace;
+  if owns_infra then
+    Telemetry.Recorder.attach recorder engine (fun () ->
+        Telemetry.Metrics.snapshot telemetry);
+  attach_probe_counters ~scope telemetry trace;
   {
     engine;
     fabric;
@@ -190,7 +236,9 @@ let create ?seed ?costs ?(cores = 4.) ?conditions ?flush_delay
     cores;
     flush_delay;
     config;
-    next_id = n;
+    scope;
+    owns_infra;
+    next_id = first_id + n;
     collected = false;
     read_seq = 0;
   }
@@ -204,31 +252,32 @@ let forensics t = t.forensics
 let recorder t = t.recorder
 
 (* Fold the pull-style sources (engine, fabric, links) into the registry.
-   Idempotent: the counters are cumulative and registered fresh here, so
-   only the first call records. *)
-let collect_metrics t =
-  if Telemetry.Metrics.enabled t.telemetry && not t.collected then begin
-    t.collected <- true;
-    let m = t.telemetry in
-    let add scope name v =
+   Exposed standalone so a multiraft host sharing one engine/fabric
+   across clusters can collect the infra statistics exactly once. *)
+let collect_infra_metrics ?(scope = "") ~telemetry ~engine ~fabric () =
+  if Telemetry.Metrics.enabled telemetry then begin
+    let m = telemetry in
+    let add sc name v =
       Telemetry.Metrics.Counter.add
-        (Telemetry.Metrics.counter m ~scope ~name ())
+        (Telemetry.Metrics.counter m ~scope:(scope ^ sc) ~name ())
         v
     in
-    let es = Des.Engine.stats t.engine in
+    let es = Des.Engine.stats engine in
     add "des" "events_processed" es.Des.Engine.processed;
     add "des" "events_pending" es.Des.Engine.pending;
     add "des" "timers_cancelled" es.Des.Engine.cancelled;
     add "des" "heap_compactions" es.Des.Engine.compactions;
     Telemetry.Metrics.Gauge.set_max
-      (Telemetry.Metrics.gauge m ~scope:"des" ~name:"heap_high_water" ())
+      (Telemetry.Metrics.gauge m ~scope:(scope ^ "des") ~name:"heap_high_water"
+         ())
       (float_of_int es.Des.Engine.heap_high_water);
     add "des" "wheel_cascades" es.Des.Engine.cascades;
     add "des" "wheel_cancelled_in_place" es.Des.Engine.cancelled_in_place;
     Telemetry.Metrics.Gauge.set_max
-      (Telemetry.Metrics.gauge m ~scope:"des" ~name:"wheel_high_water" ())
+      (Telemetry.Metrics.gauge m ~scope:(scope ^ "des")
+         ~name:"wheel_high_water" ())
       (float_of_int es.Des.Engine.wheel_high_water);
-    let fc = Netsim.Fabric.counters t.fabric in
+    let fc = Netsim.Fabric.counters fabric in
     add "net" "sent" fc.Netsim.Fabric.sent;
     add "net" "delivered" fc.Netsim.Fabric.delivered;
     add "net" "lost" fc.Netsim.Fabric.lost;
@@ -239,7 +288,8 @@ let collect_metrics t =
         let node = Printf.sprintf "n%d->n%d" src dst in
         let add name v =
           Telemetry.Metrics.Counter.add
-            (Telemetry.Metrics.counter m ~scope:"link" ~name ~node ())
+            (Telemetry.Metrics.counter m ~scope:(scope ^ "link") ~name ~node
+               ())
             v
         in
         add "sent" lc.Netsim.Link.sent;
@@ -247,17 +297,26 @@ let collect_metrics t =
         add "lost" lc.Netsim.Link.lost;
         add "duplicated" lc.Netsim.Link.duplicated;
         add "retransmissions" lc.Netsim.Link.retransmissions)
-      (Netsim.Fabric.link_counters t.fabric);
+      (Netsim.Fabric.link_counters fabric);
     (* High-water egress depth per directed link; only links that ever
        queued (a serialization delay was configured) appear. *)
     List.iter
       (fun ((src, dst), depth) ->
         let node = Printf.sprintf "n%d->n%d" src dst in
         Telemetry.Metrics.Gauge.set_max
-          (Telemetry.Metrics.gauge m ~scope:"fabric" ~name:"queue_depth"
-             ~node ())
+          (Telemetry.Metrics.gauge m ~scope:(scope ^ "fabric")
+             ~name:"queue_depth" ~node ())
           (float_of_int depth))
-      (Netsim.Fabric.link_queue_depths t.fabric)
+      (Netsim.Fabric.link_queue_depths fabric)
+  end
+
+(* Idempotent per cluster; a shared-infra cluster leaves the (global)
+   engine/fabric statistics to its host. *)
+let collect_metrics t =
+  if t.owns_infra && not t.collected then begin
+    t.collected <- true;
+    collect_infra_metrics ~scope:t.scope ~telemetry:t.telemetry
+      ~engine:t.engine ~fabric:t.fabric ()
   end
 let trace_digest t = Check.Digest.value t.digest
 

@@ -6,6 +6,20 @@
 
 type t
 
+type shared = {
+  sh_engine : Des.Engine.t;
+  sh_fabric : Raft.Rpc.message Netsim.Fabric.t;
+  sh_first_id : int;
+}
+(** Pre-existing infrastructure to build a cluster on, for hosts (the
+    multiraft group manager) that run many clusters on one DES clock and
+    one fabric.  [sh_first_id] is the first fabric node id this cluster
+    owns; it takes ids [sh_first_id .. sh_first_id + n - 1].  A cluster
+    built on shared infrastructure does {b not} install the engine post
+    hook (the host steps all checkers from one combined hook), does not
+    attach the recorder, and leaves engine/fabric statistics collection
+    to the host (see {!collect_infra_metrics}). *)
+
 val create :
   ?seed:int64 ->
   ?costs:Raft.Cost_model.t ->
@@ -16,6 +30,8 @@ val create :
   ?telemetry:Telemetry.Metrics.t ->
   ?forensics:Telemetry.Forensics.t ->
   ?recorder:Telemetry.Recorder.t ->
+  ?scope:string ->
+  ?shared:shared ->
   n:int ->
   config:Raft.Config.t ->
   unit ->
@@ -43,7 +59,13 @@ val create :
     {!Telemetry.Recorder.noop}) samples the telemetry registry on the
     DES clock.  When either is enabled and checking is on, invariant
     violations carry a flight-recorder dump (ring tail + last recorder
-    ticks) in {!Check.violation.flight}. *)
+    ticks) in {!Check.violation.flight}.
+
+    [scope] (default [""]) prefixes every metrics scope this cluster
+    registers (["raft"] → ["g3/raft"]), so N clusters sharing one
+    registry merge without clobbering each other.  [shared] (default:
+    none) builds the cluster on a host-owned engine and fabric instead
+    of creating its own; [seed] is ignored in that case. *)
 
 val engine : t -> Des.Engine.t
 val fabric : t -> Raft.Rpc.message Netsim.Fabric.t
@@ -67,9 +89,23 @@ val recorder : t -> Telemetry.Recorder.t
 
 val collect_metrics : t -> unit
 (** Fold the cumulative engine, fabric and per-link statistics into the
-    telemetry registry (scopes ["des"], ["net"], ["link"]).  Call once,
-    at the end of the scenario, just before snapshotting; subsequent
-    calls are no-ops.  No-op when telemetry is disabled. *)
+    telemetry registry (scopes ["des"], ["net"], ["link"], ["fabric"],
+    each prefixed with the cluster's [scope]).  Call once, at the end of
+    the scenario, just before snapshotting; subsequent calls are no-ops.
+    No-op when telemetry is disabled, and on shared-infrastructure
+    clusters (the host collects once via {!collect_infra_metrics}). *)
+
+val collect_infra_metrics :
+  ?scope:string ->
+  telemetry:Telemetry.Metrics.t ->
+  engine:Des.Engine.t ->
+  fabric:Raft.Rpc.message Netsim.Fabric.t ->
+  unit ->
+  unit
+(** The engine/fabric half of {!collect_metrics}, standalone: a
+    multiraft host sharing one engine and fabric across N clusters calls
+    this exactly once.  Not idempotent — the counters are cumulative, so
+    a second call would double them. *)
 
 val check_now : t -> unit
 (** Run the checker's full battery immediately (final verdict at the end

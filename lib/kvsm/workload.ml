@@ -6,12 +6,14 @@ type level_report = {
   mean_latency_ms : float;
   p50_latency_ms : float;
   p99_latency_ms : float;
+  redirected : int;
+  abandoned : int;
 }
 
-let run_level ~engine ~target ~rate ~hold ~client_rtt ~client_id =
+let run_level ~engine ~target ?route ~rate ~hold ~client_rtt ~client_id () =
   let client =
     Client.create ~engine ~target ~client_id ~rate ?client_rtt:(Some client_rtt)
-      ()
+      ?route ()
   in
   Client.start client;
   Des.Engine.run_for engine hold;
@@ -26,12 +28,15 @@ let run_level ~engine ~target ~rate ~hold ~client_rtt ~client_id =
     mean_latency_ms = Stats.Summary.mean latencies;
     p50_latency_ms = Stats.Summary.percentile latencies 50.;
     p99_latency_ms = Stats.Summary.percentile latencies 99.;
+    redirected = Client.redirected client;
+    abandoned = Client.abandoned client;
   }
 
-let run_ramp ~engine ~target ~rates ~hold ?(client_rtt = 0) () =
+let run_ramp ~engine ~target ?route ~rates ~hold ?(client_rtt = 0) () =
   List.mapi
     (fun i rate ->
-      run_level ~engine ~target ~rate ~hold ~client_rtt ~client_id:(i + 1))
+      run_level ~engine ~target ?route ~rate ~hold ~client_rtt
+        ~client_id:(i + 1) ())
     rates
 
 let peak_throughput reports =

@@ -13,18 +13,22 @@ type level_report = {
   mean_latency_ms : float;  (** nan when nothing completed *)
   p50_latency_ms : float;
   p99_latency_ms : float;
+  redirected : int;  (** [`Not_leader] replies (hops when routing) *)
+  abandoned : int;  (** requests dropped after exhausting redirects *)
 }
 
 val run_ramp :
   engine:Des.Engine.t ->
   target:Client.target ->
+  ?route:(Netsim.Node_id.t -> Client.target) ->
   rates:float list ->
   hold:Des.Time.span ->
   ?client_rtt:Des.Time.span ->
   unit ->
   level_report list
 (** Run the levels back to back on the engine (which is advanced by
-    [hold] per level) and report one row per level. *)
+    [hold] per level) and report one row per level.  With [route] each
+    level's client follows leader hints (see {!Client.create}). *)
 
 val peak_throughput : level_report list -> float
 (** Highest achieved throughput across levels; [0.] on empty input. *)

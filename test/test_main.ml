@@ -25,4 +25,5 @@ let () =
       ("telemetry", Test_telemetry.tests);
       ("analysis", Test_analysis.tests);
       ("forensics", Test_forensics.tests);
+      ("multiraft", Test_multiraft.tests);
     ]
