@@ -21,6 +21,17 @@ let bench_log () =
   done;
   log
 
+(* Simulate the receiving end of each [Send]: in the live system the
+   remote server consumes the payload and releases it into the shared
+   pool, which is what refills the sender's next allocation.  Hand-rolled
+   recursion so the loop adds no closure of its own. *)
+let rec release_sends pool = function
+  | [] -> ()
+  | Raft.Server.Send { msg; _ } :: rest ->
+      Raft.Rpc.Pool.release pool msg;
+      release_sends pool rest
+  | _ :: rest -> release_sends pool rest
+
 let make_heartbeat_loop () =
   let config = Raft.Config.dynatune () in
   let rng = Stats.Rng.create ~seed:1L () in
@@ -30,25 +41,30 @@ let make_heartbeat_loop () =
       ~config ~rng ()
   in
   ignore (Raft.Server.start follower);
+  (* Steady state of the live path: the heartbeat is pool-allocated (as
+     the leader would), [handle] releases it at end of delivery, and the
+     response record is released back as the leader's side would. *)
+  let pool = Raft.Server.pool follower in
+  let rtt = Some (Des.Time.ms 100) in
+  let event =
+    Raft.Server.Message
+      {
+        from = Netsim.Node_id.of_int 1;
+        msg = Raft.Rpc.Timeout_now { term = 0 };
+      }
+  in
   let i = ref 0 in
   fun () ->
     incr i;
-    ignore
-      (Raft.Server.handle follower ~now:(Des.Time.ms (!i + 50))
-         (Raft.Server.Message
-            {
-              from = Netsim.Node_id.of_int 1;
-              msg =
-                Raft.Rpc.Heartbeat
-                  {
-                    term = 1;
-                    commit = 0;
-                    hb_id = !i;
-                    sent_at = Des.Time.ms !i;
-                    measured_rtt = Some (Des.Time.ms 100);
-                  };
-            })
-        : Raft.Server.action list)
+    let msg =
+      Raft.Rpc.Pool.heartbeat pool ~term:1 ~commit:0 ~hb_id:!i
+        ~sent_at:(Des.Time.ms !i) ~measured_rtt:rtt
+    in
+    (match event with
+    | Raft.Server.Message m -> m.msg <- msg
+    | _ -> assert false);
+    release_sends pool
+      (Raft.Server.handle follower ~now:(Des.Time.ms (!i + 50)) event)
 
 (* The replication engine's entry path, both ends, as standalone servers
    (no fabric, no engine).  The leader is brought to power by feeding the
@@ -101,10 +117,11 @@ let make_leader_append_loop () =
            match_index = 0;
            conflict_hint = 1;
            req_prev = 0;
+           ap_gen = 0;
          })
   in
-  fun () ->
-    ignore (Raft.Server.handle leader ~now nack : Raft.Server.action list)
+  let pool = Raft.Server.pool leader in
+  fun () -> release_sends pool (Raft.Server.handle leader ~now nack)
 
 (* A 64-entry batch as the wire would carry it, built once. *)
 let batch_64 () =
@@ -129,6 +146,8 @@ let make_follower_append_loop () =
       ~config ~rng ()
   in
   ignore (Raft.Server.start follower);
+  (* A gen-0 request so [handle]'s release leaves the replayed record
+     alone; the pooled responses are recycled as the leader would. *)
   let append =
     Raft.Server.Message
       {
@@ -141,15 +160,16 @@ let make_follower_append_loop () =
               prev_term = 0;
               entries = batch_64 ();
               commit = 0;
+              ar_gen = 0;
             };
       }
   in
+  let pool = Raft.Server.pool follower in
   let i = ref 0 in
   fun () ->
     incr i;
-    ignore
-      (Raft.Server.handle follower ~now:(Des.Time.ms (!i + 50)) append
-        : Raft.Server.action list)
+    release_sends pool
+      (Raft.Server.handle follower ~now:(Des.Time.ms (!i + 50)) append)
 
 (* The same duplicate 64-entry append, but straight into [Log.try_append]
    with no server around it: the log-matching prefix scan alone, the
@@ -164,6 +184,97 @@ let make_try_append_loop () =
     ignore
       (Raft.Log.try_append log ~prev_index:0 ~prev_term:0 ~entries
         : [ `Ok of Raft.Types.index | `Conflict of Raft.Types.index ])
+
+(* One pre-vote round at the granting follower, replayed: request checks
+   (log up-to-dateness, stickiness lease) plus the response build.
+   Pre-vote grants mutate no durable state, so the replay is exact. *)
+let make_vote_round_loop () =
+  let config = Raft.Config.static () in
+  let rng = Stats.Rng.create ~seed:4L () in
+  let follower =
+    Raft.Server.create ~id:(Netsim.Node_id.of_int 0)
+      ~peers:(List.tl (Netsim.Node_id.range 5))
+      ~config ~rng ()
+  in
+  ignore (Raft.Server.start follower);
+  let req =
+    Raft.Server.Message
+      {
+        from = Netsim.Node_id.of_int 1;
+        msg =
+          Raft.Rpc.Vote_request
+            {
+              term = 1;
+              last_log_index = 0;
+              last_log_term = 0;
+              pre_vote = true;
+              force = false;
+            };
+      }
+  in
+  let i = ref 0 in
+  fun () ->
+    incr i;
+    ignore
+      (Raft.Server.handle follower ~now:(Des.Time.ms (!i + 50)) req
+        : Raft.Server.action list)
+
+(* The snapshot-install receive path, replayed as the stale case (the
+   follower's commit point already covers the boundary): term and
+   leader-contact bookkeeping, the boundary comparison and the response —
+   without wiping the log every iteration. *)
+let make_snapshot_install_loop () =
+  let config =
+    Raft.Config.with_replication ~max_entries_per_append:64
+      (Raft.Config.static ())
+  in
+  let rng = Stats.Rng.create ~seed:5L () in
+  let follower =
+    Raft.Server.create ~id:(Netsim.Node_id.of_int 0)
+      ~peers:(List.tl (Netsim.Node_id.range 5))
+      ~config ~rng ()
+  in
+  ignore (Raft.Server.start follower);
+  (* Commit 64 entries so a snapshot up to 50 is stale. *)
+  ignore
+    (Raft.Server.handle follower ~now:(Des.Time.ms 10)
+       (Raft.Server.Message
+          {
+            from = Netsim.Node_id.of_int 1;
+            msg =
+              Raft.Rpc.Append_request
+                {
+                  term = 1;
+                  prev_index = 0;
+                  prev_term = 0;
+                  entries = batch_64 ();
+                  commit = 64;
+                  ar_gen = 0;
+                };
+          })
+      : Raft.Server.action list);
+  let snap =
+    Raft.Server.Message
+      {
+        from = Netsim.Node_id.of_int 1;
+        msg =
+          Raft.Rpc.Install_snapshot
+            {
+              term = 1;
+              last_index = 50;
+              last_term = 1;
+              voters = Array.of_list (Netsim.Node_id.range 5);
+              learners = [||];
+              data = "";
+            };
+      }
+  in
+  let pool = Raft.Server.pool follower in
+  let i = ref 0 in
+  fun () ->
+    incr i;
+    release_sends pool
+      (Raft.Server.handle follower ~now:(Des.Time.ms (!i + 50)) snap)
 
 (* Minor-heap allocation per operation, by [Gc.minor_words] delta: the
    number bechamel's timing tables can't show.  [Gc.minor_words] counts

@@ -26,6 +26,15 @@ val make_try_append_loop : unit -> unit -> unit
     [Raft.Log.try_append]: the log-matching prefix scan alone, the floor
     under the follower figure. *)
 
+val make_vote_round_loop : unit -> unit -> unit
+(** Follower granting one replayed pre-vote request: the vote checks and
+    the response build, with no durable-state mutation. *)
+
+val make_snapshot_install_loop : unit -> unit -> unit
+(** Follower handling a replayed stale [Install_snapshot] (its commit
+    point already covers the boundary): the receive path minus the
+    one-off log wipe. *)
+
 val words_per_op : (unit -> unit) -> float
 (** Minor words allocated per call of [f], measured over 100k iterations
     after a 100-call warmup. *)

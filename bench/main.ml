@@ -284,7 +284,8 @@ let guard_json () =
      \"multiraft_plan\": \"multiraft seed=11 groups=4 replicas=3 \
      rates=500,1000 jobs=1\", \"multiraft_digest\": \"%Lx\", \"hb_words\": \
      %.1f, \"rebatch_words\": %.1f, \"follower_append_words\": %.1f, \
-     \"try_append_words\": %.1f}"
+     \"try_append_words\": %.1f, \"vote_round_words\": %.1f, \
+     \"snapshot_install_words\": %.1f, \"words_per_event\": %.2f}"
     r.Fig4.digest wall events
     (if wall > 0. then float_of_int events /. wall else 0.)
     mr.Scenarios.Multiraft.digest
@@ -292,6 +293,9 @@ let guard_json () =
     (words Bench_loops.make_leader_append_loop)
     (words Bench_loops.make_follower_append_loop)
     (words Bench_loops.make_try_append_loop)
+    (words Bench_loops.make_vote_round_loop)
+    (words Bench_loops.make_snapshot_install_loop)
+    (Micro.cluster_words_per_event ())
 
 let usage () =
   Format.eprintf

@@ -191,6 +191,14 @@ let test_try_append =
   Test.make ~name:"log.try_append duplicate 64"
     (Staged.stage (Bench_loops.make_try_append_loop ()))
 
+let test_vote_round =
+  Test.make ~name:"server.handle pre-vote round"
+    (Staged.stage (Bench_loops.make_vote_round_loop ()))
+
+let test_snapshot_install =
+  Test.make ~name:"server.handle stale snapshot install"
+    (Staged.stage (Bench_loops.make_snapshot_install_loop ()))
+
 let test_codec =
   Test.make ~name:"kv command codec roundtrip"
     (Staged.stage (fun () ->
@@ -219,6 +227,8 @@ let tests =
     test_leader_append;
     test_follower_append;
     test_try_append;
+    test_vote_round;
+    test_snapshot_install;
     test_codec;
   ]
 
@@ -275,6 +285,10 @@ let allocation_report ppf =
     (Bench_loops.make_follower_append_loop ());
   words_per_op ppf "log.try_append duplicate 64"
     (Bench_loops.make_try_append_loop ());
+  words_per_op ppf "server.handle pre-vote round"
+    (Bench_loops.make_vote_round_loop ());
+  words_per_op ppf "server.handle stale snapshot install"
+    (Bench_loops.make_snapshot_install_loop ());
   (let e = Des.Engine.create () in
    words_per_op ppf "wheel timer schedule+cancel" (fun () ->
        Des.Engine.cancel

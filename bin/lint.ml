@@ -9,6 +9,11 @@
    top-level mutable globals in [lib/raft] (all protocol state lives in
    [Server.t] so that parallel campaign domains share nothing).
 
+   One rule needs binding structure rather than single lines: [hot-alloc]
+   holds [@hot]-marked bindings (the append/heartbeat/delivery hot paths)
+   to the allocation discipline — no allocating list/array combinators,
+   no [Printf]/[Format], no lambda literals.
+
    Usage:
      lint.exe [--allow FILE] DIR...    scan .ml/.mli under DIRs; exit 1 on hits
      lint.exe --self-test DIR          fixture mode: every rule must fire in
@@ -189,36 +194,124 @@ type rule = {
   doc : string;
   scope : string -> bool;  (* does the rule apply to this path? *)
   fires : string -> bool;  (* on one stripped source line *)
+  block : (string array -> (int * string) list) option;
+      (* whole-file rule: stripped lines -> (0-based lineno, line) hits;
+         for rules that need binding structure, not just one line *)
 }
+
+(* {2 hot-alloc: allocation discipline for [@hot]-marked bindings}
+
+   A binding marked hot — [let[@hot] f ...], or [[@@hot]] after the
+   binding body — is an append/heartbeat/delivery hot-path function: it
+   may not call the allocating list/array combinators, may not format
+   ([Printf]/[Format] build closures and buffers per call), and may not
+   contain a lambda literal (a [fun]/[function] inside the body is a
+   closure allocation per call unless hoisted; partial applications that
+   allocate are written as lambdas after inlining anyway).
+
+   Binding structure is textual, matching this lint's style: a binding
+   starts at a line whose first token is [let]/[and] and extends to the
+   next [let]/[and] at the same or shallower indentation, so deeper
+   [let ... in] locals do not end the region. *)
+
+let indent_of line =
+  let n = String.length line in
+  let rec go i = if i < n && line.[i] = ' ' then go (i + 1) else i in
+  go 0
+
+let begins_any line prefixes =
+  let i = indent_of line in
+  let rest = String.sub line i (String.length line - i) in
+  List.exists
+    (fun p ->
+      String.length rest >= String.length p
+      && String.sub rest 0 (String.length p) = p)
+    prefixes
+
+let starts_binding line = begins_any line [ "let "; "let["; "and "; "and[" ]
+
+(* A binding also ends at the next structure item of any other kind at
+   the same or shallower indent — otherwise a [let pp] directly above a
+   [module Pool = struct ... end] would swallow the module's bindings
+   (and their [@hot] marks). *)
+let ends_block line =
+  starts_binding line
+  || begins_any line
+       [ "module "; "type "; "open "; "include "; "exception "; "val "; "end" ]
+
+let hot_banned =
+  [
+    "List.map"; "List.mapi"; "List.rev_map"; "List.concat_map";
+    "List.filter_map"; "List.filter"; "List.append"; "List.concat";
+    "Array.append"; "Array.concat"; "Array.of_list"; "Array.to_list";
+    "Printf."; "Format.";
+  ]
+
+let hot_line_fires line =
+  any_token hot_banned line
+  || contains_sub ~sub:"(fun" line
+  || contains_sub ~sub:"(function" line
+
+let hot_alloc_hits lines =
+  let n = Array.length lines in
+  let hits = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    if starts_binding lines.(!i) then begin
+      let start = !i and ind = indent_of lines.(!i) in
+      let j = ref (!i + 1) in
+      while
+        !j < n && not (ends_block lines.(!j) && indent_of lines.(!j) <= ind)
+      do
+        incr j
+      done;
+      let hot = ref false in
+      for k = start to !j - 1 do
+        if contains_sub ~sub:"@hot]" lines.(k) then hot := true
+      done;
+      if !hot then
+        for k = start to !j - 1 do
+          if hot_line_fires lines.(k) then hits := (k, lines.(k)) :: !hits
+        done;
+      i := !j
+    end
+    else incr i
+  done;
+  List.rev !hits
 
 let rules =
   [
     {
       id = "wall-clock";
+      block = None;
       doc = "wall-clock read (the DES virtual clock is the only clock)";
       scope = (fun _ -> true);
       fires = any_token [ "Unix.gettimeofday"; "Sys.time"; "Unix.time" ];
     };
     {
       id = "global-rng";
+      block = None;
       doc = "global Random state (use seeded Stats.Rng streams)";
       scope = (fun _ -> true);
       fires = any_token [ "Random." ];
     };
     {
       id = "obj-magic";
+      block = None;
       doc = "Obj.magic defeats the type system";
       scope = (fun _ -> true);
       fires = any_token [ "Obj.magic" ];
     };
     {
       id = "poly-compare";
+      block = None;
       doc = "polymorphic compare/hash on message or state values";
       scope = (fun _ -> true);
       fires = any_token [ "Stdlib.compare"; "Hashtbl.hash" ];
     };
     {
       id = "direct-print";
+      block = None;
       doc =
         "direct printing from lib/ (take a formatter or return data; \
          only scenarios/report.ml owns rendering)";
@@ -243,6 +336,7 @@ let rules =
     };
     {
       id = "stdlib-exit";
+      block = None;
       doc =
         "exit from lib/ (raise or return a result; only bin/ may end \
          the process)";
@@ -251,12 +345,14 @@ let rules =
     };
     {
       id = "mutable-global";
+      block = None;
       doc = "top-level ref in lib/raft (protocol state belongs in Server.t)";
       scope = (fun path -> contains_sub ~sub:"lib/raft/" path);
       fires = toplevel_ref;
     };
     {
       id = "raw-fabric-send";
+      block = None;
       doc =
         "direct Fabric.send from lib/raft (every RPC leaves through \
          Replication.transmit so bulk appends cannot bypass the \
@@ -270,6 +366,16 @@ let rules =
       (* both spellings: [has_token] rejects a preceding '.', so the
          qualified form needs its own token *)
       fires = any_token [ "Fabric.send"; "Netsim.Fabric.send" ];
+    };
+    {
+      id = "hot-alloc";
+      block = Some hot_alloc_hits;
+      doc =
+        "allocation inside a [@hot] binding (hot-path functions may not \
+         call allocating list/array combinators, Printf/Format, or \
+         contain lambda literals)";
+      scope = (fun path -> contains_sub ~sub:"lib/" path);
+      fires = (fun _ -> false);
     };
   ]
 
@@ -291,6 +397,7 @@ let rec source_files path =
 
 let scan_file ~all_rules path =
   let stripped = strip (read_file path) in
+  let lines = String.split_on_char '\n' stripped in
   let hits = ref [] in
   List.iteri
     (fun i line ->
@@ -299,7 +406,18 @@ let scan_file ~all_rules path =
           if (all_rules || rule.scope path) && rule.fires line then
             hits := { path; lineno = i + 1; rule; line } :: !hits)
         rules)
-    (String.split_on_char '\n' stripped);
+    lines;
+  let arr = Array.of_list lines in
+  List.iter
+    (fun rule ->
+      match rule.block with
+      | Some f when all_rules || rule.scope path ->
+          List.iter
+            (fun (i, line) ->
+              hits := { path; lineno = i + 1; rule; line } :: !hits)
+            (f arr)
+      | Some _ | None -> ())
+    rules;
   List.rev !hits
 
 let load_allowlist path =

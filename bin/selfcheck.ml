@@ -455,6 +455,24 @@ let forensics_off_allocation_gate () =
        %.0f with a disabled ring over the same pinned run"
       base off
 
+(* Minor words per processed DES event, steady-state 3-node dynatune
+   cluster: the same pinned plan as [forensics_off_allocation_gate],
+   normalized by the engine's event count. *)
+let cluster_minor_words_per_event () =
+  let cluster =
+    Harness.Cluster.create ~seed:5L ~n:3 ~config:(Raft.Config.dynatune ()) ()
+  in
+  Cluster.start cluster;
+  (match Cluster.await_leader cluster ~timeout:(Des.Time.sec 30) with
+  | Some _ -> ()
+  | None -> fail "words/event gate: steady-state cluster elected no leader");
+  Cluster.run_for cluster (Des.Time.sec 10);
+  let w0 = Gc.minor_words () in
+  let e0 = Des.Engine.global_processed () in
+  Cluster.run_for cluster (Des.Time.sec 120);
+  let e1 = Des.Engine.global_processed () in
+  (Gc.minor_words () -. w0) /. float_of_int (e1 - e0)
+
 let run_perf ~baseline =
   let json =
     match In_channel.with_open_text baseline In_channel.input_all with
@@ -512,7 +530,23 @@ let run_perf ~baseline =
       ("rebatch_words", Bench_loops.make_leader_append_loop);
       ("follower_append_words", Bench_loops.make_follower_append_loop);
       ("try_append_words", Bench_loops.make_try_append_loop);
+      ("vote_round_words", Bench_loops.make_vote_round_loop);
+      ("snapshot_install_words", Bench_loops.make_snapshot_install_loop);
     ];
+  (* Minor words per DES event of a steady-state cluster: the end-to-end
+     allocation figure the pooling work moves (the loop ratchets above
+     only cover the server in isolation).  A pinned-seed DES run's
+     allocation is deterministic, so a tight 10% margin holds. *)
+  (match float_of_string_opt (guard_field json "words_per_event") with
+  | Some base when base > 0. ->
+      let now = cluster_minor_words_per_event () in
+      if now > (base *. 1.10) +. 1. then
+        fail
+          "perf guard allocation regression: %.2f minor words/event in the \
+           steady-state cluster vs baseline %.2f (allowed %.2f)"
+          now base
+          ((base *. 1.10) +. 1.)
+  | Some _ | None -> fail "perf baseline has no usable words_per_event");
   (* Allocation identity of the forensics-off path, also load-independent. *)
   forensics_off_allocation_gate ();
   (* Throughput second, best of three: a single reading on a busy host
@@ -545,7 +579,7 @@ let () =
   | _ :: "--perf" :: rest ->
       let baseline =
         match rest with
-        | [] -> "BENCH_9.json"
+        | [] -> "BENCH_10.json"
         | [ path ] -> path
         | _ ->
             prerr_endline "usage: selfcheck [--perf [BASELINE.json]]";

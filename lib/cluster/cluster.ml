@@ -22,6 +22,9 @@ type t = {
   telemetry : Telemetry.Metrics.t;
   forensics : Telemetry.Forensics.t;
   recorder : Telemetry.Recorder.t;
+  pool : Raft.Rpc.Pool.t;
+      (* one message free-list for the whole group, so a record released
+         at its receiver refills the sender's next allocation *)
   (* Creation parameters, kept so [add_server] can build members later. *)
   costs : Raft.Cost_model.t option;
   cores : float;
@@ -111,7 +114,7 @@ let attach_probe_counters ~scope telemetry trace =
    store through it: a crash-restart swaps in a fresh replica and the
    replayed log rebuilds it. *)
 let make_member ~engine ~fabric ~trace ~costs ~cores ~flush_delay ~telemetry
-    ~forensics ~config ~joining ~id ~peers =
+    ~forensics ~config ~joining ~pool ~id ~peers =
   let cpu =
     match costs with
     | Some _ -> Some (Netsim.Cpu.create engine ~cores)
@@ -133,8 +136,8 @@ let make_member ~engine ~fabric ~trace ~costs ~cores ~flush_delay ~telemetry
               match Kvsm.Store.of_serialized data with
               | Ok store -> m.store <- store
               | Error _ -> m.store <- Kvsm.Store.create ())
-            ?flush_delay ~metrics:telemetry ~forensics ~joining ~id ~peers
-            ~config ();
+            ?flush_delay ~metrics:telemetry ~forensics ~joining ~pool ~id
+            ~peers ~config ();
         store = Kvsm.Store.create ();
       }
   in
@@ -175,12 +178,13 @@ let create ?seed ?costs ?(cores = 4.) ?conditions ?flush_delay
             ids)
   | None -> ());
   let members = Node_id.Table.create n in
+  let pool = Raft.Rpc.Pool.create () in
   List.iter
     (fun id ->
       let peers = List.filter (fun p -> not (Node_id.equal p id)) ids in
       Node_id.Table.add members id
         (make_member ~engine ~fabric ~trace ~costs ~cores ~flush_delay
-           ~telemetry ~forensics ~config ~joining:false ~id ~peers))
+           ~telemetry ~forensics ~config ~joining:false ~pool ~id ~peers))
     ids;
   (* The digest accumulates online through a subscription, so it survives
      the trace clears the measurement loop performs between failures. *)
@@ -227,6 +231,7 @@ let create ?seed ?costs ?(cores = 4.) ?conditions ?flush_delay
     members;
     ids;
     roster = roster_of ~members ~ids;
+    pool;
     checker;
     digest;
     telemetry;
@@ -369,8 +374,16 @@ let now t = Des.Engine.now t.engine
 
 let await_leader t ~timeout =
   let deadline = Des.Time.add (now t) timeout in
+  (* Leadership only changes when an event runs, so a poll slice that
+     processed nothing can skip the roster scan.  The cadence of the
+     1 ms slices — and thus where the engine clock stops — is
+     unchanged. *)
+  let last_processed = ref (-1) in
   let rec poll () =
-    match leader t with
+    let processed = Des.Engine.processed_events t.engine in
+    let l = if processed = !last_processed then None else leader t in
+    last_processed := processed;
+    match l with
     | Some l -> Some l
     | None ->
         if now t >= deadline then None
@@ -439,7 +452,7 @@ let spawn_joiner t =
     make_member ~engine:t.engine ~fabric:t.fabric ~trace:t.trace
       ~costs:t.costs ~cores:t.cores ~flush_delay:t.flush_delay
       ~telemetry:t.telemetry ~forensics:t.forensics ~config:t.config
-      ~joining:true ~id ~peers:t.ids
+      ~joining:true ~pool:t.pool ~id ~peers:t.ids
   in
   Node_id.Table.add t.members id m;
   t.ids <- t.ids @ [ id ];

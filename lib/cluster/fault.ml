@@ -91,12 +91,21 @@ let analyse t ~failed ~failed_at ~new_leader_at ~new_leader =
 
 let await_new_leader t ~excluding ~limit =
   let deadline = Des.Time.add (Cluster.now t) limit in
+  (* As in [Cluster.await_leader]: a 1 ms slice that processed no events
+     cannot have changed leadership, so skip the roster scan.  Slice
+     cadence (where the engine clock stops) is unchanged. *)
+  let engine = Cluster.engine t in
+  let last_processed = ref (-1) in
   let rec poll () =
+    let processed = Des.Engine.processed_events engine in
     let fresh =
-      match Cluster.leader t with
-      | Some l when not (Node_id.equal (Raft.Node.id l) excluding) -> Some l
-      | Some _ | None -> None
+      if processed = !last_processed then None
+      else
+        match Cluster.leader t with
+        | Some l when not (Node_id.equal (Raft.Node.id l) excluding) -> Some l
+        | Some _ | None -> None
     in
+    last_processed := processed;
     match fresh with
     | Some l -> Some (Raft.Node.id l, Cluster.now t)
     | None ->

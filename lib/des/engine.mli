@@ -4,12 +4,28 @@
     scheduled at the same instant fire in scheduling order (a strictly
     increasing sequence number breaks ties), so runs are deterministic.
     The engine owns the root PRNG stream from which all components derive
-    named substreams. *)
+    named substreams.
+
+    Two scheduling forms share one queue and one firing order:
+
+    - {b Closure form} ({!schedule_at} and friends): the traditional
+      [unit -> unit] callback.  Allocates the closure at the call site;
+      right for cold paths and one-off work.
+    - {b Opcode form} ({!register_op} + {!schedule_op_at} and friends):
+      the callback is a handler registered once per engine, and each
+      schedule passes it two operand words plus an immediate int.  After
+      the event pool warms up, scheduling allocates {e zero} minor
+      words — this is what the delivery and timer hot paths use. *)
 
 type t
 
 type handle
-(** A cancellation handle for a scheduled event. *)
+(** A cancellation handle for a scheduled event.  Handles are pooled:
+    after the event fires or its cancellation is reclaimed, the handle
+    may be recycled for an unrelated event.  Holders must forget a
+    handle (overwrite it with {!never}) once they learn it fired, and
+    must not retain handles they have cancelled — {!Timer} is the
+    reference implementation of this discipline. *)
 
 val create : ?seed:int64 -> unit -> t
 (** Fresh engine at time zero.  [seed] initializes the root PRNG. *)
@@ -33,6 +49,44 @@ val schedule_timer_after : t -> Time.span -> (unit -> unit) -> handle
     to {!schedule_after}; one-shot work that nearly always fires should
     keep using the plain entry points, which skip the wheel's flush
     bookkeeping. *)
+
+type ('a, 'b) op
+(** A handler-table index for the opcode scheduling form: the handler
+    receives the two operand values and the immediate int passed at
+    schedule time.  Ops are engine-specific — registering on one engine
+    and scheduling on another is unchecked and wrong. *)
+
+val register_op : t -> ('a -> 'b -> int -> unit) -> ('a, 'b) op
+(** Register a dispatch handler, once per engine (typically at component
+    creation).  The per-schedule cost of the returned op is two operand
+    stores and an int store — no closure. *)
+
+val cached_op : t -> slot:int -> (unit -> ('a, 'b) op) -> ('a, 'b) op
+(** Memoize an op registration in one of a small number of per-engine
+    slots, for components (like {!Timer}) that are instantiated many
+    times per engine but need only one shared handler.  The slot
+    registry is a fixed convention: slot {!slot_timer} belongs to
+    {!Timer}; slots above it are unassigned.  The thunk runs on first
+    use only.  Callers must ensure a slot is always used at one type —
+    the memoization is untyped. *)
+
+val slot_timer : int
+(** {!cached_op} slot owned by {!Timer}'s shared fire handler. *)
+
+val n_cached_slots : int
+(** Number of {!cached_op} slots ([slot] must be below this). *)
+
+val schedule_op_at : t -> Time.t -> ('a, 'b) op -> 'a -> 'b -> int -> unit
+(** Opcode form of {!schedule_at}: fire [op]'s handler with the given
+    operands.  Returns no handle (the common case never cancels);
+    allocation-free once the event pool is warm. *)
+
+val schedule_op_after : t -> Time.span -> ('a, 'b) op -> 'a -> 'b -> int -> unit
+(** Opcode form of {!schedule_after}. *)
+
+val schedule_timer_op : t -> Time.span -> ('a, 'b) op -> 'a -> 'b -> int -> handle
+(** Opcode form of {!schedule_timer_after}; returns a handle because
+    timer deadlines are routinely cancelled. *)
 
 val cancel : handle -> unit
 (** Cancel a scheduled event; cancelling a fired or already-cancelled

@@ -9,17 +9,33 @@ type stats = {
   mutable wheel_high_water : int;
 }
 
+(* Flattened, pooled event record.  The payload is an int-encoded opcode
+   plus two uniform operand words and one immediate word, interpreted by
+   the engine's handler table ([op] = 0 means [a] holds a plain
+   [unit -> unit] closure).  All fields are mutable so fired and
+   cancelled events can be recycled through a per-heap free list instead
+   of being re-allocated: on the steady-state replication workload every
+   event alloc after warm-up is a free-list pop, so scheduling allocates
+   zero minor words. *)
 type event = {
-  at : Time.t;
-  seq : int;
-  action : unit -> unit;
+  mutable at : Time.t;
+  mutable seq : int;
+  mutable op : int;
+  mutable a : Obj.t;
+  mutable b : Obj.t;
+  mutable arg : int;
   mutable cancelled : bool;
   mutable queued : bool;
   mutable w_next : event;
   stats : stats;
 }
 
-type t = { mutable data : event array; mutable len : int; stats : stats }
+type t = {
+  mutable data : event array;
+  mutable len : int;
+  stats : stats;
+  mutable free : event;  (* free-list head, chained via [w_next] *)
+}
 
 let fresh_stats () =
   {
@@ -33,18 +49,22 @@ let fresh_stats () =
     wheel_high_water = 0;
   }
 
-let create () = { data = [||]; len = 0; stats = fresh_stats () }
+let unit_obj = Obj.repr ()
 
 (* A permanently-cancelled placeholder: lets handle holders (timers) use
-   a plain [event] field instead of an [event option].  Cancelling it is
-   a no-op (already cancelled), and it is never queued or linked, so it
-   is safe to share — even across domains, since no code path writes it. *)
+   a plain [event] field instead of an [event option], and terminates
+   both wheel-slot chains and the free list.  Cancelling it is a no-op
+   (already cancelled), and no code path ever writes it, so it is safe
+   to share — even across domains. *)
 let never =
   let rec ev =
     {
       at = 0;
       seq = -1;
-      action = ignore;
+      op = 0;
+      a = unit_obj;
+      b = unit_obj;
+      arg = 0;
       cancelled = true;
       queued = false;
       w_next = ev;
@@ -53,10 +73,54 @@ let never =
   in
   ev
 
+let create () = { data = [||]; len = 0; stats = fresh_stats (); free = never }
 let length t = t.len
 let live_length t = t.len - t.stats.dead
 let stats t = t.stats
 let compact_min_dead = 64
+
+(* Pop a recycled event, or allocate a fresh one if the pool is dry.
+   The caller overwrites [op]/[a]/[b]/[arg]; a pooled event may pin its
+   previous payload until then, which is bounded by the pool size. *)
+let alloc t ~at ~seq =
+  let ev = t.free in
+  if ev == never then
+    let rec ev =
+      {
+        at;
+        seq;
+        op = 0;
+        a = unit_obj;
+        b = unit_obj;
+        arg = 0;
+        cancelled = false;
+        queued = false;
+        w_next = ev;
+        stats = t.stats;
+      }
+    in
+    ev
+  else begin
+    t.free <- ev.w_next;
+    ev.w_next <- ev;
+    ev.at <- at;
+    ev.seq <- seq;
+    ev.cancelled <- false;
+    ev
+  end
+
+(* Return a fired or discarded event to the pool.  The caller must have
+   removed it from the heap and any wheel slot first; the DES gives
+   exact reclaim points (execution, tombstone discard, slot visit), so
+   no generation counter is needed — only {!Timer} retains handles, and
+   it forgets them before the event can be recycled. *)
+let release t ev =
+  if ev != never then begin
+    ev.cancelled <- true;
+    ev.queued <- false;
+    ev.w_next <- t.free;
+    t.free <- ev
+  end
 
 (* The ordering [compare_events] implements, with the comparison inlined
    so sift loops never make an indirect call.  [at] and [seq] are
@@ -102,24 +166,22 @@ let push t x =
   if t.len > t.stats.high_water then t.stats.high_water <- t.len;
   sift_up t (t.len - 1)
 
-(* Drop every cancelled entry and re-heapify.  O(len), amortized against
-   the >= len/2 pushes it took to accumulate that many dead entries. *)
+(* Drop every cancelled entry (recycling it) and re-heapify.  O(len),
+   amortized against the >= len/2 pushes it took to accumulate that many
+   dead entries. *)
 let compact t =
   let j = ref 0 in
   for i = 0 to t.len - 1 do
     let ev = t.data.(i) in
-    if ev.cancelled then ev.queued <- false
+    if ev.cancelled then release t ev
     else begin
       t.data.(!j) <- ev;
       incr j
     end
   done;
-  (* Release references beyond the live prefix so dead actions can be
-     collected. *)
-  if !j > 0 then
-    for i = !j to t.len - 1 do
-      t.data.(i) <- t.data.(0)
-    done;
+  for i = !j to t.len - 1 do
+    t.data.(i) <- never
+  done;
   t.len <- !j;
   t.stats.dead <- 0;
   t.stats.compactions <- t.stats.compactions + 1;
@@ -128,17 +190,10 @@ let compact t =
   done
 
 let make t ~at ~seq action =
-  let rec ev =
-    {
-      at;
-      seq;
-      action;
-      cancelled = false;
-      queued = false;
-      w_next = ev;
-      stats = t.stats;
-    }
-  in
+  let ev = alloc t ~at ~seq in
+  ev.op <- 0;
+  ev.a <- Obj.repr action;
+  ev.b <- unit_obj;
   ev
 
 let push_event t ev =
@@ -150,6 +205,12 @@ let schedule t ~at ~seq action =
   let ev = make t ~at ~seq action in
   push_event t ev;
   ev
+
+(* For direct heap users (tests, microbenchmarks) that execute events
+   themselves: run a closure-form event's payload. *)
+let run_closure ev =
+  if ev.op = 0 then (Obj.obj ev.a : unit -> unit) ()
+  else invalid_arg "Event_heap.run_closure: opcode event"
 
 let cancel ev =
   if not ev.cancelled then begin
@@ -185,11 +246,13 @@ let rec pop_live t =
   | None -> None
   | Some ev when ev.cancelled ->
       t.stats.dead <- t.stats.dead - 1;
+      release t ev;
       pop_live t
   | some -> some
 
 (* Allocation-free peek for the engine's hot loop: [never] means empty.
-   Like [peek_live], discards cancelled entries from the top. *)
+   Like [peek_live], discards (and recycles) cancelled entries from the
+   top. *)
 let rec top_live t =
   if t.len = 0 then never
   else begin
@@ -197,6 +260,7 @@ let rec top_live t =
     if top.cancelled then begin
       ignore (pop t : event option);
       t.stats.dead <- t.stats.dead - 1;
+      release t top;
       top_live t
     end
     else top
@@ -220,6 +284,7 @@ let rec peek_live t =
     if top.cancelled then begin
       ignore (pop t : event option);
       t.stats.dead <- t.stats.dead - 1;
+      release t top;
       peek_live t
     end
     else Some top

@@ -7,6 +7,14 @@
     campaign).  The generic {!Heap} remains for other priority-queue
     users.
 
+    Events are {e flattened} and {e pooled}: instead of a
+    [unit -> unit] closure per schedule, an event carries an int opcode
+    plus two uniform operand words and one immediate word, dispatched
+    through the engine's handler table ([op] = 0 keeps the closure form,
+    stored in [a]).  Fired and discarded events return to a per-heap
+    free list ({!release}) and are recycled by {!alloc}, so steady-state
+    scheduling allocates zero minor words.
+
     Cancellation is lazy — [cancel] only marks the event — but the heap
     counts its dead entries and compacts itself once they pass a
     threshold, so workloads that cancel and re-arm timers at a high rate
@@ -40,18 +48,24 @@ type stats = {
     {!stats}. *)
 
 type event = {
-  at : Time.t;
-  seq : int;  (** tie-break: strictly increasing scheduling order *)
-  action : unit -> unit;
+  mutable at : Time.t;
+  mutable seq : int;  (** tie-break: strictly increasing scheduling order *)
+  mutable op : int;
+      (** handler-table index; 0 = [a] holds a [unit -> unit] closure *)
+  mutable a : Obj.t;  (** first operand word (uniform representation) *)
+  mutable b : Obj.t;  (** second operand word *)
+  mutable arg : int;  (** immediate operand (packed ints, cause IDs) *)
   mutable cancelled : bool;
   mutable queued : bool;  (** currently stored in the heap *)
   mutable w_next : event;
-      (** intrusive wheel-slot chain; self-linked when not in a slot *)
+      (** intrusive chain: wheel slot when parked, free list when
+          recycled; self-linked when in neither *)
   stats : stats;  (** owning heap's counters *)
 }
 (** The record is exposed (not private) so {!Wheel} can link events into
-    its slots without an indirection layer; outside [lib/des], treat it
-    as an abstract handle and only construct via {!make}/{!schedule}. *)
+    its slots and {!Engine} can dispatch without an indirection layer;
+    outside [lib/des], treat it as an abstract handle and only construct
+    via {!make}/{!schedule}. *)
 
 type t
 
@@ -62,17 +76,34 @@ val never : event
     fields that would otherwise be [event option].  {!cancel} and
     {!is_pending} treat it as already fired; it is never stored. *)
 
+val alloc : t -> at:Time.t -> seq:int -> event
+(** Pop a recycled event from the free list (or allocate a fresh one),
+    live and unqueued.  The caller must set [op]/[a]/[b]/[arg] before
+    the event fires. *)
+
+val release : t -> event -> unit
+(** Return an event to the free list for reuse.  The caller must have
+    removed it from the heap and any wheel slot; the engine releases at
+    execution, the heap at tombstone discard, the wheel at slot visit.
+    Releasing {!never} is a no-op. *)
+
 val make : t -> at:Time.t -> seq:int -> (unit -> unit) -> event
-(** Allocate an event owned by this heap {e without} queueing it — the
-    caller either parks it in a wheel slot or hands it to
-    {!push_event}. *)
+(** {!alloc} an event carrying a closure payload ([op] = 0) {e without}
+    queueing it — the caller either parks it in a wheel slot or hands it
+    to {!push_event}. *)
 
 val push_event : t -> event -> unit
-(** Push an event allocated by {!make} (or one the wheel is flushing
-    back).  May trigger compaction first. *)
+(** Push an event obtained from {!make}/{!alloc} (or one the wheel is
+    flushing back).  May trigger compaction first. *)
 
 val schedule : t -> at:Time.t -> seq:int -> (unit -> unit) -> event
 (** [make] + [push_event]. *)
+
+val run_closure : event -> unit
+(** Execute a closure-form event's payload ([op] = 0) — for direct heap
+    users (tests, microbenchmarks) that drive the queue themselves.
+    Raises [Invalid_argument] on an opcode event: those belong to an
+    engine's handler table. *)
 
 val cancel : event -> unit
 (** Mark the event dead; it will be skipped and eventually reclaimed.
@@ -85,7 +116,9 @@ val is_pending : event -> bool
 
 val pop_live : t -> event option
 (** Remove and return the earliest non-cancelled event, discarding any
-    cancelled entries encountered on the way. *)
+    cancelled entries encountered on the way.  The returned event is
+    {e not} released — callers outside the engine own it (and may simply
+    drop it; unreleased events are garbage-collected normally). *)
 
 val peek_live : t -> event option
 (** Earliest non-cancelled event without removing it; discards cancelled

@@ -1,37 +1,41 @@
-(* One preallocated [fire] closure per timer, not one per arming: the
-   heartbeat/election workload re-arms timers on every message, and the
-   old per-arm closure + three option boxes dominated the arm path's
-   allocation.  The generation counter is gone with them — [cancel]
-   marks the underlying event, and the engine guarantees a cancelled
-   event never fires, which is the whole stale-fire guard. *)
+(* One shared fire handler per engine, not one closure per timer (let
+   alone per arming): the heartbeat/election workload re-arms timers on
+   every message, and with the engine's opcode scheduling form an arm is
+   a pooled-event fill — zero minor words.  The generation counter
+   stayed gone — [cancel] marks the underlying event, and the engine
+   guarantees a cancelled event never fires, which is the whole
+   stale-fire guard.  Pool safety: [fire] clears [pending] before
+   running the callback, and [disarm]/[arm] clear-or-replace it, so this
+   module never holds a handle whose event could have been recycled. *)
 
 type t = {
   engine : Engine.t;
   callback : unit -> unit;
-  mutable fire : unit -> unit;
+  op : (t, unit) Engine.op;  (* engine-shared fire handler *)
   mutable pending : Engine.handle;  (* Engine.never when disarmed/fired *)
   mutable deadline : Time.t;  (* meaningful while armed *)
   mutable last_span : Time.span;  (* meaningful once ever_armed *)
   mutable ever_armed : bool;
 }
 
+let fire (t : t) () (_ : int) =
+  t.pending <- Engine.never;
+  t.callback ()
+
 let create engine callback =
-  let t =
-    {
-      engine;
-      callback;
-      fire = ignore;
-      pending = Engine.never;
-      deadline = Time.zero;
-      last_span = 0;
-      ever_armed = false;
-    }
+  let op =
+    Engine.cached_op engine ~slot:Engine.slot_timer (fun () ->
+        Engine.register_op engine fire)
   in
-  t.fire <-
-    (fun () ->
-      t.pending <- Engine.never;
-      t.callback ());
-  t
+  {
+    engine;
+    callback;
+    op;
+    pending = Engine.never;
+    deadline = Time.zero;
+    last_span = 0;
+    ever_armed = false;
+  }
 
 let disarm t =
   Engine.cancel t.pending;
@@ -42,7 +46,7 @@ let arm t span =
   t.ever_armed <- true;
   t.last_span <- span;
   t.deadline <- Time.add (Engine.now t.engine) span;
-  t.pending <- Engine.schedule_timer_after t.engine span t.fire
+  t.pending <- Engine.schedule_timer_op t.engine span t.op t () 0
 
 let is_armed t = Engine.is_pending t.pending
 let deadline t = if is_armed t then Some t.deadline else None

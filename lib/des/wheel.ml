@@ -194,9 +194,11 @@ let rec cascade_chain t ev =
     let next = ev.Event_heap.w_next in
     ev.Event_heap.w_next <- ev;
     t.linked <- t.linked - 1;
-    (* Cancelled events were accounted at cancel time; drop them. *)
-    if not ev.Event_heap.cancelled then
-      if not (file t ev) then assert false;
+    (* Cancelled events were accounted at cancel time; recycle them. *)
+    if not ev.Event_heap.cancelled then begin
+      if not (file t ev) then assert false
+    end
+    else Event_heap.release t.heap ev;
     cascade_chain t next
   end
 
@@ -217,7 +219,8 @@ let rec drain_chain t ev =
       t.stats.Event_heap.wheel_occupancy <-
         t.stats.Event_heap.wheel_occupancy - 1;
       Event_heap.push_event t.heap ev
-    end;
+    end
+    else Event_heap.release t.heap ev;
     drain_chain t next
   end
 

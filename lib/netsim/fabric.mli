@@ -68,6 +68,14 @@ val set_serialization :
 val set_uniform_serialization : 'msg t -> Des.Time.span -> unit
 (** Serialization delay for every directed link (including future ones). *)
 
+val set_dup_clone : 'msg t -> ('msg -> 'msg) -> unit
+(** Copy function applied to the {e second} delivery of a duplicated
+    datagram (identity by default).  A host that pools message payloads
+    must install one: the two deliveries otherwise share a record, and
+    releasing it after the first delivery could recycle the copy the
+    second still holds.  The clone must be value-identical, so digests
+    cannot observe it. *)
+
 val pending : 'msg t -> src:Node_id.t -> dst:Node_id.t -> int
 (** Messages queued at (or occupying) the [src -> dst] egress right now:
     the per-destination congestion signal a sender throttles bulk

@@ -38,6 +38,16 @@ type outcome =
 val sample_datagram : t -> outcome
 (** Unreliable (UDP-like) transmission: loss and duplication apply. *)
 
+val sample_datagram_packed : t -> int
+(** Variant-free {!sample_datagram} for the fabric's hot path: same
+    draws in the same order, but returns [-1] for a lost datagram or the
+    one-way latency otherwise, and parks any duplicate copy's latency
+    for {!dup_latency} instead of boxing an outcome. *)
+
+val dup_latency : t -> int
+(** Second-copy latency of the last {!sample_datagram_packed} ([-1] when
+    it produced no duplicate).  Overwritten by the next packed sample. *)
+
 val sample_reliable : t -> Des.Time.span
 (** Reliable (TCP-like) transmission latency: message loss is converted to
     retransmission delay with exponential RTO backoff (minimum RTO 200 ms,

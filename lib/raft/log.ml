@@ -44,10 +44,16 @@ let nth t index = t.entries.(index - t.snapshot_index - 1)
 let last_term t =
   if t.len = 0 then t.snapshot_term else (nth t (last_index t)).term
 
+(* Option-free [term_at] for the append hot loops: -1 = absent (terms
+   are never negative). *)
+let term_at_raw t index =
+  if index = t.snapshot_index then t.snapshot_term
+  else if index < t.snapshot_index || index > last_index t then -1
+  else (nth t index).term
+
 let term_at t index =
-  if index = t.snapshot_index then Some t.snapshot_term
-  else if index < t.snapshot_index || index > last_index t then None
-  else Some (nth t index).term
+  let raw = term_at_raw t index in
+  if raw < 0 then None else Some raw
 
 let entry_at t index =
   if index <= t.snapshot_index || index > last_index t then None
@@ -102,47 +108,42 @@ let truncate_from t index =
     scrub t ~old_len
   end
 
-let try_append t ~prev_index ~prev_term ~entries =
-  let check =
-    if prev_index < t.snapshot_index then
-      (* The predecessor was compacted: it is committed, hence it
-         matches by construction. *)
-      `Prefix_ok
-    else
-      match term_at t prev_index with
-      | None -> `Missing
-      | Some term when term <> prev_term -> `Mismatch
-      | Some _ -> `Prefix_ok
+let[@hot] try_append t ~prev_index ~prev_term ~entries =
+  (* Prefix check on raw terms: a predecessor below the snapshot is
+     committed, hence matches by construction. *)
+  let prefix_term =
+    if prev_index < t.snapshot_index then prev_term
+    else term_at_raw t prev_index
   in
-  match check with
-  | `Missing ->
-      (* We are missing the predecessor entirely; ask the leader to back
-         off to just past our log end. *)
-      `Conflict (last_index t + 1)
-  | `Mismatch ->
-      (* Predecessor conflicts; everything from it onward is suspect. *)
-      `Conflict prev_index
-  | `Prefix_ok ->
-      (* Plain counted loop (no closure, no fold): this is the follower
-         hot path, executed once per replicated batch. *)
-      let n = Array.length entries in
-      for i = 0 to n - 1 do
-        let entry = entries.(i) in
-        assert (entry.index >= 1);
-        if entry.index > t.snapshot_index then
-          match term_at t entry.index with
-          | Some existing when existing = entry.term -> ()
-          | Some _ ->
-              truncate_from t entry.index;
-              push t entry
-          | None ->
-              assert (entry.index = last_index t + 1);
-              push t entry
-      done;
-      (* Batches are contiguous and ascending: the last entry carries
-         the highest index. *)
-      let covered = if n = 0 then prev_index else entries.(n - 1).index in
-      `Ok (Stdlib.max covered t.snapshot_index)
+  if prefix_term < 0 then
+    (* We are missing the predecessor entirely; ask the leader to back
+       off to just past our log end. *)
+    `Conflict (last_index t + 1)
+  else if prefix_term <> prev_term then
+    (* Predecessor conflicts; everything from it onward is suspect. *)
+    `Conflict prev_index
+  else begin
+    (* Plain counted loop (no closure, no fold, no option boxing): this
+       is the follower hot path, executed once per replicated batch —
+       a duplicate batch allocates nothing here. *)
+    let n = Array.length entries in
+    for i = 0 to n - 1 do
+      let entry = entries.(i) in
+      assert (entry.index >= 1);
+      if entry.index > t.snapshot_index then begin
+        let existing = term_at_raw t entry.index in
+        if existing <> entry.term then begin
+          if existing >= 0 then truncate_from t entry.index
+          else assert (entry.index = last_index t + 1);
+          push t entry
+        end
+      end
+    done;
+    (* Batches are contiguous and ascending: the last entry carries
+       the highest index. *)
+    let covered = if n = 0 then prev_index else entries.(n - 1).index in
+    `Ok (Stdlib.max covered t.snapshot_index)
+  end
 
 let compact t ~upto =
   if upto > last_index t then

@@ -14,7 +14,9 @@ type t = {
   broadcast_timer : Des.Timer.t;
   quorum_timer : Des.Timer.t;
   flush_timer : Des.Timer.t;
-  hb_timers : Des.Timer.t Node_id.Table.t;
+  (* indexed by [Node_id.to_int peer]: the per-follower heartbeat timer
+     is re-armed on every beat, so the lookup must not hash *)
+  mutable hb_timers : Des.Timer.t option array;
   waiters : (int * int, committed:bool -> unit) Hashtbl.t;
   apply : Log.entry -> unit;
   snapshot_of : unit -> string;
@@ -48,9 +50,18 @@ let cpu t = t.cpu
 let is_paused t = t.paused
 let incarnation t = t.incarnation
 
-let rec dispatch t event =
+let[@hot] rec dispatch t event =
   let actions = Server.handle t.server ~now:(Des.Engine.now t.engine) event in
-  List.iter (interpret t) actions
+  interpret_all t actions
+
+(* Hand-rolled [List.iter (interpret t)]: dispatch runs once per event,
+   and the partial application would allocate a closure every time. *)
+and interpret_all t = function
+  | [] -> ()
+  | action :: rest ->
+      interpret t action;
+      interpret_all t rest
+  [@@hot]
 
 (* A fresh cause for a locally originated event (timer fire, client
    request, fault), stamped as the current causal context. *)
@@ -95,7 +106,9 @@ and interpret t = function
   | Server.Arm_quorum_check after -> Des.Timer.arm t.quorum_timer after
   | Server.Disarm_heartbeats ->
       Des.Timer.disarm t.broadcast_timer;
-      Node_id.Table.iter (fun _ timer -> Des.Timer.disarm timer) t.hb_timers
+      Array.iter
+        (function Some timer -> Des.Timer.disarm timer | None -> ())
+        t.hb_timers
   | Server.Request_flush ->
       if not (Des.Timer.is_armed t.flush_timer) then
         Des.Timer.arm t.flush_timer t.flush_delay
@@ -176,7 +189,13 @@ and forensics_probe t p =
       ()
 
 and hb_timer t peer =
-  match Node_id.Table.find_opt t.hb_timers peer with
+  let i = Node_id.to_int peer in
+  if i >= Array.length t.hb_timers then begin
+    let bigger = Array.make (i + 8) None in
+    Array.blit t.hb_timers 0 bigger 0 (Array.length t.hb_timers);
+    t.hb_timers <- bigger
+  end;
+  match t.hb_timers.(i) with
   | Some timer -> timer
   | None ->
       let timer =
@@ -187,7 +206,7 @@ and hb_timer t peer =
               dispatch t (Server.Heartbeat_due peer)
             end)
       in
-      Node_id.Table.add t.hb_timers peer timer;
+      t.hb_timers.(i) <- Some timer;
       timer
 
 (* Datagram heartbeats arrive on a bounded socket buffer: when the node's
@@ -212,8 +231,8 @@ let datagram_overflow t msg =
 let create ~fabric ~trace ?cpu ?(costs = Cost_model.zero) ?apply ?snapshot_of
     ?install_sm ?(flush_delay = Des.Time.ms 1)
     ?(metrics = Telemetry.Metrics.noop)
-    ?(forensics = Telemetry.Forensics.noop) ?(joining = false) ~id:node_id
-    ~peers ~config () =
+    ?(forensics = Telemetry.Forensics.noop) ?(joining = false) ?pool
+    ~id:node_id ~peers ~config () =
   let engine = Netsim.Fabric.engine fabric in
   let node_label = "n" ^ string_of_int (Node_id.to_int node_id) in
   let cpu =
@@ -225,8 +244,8 @@ let create ~fabric ~trace ?cpu ?(costs = Cost_model.zero) ?apply ?snapshot_of
       (Node_id.to_int node_id)
   in
   let server =
-    Server.create ~joining ~id:node_id ~peers ~config ~rng:(Stats.Rng.copy rng)
-      ()
+    Server.create ~joining ?pool ~id:node_id ~peers ~config
+      ~rng:(Stats.Rng.copy rng) ()
   in
   Server.set_instrument server (Telemetry.Metrics.enabled metrics);
   Server.set_congestion_probe server (fun dst ->
@@ -276,7 +295,7 @@ let create ~fabric ~trace ?cpu ?(costs = Cost_model.zero) ?apply ?snapshot_of
                 if t.fo_on then new_cause t Telemetry.Cause.Internal;
                 dispatch t Server.Flush_due
               end);
-        hb_timers = Node_id.Table.create 8;
+        hb_timers = [||];
         waiters = Hashtbl.create 64;
         instrumented = Telemetry.Metrics.enabled metrics;
         fo = forensics;
@@ -309,7 +328,34 @@ let create ~fabric ~trace ?cpu ?(costs = Cost_model.zero) ?apply ?snapshot_of
       }
   in
   let t = Lazy.force t in
-  Netsim.Fabric.set_handler fabric node_id (fun ~src msg ->
+  (* The receiver releases delivered payloads into its pool, so the
+     second copy of a duplicated datagram must be a distinct record. *)
+  Netsim.Fabric.set_dup_clone fabric Rpc.Pool.clone_for_dup;
+  let fast_path =
+    Netsim.Cpu.is_passthrough t.cpu && (not t.instrumented) && not t.fo_on
+  in
+  if fast_path then begin
+    (* Steady-state delivery without metrics, forensics or a CPU model:
+       one scratch event is reused for every message.  Safe because a
+       passthrough CPU dispatches synchronously (nothing defers and reads
+       the event later), [Server.handle] consumes the fields at entry,
+       and passthrough backlog is always 0 so the datagram-overflow check
+       cannot fire. *)
+    let scratch =
+      Server.Message { from = node_id; msg = Rpc.Timeout_now { term = 0 } }
+    in
+    Netsim.Fabric.set_handler fabric node_id (fun ~src msg ->
+        if not t.paused then begin
+          (match scratch with
+          | Server.Message m ->
+              m.from <- src;
+              m.msg <- msg
+          | _ -> assert false);
+          dispatch t scratch
+        end)
+  end
+  else
+    Netsim.Fabric.set_handler fabric node_id (fun ~src msg ->
       if not t.paused then
         if datagram_overflow t msg then ()
         else begin
@@ -363,7 +409,7 @@ let create ~fabric ~trace ?cpu ?(costs = Cost_model.zero) ?apply ?snapshot_of
 
 let start t =
   if t.fo_on then new_cause t Telemetry.Cause.Internal;
-  List.iter (interpret t) (Server.start t.server)
+  interpret_all t (Server.start t.server)
 
 (* Fault-injection transitions root fresh causal chains: whatever the
    cluster does next — elections after a leader pause, catch-up after a
@@ -415,7 +461,7 @@ let reconfigure t change =
     let actions, result =
       Server.reconfigure t.server ~now:(Des.Engine.now t.engine) change
     in
-    List.iter (interpret t) actions;
+    interpret_all t actions;
     result
   end
 
@@ -437,7 +483,9 @@ let disarm_all t =
   Des.Timer.disarm t.broadcast_timer;
   Des.Timer.disarm t.quorum_timer;
   Des.Timer.disarm t.flush_timer;
-  Node_id.Table.iter (fun _ timer -> Des.Timer.disarm timer) t.hb_timers
+  Array.iter
+        (function Some timer -> Des.Timer.disarm timer | None -> ())
+        t.hb_timers
 
 let crash t =
   t.paused <- true;
@@ -456,7 +504,9 @@ let restart t =
      but not a replay of the pre-crash randomized-timeout draws. *)
   let rng = Stats.Rng.split_int t.rng (Des.Engine.now t.engine) in
   t.server <-
-    Server.create ~restore ~id:(id t) ~peers:t.peers ~config:t.config ~rng ();
+    Server.create ~restore
+      ~pool:(Server.pool t.server)
+      ~id:(id t) ~peers:t.peers ~config:t.config ~rng ();
   Server.set_instrument t.server t.instrumented;
   Server.set_congestion_probe t.server (fun dst ->
       Netsim.Fabric.pending t.fabric ~src:(id t) ~dst);
@@ -471,4 +521,4 @@ let restart t =
   Netsim.Fabric.resume t.fabric (id t);
   forensics_fault t Telemetry.Forensics.Resumed;
   Des.Mtrace.emit t.trace (Probe.Node_resumed { id = id t });
-  List.iter (interpret t) (Server.start t.server)
+  interpret_all t (Server.start t.server)

@@ -20,6 +20,7 @@ val create :
   ?metrics:Telemetry.Metrics.t ->
   ?forensics:Telemetry.Forensics.t ->
   ?joining:bool ->
+  ?pool:Rpc.Pool.t ->
   id:Netsim.Node_id.t ->
   peers:Netsim.Node_id.t list ->
   config:Config.t ->
@@ -47,7 +48,11 @@ val create :
     the current cause across the fabric, and probes are mirrored into
     the ring with it.  When enabled the node turns on the fabric's
     cause tracking; when disabled every added branch is on a cached
-    [bool] and the node allocates exactly what it did before. *)
+    [bool] and the node allocates exactly what it did before.
+
+    [pool] is the message free-list handed to {!Server.create} (and kept
+    across {!restart}); a cluster passes one shared pool to all its
+    nodes so records released at receivers refill the senders. *)
 
 val start : t -> unit
 (** Arm the initial election timer.  Call once, on every node, before

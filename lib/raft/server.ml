@@ -1,7 +1,7 @@
 module Node_id = Netsim.Node_id
 
 type event =
-  | Message of { from : Node_id.t; msg : Rpc.message }
+  | Message of { mutable from : Node_id.t; mutable msg : Rpc.message }
   | Election_timeout_fired
   | Heartbeat_due of Node_id.t
   | Broadcast_due
@@ -82,14 +82,17 @@ type t = {
   mutable commit_index : Types.index;
   mutable votes : Node_id.Set.t;
   mutable quorum_acks : Node_id.Set.t;
-  progress : Progress.t Node_id.Table.t;
-  batches : batch_cache Node_id.Table.t;
+  (* Per-peer leader state is kept in option arrays indexed by
+     [Node_id.to_int peer]: the lookups run per heartbeat and per
+     replication op, so they must not hash. *)
+  mutable progress : Progress.t option array;
+  mutable batches : batch_cache option array;
       (* per-peer reuse of the last sliced entry window: retransmits and
          probes of an unchanged log region ship the same (immutable)
          array instead of re-slicing *)
   mutable congestion : Node_id.t -> int;
       (* host-installed egress-depth probe; [fun _ -> 0] until set *)
-  paths : Dynatune.Leader_path.t Node_id.Table.t;
+  mutable paths : Dynatune.Leader_path.t option array;
   tuner : Dynatune.Tuner.t option;
   mutable randomized : Des.Time.span;
   mutable last_leader_contact : Des.Time.t;
@@ -103,12 +106,23 @@ type t = {
       (* cache of the last piggybacked [Some h]: the tuned interval
          changes rarely relative to heartbeat volume, so the same box is
          shipped in nearly every response instead of a fresh [Some] *)
+  pool : Rpc.Pool.t;
+      (* free lists for the hot message payloads; shared across a
+         cluster's servers so a record released at the receiver refills
+         the sender's next allocation *)
+  ctx : ctx;
+      (* scratch action accumulator, reused across [handle] calls: a ctx
+         is only live inside one call (actions are materialized by
+         [finish] before the host interprets them), so one per server
+         suffices *)
 }
 and batch_cache = {
   mutable bc_from : Types.index;
   mutable bc_mutations : int;
   mutable bc_entries : Log.entry array;
 }
+
+and ctx = { mutable acts : action list; mutable now : Des.Time.t }
 
 and pending_read = {
   r_client : int;
@@ -186,7 +200,7 @@ let fold_base t ~upto =
   done;
   t.base <- m.contents
 
-let create ?restore ?(joining = false) ~id ~peers ~config ~rng () =
+let create ?restore ?pool ?(joining = false) ~id ~peers ~config ~rng () =
   (match Config.validate config with
   | Ok _ -> ()
   | Error msg -> invalid_arg ("Server.create: " ^ msg));
@@ -262,10 +276,10 @@ let create ?restore ?(joining = false) ~id ~peers ~config ~rng () =
       commit_index = Log.snapshot_index log;
       votes = Node_id.Set.empty;
       quorum_acks = Node_id.Set.empty;
-      progress = Node_id.Table.create 8;
-      batches = Node_id.Table.create 8;
+      progress = [||];
+      batches = [||];
       congestion = (fun _ -> 0);
-      paths = Node_id.Table.create 8;
+      paths = [||];
       tuner;
       randomized = 0;
       last_leader_contact = Des.Time.zero;
@@ -276,6 +290,9 @@ let create ?restore ?(joining = false) ~id ~peers ~config ~rng () =
       instrument = false;
       last_decision = None;
       pb_h = None;
+      pool =
+        (match pool with Some p -> p | None -> Rpc.Pool.create ());
+      ctx = { acts = []; now = Des.Time.zero };
     }
   in
   refresh_membership t;
@@ -306,6 +323,7 @@ let persisted (srv : t) =
   }
 
 let id t = t.id
+let pool t = t.pool
 let role t = t.role
 let term t = t.term
 let voted_for t = t.voted_for
@@ -318,8 +336,20 @@ let tuner t = t.tuner
 let set_instrument t on = t.instrument <- on
 let set_congestion_probe t f = t.congestion <- f
 
+(* Ensure a per-peer option array covers index [i]. *)
+let peer_array arr i =
+  if i < Array.length arr then arr
+  else begin
+    let bigger = Array.make (i + 8) None in
+    Array.blit arr 0 bigger 0 (Array.length arr);
+    bigger
+  end
+
 let appends_inflight t =
-  Node_id.Table.fold (fun _ p acc -> acc + Progress.inflight p) t.progress 0
+  Array.fold_left
+    (fun acc p ->
+      match p with Some p -> acc + Progress.inflight p | None -> acc)
+    0 t.progress
 
 let election_timeout_now t =
   match t.tuner with
@@ -347,7 +377,9 @@ let pending_config t =
   else None
 
 let path t peer =
-  match Node_id.Table.find_opt t.paths peer with
+  let i = Node_id.to_int peer in
+  t.paths <- peer_array t.paths i;
+  match t.paths.(i) with
   | Some p -> p
   | None ->
       let cfg =
@@ -363,7 +395,7 @@ let path t peer =
             }
       in
       let p = Dynatune.Leader_path.create cfg in
-      Node_id.Table.add t.paths peer p;
+      t.paths.(i) <- Some p;
       p
 
 let heartbeat_interval_to t peer =
@@ -418,10 +450,15 @@ let tuning_snapshot t =
 
 (* {2 Action accumulation} *)
 
-type ctx = { mutable acts : action list; now : Des.Time.t }
-
 let emit ctx a = ctx.acts <- a :: ctx.acts
 let finish ctx = List.rev ctx.acts
+
+(* Reset the server's scratch ctx for a new [handle] round. *)
+let fresh_ctx t ~now =
+  let ctx = t.ctx in
+  ctx.acts <- [];
+  ctx.now <- now;
+  ctx
 
 (* randomizedTimeout = Et + uniform[0, Et), as etcd draws it. *)
 let draw_timeout t =
@@ -516,11 +553,13 @@ let become_follower t ctx ~term ~leader =
 (* {2 Leader-side replication} *)
 
 let progress_of t peer =
-  match Node_id.Table.find_opt t.progress peer with
+  let i = Node_id.to_int peer in
+  t.progress <- peer_array t.progress i;
+  match t.progress.(i) with
   | Some p -> p
   | None ->
       let p = Progress.create ~last_index:(Log.last_index t.log) in
-      Node_id.Table.add t.progress peer p;
+      t.progress.(i) <- Some p;
       p
 
 (* The sliced windows are immutable once built (receivers must not
@@ -532,7 +571,9 @@ let batch_for t peer ~from =
   let slice () =
     Log.slice t.log ~from ~max:t.config.Config.max_entries_per_append
   in
-  match Node_id.Table.find_opt t.batches peer with
+  let i = Node_id.to_int peer in
+  t.batches <- peer_array t.batches i;
+  match t.batches.(i) with
   | Some bc ->
       let muts = Log.mutations t.log in
       let len = Array.length bc.bc_entries in
@@ -552,9 +593,10 @@ let batch_for t peer ~from =
       end
   | None ->
       let entries = slice () in
-      Node_id.Table.add t.batches peer
-        { bc_from = from; bc_mutations = Log.mutations t.log;
-          bc_entries = entries };
+      t.batches.(i) <-
+        Some
+          { bc_from = from; bc_mutations = Log.mutations t.log;
+            bc_entries = entries };
       entries
 
 let append_request_for t peer =
@@ -563,8 +605,8 @@ let append_request_for t peer =
   let prev_index = next - 1 in
   let prev_term = Option.value ~default:0 (Log.term_at t.log prev_index) in
   let entries = batch_for t peer ~from:next in
-  Rpc.Append_request
-    { term = t.term; prev_index; prev_term; entries; commit = t.commit_index }
+  Rpc.Pool.append_request t.pool ~term:t.term ~prev_index ~prev_term ~entries
+    ~commit:t.commit_index
 
 let send_install_snapshot t ctx peer ~data =
   let pr = progress_of t peer in
@@ -583,13 +625,15 @@ let send_install_snapshot t ctx peer ~data =
                last_index;
                last_term = Log.snapshot_term t.log;
                voters =
-                 List.filter
-                   (fun n -> Node_id.Set.mem n t.base.m_voters)
-                   t.base.m_order;
+                 Array.of_list
+                   (List.filter
+                      (fun n -> Node_id.Set.mem n t.base.m_voters)
+                      t.base.m_order);
                learners =
-                 List.filter
-                   (fun n -> Node_id.Set.mem n t.base.m_learners)
-                   t.base.m_order;
+                 Array.of_list
+                   (List.filter
+                      (fun n -> Node_id.Set.mem n t.base.m_learners)
+                      t.base.m_order);
                data;
              };
        })
@@ -663,8 +707,8 @@ let send_heartbeat t ctx ~now peer =
          dst = peer;
          kind = t.config.Config.heartbeat_transport;
          msg =
-           Rpc.Heartbeat
-             { term = t.term; commit; hb_id; sent_at = now; measured_rtt };
+           Rpc.Pool.heartbeat t.pool ~term:t.term ~commit ~hb_id ~sent_at:now
+             ~measured_rtt;
        })
 
 (* Section IV-E extension 1: a follower that just received entries has
@@ -973,9 +1017,11 @@ let become_leader t ctx =
   emit ctx Disarm_election;
   if t.config.Config.check_quorum then
     emit ctx (Arm_quorum_check (Config.election_timeout_base t.config));
-  Node_id.Table.reset t.progress;
-  Node_id.Table.reset t.batches;
-  Node_id.Table.iter (fun _ p -> Dynatune.Leader_path.reset p) t.paths;
+  Array.fill t.progress 0 (Array.length t.progress) None;
+  Array.fill t.batches 0 (Array.length t.batches) None;
+  Array.iter
+    (function Some p -> Dynatune.Leader_path.reset p | None -> ())
+    t.paths;
   List.iter (fun peer -> ignore (progress_of t peer : Progress.t)) t.others;
   ignore (Log.append_new t.log ~term:t.term Log.Noop : Log.entry);
   set_role t ctx Types.Leader;
@@ -1172,6 +1218,13 @@ let on_vote_response t ctx ~from (resp : Rpc.vote_response) =
         if Node_id.Set.cardinal t.votes >= quorum t then become_leader t ctx
     | _ -> ()
 
+(* Top-level predicate: a per-call closure here would charge every
+   follower append five words. *)
+let entry_is_config (e : Log.entry) =
+  match e.Log.command with
+  | Log.Config _ -> true
+  | Log.Noop | Log.Data _ -> false
+
 let on_append_request t ctx ~now ~from (req : Rpc.append_request) =
   if req.term < t.term then
     emit ctx
@@ -1180,14 +1233,8 @@ let on_append_request t ctx ~now ~from (req : Rpc.append_request) =
            dst = from;
            kind = Netsim.Transport.Reliable;
            msg =
-             Rpc.Append_response
-               {
-                 term = t.term;
-                 success = false;
-                 match_index = 0;
-                 conflict_hint = 0;
-                 req_prev = req.prev_index;
-               };
+             Rpc.Pool.append_response t.pool ~term:t.term ~success:false
+               ~match_index:0 ~conflict_hint:0 ~req_prev:req.prev_index;
          })
   else begin
     note_leader_contact t ctx ~now ~from ~term:req.term;
@@ -1200,34 +1247,16 @@ let on_append_request t ctx ~now ~from (req : Rpc.append_request) =
           (* Config entries are applied on append; a conflicting-suffix
              truncation can also retract one (detected via the log's
              mutation counter). *)
-          let has_config =
-            Array.exists
-              (fun (e : Log.entry) ->
-                match e.Log.command with
-                | Log.Config _ -> true
-                | Log.Noop | Log.Data _ -> false)
-              req.entries
-          in
-          if has_config || Log.mutations t.log <> t.config_mutations then
-            refresh_membership t;
+          if
+            Array.exists entry_is_config req.entries
+            || Log.mutations t.log <> t.config_mutations
+          then refresh_membership t;
           follower_advance_commit t ctx ~leader_commit:req.commit;
-          Rpc.Append_response
-            {
-              term = t.term;
-              success = true;
-              match_index = covered;
-              conflict_hint = 0;
-              req_prev = req.prev_index;
-            }
+          Rpc.Pool.append_response t.pool ~term:t.term ~success:true
+            ~match_index:covered ~conflict_hint:0 ~req_prev:req.prev_index
       | `Conflict hint ->
-          Rpc.Append_response
-            {
-              term = t.term;
-              success = false;
-              match_index = 0;
-              conflict_hint = hint;
-              req_prev = req.prev_index;
-            }
+          Rpc.Pool.append_response t.pool ~term:t.term ~success:false
+            ~match_index:0 ~conflict_hint:hint ~req_prev:req.prev_index
     in
     emit ctx
       (Send { dst = from; kind = Netsim.Transport.Reliable; msg = response })
@@ -1269,8 +1298,8 @@ let on_heartbeat t ctx ~now ~from ~term:hb_term ~commit ~hb_id ~sent_at
            dst = from;
            kind = t.config.Config.heartbeat_transport;
            msg =
-             Rpc.Heartbeat_response
-               { term = t.term; hb_id; echo_sent_at = sent_at; tuned_h = None };
+             Rpc.Pool.heartbeat_response t.pool ~term:t.term ~hb_id
+               ~echo_sent_at:sent_at ~tuned_h:None;
          })
   else begin
     (* Leader contact: abort any pre-campaign, adopt the term/leader,
@@ -1299,13 +1328,8 @@ let on_heartbeat t ctx ~now ~from ~term:hb_term ~commit ~hb_id ~sent_at
            dst = from;
            kind = t.config.Config.heartbeat_transport;
            msg =
-             Rpc.Heartbeat_response
-               {
-                 term = t.term;
-                 hb_id;
-                 echo_sent_at = sent_at;
-                 tuned_h = piggyback_h t;
-               };
+             Rpc.Pool.heartbeat_response t.pool ~term:t.term ~hb_id
+               ~echo_sent_at:sent_at ~tuned_h:(piggyback_h t);
          });
     arm_election t ctx
   end
@@ -1367,9 +1391,9 @@ let on_install_snapshot t ctx ~now ~from (snap : Rpc.install_snapshot) =
          with the log gone it becomes both base and live config. *)
       t.base <-
         {
-          m_voters = Node_id.Set.of_list snap.voters;
-          m_learners = Node_id.Set.of_list snap.learners;
-          m_order = snap.voters @ snap.learners;
+          m_voters = Node_id.Set.of_list (Array.to_list snap.voters);
+          m_learners = Node_id.Set.of_list (Array.to_list snap.learners);
+          m_order = Array.to_list snap.voters @ Array.to_list snap.learners;
         };
       refresh_membership t;
       t.commit_index <- snap.last_index;
@@ -1411,28 +1435,32 @@ let on_timeout_now t ctx ~term =
 (* {2 Host-facing API} *)
 
 let start t =
-  let ctx = { acts = []; now = Des.Time.zero } in
+  let ctx = fresh_ctx t ~now:Des.Time.zero in
   arm_election t ctx;
   finish ctx
 
 let handle t ~now event =
-  let ctx = { acts = []; now } in
+  let ctx = fresh_ctx t ~now in
   (match event with
-  | Message { from; msg } -> (
-      match msg with
+  | Message { from; msg } ->
+      (match msg with
       | Rpc.Vote_request req -> on_vote_request t ctx ~now ~from req
       | Rpc.Vote_response resp -> on_vote_response t ctx ~from resp
       | Rpc.Append_request req -> on_append_request t ctx ~now ~from req
       | Rpc.Append_response resp -> on_append_response t ctx ~now ~from resp
-      | Rpc.Heartbeat { term; commit; hb_id; sent_at; measured_rtt } ->
+      | Rpc.Heartbeat { term; commit; hb_id; sent_at; measured_rtt; _ } ->
           on_heartbeat t ctx ~now ~from ~term ~commit ~hb_id ~sent_at
             ~measured_rtt
-      | Rpc.Heartbeat_response { term; hb_id = _; echo_sent_at; tuned_h } ->
+      | Rpc.Heartbeat_response { term; echo_sent_at; tuned_h; _ } ->
           on_heartbeat_response t ctx ~now ~from ~term ~echo_sent_at ~tuned_h
       | Rpc.Install_snapshot snap -> on_install_snapshot t ctx ~now ~from snap
       | Rpc.Install_snapshot_response resp ->
           on_install_snapshot_response t ctx ~now ~from resp
-      | Rpc.Timeout_now { term } -> on_timeout_now t ctx ~term)
+      | Rpc.Timeout_now { term } -> on_timeout_now t ctx ~term);
+      (* The delivery is fully consumed: recycle the payload record.
+         Exactly-once per delivery — the fabric clones duplicated
+         datagrams, and hand-built records (gen 0) are ignored. *)
+      Rpc.Pool.release t.pool msg
   | Election_timeout_fired -> on_election_timeout t ctx
   | Heartbeat_due peer ->
       if Types.is_leader t.role then begin
@@ -1541,7 +1569,7 @@ let handle t ~now event =
   finish ctx
 
 let reconfigure t ~now change =
-  let ctx = { acts = []; now } in
+  let ctx = fresh_ctx t ~now in
   let result =
     if not (Types.is_leader t.role) then `Not_leader
     else if Option.is_some t.transfer then `Pending

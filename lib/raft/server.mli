@@ -15,7 +15,10 @@
     [Et]/[h] derivation, piggybacked [h], reset-to-defaults fallback). *)
 
 type event =
-  | Message of { from : Netsim.Node_id.t; msg : Rpc.message }
+  | Message of { mutable from : Netsim.Node_id.t; mutable msg : Rpc.message }
+      (** Mutable so a passthrough host can reuse one scratch event per
+          delivery; {!handle} reads the fields once at entry and never
+          retains the event. *)
   | Election_timeout_fired
   | Heartbeat_due of Netsim.Node_id.t
       (** per-follower heartbeat timer (tuned modes) *)
@@ -92,6 +95,7 @@ type reconfigure_result =
 
 val create :
   ?restore:persistent ->
+  ?pool:Rpc.Pool.t ->
   ?joining:bool ->
   id:Netsim.Node_id.t ->
   peers:Netsim.Node_id.t list ->
@@ -105,7 +109,17 @@ val create :
     {e outside} the configuration — [peers] are the existing members —
     and joins once it receives the [Add_learner] entry naming it; until
     then it neither votes nor campaigns.  Raises [Invalid_argument] on
-    an invalid configuration. *)
+    an invalid configuration.
+
+    [pool] is the message free-list the server allocates its hot
+    payloads from and releases delivered messages into (fresh private
+    pool by default).  Servers that exchange messages should share one —
+    records released at the receiver then refill the sender — and a pool
+    must never be shared across domains. *)
+
+val pool : t -> Rpc.Pool.t
+(** The server's message pool (for the host's restart path and the
+    benchmark loops). *)
 
 val reconfigure :
   t -> now:Des.Time.t -> Log.change -> action list * reconfigure_result

@@ -29,6 +29,13 @@ let die code = Stdlib.exit code
 let ship fabric kind ~src ~dst msg = Netsim.Fabric.send fabric kind ~src ~dst msg
 let ship_aliased fabric kind ~src ~dst msg = Fabric.send fabric kind ~src ~dst msg
 
+(* hot-alloc: a [@hot] binding calling allocating combinators, formatting,
+   and holding a lambda literal *)
+let[@hot] relay_all peers msg =
+  let framed = List.map (fun p -> (p, msg)) peers in
+  Format.eprintf "relaying %d@." (List.length framed);
+  Array.of_list framed
+
 (* direct-print *)
 let show x = Printf.printf "%d\n" x
 let complain msg = Format.eprintf "%s@." msg

@@ -25,6 +25,21 @@ let render x = Printf.sprintf "%d" x
 let pp ppf x = Format.fprintf ppf "%d" x
 let pp_name ppf = Format.pp_print_string ppf "name"
 
+(* A [@hot] binding that keeps the allocation discipline: loops and
+   in-place updates, no combinators, no formatting, no lambdas... *)
+let[@hot] sum_ready arr =
+  let total = ref 0 in
+  for i = 0 to Array.length arr - 1 do
+    total := !total + Array.unsafe_get arr i
+  done;
+  !total
+
+(* ...the postfix [@@hot] spelling also marks the binding... *)
+let add_one x = x + 1 [@@hot]
+
+(* ...and an unmarked neighbour may use the combinators freely. *)
+let labels xs = List.map string_of_int xs
+
 (* Routing through the replication seam is the sanctioned way to reach
    the fabric, and other Fabric entry points (Fabric.send is banned from
    lib/raft, but only that one) stay available. *)

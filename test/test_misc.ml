@@ -25,13 +25,34 @@ let all_messages : Raft.Rpc.message list =
     Raft.Rpc.Vote_response { term = 1; granted = true; pre_vote = true };
     Raft.Rpc.Vote_response { term = 1; granted = false; pre_vote = false };
     Raft.Rpc.Append_request
-      { term = 1; prev_index = 0; prev_term = 0; entries = [||]; commit = 0 };
+      {
+        term = 1;
+        prev_index = 0;
+        prev_term = 0;
+        entries = [||];
+        commit = 0;
+        ar_gen = 0;
+      };
     Raft.Rpc.Append_response
-      { term = 1; success = true; match_index = 4; conflict_hint = 0; req_prev = 0 };
+      {
+        term = 1;
+        success = true;
+        match_index = 4;
+        conflict_hint = 0;
+        req_prev = 0;
+        ap_gen = 0;
+      };
     Raft.Rpc.Heartbeat
-      { term = 1; commit = 0; hb_id = 3; sent_at = 0; measured_rtt = None };
+      {
+        term = 1;
+        commit = 0;
+        hb_id = 3;
+        sent_at = 0;
+        measured_rtt = None;
+        hb_gen = 0;
+      };
     Raft.Rpc.Heartbeat_response
-      { term = 1; hb_id = 3; echo_sent_at = 0; tuned_h = None };
+      { term = 1; hb_id = 3; echo_sent_at = 0; tuned_h = None; hr_gen = 0 };
   ]
 
 let test_rpc_kind_names () =
@@ -95,7 +116,14 @@ let test_cost_model_tuning_surcharge () =
   let c = Raft.Cost_model.etcd_like in
   let hb =
     Raft.Rpc.Heartbeat
-      { term = 1; commit = 0; hb_id = 3; sent_at = 0; measured_rtt = None }
+      {
+        term = 1;
+        commit = 0;
+        hb_id = 3;
+        sent_at = 0;
+        measured_rtt = None;
+        hb_gen = 0;
+      }
   in
   let base = Raft.Cost_model.message_recv_cost c ~tuning_active:false hb in
   let tuned = Raft.Cost_model.message_recv_cost c ~tuning_active:true hb in
@@ -104,7 +132,14 @@ let test_cost_model_tuning_surcharge () =
   (* Appends are not surcharged: tuning works on heartbeats only. *)
   let ap =
     Raft.Rpc.Append_request
-      { term = 1; prev_index = 0; prev_term = 0; entries = [||]; commit = 0 }
+      {
+        term = 1;
+        prev_index = 0;
+        prev_term = 0;
+        entries = [||];
+        commit = 0;
+        ar_gen = 0;
+      }
   in
   Alcotest.(check int) "append unaffected"
     (Raft.Cost_model.message_recv_cost c ~tuning_active:false ap)
@@ -121,6 +156,7 @@ let test_cost_model_per_entry () =
         prev_term = 0;
         entries = Array.init n (fun i -> entry (i + 1));
         commit = 0;
+        ar_gen = 0;
       }
   in
   let cost n =

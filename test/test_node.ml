@@ -183,8 +183,14 @@ let test_udp_overflow_drops_heartbeats () =
   Netsim.Fabric.send rig.fabric Netsim.Transport.Datagram
     ~src:(Node_id.of_int 1) ~dst:(Raft.Node.id node)
     (Raft.Rpc.Heartbeat
-       { term = 1; commit = 0; hb_id = 0; sent_at = Time.zero;
-         measured_rtt = None });
+       {
+         term = 1;
+         commit = 0;
+         hb_id = 0;
+         sent_at = Time.zero;
+         measured_rtt = None;
+         hb_gen = 0;
+       });
   Des.Engine.run_until rig.engine (Time.ms 50);
   (* No heartbeat response was generated: the datagram was dropped. *)
   let responses =
@@ -209,7 +215,14 @@ let test_reliable_messages_survive_busy_cpu () =
   Netsim.Fabric.send rig.fabric Netsim.Transport.Reliable
     ~src:(Node_id.of_int 1) ~dst:(Raft.Node.id node)
     (Raft.Rpc.Append_request
-       { term = 5; prev_index = 0; prev_term = 0; entries = [||]; commit = 0 });
+       {
+         term = 5;
+         prev_index = 0;
+         prev_term = 0;
+         entries = [||];
+         commit = 0;
+         ar_gen = 0;
+       });
   (* After the backlog drains, the append is processed. *)
   Des.Engine.run_until rig.engine (Time.sec 2);
   (* Elections may have advanced the term further, but the append was

@@ -444,12 +444,12 @@ let prop_wheel_matches_heap =
       let fire_one () =
         let sub = sub_next_live () in
         (match H.pop_live ref_heap with
-        | Some r -> r.H.action ()
+        | Some r -> H.run_closure r
         | None -> if sub != H.never then ok := false);
         if sub != H.never then begin
           H.drop_top sub_heap;
           now := sub.H.at;
-          sub.H.action ()
+          H.run_closure sub
         end
       in
       let step = function
@@ -468,10 +468,16 @@ let prop_wheel_matches_heap =
             match !handles with
             | [] -> ()
             | hs ->
-                let r, e = List.nth hs (k mod List.length hs) in
+                let i = k mod List.length hs in
+                let r, e = List.nth hs i in
                 H.cancel r;
                 H.cancel e;
-                if H.is_pending r <> H.is_pending e then ok := false)
+                if H.is_pending r <> H.is_pending e then ok := false;
+                (* Pool discipline: a cancelled handle must be forgotten —
+                   once the tombstone is discarded the event recycles, and
+                   the two heaps recycle in different orders, so a stale
+                   handle would alias different live events in each. *)
+                handles := List.filteri (fun j _ -> j <> i) hs)
         | W_advance n ->
             for _ = 1 to n do
               fire_one ()
@@ -555,6 +561,79 @@ let prop_pipelined_replication_converges =
           | d :: rest -> List.for_all (String.equal d) rest
           | [] -> false))
 
+(* {2 Message pool safety}
+
+   The perf-guard hot path recycles RPC records through [Rpc.Pool]:
+   released at delivery, reallocated by the next send.  The invariant
+   the @perf plans depend on: a record handed to the fabric is never
+   recycled while its delivery is still in flight.  Each record carries
+   a generation stamp the pool bumps on every reallocation, so the
+   receiver can detect a recycle: the stamp at delivery must equal the
+   stamp at send.  Exercised under randomized loss (never-released
+   records must not wedge or alias the free list), duplication (the
+   second copy must be a gen-0 clone, not the pooled record), and
+   jitter-induced reordering. *)
+let prop_pool_recycle_never_aliases_inflight =
+  Q.Test.make ~count:60
+    ~name:"pooled append_request never recycled while in flight"
+    Q.(
+      quad (float_range 0. 0.4) (float_range 0. 0.4) (float_range 0. 1.)
+        (pair (int_range 1 80) small_nat))
+    (fun (loss, duplicate, jitter, (msgs, seed)) ->
+      let engine = Des.Engine.create ~seed:(Int64.of_int seed) () in
+      let fabric = Netsim.Fabric.create engine in
+      let a = Netsim.Node_id.of_int 0 and b = Netsim.Node_id.of_int 1 in
+      List.iter (Netsim.Fabric.add_node fabric) [ a; b ];
+      Netsim.Fabric.set_uniform_conditions fabric
+        (Netsim.Conditions.constant
+           (Netsim.Conditions.profile ~rtt_ms:10. ~jitter ~loss ~duplicate ()));
+      Netsim.Fabric.set_dup_clone fabric Raft.Rpc.Pool.clone_for_dup;
+      let pool = Raft.Rpc.Pool.create () in
+      (* Outstanding-delivery count per physical record (pool reuse
+         keeps the population tiny, so an identity assoc list is fine).
+         The receiver cannot tell a recycled record from the newer send
+         that recycled it — by design, they are the same bytes — so the
+         invariant is enforced on the record's life cycle instead:
+         - the pool must never hand out a record whose previous send is
+           still in flight (count > 0 at allocation), and
+         - a pooled delivery must find exactly the one outstanding
+           flight it belongs to (count >= 1 at delivery; 0 means its
+           release was already consumed — a double release). *)
+      let tracked = ref [] in
+      let count_of msg =
+        match List.find_opt (fun (m, _) -> m == msg) !tracked with
+        | Some (_, c) -> c
+        | None ->
+            let c = ref 0 in
+            tracked := (msg, c) :: !tracked;
+            c
+      in
+      let ok = ref true in
+      Netsim.Fabric.set_handler fabric b (fun ~src:_ msg ->
+          (* gen 0 records are dup clones (or hand-built): unpooled by
+             construction, so they cannot alias the free list *)
+          if Raft.Rpc.Pool.generation msg > 0 then begin
+            let c = count_of msg in
+            if !c < 1 then ok := false else decr c
+          end;
+          Raft.Rpc.Pool.release pool msg);
+      for i = 1 to msgs do
+        let msg =
+          Raft.Rpc.Pool.append_request pool ~term:1 ~prev_index:i ~prev_term:1
+            ~entries:[||] ~commit:0
+        in
+        let c = count_of msg in
+        if !c > 0 then ok := false;
+        incr c;
+        Netsim.Fabric.send fabric Netsim.Transport.Datagram ~src:a ~dst:b msg;
+        (* uneven spacing interleaves in-flight windows across sends *)
+        Des.Engine.run_for engine (Des.Time.ms (i mod 7))
+      done;
+      Des.Engine.run_for engine (Des.Time.sec 5);
+      let _hb, _hbr, ar, _apr = Raft.Rpc.Pool.sizes pool in
+      (* Exactly-once release: the free list cannot outgrow the sends. *)
+      !ok && ar <= msgs)
+
 let tests =
   List.map to_alcotest
     [
@@ -582,4 +661,5 @@ let tests =
       prop_partition_reachability_is_equivalence;
       prop_conditions_piecewise_lookup;
       prop_pipelined_replication_converges;
+      prop_pool_recycle_never_aliases_inflight;
     ]

@@ -34,7 +34,8 @@ let commits actions =
     actions
 
 let heartbeat ?(id = 0) ?(sent_at = Time.zero) ?rtt ~term ~commit () =
-  Rpc.Heartbeat { term; commit; hb_id = id; sent_at; measured_rtt = rtt }
+  Rpc.Heartbeat
+    { term; commit; hb_id = id; sent_at; measured_rtt = rtt; hb_gen = 0 }
 
 let recv server ~from msg ~now =
   Server.handle server ~now (Server.Message { from = nid from; msg })
@@ -208,6 +209,7 @@ let test_vote_rejected_for_stale_log () =
             prev_term = 0;
             entries = [| { Raft.Log.term = 2; index = 1; command = Raft.Log.Noop } |];
             commit = 0;
+            ar_gen = 0;
           })
        ~now:Time.zero);
   (* Candidate with an older log must be refused even in a newer term.
@@ -326,7 +328,13 @@ let test_step_down_on_higher_term_response () =
   ignore
     (recv s ~from:1
        (Rpc.Heartbeat_response
-          { term = 99; hb_id = 0; echo_sent_at = Time.zero; tuned_h = None })
+          {
+            term = 99;
+            hb_id = 0;
+            echo_sent_at = Time.zero;
+            tuned_h = None;
+            hr_gen = 0;
+          })
        ~now:(Time.ms 1));
   Alcotest.(check bool) "stepped down" true (Server.role s = Types.Follower);
   Alcotest.(check int) "adopted term" 99 (Server.term s)
@@ -345,6 +353,7 @@ let test_leader_replicates_and_commits () =
                 match_index = 1;
                 conflict_hint = 0;
                 req_prev = 0;
+                ap_gen = 0;
               })
       ~now:(Time.ms 1)
   in
@@ -373,6 +382,7 @@ let test_leader_propose_and_flush () =
                 match_index = 1;
                 conflict_hint = 0;
                 req_prev = 0;
+                ap_gen = 0;
               })
            ~now:(Time.ms 1)))
     [ 1; 2; 3; 4 ];
@@ -403,7 +413,14 @@ let test_follower_rejects_stale_append () =
   let acts =
     recv s ~from:1
       (Rpc.Append_request
-         { term = 2; prev_index = 0; prev_term = 0; entries = [||]; commit = 0 })
+         {
+           term = 2;
+           prev_index = 0;
+           prev_term = 0;
+           entries = [||];
+           commit = 0;
+           ar_gen = 0;
+         })
       ~now:(Time.ms 1)
   in
   match sends acts with
@@ -424,6 +441,7 @@ let test_follower_commit_via_heartbeat () =
             prev_term = 0;
             entries = [| { Raft.Log.term = 1; index = 1; command = Raft.Log.Noop } |];
             commit = 0;
+            ar_gen = 0;
           })
        ~now:Time.zero);
   Alcotest.(check int) "not committed yet" 0 (Server.commit_index s);
@@ -445,7 +463,14 @@ let test_conflict_backoff () =
   let acts =
     recv s ~from:1
       (Rpc.Append_response
-         { term; success = false; match_index = 0; conflict_hint = 1; req_prev = 0 })
+         {
+           term;
+           success = false;
+           match_index = 0;
+           conflict_hint = 1;
+           req_prev = 0;
+           ap_gen = 0;
+         })
       ~now:(Time.ms 1)
   in
   let retries =
@@ -543,6 +568,7 @@ let test_leader_applies_piggybacked_h () =
             hb_id = 0;
             echo_sent_at = Time.zero;
             tuned_h = Some (Time.ms 33);
+            hr_gen = 0;
           })
        ~now:(Time.ms 10));
   Alcotest.(check (option int)) "interval applied toward that follower"
@@ -641,8 +667,14 @@ let test_stale_nack_no_duplicate_resend () =
   (* Peer 1 acks the noop: replicating, caught up. *)
   let ack =
     Rpc.Append_response
-      { term = 1; success = true; match_index = 1; conflict_hint = 0;
-        req_prev = 0 }
+      {
+        term = 1;
+        success = true;
+        match_index = 1;
+        conflict_hint = 0;
+        req_prev = 0;
+        ap_gen = 0;
+      }
   in
   ignore (recv s ~from:1 ack ~now);
   (* Two proposals stream out as two pipelined one-entry appends. *)
@@ -657,8 +689,14 @@ let test_stale_nack_no_duplicate_resend () =
      not one per outstanding send. *)
   let nack ~req_prev =
     Rpc.Append_response
-      { term = 1; success = false; match_index = 0; conflict_hint = 1;
-        req_prev }
+      {
+        term = 1;
+        success = false;
+        match_index = 0;
+        conflict_hint = 1;
+        req_prev;
+        ap_gen = 0;
+      }
   in
   let acts = recv s ~from:1 (nack ~req_prev:1) ~now in
   (match appends_to acts ~dst:1 with
@@ -691,8 +729,14 @@ let test_backpressure_throttles_stream () =
   Server.set_congestion_probe s (fun _ -> !depth);
   let ack =
     Rpc.Append_response
-      { term = 1; success = true; match_index = 1; conflict_hint = 0;
-        req_prev = 0 }
+      {
+        term = 1;
+        success = true;
+        match_index = 1;
+        conflict_hint = 0;
+        req_prev = 0;
+        ap_gen = 0;
+      }
   in
   ignore (recv s ~from:1 ack ~now);
   ignore

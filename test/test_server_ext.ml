@@ -88,6 +88,7 @@ let test_checkquorum_survives_with_acks () =
                 hb_id = 0;
                 echo_sent_at = Time.zero;
                 tuned_h = None;
+                hr_gen = 0;
               })
            ~now:(Time.ms 500)))
     [ 1; 2 ];
@@ -113,6 +114,7 @@ let test_checkquorum_window_resets () =
                 hb_id = 0;
                 echo_sent_at = Time.zero;
                 tuned_h = None;
+                hr_gen = 0;
               })
            ~now:(Time.ms 100)))
     [ 1; 2; 3; 4 ];
@@ -150,6 +152,7 @@ let test_lease_expires_after_base_timeout () =
             hb_id = 0;
             sent_at = Time.zero;
             measured_rtt = None;
+            hb_gen = 0;
           })
        ~now:Time.zero);
   (* 1.2s later (> Et = 1s), a pre-vote must be granted. *)
@@ -252,6 +255,7 @@ let test_consolidated_interval_is_minimum () =
                 hb_id = 0;
                 echo_sent_at = Time.zero;
                 tuned_h = Some h;
+                hr_gen = 0;
               })
            ~now:(Time.ms 50)))
     [ (1, Time.ms 80); (2, Time.ms 30); (3, Time.ms 120) ];
@@ -279,6 +283,7 @@ let test_stale_install_snapshot_rejected () =
             hb_id = 0;
             sent_at = Time.zero;
             measured_rtt = None;
+            hb_gen = 0;
           })
        ~now:Time.zero);
   let acts =
@@ -288,8 +293,8 @@ let test_stale_install_snapshot_rejected () =
            term = 2;
            last_index = 50;
            last_term = 2;
-           voters = Node_id.range 5;
-           learners = [];
+           voters = Array.of_list (Node_id.range 5);
+           learners = [||];
            data = "stale";
          })
       ~now:(Time.ms 1)
@@ -311,8 +316,8 @@ let test_install_snapshot_applies () =
            term = 4;
            last_index = 30;
            last_term = 4;
-           voters = Node_id.range 5;
-           learners = [];
+           voters = Array.of_list (Node_id.range 5);
+           learners = [||];
            data = "payload";
          })
       ~now:Time.zero
@@ -366,6 +371,7 @@ let test_read_confirmation_requires_fresh_echo () =
            hb_id = 0;
            echo_sent_at = Time.ms 50;
            tuned_h = None;
+           hr_gen = 0;
          })
       ~now:(Time.ms 150)
   in
@@ -385,6 +391,7 @@ let test_read_confirmation_requires_fresh_echo () =
            hb_id = 1;
            echo_sent_at = Time.ms 100;
            tuned_h = None;
+           hr_gen = 0;
          })
       ~now:(Time.ms 200)
   in
@@ -404,6 +411,7 @@ let test_timeout_now_triggers_forced_election () =
             hb_id = 0;
             sent_at = Time.zero;
             measured_rtt = None;
+            hb_gen = 0;
           })
        ~now:Time.zero);
   let acts = recv s ~from:3 (Rpc.Timeout_now { term = 2 }) ~now:(Time.ms 1) in
@@ -432,6 +440,7 @@ let test_forced_vote_bypasses_lease () =
             hb_id = 0;
             sent_at = Time.zero;
             measured_rtt = None;
+            hb_gen = 0;
           })
        ~now:Time.zero);
   (* Within the lease, a normal campaign is ignored but a forced one is
